@@ -1,0 +1,47 @@
+//! Error type shared by all ADM operations.
+
+use std::fmt;
+
+/// Result alias used throughout the `asterix-adm` crate.
+pub type Result<T> = std::result::Result<T, AdmError>;
+
+/// Errors raised by data-model operations: parsing, serialization, typing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmError {
+    /// Text parse error with byte offset and message.
+    Parse { offset: usize, message: String },
+    /// Binary (de)serialization error.
+    Serde(String),
+    /// A value did not conform to a declared type.
+    Type(String),
+    /// A cast between values/types is not possible.
+    Cast { from: &'static str, to: String },
+    /// Temporal literal/arithmetic error.
+    Temporal(String),
+    /// Any other invariant violation.
+    Invalid(String),
+}
+
+impl fmt::Display for AdmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmError::Parse { offset, message } => {
+                write!(f, "ADM parse error at byte {offset}: {message}")
+            }
+            AdmError::Serde(m) => write!(f, "ADM serialization error: {m}"),
+            AdmError::Type(m) => write!(f, "ADM type error: {m}"),
+            AdmError::Cast { from, to } => write!(f, "cannot cast {from} to {to}"),
+            AdmError::Temporal(m) => write!(f, "ADM temporal error: {m}"),
+            AdmError::Invalid(m) => write!(f, "invalid ADM operation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmError {}
+
+impl AdmError {
+    /// Convenience constructor for parse errors.
+    pub fn parse(offset: usize, message: impl Into<String>) -> Self {
+        AdmError::Parse { offset, message: message.into() }
+    }
+}

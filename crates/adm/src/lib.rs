@@ -1,0 +1,39 @@
+//! # ADM — the Asterix Data Model
+//!
+//! ADM is AsterixDB's NoSQL-style data model: JSON extended with object-database
+//! concepts (ICDE 2019 paper, Section III, feature 1). Beyond plain JSON it adds:
+//!
+//! * additional primitive types — 64-bit integers distinct from doubles,
+//!   `datetime` / `date` / `time` / `duration` temporal types, `point` /
+//!   `rectangle` spatial types, `uuid` and `binary`;
+//! * *multisets* (unordered, duplicate-preserving collections, written
+//!   `{{ ... }}`) in addition to ordered arrays;
+//! * an **open type system**: object types declare whatever schema is known a
+//!   priori, instances may carry additional self-describing fields unless the
+//!   type is marked `CLOSED` (paper Figure 3).
+//!
+//! This crate provides the value representation ([`Value`]), the type system
+//! ([`types`]), text parsing and printing of the extended-JSON syntax
+//! ([`parse`], [`mod@print`]), a compact binary serialization ([`binary`]), total
+//! ordering and hashing consistent across numeric types ([`compare`]), and
+//! schema validation/casting ([`validate`]).
+//!
+//! Everything above the storage layer (Hyracks operators, Algebricks
+//! expressions, SQL++/AQL evaluation) computes over [`Value`]s.
+
+pub mod binary;
+pub mod compare;
+pub mod error;
+pub mod parse;
+pub mod print;
+pub mod schema_encode;
+pub mod spatial;
+pub mod temporal;
+pub mod types;
+pub mod validate;
+pub mod value;
+
+pub use error::{AdmError, Result};
+pub use spatial::{Point, Rectangle};
+pub use temporal::Duration;
+pub use value::{Object, Value};

@@ -1,0 +1,267 @@
+//! Printers for [`Value`]: ADM literal syntax (round-trips through
+//! [`crate::parse`]) and lossy plain-JSON output (for CSV/JSON export — the
+//! §V-D "round-trip their data in and out of the system" requirement).
+
+use crate::temporal;
+use crate::value::Value;
+use std::fmt::Write;
+
+/// Renders a value in ADM literal syntax; `parse_value(to_adm_string(v)) == v`.
+pub fn to_adm_string(v: &Value) -> String {
+    let mut out = String::new();
+    write_adm(v, &mut out);
+    out
+}
+
+fn write_adm(v: &Value, out: &mut String) {
+    match v {
+        Value::Missing => out.push_str("missing"),
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::Double(d) => write_double(*d, out),
+        Value::String(s) => write_escaped(s, out),
+        Value::Date(d) => {
+            let _ = write!(out, "date(\"{}\")", temporal::format_date(*d));
+        }
+        Value::Time(t) => {
+            let _ = write!(out, "time(\"{}\")", temporal::format_time(*t));
+        }
+        Value::DateTime(t) => {
+            let _ = write!(out, "datetime(\"{}\")", temporal::format_datetime(*t));
+        }
+        Value::Duration(d) => {
+            let _ = write!(out, "duration(\"{d}\")");
+        }
+        Value::Point(p) => {
+            let _ = write!(out, "point(\"{},{}\")", p.x, p.y);
+        }
+        Value::Rectangle(r) => {
+            let _ = write!(
+                out,
+                "rectangle(\"{},{} {},{}\")",
+                r.min.x, r.min.y, r.max.x, r.max.y
+            );
+        }
+        Value::Uuid(u) => {
+            out.push_str("uuid(\"");
+            for (i, b) in u.iter().enumerate() {
+                if matches!(i, 4 | 6 | 8 | 10) {
+                    out.push('-');
+                }
+                let _ = write!(out, "{b:02x}");
+            }
+            out.push_str("\")");
+        }
+        Value::Binary(bytes) => {
+            out.push_str("hex(\"");
+            for b in bytes {
+                let _ = write!(out, "{b:02x}");
+            }
+            out.push_str("\")");
+        }
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_adm(item, out);
+            }
+            out.push(']');
+        }
+        Value::Multiset(items) => {
+            out.push_str("{{");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_adm(item, out);
+            }
+            out.push_str("}}");
+        }
+        Value::Object(o) => {
+            out.push('{');
+            for (i, (k, val)) in o.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_adm(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Renders a value as plain JSON. ADM-only types degrade to JSON-friendly
+/// forms: temporal values become ISO strings, points become `[x, y]`,
+/// multisets become arrays, `missing` becomes `null`.
+pub fn to_json_string(v: &Value) -> String {
+    let mut out = String::new();
+    write_json(v, &mut out);
+    out
+}
+
+fn write_json(v: &Value, out: &mut String) {
+    match v {
+        Value::Missing | Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::Double(d) => write_double(*d, out),
+        Value::String(s) => write_escaped(s, out),
+        Value::Date(d) => write_escaped(&temporal::format_date(*d), out),
+        Value::Time(t) => write_escaped(&temporal::format_time(*t), out),
+        Value::DateTime(t) => write_escaped(&temporal::format_datetime(*t), out),
+        Value::Duration(d) => write_escaped(&format!("{d}"), out),
+        Value::Point(p) => {
+            let _ = write!(out, "[");
+            write_double(p.x, out);
+            out.push_str(", ");
+            write_double(p.y, out);
+            out.push(']');
+        }
+        Value::Rectangle(r) => {
+            let _ = write!(out, "[[");
+            write_double(r.min.x, out);
+            out.push_str(", ");
+            write_double(r.min.y, out);
+            out.push_str("], [");
+            write_double(r.max.x, out);
+            out.push_str(", ");
+            write_double(r.max.y, out);
+            out.push_str("]]");
+        }
+        Value::Uuid(_) | Value::Binary(_) => {
+            // Render through the ADM path, then quote it.
+            let mut inner = String::new();
+            write_adm(v, &mut inner);
+            write_escaped(&inner, out);
+        }
+        Value::Array(items) | Value::Multiset(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_json(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(o) => {
+            out.push('{');
+            for (i, (k, val)) in o.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_json(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_double(d: f64, out: &mut String) {
+    if d.is_nan() {
+        out.push_str("\"NaN\"");
+    } else if d.is_infinite() {
+        out.push_str(if d > 0.0 { "\"Infinity\"" } else { "\"-Infinity\"" });
+    } else if d.fract() == 0.0 && d.abs() < 1e15 {
+        // Keep a trailing .0 so the value re-parses as a double, not an int.
+        let _ = write!(out, "{d:.1}");
+    } else {
+        let _ = write!(out, "{d}");
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_value;
+    use crate::spatial::Point;
+    use crate::temporal::Duration;
+    use crate::value::Object;
+
+    fn roundtrip(v: &Value) {
+        let text = to_adm_string(v);
+        let back = parse_value(&text).unwrap_or_else(|e| panic!("reparse {text:?}: {e}"));
+        assert!(crate::compare::adm_eq(v, &back), "{v:?} -> {text} -> {back:?}");
+    }
+
+    #[test]
+    fn adm_roundtrips() {
+        roundtrip(&Value::Missing);
+        roundtrip(&Value::Null);
+        roundtrip(&Value::Bool(true));
+        roundtrip(&Value::Int(-17));
+        roundtrip(&Value::Double(2.5));
+        roundtrip(&Value::Double(3.0));
+        roundtrip(&Value::from("quote \" and \\ and\nnewline"));
+        roundtrip(&Value::Date(17167));
+        roundtrip(&Value::Time(1234567));
+        roundtrip(&Value::DateTime(1483228800000));
+        roundtrip(&Value::Duration(Duration::parse("P1Y2M3DT4H5M6.789S").unwrap()));
+        roundtrip(&Value::Point(Point::new(-3.5, 4.25)));
+        roundtrip(&Value::Uuid([7; 16]));
+        roundtrip(&Value::Array(vec![Value::Int(1), Value::Null, Value::from("x")]));
+        roundtrip(&Value::Multiset(vec![Value::Int(1), Value::Int(1)]));
+        roundtrip(&Value::Object(Object::from_pairs(vec![
+            ("a", Value::Int(1)),
+            ("nested", Value::object(vec![("b".into(), Value::from("y"))])),
+        ])));
+    }
+
+    #[test]
+    fn double_formatting_reparses_as_double() {
+        let v = Value::Double(4.0);
+        let s = to_adm_string(&v);
+        assert_eq!(s, "4.0");
+        assert!(matches!(parse_value(&s).unwrap(), Value::Double(_)));
+    }
+
+    #[test]
+    fn json_degrades_adm_types() {
+        let v = Value::object(vec![
+            ("when".into(), Value::DateTime(0)),
+            ("loc".into(), Value::Point(Point::new(1.0, 2.0))),
+            ("tags".into(), Value::Multiset(vec![Value::from("a")])),
+            ("gone".into(), Value::Missing),
+        ]);
+        let json = to_json_string(&v);
+        assert_eq!(
+            json,
+            r#"{"when": "1970-01-01T00:00:00", "loc": [1.0, 2.0], "tags": ["a"], "gone": null}"#
+        );
+    }
+
+    #[test]
+    fn control_characters_escaped() {
+        let s = to_adm_string(&Value::from("a\u{1}b"));
+        assert_eq!(s, "\"a\\u0001b\"");
+    }
+}

@@ -1,0 +1,295 @@
+//! The ADM type system: named object types with optional/open fields.
+//!
+//! Paper Figure 3(a) defines types like:
+//!
+//! ```text
+//! CREATE TYPE GleambookUserType AS {        -- open by default
+//!     id: int,
+//!     alias: string,
+//!     userSince: datetime,
+//!     friendIds: {{ int }},
+//!     employment: [EmploymentType]
+//! };
+//! CREATE TYPE AccessLogType AS CLOSED { ... };
+//! ```
+//!
+//! "The provision of schema information is optional, so it is entirely up to
+//! the definer of an application to choose what (and how much, if any) to
+//! predeclare." Open types admit undeclared (self-describing) extra fields;
+//! `CLOSED` types forbid them; `?` marks optional fields.
+
+use crate::error::{AdmError, Result};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Built-in primitive ADM type names.
+pub const PRIMITIVES: &[&str] = &[
+    "boolean", "int8", "int16", "int32", "int64", "int", "float", "double", "string", "date",
+    "time", "datetime", "duration", "point", "rectangle", "uuid", "binary", "any",
+];
+
+/// A type expression: a named type (primitive or user-defined) possibly
+/// wrapped in array `[T]` or multiset `{{T}}` constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeExpr {
+    /// Reference to a primitive or user-defined named type.
+    Named(String),
+    /// Ordered list of `T`: `[T]`.
+    Array(Box<TypeExpr>),
+    /// Multiset of `T`: `{{ T }}`.
+    Multiset(Box<TypeExpr>),
+}
+
+impl TypeExpr {
+    /// Convenience constructor for a named type.
+    pub fn named(name: impl Into<String>) -> Self {
+        TypeExpr::Named(name.into())
+    }
+
+    /// The `any` type, which admits every value.
+    pub fn any() -> Self {
+        TypeExpr::Named("any".into())
+    }
+}
+
+impl fmt::Display for TypeExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeExpr::Named(n) => write!(f, "{n}"),
+            TypeExpr::Array(t) => write!(f, "[{t}]"),
+            TypeExpr::Multiset(t) => write!(f, "{{{{{t}}}}}"),
+        }
+    }
+}
+
+/// One declared field of an object type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    pub name: String,
+    pub ty: TypeExpr,
+    /// Declared with `?` — the field may be absent or `null`.
+    pub optional: bool,
+}
+
+impl Field {
+    /// A required field.
+    pub fn required(name: impl Into<String>, ty: TypeExpr) -> Self {
+        Field { name: name.into(), ty, optional: false }
+    }
+
+    /// An optional (`?`) field.
+    pub fn optional(name: impl Into<String>, ty: TypeExpr) -> Self {
+        Field { name: name.into(), ty, optional: true }
+    }
+}
+
+/// A named object type (`CREATE TYPE ... AS [CLOSED] { ... }`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectType {
+    pub name: String,
+    pub fields: Vec<Field>,
+    /// Open types admit undeclared extra fields (the ADM default); `CLOSED`
+    /// types do not.
+    pub is_open: bool,
+}
+
+impl ObjectType {
+    /// Creates an open object type.
+    pub fn open(name: impl Into<String>, fields: Vec<Field>) -> Self {
+        ObjectType { name: name.into(), fields, is_open: true }
+    }
+
+    /// Creates a closed object type.
+    pub fn closed(name: impl Into<String>, fields: Vec<Field>) -> Self {
+        ObjectType { name: name.into(), fields, is_open: false }
+    }
+
+    /// Looks up a declared field.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+}
+
+/// A registry of named types — the type portion of the metadata catalog.
+#[derive(Debug, Clone, Default)]
+pub struct TypeRegistry {
+    types: BTreeMap<String, ObjectType>,
+}
+
+impl TypeRegistry {
+    /// An empty registry (primitives are always implicitly present).
+    pub fn new() -> Self {
+        TypeRegistry::default()
+    }
+
+    /// Registers a named object type; re-registering a name is an error.
+    pub fn define(&mut self, ty: ObjectType) -> Result<()> {
+        if self.is_primitive(&ty.name) {
+            return Err(AdmError::Type(format!(
+                "cannot redefine primitive type {:?}",
+                ty.name
+            )));
+        }
+        if self.types.contains_key(&ty.name) {
+            return Err(AdmError::Type(format!("type {:?} already exists", ty.name)));
+        }
+        self.types.insert(ty.name.clone(), ty);
+        Ok(())
+    }
+
+    /// Removes a type definition.
+    pub fn drop_type(&mut self, name: &str) -> Result<ObjectType> {
+        self.types
+            .remove(name)
+            .ok_or_else(|| AdmError::Type(format!("unknown type {name:?}")))
+    }
+
+    /// Looks up a user-defined object type.
+    pub fn get(&self, name: &str) -> Option<&ObjectType> {
+        self.types.get(name)
+    }
+
+    /// True for the built-in primitive names.
+    pub fn is_primitive(&self, name: &str) -> bool {
+        PRIMITIVES.contains(&name)
+    }
+
+    /// True when `name` resolves to either a primitive or a defined type.
+    pub fn resolves(&self, name: &str) -> bool {
+        self.is_primitive(name) || self.types.contains_key(name)
+    }
+
+    /// Verifies that every named type referenced by `expr` resolves.
+    pub fn check_expr(&self, expr: &TypeExpr) -> Result<()> {
+        match expr {
+            TypeExpr::Named(n) => {
+                if self.resolves(n) {
+                    Ok(())
+                } else {
+                    Err(AdmError::Type(format!("unknown type {n:?}")))
+                }
+            }
+            TypeExpr::Array(inner) | TypeExpr::Multiset(inner) => self.check_expr(inner),
+        }
+    }
+
+    /// Verifies that all field types of `ty` resolve (done at `CREATE TYPE`).
+    pub fn check_object_type(&self, ty: &ObjectType) -> Result<()> {
+        for f in &ty.fields {
+            self.check_expr(&f.ty)?;
+        }
+        Ok(())
+    }
+
+    /// Iterates over defined types in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &ObjectType> {
+        self.types.values()
+    }
+}
+
+/// Builds the paper's Figure 3(a) types — used by examples and tests
+/// throughout the workspace as the canonical schema.
+pub fn gleambook_types() -> TypeRegistry {
+    let mut reg = TypeRegistry::new();
+    reg.define(ObjectType::open(
+        "EmploymentType",
+        vec![
+            Field::required("organizationName", TypeExpr::named("string")),
+            Field::required("startDate", TypeExpr::named("date")),
+            Field::optional("endDate", TypeExpr::named("date")),
+        ],
+    ))
+    .unwrap();
+    reg.define(ObjectType::open(
+        "GleambookUserType",
+        vec![
+            Field::required("id", TypeExpr::named("int")),
+            Field::required("alias", TypeExpr::named("string")),
+            Field::required("name", TypeExpr::named("string")),
+            Field::required("userSince", TypeExpr::named("datetime")),
+            Field::required("friendIds", TypeExpr::Multiset(Box::new(TypeExpr::named("int")))),
+            Field::required(
+                "employment",
+                TypeExpr::Array(Box::new(TypeExpr::named("EmploymentType"))),
+            ),
+        ],
+    ))
+    .unwrap();
+    reg.define(ObjectType::open(
+        "GleambookMessageType",
+        vec![
+            Field::required("messageId", TypeExpr::named("int")),
+            Field::required("authorId", TypeExpr::named("int")),
+            Field::optional("inResponseTo", TypeExpr::named("int")),
+            Field::optional("senderLocation", TypeExpr::named("point")),
+            Field::required("message", TypeExpr::named("string")),
+        ],
+    ))
+    .unwrap();
+    reg.define(ObjectType::closed(
+        "AccessLogType",
+        vec![
+            Field::required("ip", TypeExpr::named("string")),
+            Field::required("time", TypeExpr::named("string")),
+            Field::required("user", TypeExpr::named("string")),
+            Field::required("verb", TypeExpr::named("string")),
+            Field::required("path", TypeExpr::named("string")),
+            Field::required("stat", TypeExpr::named("int32")),
+            Field::required("size", TypeExpr::named("int32")),
+        ],
+    ))
+    .unwrap();
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn define_and_lookup() {
+        let mut reg = TypeRegistry::new();
+        reg.define(ObjectType::open("T", vec![Field::required("a", TypeExpr::named("int"))]))
+            .unwrap();
+        assert!(reg.get("T").is_some());
+        assert!(reg.resolves("T"));
+        assert!(reg.resolves("int"));
+        assert!(!reg.resolves("Nope"));
+        assert!(reg.define(ObjectType::open("T", vec![])).is_err(), "duplicate");
+        assert!(reg.define(ObjectType::open("int", vec![])).is_err(), "primitive");
+        reg.drop_type("T").unwrap();
+        assert!(reg.get("T").is_none());
+        assert!(reg.drop_type("T").is_err());
+    }
+
+    #[test]
+    fn check_expr_resolution() {
+        let reg = gleambook_types();
+        assert!(reg
+            .check_expr(&TypeExpr::Array(Box::new(TypeExpr::named("EmploymentType"))))
+            .is_ok());
+        assert!(reg.check_expr(&TypeExpr::named("MysteryType")).is_err());
+    }
+
+    #[test]
+    fn gleambook_schema_shape() {
+        let reg = gleambook_types();
+        let user = reg.get("GleambookUserType").unwrap();
+        assert!(user.is_open);
+        assert_eq!(user.fields.len(), 6);
+        assert!(user.field("friendIds").is_some());
+        let log = reg.get("AccessLogType").unwrap();
+        assert!(!log.is_open, "AccessLogType is CLOSED in Figure 3(b)");
+        let msg = reg.get("GleambookMessageType").unwrap();
+        assert!(msg.field("inResponseTo").unwrap().optional);
+        assert!(msg.field("senderLocation").unwrap().optional);
+    }
+
+    #[test]
+    fn type_expr_display() {
+        let t = TypeExpr::Array(Box::new(TypeExpr::named("EmploymentType")));
+        assert_eq!(t.to_string(), "[EmploymentType]");
+        let m = TypeExpr::Multiset(Box::new(TypeExpr::named("int")));
+        assert_eq!(m.to_string(), "{{int}}");
+    }
+}

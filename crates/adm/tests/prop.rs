@@ -1,0 +1,109 @@
+//! Property-based tests for the ADM data model: serialization round-trips,
+//! comparator laws, and key-encoding order consistency.
+
+use asterix_adm::binary::{compare_keys, decode, encode, encode_key};
+use asterix_adm::compare::{adm_eq, hash64, total_cmp, OrdValue};
+use asterix_adm::parse::parse_value;
+use asterix_adm::print::to_adm_string;
+use asterix_adm::temporal::Duration;
+use asterix_adm::{Object, Point, Value};
+use proptest::prelude::*;
+use std::cmp::Ordering;
+
+/// Strategy generating arbitrary ADM values with bounded depth.
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Missing),
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Finite doubles keep printing/parsing round-trips exact.
+        (-1e15f64..1e15f64).prop_map(Value::Double),
+        "[a-zA-Z0-9 _#é]{0,12}".prop_map(Value::String),
+        (-100_000i32..100_000).prop_map(Value::Date),
+        (0i32..86_400_000).prop_map(Value::Time),
+        (-4_000_000_000_000i64..4_000_000_000_000).prop_map(Value::DateTime),
+        ((-240i32..240), (-1_000_000i64..1_000_000))
+            .prop_map(|(months, millis)| Value::Duration(Duration { months, millis })),
+        ((-180.0f64..180.0), (-90.0f64..90.0))
+            .prop_map(|(x, y)| Value::Point(Point::new(x, y))),
+        prop::collection::vec(any::<u8>(), 0..8).prop_map(Value::Binary),
+        any::<[u8; 16]>().prop_map(Value::Uuid),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::Array),
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::Multiset),
+            prop::collection::vec(("[a-z]{1,6}", inner), 0..4)
+                .prop_map(|pairs| Value::Object(Object::from_pairs(pairs))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn binary_roundtrip(v in arb_value()) {
+        let bytes = encode(&v);
+        let back = decode(&bytes).unwrap();
+        prop_assert_eq!(&v, &back);
+    }
+
+    #[test]
+    fn text_roundtrip(v in arb_value()) {
+        let text = to_adm_string(&v);
+        let back = parse_value(&text).unwrap();
+        // Text round-trip preserves ADM equality (objects may reorder under eq).
+        prop_assert!(adm_eq(&v, &back), "{} -> {:?}", text, back);
+    }
+
+    #[test]
+    fn total_order_is_antisymmetric_and_reflexive(a in arb_value(), b in arb_value()) {
+        prop_assert_eq!(total_cmp(&a, &a), Ordering::Equal);
+        prop_assert_eq!(total_cmp(&a, &b), total_cmp(&b, &a).reverse());
+    }
+
+    #[test]
+    fn total_order_is_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
+        let mut vs = [a, b, c];
+        vs.sort_by(total_cmp);
+        prop_assert!(total_cmp(&vs[0], &vs[1]) != Ordering::Greater);
+        prop_assert!(total_cmp(&vs[1], &vs[2]) != Ordering::Greater);
+        prop_assert!(total_cmp(&vs[0], &vs[2]) != Ordering::Greater);
+    }
+
+    #[test]
+    fn hash_consistent_with_equality(a in arb_value(), b in arb_value()) {
+        if adm_eq(&a, &b) {
+            prop_assert_eq!(hash64(&a), hash64(&b), "{:?} == {:?} must hash alike", a, b);
+        }
+    }
+
+    #[test]
+    fn encoded_key_order_matches_value_order(a in arb_value(), b in arb_value()) {
+        let ka = encode_key(std::slice::from_ref(&a));
+        let kb = encode_key(std::slice::from_ref(&b));
+        prop_assert_eq!(compare_keys(&ka, &kb), total_cmp(&a, &b));
+    }
+
+    #[test]
+    fn composite_key_order_is_lexicographic(
+        a1 in arb_value(), a2 in arb_value(), b1 in arb_value(), b2 in arb_value()
+    ) {
+        let ka = encode_key(&[a1.clone(), a2.clone()]);
+        let kb = encode_key(&[b1.clone(), b2.clone()]);
+        let expected = total_cmp(&a1, &b1).then_with(|| total_cmp(&a2, &b2));
+        prop_assert_eq!(compare_keys(&ka, &kb), expected);
+    }
+
+    #[test]
+    fn ord_value_sorts_like_total_cmp(mut vs in prop::collection::vec(arb_value(), 0..16)) {
+        let mut wrapped: Vec<OrdValue> = vs.iter().cloned().map(OrdValue).collect();
+        wrapped.sort();
+        vs.sort_by(total_cmp);
+        for (w, v) in wrapped.iter().zip(vs.iter()) {
+            prop_assert!(adm_eq(&w.0, v));
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type for the Algebricks compiler.
+
+use std::fmt;
+
+/// Result alias used throughout `asterix-algebricks`.
+pub type Result<T> = std::result::Result<T, AlgebricksError>;
+
+/// Errors raised during expression evaluation, plan rewriting, or job
+/// generation.
+#[derive(Debug)]
+pub enum AlgebricksError {
+    /// Type error during evaluation (e.g. arithmetic on a string).
+    Type(String),
+    /// A referenced variable/field/function does not exist.
+    Unresolved(String),
+    /// Malformed plan (schema mismatch, bad arity).
+    Plan(String),
+    /// Runtime failure bubbling up from the dataflow layer.
+    Runtime(asterix_hyracks::HyracksError),
+    /// Data-model error.
+    Adm(asterix_adm::AdmError),
+}
+
+impl fmt::Display for AlgebricksError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgebricksError::Type(m) => write!(f, "type error: {m}"),
+            AlgebricksError::Unresolved(m) => write!(f, "unresolved reference: {m}"),
+            AlgebricksError::Plan(m) => write!(f, "invalid plan: {m}"),
+            AlgebricksError::Runtime(e) => write!(f, "runtime error: {e}"),
+            AlgebricksError::Adm(e) => write!(f, "data-model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AlgebricksError {}
+
+impl From<asterix_hyracks::HyracksError> for AlgebricksError {
+    fn from(e: asterix_hyracks::HyracksError) -> Self {
+        AlgebricksError::Runtime(e)
+    }
+}
+
+impl From<asterix_adm::AdmError> for AlgebricksError {
+    fn from(e: asterix_adm::AdmError) -> Self {
+        AlgebricksError::Adm(e)
+    }
+}
+
+impl From<AlgebricksError> for asterix_hyracks::HyracksError {
+    fn from(e: AlgebricksError) -> Self {
+        match e {
+            AlgebricksError::Runtime(inner) => inner,
+            other => asterix_hyracks::HyracksError::Eval(other.to_string()),
+        }
+    }
+}

@@ -1,0 +1,1163 @@
+//! Scalar expressions: the function library shared by both query languages.
+//!
+//! Evaluation follows SQL++ semantics for unknowns: `MISSING` dominates
+//! `NULL`, both propagate through ordinary functions, comparisons yield
+//! three-valued logic, and field access on non-objects yields `MISSING`
+//! rather than an error (ADM navigation semantics).
+
+use crate::error::{AlgebricksError, Result};
+use crate::plan::VarId;
+use asterix_adm::compare::{adm_eq, total_cmp};
+use asterix_adm::temporal;
+use asterix_adm::{Object, Point, Rectangle, Value};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Built-in scalar functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Func {
+    // arithmetic
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Neg,
+    // comparison
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    // logic
+    And,
+    Or,
+    Not,
+    // unknown handling
+    IsNull,
+    IsMissing,
+    IsUnknown,
+    IfMissing,
+    IfNull,
+    IfMissingOrNull,
+    // strings
+    Lower,
+    Upper,
+    StringContains,
+    StartsWith,
+    EndsWith,
+    Like,
+    Concat,
+    StringLength,
+    Substr,
+    ToString,
+    // collections
+    CollCount,
+    CollSum,
+    CollAvg,
+    CollMin,
+    CollMax,
+    ArrayContains,
+    // temporal
+    DatetimeFromString,
+    DateFromString,
+    TimeFromString,
+    DurationFromString,
+    CurrentDatetime,
+    IntervalBin,
+    OverlapBins,
+    // spatial
+    CreatePoint,
+    CreateRectangle,
+    SpatialIntersect,
+    SpatialDistance,
+    // constructors
+    ObjectConstructor,
+    ArrayConstructor,
+    MultisetConstructor,
+}
+
+impl Func {
+    /// Stable lowercase name (used in plan printing and error messages).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Func::Add => "add",
+            Func::Sub => "sub",
+            Func::Mul => "mul",
+            Func::Div => "div",
+            Func::Mod => "mod",
+            Func::Neg => "neg",
+            Func::Eq => "eq",
+            Func::Ne => "ne",
+            Func::Lt => "lt",
+            Func::Le => "le",
+            Func::Gt => "gt",
+            Func::Ge => "ge",
+            Func::And => "and",
+            Func::Or => "or",
+            Func::Not => "not",
+            Func::IsNull => "is-null",
+            Func::IsMissing => "is-missing",
+            Func::IsUnknown => "is-unknown",
+            Func::IfMissing => "if-missing",
+            Func::IfNull => "if-null",
+            Func::IfMissingOrNull => "if-missing-or-null",
+            Func::Lower => "lowercase",
+            Func::Upper => "uppercase",
+            Func::StringContains => "contains",
+            Func::StartsWith => "starts-with",
+            Func::EndsWith => "ends-with",
+            Func::Like => "like",
+            Func::Concat => "string-concat",
+            Func::StringLength => "string-length",
+            Func::Substr => "substr",
+            Func::ToString => "to-string",
+            Func::CollCount => "coll_count",
+            Func::CollSum => "coll_sum",
+            Func::CollAvg => "coll_avg",
+            Func::CollMin => "coll_min",
+            Func::CollMax => "coll_max",
+            Func::ArrayContains => "array-contains",
+            Func::DatetimeFromString => "datetime",
+            Func::DateFromString => "date",
+            Func::TimeFromString => "time",
+            Func::DurationFromString => "duration",
+            Func::CurrentDatetime => "current_datetime",
+            Func::IntervalBin => "interval-bin",
+            Func::OverlapBins => "overlap-bins",
+            Func::CreatePoint => "create-point",
+            Func::CreateRectangle => "create-rectangle",
+            Func::SpatialIntersect => "spatial-intersect",
+            Func::SpatialDistance => "spatial-distance",
+            Func::ObjectConstructor => "object-constructor",
+            Func::ArrayConstructor => "array-constructor",
+            Func::MultisetConstructor => "multiset-constructor",
+        }
+    }
+
+    /// Looks a function up by its stable name (used by both parsers).
+    pub fn by_name(name: &str) -> Option<Func> {
+        use Func::*;
+        Some(match name {
+            "lowercase" | "lower" => Lower,
+            "uppercase" | "upper" => Upper,
+            "contains" => StringContains,
+            "starts_with" | "starts-with" => StartsWith,
+            "ends_with" | "ends-with" => EndsWith,
+            "string_length" | "length" => StringLength,
+            "substr" | "substring" => Substr,
+            "to_string" | "tostring" => ToString,
+            "coll_count" => CollCount,
+            "coll_sum" => CollSum,
+            "coll_avg" => CollAvg,
+            "coll_min" => CollMin,
+            "coll_max" => CollMax,
+            "array_contains" => ArrayContains,
+            "datetime" => DatetimeFromString,
+            "date" => DateFromString,
+            "time" => TimeFromString,
+            "duration" => DurationFromString,
+            "current_datetime" => CurrentDatetime,
+            "interval_bin" | "interval-bin" => IntervalBin,
+            "overlap_bins" | "overlap-bins" => OverlapBins,
+            "create_point" | "point" => CreatePoint,
+            "create_rectangle" | "rectangle" => CreateRectangle,
+            "spatial_intersect" => SpatialIntersect,
+            "spatial_distance" => SpatialDistance,
+            "if_missing" | "ifmissing" => IfMissing,
+            "if_null" | "ifnull" => IfNull,
+            "if_missing_or_null" | "coalesce" => IfMissingOrNull,
+            _ => return None,
+        })
+    }
+}
+
+/// A scalar expression over logical variables.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Reference to a logical variable.
+    Var(VarId),
+    /// Literal.
+    Const(Value),
+    /// `expr.field` — MISSING on non-objects/absent fields.
+    Field(Box<Expr>, String),
+    /// `expr[index]` — MISSING out of range / non-array.
+    Index(Box<Expr>, Box<Expr>),
+    /// Function call.
+    Call(Func, Vec<Expr>),
+    /// `CASE`-style conditional: (condition, then) pairs plus else.
+    Case(Vec<(Expr, Expr)>, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience: binary call.
+    pub fn bin(f: Func, a: Expr, b: Expr) -> Expr {
+        Expr::Call(f, vec![a, b])
+    }
+
+    /// Convenience: field path access.
+    pub fn field(base: Expr, name: impl Into<String>) -> Expr {
+        Expr::Field(Box::new(base), name.into())
+    }
+
+    /// Collects the variables used by this expression.
+    pub fn used_vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            Expr::Var(v) => {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+            Expr::Const(_) => {}
+            Expr::Field(b, _) => b.used_vars(out),
+            Expr::Index(b, i) => {
+                b.used_vars(out);
+                i.used_vars(out);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.used_vars(out);
+                }
+            }
+            Expr::Case(arms, els) => {
+                for (c, t) in arms {
+                    c.used_vars(out);
+                    t.used_vars(out);
+                }
+                els.used_vars(out);
+            }
+        }
+    }
+
+    /// True when the expression references no variables.
+    pub fn is_const(&self) -> bool {
+        let mut vars = Vec::new();
+        self.used_vars(&mut vars);
+        vars.is_empty() && !self.uses_nondeterministic()
+    }
+
+    fn uses_nondeterministic(&self) -> bool {
+        match self {
+            Expr::Call(Func::CurrentDatetime, _) => true,
+            Expr::Call(_, args) => args.iter().any(Expr::uses_nondeterministic),
+            Expr::Field(b, _) => b.uses_nondeterministic(),
+            Expr::Index(b, i) => b.uses_nondeterministic() || i.uses_nondeterministic(),
+            Expr::Case(arms, els) => {
+                arms.iter().any(|(c, t)| c.uses_nondeterministic() || t.uses_nondeterministic())
+                    || els.uses_nondeterministic()
+            }
+            _ => false,
+        }
+    }
+
+    /// Rewrites variable references through `map`.
+    pub fn substitute(&mut self, map: &dyn Fn(VarId) -> Option<Expr>) {
+        match self {
+            Expr::Var(v) => {
+                if let Some(replacement) = map(*v) {
+                    *self = replacement;
+                }
+            }
+            Expr::Const(_) => {}
+            Expr::Field(b, _) => b.substitute(map),
+            Expr::Index(b, i) => {
+                b.substitute(map);
+                i.substitute(map);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.substitute(map);
+                }
+            }
+            Expr::Case(arms, els) => {
+                for (c, t) in arms {
+                    c.substitute(map);
+                    t.substitute(map);
+                }
+                els.substitute(map);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Var(v) => write!(f, "${v}"),
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Field(b, name) => write!(f, "{b}.{name}"),
+            Expr::Index(b, i) => write!(f, "{b}[{i}]"),
+            Expr::Call(func, args) => {
+                write!(f, "{}(", func.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Case(arms, els) => {
+                write!(f, "case")?;
+                for (c, t) in arms {
+                    write!(f, " when {c} then {t}")?;
+                }
+                write!(f, " else {els} end")
+            }
+        }
+    }
+}
+
+/// An expression with variables resolved to tuple column indexes, ready for
+/// per-tuple evaluation inside Hyracks operators.
+#[derive(Debug, Clone)]
+pub enum BoundExpr {
+    Col(usize),
+    Const(Value),
+    Field(Box<BoundExpr>, String),
+    Index(Box<BoundExpr>, Box<BoundExpr>),
+    Call(Func, Vec<BoundExpr>),
+    Case(Vec<(BoundExpr, BoundExpr)>, Box<BoundExpr>),
+}
+
+/// Resolves `expr`'s variables against `schema` (tuple column order).
+pub fn bind(expr: &Expr, schema: &[VarId]) -> Result<BoundExpr> {
+    Ok(match expr {
+        Expr::Var(v) => {
+            let col = schema.iter().position(|s| s == v).ok_or_else(|| {
+                AlgebricksError::Unresolved(format!("variable ${v} not in schema {schema:?}"))
+            })?;
+            BoundExpr::Col(col)
+        }
+        Expr::Const(v) => BoundExpr::Const(v.clone()),
+        Expr::Field(b, name) => BoundExpr::Field(Box::new(bind(b, schema)?), name.clone()),
+        Expr::Index(b, i) => {
+            BoundExpr::Index(Box::new(bind(b, schema)?), Box::new(bind(i, schema)?))
+        }
+        Expr::Call(f, args) => BoundExpr::Call(
+            *f,
+            args.iter().map(|a| bind(a, schema)).collect::<Result<Vec<_>>>()?,
+        ),
+        Expr::Case(arms, els) => BoundExpr::Case(
+            arms.iter()
+                .map(|(c, t)| Ok((bind(c, schema)?, bind(t, schema)?)))
+                .collect::<Result<Vec<_>>>()?,
+            Box::new(bind(els, schema)?),
+        ),
+    })
+}
+
+/// Evaluates a bound expression against a tuple.
+pub fn eval(expr: &BoundExpr, tuple: &[Value]) -> Result<Value> {
+    Ok(match expr {
+        BoundExpr::Col(c) => tuple
+            .get(*c)
+            .cloned()
+            .ok_or_else(|| AlgebricksError::Plan(format!("column {c} out of range")))?,
+        BoundExpr::Const(v) => v.clone(),
+        BoundExpr::Field(b, name) => eval(b, tuple)?.field(name).clone(),
+        BoundExpr::Index(b, i) => {
+            let base = eval(b, tuple)?;
+            let idx = eval(i, tuple)?;
+            match idx.as_i64() {
+                Some(n) => base.index(n).clone(),
+                None => Value::Missing,
+            }
+        }
+        BoundExpr::Call(f, args) => {
+            // Short-circuit / unknown-aware functions evaluate lazily.
+            match f {
+                Func::And | Func::Or => return eval_logic(*f, args, tuple),
+                Func::IsNull => {
+                    return Ok(Value::Bool(eval(&args[0], tuple)?.is_null()));
+                }
+                Func::IsMissing => {
+                    return Ok(Value::Bool(eval(&args[0], tuple)?.is_missing()));
+                }
+                Func::IsUnknown => {
+                    return Ok(Value::Bool(eval(&args[0], tuple)?.is_unknown()));
+                }
+                Func::IfMissing => {
+                    for a in args {
+                        let v = eval(a, tuple)?;
+                        if !v.is_missing() {
+                            return Ok(v);
+                        }
+                    }
+                    return Ok(Value::Missing);
+                }
+                Func::IfNull => {
+                    for a in args {
+                        let v = eval(a, tuple)?;
+                        if !v.is_null() {
+                            return Ok(v);
+                        }
+                    }
+                    return Ok(Value::Null);
+                }
+                Func::IfMissingOrNull => {
+                    for a in args {
+                        let v = eval(a, tuple)?;
+                        if !v.is_unknown() {
+                            return Ok(v);
+                        }
+                    }
+                    return Ok(Value::Null);
+                }
+                Func::ObjectConstructor => {
+                    // args alternate: name const, value
+                    let mut o = Object::with_capacity(args.len() / 2);
+                    for pair in args.chunks(2) {
+                        let name = match eval(&pair[0], tuple)? {
+                            Value::String(s) => s,
+                            other => {
+                                return Err(AlgebricksError::Type(format!(
+                                    "object field name must be a string, got {}",
+                                    other.type_name()
+                                )))
+                            }
+                        };
+                        let v = eval(&pair[1], tuple)?;
+                        if !v.is_missing() {
+                            o.set(name, v);
+                        }
+                    }
+                    return Ok(Value::Object(o));
+                }
+                Func::ArrayConstructor => {
+                    let items = args
+                        .iter()
+                        .map(|a| eval(a, tuple))
+                        .collect::<Result<Vec<_>>>()?;
+                    return Ok(Value::Array(items));
+                }
+                Func::MultisetConstructor => {
+                    let items = args
+                        .iter()
+                        .map(|a| eval(a, tuple))
+                        .collect::<Result<Vec<_>>>()?;
+                    return Ok(Value::Multiset(items));
+                }
+                Func::CurrentDatetime => {
+                    let now = std::time::SystemTime::now()
+                        .duration_since(std::time::UNIX_EPOCH)
+                        .map(|d| d.as_millis() as i64)
+                        .unwrap_or(0);
+                    return Ok(Value::DateTime(now));
+                }
+                _ => {}
+            }
+            let vals = args.iter().map(|a| eval(a, tuple)).collect::<Result<Vec<_>>>()?;
+            // MISSING dominates NULL; unknowns propagate through strict funcs
+            if vals.iter().any(Value::is_missing) {
+                return Ok(Value::Missing);
+            }
+            if vals.iter().any(Value::is_null) {
+                return Ok(Value::Null);
+            }
+            apply_strict(*f, &vals)?
+        }
+        BoundExpr::Case(arms, els) => {
+            for (c, t) in arms {
+                if eval(c, tuple)? == Value::Bool(true) {
+                    return eval(t, tuple);
+                }
+            }
+            eval(els, tuple)?
+        }
+    })
+}
+
+fn eval_logic(f: Func, args: &[BoundExpr], tuple: &[Value]) -> Result<Value> {
+    // three-valued logic; MISSING treated as NULL per SQL++ boolean rules
+    let mut saw_unknown = false;
+    for a in args {
+        let v = eval(a, tuple)?;
+        match (f, v) {
+            (Func::And, Value::Bool(false)) => return Ok(Value::Bool(false)),
+            (Func::Or, Value::Bool(true)) => return Ok(Value::Bool(true)),
+            (_, Value::Bool(_)) => {}
+            (_, v) if v.is_unknown() => saw_unknown = true,
+            (_, other) => {
+                return Err(AlgebricksError::Type(format!(
+                    "boolean operator on {}",
+                    other.type_name()
+                )))
+            }
+        }
+    }
+    if saw_unknown {
+        Ok(Value::Null)
+    } else {
+        Ok(Value::Bool(f == Func::And))
+    }
+}
+
+fn numeric_pair(a: &Value, b: &Value, op: &str) -> Result<(f64, f64, bool)> {
+    match (a.as_f64(), b.as_f64()) {
+        (Some(x), Some(y)) => Ok((x, y, matches!((a, b), (Value::Int(_), Value::Int(_))))),
+        _ => Err(AlgebricksError::Type(format!(
+            "{op} expects numbers, got {} and {}",
+            a.type_name(),
+            b.type_name()
+        ))),
+    }
+}
+
+fn apply_strict(f: Func, vals: &[Value]) -> Result<Value> {
+    use Func::*;
+    let arity = |n: usize| -> Result<()> {
+        if vals.len() != n {
+            return Err(AlgebricksError::Type(format!(
+                "{} expects {n} arguments, got {}",
+                f.name(),
+                vals.len()
+            )));
+        }
+        Ok(())
+    };
+    Ok(match f {
+        Add | Sub => {
+            arity(2)?;
+            match (&vals[0], &vals[1]) {
+                // temporal arithmetic
+                (Value::DateTime(t), Value::Duration(d)) => {
+                    let signed = if f == Sub { d.neg() } else { *d };
+                    Value::DateTime(temporal::datetime_add(*t, &signed))
+                }
+                (Value::Date(days), Value::Duration(d)) => {
+                    let ms = *days as i64 * temporal::MILLIS_PER_DAY;
+                    let signed = if f == Sub { d.neg() } else { *d };
+                    Value::Date(
+                        (temporal::datetime_add(ms, &signed) / temporal::MILLIS_PER_DAY) as i32,
+                    )
+                }
+                (Value::DateTime(a), Value::DateTime(b)) if f == Sub => {
+                    Value::Duration(asterix_adm::Duration::from_millis(a - b))
+                }
+                (a, b) => {
+                    let (x, y, ints) = numeric_pair(a, b, f.name())?;
+                    let r = if f == Add { x + y } else { x - y };
+                    if ints {
+                        Value::Int(r as i64)
+                    } else {
+                        Value::Double(r)
+                    }
+                }
+            }
+        }
+        Mul => {
+            arity(2)?;
+            let (x, y, ints) = numeric_pair(&vals[0], &vals[1], "mul")?;
+            if ints {
+                Value::Int((x * y) as i64)
+            } else {
+                Value::Double(x * y)
+            }
+        }
+        Div => {
+            arity(2)?;
+            let (x, y, _) = numeric_pair(&vals[0], &vals[1], "div")?;
+            if y == 0.0 {
+                Value::Null // SQL++: division by zero yields null
+            } else {
+                Value::Double(x / y)
+            }
+        }
+        Mod => {
+            arity(2)?;
+            match (&vals[0], &vals[1]) {
+                (Value::Int(a), Value::Int(b)) if *b != 0 => Value::Int(a.rem_euclid(*b)),
+                (Value::Int(_), Value::Int(_)) => Value::Null,
+                (a, b) => {
+                    let (x, y, _) = numeric_pair(a, b, "mod")?;
+                    if y == 0.0 {
+                        Value::Null
+                    } else {
+                        Value::Double(x.rem_euclid(y))
+                    }
+                }
+            }
+        }
+        Neg => {
+            arity(1)?;
+            match &vals[0] {
+                Value::Int(i) => Value::Int(-i),
+                Value::Double(d) => Value::Double(-d),
+                other => {
+                    return Err(AlgebricksError::Type(format!("neg on {}", other.type_name())))
+                }
+            }
+        }
+        Eq | Ne | Lt | Le | Gt | Ge => {
+            arity(2)?;
+            let (a, b) = (&vals[0], &vals[1]);
+            // comparisons across incomparable types are errors in SQL++;
+            // we are lenient and use the total order, except Eq/Ne use ADM
+            // equality directly.
+            let r = match f {
+                Eq => adm_eq(a, b),
+                Ne => !adm_eq(a, b),
+                Lt => total_cmp(a, b) == Ordering::Less,
+                Le => total_cmp(a, b) != Ordering::Greater,
+                Gt => total_cmp(a, b) == Ordering::Greater,
+                Ge => total_cmp(a, b) != Ordering::Less,
+                _ => unreachable!(),
+            };
+            Value::Bool(r)
+        }
+        Not => {
+            arity(1)?;
+            match &vals[0] {
+                Value::Bool(b) => Value::Bool(!b),
+                other => {
+                    return Err(AlgebricksError::Type(format!("not on {}", other.type_name())))
+                }
+            }
+        }
+        Lower | Upper => {
+            arity(1)?;
+            let s = expect_str(&vals[0], f.name())?;
+            Value::String(if f == Lower { s.to_lowercase() } else { s.to_uppercase() })
+        }
+        StringContains => {
+            arity(2)?;
+            Value::Bool(expect_str(&vals[0], "contains")?.contains(expect_str(&vals[1], "contains")?))
+        }
+        StartsWith => {
+            arity(2)?;
+            Value::Bool(
+                expect_str(&vals[0], "starts-with")?.starts_with(expect_str(&vals[1], "starts-with")?),
+            )
+        }
+        EndsWith => {
+            arity(2)?;
+            Value::Bool(
+                expect_str(&vals[0], "ends-with")?.ends_with(expect_str(&vals[1], "ends-with")?),
+            )
+        }
+        Like => {
+            arity(2)?;
+            Value::Bool(like_match(
+                expect_str(&vals[0], "like")?,
+                expect_str(&vals[1], "like")?,
+            ))
+        }
+        Concat => {
+            let mut out = String::new();
+            for v in vals {
+                out.push_str(expect_str(v, "string-concat")?);
+            }
+            Value::String(out)
+        }
+        StringLength => {
+            arity(1)?;
+            Value::Int(expect_str(&vals[0], "string-length")?.chars().count() as i64)
+        }
+        Substr => {
+            // substr(s, start [, len]) — 0-based
+            let s = expect_str(&vals[0], "substr")?;
+            let start = vals[1]
+                .as_i64()
+                .ok_or_else(|| AlgebricksError::Type("substr start must be int".into()))?
+                .max(0) as usize;
+            let chars: Vec<char> = s.chars().collect();
+            let end = if vals.len() > 2 {
+                let len = vals[2]
+                    .as_i64()
+                    .ok_or_else(|| AlgebricksError::Type("substr length must be int".into()))?
+                    .max(0) as usize;
+                (start + len).min(chars.len())
+            } else {
+                chars.len()
+            };
+            Value::String(chars[start.min(chars.len())..end].iter().collect())
+        }
+        ToString => {
+            arity(1)?;
+            match &vals[0] {
+                Value::String(s) => Value::String(s.clone()),
+                other => Value::String(format!("{other}")),
+            }
+        }
+        CollCount => {
+            arity(1)?;
+            match vals[0].as_collection() {
+                Some(items) => Value::Int(items.len() as i64),
+                None => Value::Null,
+            }
+        }
+        CollSum | CollAvg | CollMin | CollMax => {
+            arity(1)?;
+            coll_aggregate(f, &vals[0])?
+        }
+        ArrayContains => {
+            arity(2)?;
+            match vals[0].as_collection() {
+                Some(items) => Value::Bool(items.iter().any(|i| adm_eq(i, &vals[1]))),
+                None => Value::Null,
+            }
+        }
+        DatetimeFromString => {
+            arity(1)?;
+            match &vals[0] {
+                Value::DateTime(t) => Value::DateTime(*t),
+                Value::String(s) => Value::DateTime(temporal::parse_datetime(s)?),
+                other => {
+                    return Err(AlgebricksError::Type(format!(
+                        "datetime() on {}",
+                        other.type_name()
+                    )))
+                }
+            }
+        }
+        DateFromString => {
+            arity(1)?;
+            match &vals[0] {
+                Value::Date(d) => Value::Date(*d),
+                Value::String(s) => Value::Date(temporal::parse_date(s)?),
+                Value::DateTime(t) => {
+                    Value::Date(t.div_euclid(temporal::MILLIS_PER_DAY) as i32)
+                }
+                other => {
+                    return Err(AlgebricksError::Type(format!("date() on {}", other.type_name())))
+                }
+            }
+        }
+        TimeFromString => {
+            arity(1)?;
+            match &vals[0] {
+                Value::Time(t) => Value::Time(*t),
+                Value::String(s) => Value::Time(temporal::parse_time(s)?),
+                other => {
+                    return Err(AlgebricksError::Type(format!("time() on {}", other.type_name())))
+                }
+            }
+        }
+        DurationFromString => {
+            arity(1)?;
+            match &vals[0] {
+                Value::Duration(d) => Value::Duration(*d),
+                Value::String(s) => Value::Duration(asterix_adm::Duration::parse(s)?),
+                other => {
+                    return Err(AlgebricksError::Type(format!(
+                        "duration() on {}",
+                        other.type_name()
+                    )))
+                }
+            }
+        }
+        IntervalBin => {
+            // interval_bin(t, anchor, bin) -> { start, end } (datetimes)
+            if vals.len() != 3 {
+                return Err(AlgebricksError::Type("interval-bin expects 3 arguments".into()));
+            }
+            let (t, anchor, d) = (to_millis(&vals[0])?, to_millis(&vals[1])?, to_duration(&vals[2])?);
+            let bin = temporal::interval_bin(t, anchor, &d)?;
+            bin_to_object(&bin)
+        }
+        OverlapBins => {
+            // overlap_bins(start, end, anchor, bin) -> [ {start,end}, ... ]
+            if vals.len() != 4 {
+                return Err(AlgebricksError::Type("overlap-bins expects 4 arguments".into()));
+            }
+            let bins = temporal::overlap_bins(
+                to_millis(&vals[0])?,
+                to_millis(&vals[1])?,
+                to_millis(&vals[2])?,
+                &to_duration(&vals[3])?,
+            )?;
+            Value::Array(bins.iter().map(bin_to_object).collect())
+        }
+        CreatePoint => {
+            // two numeric args, or the ADM constructor form point("x,y")
+            if vals.len() == 1 {
+                let s = expect_str(&vals[0], "create-point")?;
+                let (x, y) = s.split_once(',').ok_or_else(|| {
+                    AlgebricksError::Type(format!("bad point literal {s:?}"))
+                })?;
+                let px: f64 = x.trim().parse().map_err(|_| {
+                    AlgebricksError::Type(format!("bad point x in {s:?}"))
+                })?;
+                let py: f64 = y.trim().parse().map_err(|_| {
+                    AlgebricksError::Type(format!("bad point y in {s:?}"))
+                })?;
+                Value::Point(Point::new(px, py))
+            } else {
+                arity(2)?;
+                let (x, y, _) = numeric_pair(&vals[0], &vals[1], "create-point")?;
+                Value::Point(Point::new(x, y))
+            }
+        }
+        CreateRectangle => {
+            arity(2)?;
+            match (&vals[0], &vals[1]) {
+                (Value::Point(a), Value::Point(b)) => Value::Rectangle(Rectangle::new(*a, *b)),
+                _ => {
+                    return Err(AlgebricksError::Type(
+                        "create-rectangle expects two points".into(),
+                    ))
+                }
+            }
+        }
+        SpatialIntersect => {
+            arity(2)?;
+            let a = to_rect(&vals[0])?;
+            let b = to_rect(&vals[1])?;
+            Value::Bool(a.intersects(&b))
+        }
+        SpatialDistance => {
+            arity(2)?;
+            match (&vals[0], &vals[1]) {
+                (Value::Point(a), Value::Point(b)) => Value::Double(a.distance(b)),
+                _ => {
+                    return Err(AlgebricksError::Type(
+                        "spatial-distance expects two points".into(),
+                    ))
+                }
+            }
+        }
+        // handled earlier
+        And | Or | IsNull | IsMissing | IsUnknown | IfMissing | IfNull | IfMissingOrNull
+        | ObjectConstructor | ArrayConstructor | MultisetConstructor | CurrentDatetime => {
+            unreachable!("lazy function reached strict path")
+        }
+    })
+}
+
+fn expect_str<'a>(v: &'a Value, what: &str) -> Result<&'a str> {
+    v.as_str()
+        .ok_or_else(|| AlgebricksError::Type(format!("{what} expects a string, got {}", v.type_name())))
+}
+
+fn to_millis(v: &Value) -> Result<i64> {
+    match v {
+        Value::DateTime(t) => Ok(*t),
+        Value::Date(d) => Ok(*d as i64 * temporal::MILLIS_PER_DAY),
+        other => Err(AlgebricksError::Type(format!(
+            "expected datetime, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
+fn to_duration(v: &Value) -> Result<asterix_adm::Duration> {
+    match v {
+        Value::Duration(d) => Ok(*d),
+        other => Err(AlgebricksError::Type(format!(
+            "expected duration, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
+fn to_rect(v: &Value) -> Result<Rectangle> {
+    match v {
+        Value::Rectangle(r) => Ok(*r),
+        Value::Point(p) => Ok(p.to_mbr()),
+        other => Err(AlgebricksError::Type(format!(
+            "expected point/rectangle, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
+fn bin_to_object(b: &temporal::Bin) -> Value {
+    Value::object(vec![
+        ("start".into(), Value::DateTime(b.start)),
+        ("end".into(), Value::DateTime(b.end)),
+    ])
+}
+
+fn coll_aggregate(f: Func, v: &Value) -> Result<Value> {
+    let items = match v.as_collection() {
+        Some(i) => i,
+        None => return Ok(Value::Null),
+    };
+    let known: Vec<&Value> = items.iter().filter(|i| !i.is_unknown()).collect();
+    if known.is_empty() {
+        return Ok(Value::Null);
+    }
+    Ok(match f {
+        Func::CollSum | Func::CollAvg => {
+            let mut sum = 0.0;
+            let mut ints = true;
+            let mut isum: i64 = 0;
+            for i in &known {
+                match i {
+                    Value::Int(n) => {
+                        isum = isum.wrapping_add(*n);
+                        sum += *n as f64;
+                    }
+                    Value::Double(d) => {
+                        ints = false;
+                        sum += d;
+                    }
+                    _ => return Ok(Value::Null),
+                }
+            }
+            if f == Func::CollAvg {
+                Value::Double(sum / known.len() as f64)
+            } else if ints {
+                Value::Int(isum)
+            } else {
+                Value::Double(sum)
+            }
+        }
+        Func::CollMin => known
+            .iter()
+            .min_by(|a, b| total_cmp(a, b))
+            .map(|v| (*v).clone())
+            .unwrap(),
+        Func::CollMax => known
+            .iter()
+            .max_by(|a, b| total_cmp(a, b))
+            .map(|v| (*v).clone())
+            .unwrap(),
+        _ => unreachable!(),
+    })
+}
+
+/// SQL LIKE matching: `%` = any run, `_` = any single character.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[char], p: &[char]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some('%') => {
+                for skip in 0..=s.len() {
+                    if rec(&s[skip..], &p[1..]) {
+                        return true;
+                    }
+                }
+                false
+            }
+            Some('_') => !s.is_empty() && rec(&s[1..], &p[1..]),
+            Some(c) => s.first() == Some(c) && rec(&s[1..], &p[1..]),
+        }
+    }
+    let sc: Vec<char> = s.chars().collect();
+    let pc: Vec<char> = pattern.chars().collect();
+    rec(&sc, &pc)
+}
+
+/// Folds constant sub-expressions (no variables, deterministic functions).
+pub fn const_fold(expr: &mut Expr) {
+    // fold children first
+    match expr {
+        Expr::Field(b, _) => const_fold(b),
+        Expr::Index(b, i) => {
+            const_fold(b);
+            const_fold(i);
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                const_fold(a);
+            }
+        }
+        Expr::Case(arms, els) => {
+            for (c, t) in arms {
+                const_fold(c);
+                const_fold(t);
+            }
+            const_fold(els);
+        }
+        _ => {}
+    }
+    if matches!(expr, Expr::Const(_) | Expr::Var(_)) {
+        return;
+    }
+    if expr.is_const() {
+        if let Ok(bound) = bind(expr, &[]) {
+            if let Ok(v) = eval(&bound, &[]) {
+                *expr = Expr::Const(v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(e: &Expr, tuple: &[Value], schema: &[VarId]) -> Value {
+        eval(&bind(e, schema).unwrap(), tuple).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_promotion() {
+        let e = Expr::bin(Func::Add, Expr::Const(Value::Int(2)), Expr::Const(Value::Int(3)));
+        assert_eq!(ev(&e, &[], &[]), Value::Int(5));
+        let e = Expr::bin(Func::Mul, Expr::Const(Value::Int(2)), Expr::Const(Value::Double(1.5)));
+        assert_eq!(ev(&e, &[], &[]), Value::Double(3.0));
+        let e = Expr::bin(Func::Div, Expr::Const(Value::Int(1)), Expr::Const(Value::Int(0)));
+        assert_eq!(ev(&e, &[], &[]), Value::Null, "div by zero is null");
+    }
+
+    #[test]
+    fn unknown_propagation() {
+        let e = Expr::bin(Func::Add, Expr::Const(Value::Null), Expr::Const(Value::Int(1)));
+        assert_eq!(ev(&e, &[], &[]), Value::Null);
+        let e = Expr::bin(Func::Add, Expr::Const(Value::Missing), Expr::Const(Value::Null));
+        assert_eq!(ev(&e, &[], &[]), Value::Missing, "MISSING dominates NULL");
+        let e = Expr::Call(Func::IsMissing, vec![Expr::Const(Value::Missing)]);
+        assert_eq!(ev(&e, &[], &[]), Value::Bool(true));
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let t = Expr::Const(Value::Bool(true));
+        let f = Expr::Const(Value::Bool(false));
+        let n = Expr::Const(Value::Null);
+        assert_eq!(ev(&Expr::bin(Func::And, f.clone(), n.clone()), &[], &[]), Value::Bool(false));
+        assert_eq!(ev(&Expr::bin(Func::And, t.clone(), n.clone()), &[], &[]), Value::Null);
+        assert_eq!(ev(&Expr::bin(Func::Or, t.clone(), n.clone()), &[], &[]), Value::Bool(true));
+        assert_eq!(ev(&Expr::bin(Func::Or, f, n), &[], &[]), Value::Null);
+    }
+
+    #[test]
+    fn field_and_index_navigation() {
+        let rec = Value::object(vec![
+            ("name".into(), Value::from("Ann")),
+            ("tags".into(), Value::Array(vec![Value::from("a"), Value::from("b")])),
+        ]);
+        let schema = [7usize];
+        let e = Expr::field(Expr::Var(7), "name");
+        assert_eq!(ev(&e, std::slice::from_ref(&rec), &schema), Value::from("Ann"));
+        let e = Expr::Index(
+            Box::new(Expr::field(Expr::Var(7), "tags")),
+            Box::new(Expr::Const(Value::Int(1))),
+        );
+        assert_eq!(ev(&e, std::slice::from_ref(&rec), &schema), Value::from("b"));
+        let e = Expr::field(Expr::Var(7), "nope");
+        assert_eq!(ev(&e, &[rec], &schema), Value::Missing);
+    }
+
+    #[test]
+    fn string_functions() {
+        let e = Expr::Call(Func::Upper, vec![Expr::Const(Value::from("abc"))]);
+        assert_eq!(ev(&e, &[], &[]), Value::from("ABC"));
+        assert!(like_match("hello world", "hello%"));
+        assert!(like_match("hello", "h_llo"));
+        assert!(!like_match("hello", "h_ll"));
+        assert!(like_match("", "%"));
+        let e = Expr::Call(
+            Func::Substr,
+            vec![
+                Expr::Const(Value::from("abcdef")),
+                Expr::Const(Value::Int(2)),
+                Expr::Const(Value::Int(3)),
+            ],
+        );
+        assert_eq!(ev(&e, &[], &[]), Value::from("cde"));
+    }
+
+    #[test]
+    fn collection_functions() {
+        let coll = Expr::Const(Value::Multiset(vec![Value::Int(2), Value::Int(3), Value::Int(6)]));
+        assert_eq!(ev(&Expr::Call(Func::CollCount, vec![coll.clone()]), &[], &[]), Value::Int(3));
+        assert_eq!(ev(&Expr::Call(Func::CollSum, vec![coll.clone()]), &[], &[]), Value::Int(11));
+        assert_eq!(
+            ev(&Expr::Call(Func::CollAvg, vec![coll.clone()]), &[], &[]),
+            Value::Double(11.0 / 3.0)
+        );
+        assert_eq!(
+            ev(
+                &Expr::Call(Func::ArrayContains, vec![coll, Expr::Const(Value::Int(3))]),
+                &[],
+                &[]
+            ),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn temporal_functions() {
+        let dt = Expr::Call(
+            Func::DatetimeFromString,
+            vec![Expr::Const(Value::from("2017-01-01T00:00:00"))],
+        );
+        let dur = Expr::Call(
+            Func::DurationFromString,
+            vec![Expr::Const(Value::from("P30D"))],
+        );
+        let sub = Expr::bin(Func::Sub, dt.clone(), dur);
+        let v = ev(&sub, &[], &[]);
+        assert_eq!(v, Value::DateTime(temporal::parse_datetime("2016-12-02T00:00:00").unwrap()));
+        // interval_bin returns an object
+        let bin = Expr::Call(
+            Func::IntervalBin,
+            vec![
+                dt,
+                Expr::Const(Value::DateTime(0)),
+                Expr::Const(Value::Duration(asterix_adm::Duration::from_days(7))),
+            ],
+        );
+        let v = ev(&bin, &[], &[]);
+        assert!(matches!(v.field("start"), Value::DateTime(_)));
+    }
+
+    #[test]
+    fn case_expression() {
+        let e = Expr::Case(
+            vec![(
+                Expr::bin(Func::Gt, Expr::Var(0), Expr::Const(Value::Int(10))),
+                Expr::Const(Value::from("big")),
+            )],
+            Box::new(Expr::Const(Value::from("small"))),
+        );
+        assert_eq!(ev(&e, &[Value::Int(20)], &[0]), Value::from("big"));
+        assert_eq!(ev(&e, &[Value::Int(5)], &[0]), Value::from("small"));
+    }
+
+    #[test]
+    fn const_folding() {
+        let mut e = Expr::bin(
+            Func::Add,
+            Expr::Const(Value::Int(1)),
+            Expr::bin(Func::Mul, Expr::Const(Value::Int(2)), Expr::Const(Value::Int(3))),
+        );
+        const_fold(&mut e);
+        assert_eq!(e, Expr::Const(Value::Int(7)));
+        // vars prevent folding, but const children still fold
+        let mut e = Expr::bin(
+            Func::Add,
+            Expr::Var(0),
+            Expr::bin(Func::Mul, Expr::Const(Value::Int(2)), Expr::Const(Value::Int(3))),
+        );
+        const_fold(&mut e);
+        assert_eq!(e, Expr::bin(Func::Add, Expr::Var(0), Expr::Const(Value::Int(6))));
+        // current_datetime must not fold
+        let mut e = Expr::Call(Func::CurrentDatetime, vec![]);
+        const_fold(&mut e);
+        assert!(matches!(e, Expr::Call(Func::CurrentDatetime, _)));
+    }
+
+    #[test]
+    fn object_constructor_drops_missing() {
+        let e = Expr::Call(
+            Func::ObjectConstructor,
+            vec![
+                Expr::Const(Value::from("a")),
+                Expr::Const(Value::Int(1)),
+                Expr::Const(Value::from("b")),
+                Expr::Const(Value::Missing),
+            ],
+        );
+        let v = ev(&e, &[], &[]);
+        let o = v.as_object().unwrap();
+        assert_eq!(o.len(), 1, "missing-valued fields are omitted");
+    }
+
+    #[test]
+    fn used_vars_and_substitute() {
+        let mut e = Expr::bin(Func::Add, Expr::Var(1), Expr::field(Expr::Var(2), "x"));
+        let mut vars = Vec::new();
+        e.used_vars(&mut vars);
+        assert_eq!(vars, vec![1, 2]);
+        e.substitute(&|v| (v == 1).then_some(Expr::Const(Value::Int(9))));
+        let mut vars = Vec::new();
+        e.used_vars(&mut vars);
+        assert_eq!(vars, vec![2]);
+    }
+}

@@ -1,0 +1,1095 @@
+//! Physical plan generation: lowering an optimized logical plan onto a
+//! Hyracks [`JobSpec`].
+//!
+//! This is where Algebricks' *data-partition awareness* becomes concrete
+//! (paper Section III, feature 3): the generator decides operator
+//! parallelism, inserts exchange connectors (hash partition for joins and
+//! group-bys, broadcast for nested-loop builds, sorted merge for global
+//! orders), chooses join methods (hash join for equi-conditions, nested
+//! loop otherwise), and splits aggregations into local/global pairs so
+//! pre-aggregation happens before the shuffle.
+
+use crate::error::{AlgebricksError, Result};
+use crate::expr::{bind, eval, Expr, Func};
+use crate::plan::{AggFunc, JoinKind, LogicalOp, Plan, VarId};
+use asterix_adm::Value;
+use asterix_hyracks::job::{
+    AggSpec, ConnStrategy, EvalFn, JobSpec, JoinKind as HJoinKind, OpId, OpKind, Pred2Fn, PredFn,
+    SortKey, SourceFactory,
+};
+use std::sync::Arc;
+
+/// Tuning knobs for physical plan generation.
+#[derive(Debug, Clone)]
+pub struct JobGenConfig {
+    /// Degree of parallelism for compute operators (joins, group-bys).
+    pub dop: usize,
+    /// Working-memory budget per sort instance (bytes).
+    pub sort_memory: usize,
+    /// Working-memory budget per join instance.
+    pub join_memory: usize,
+    /// Working-memory budget per group-by instance.
+    pub group_memory: usize,
+    /// Split aggregations into local (pre-shuffle) and global stages. The
+    /// default; disabling it ships raw tuples through the exchange (the
+    /// ablation experiment E13 measures the difference).
+    pub local_aggregation: bool,
+}
+
+impl Default for JobGenConfig {
+    fn default() -> Self {
+        JobGenConfig {
+            dop: 1,
+            sort_memory: 32 << 20,
+            join_memory: 32 << 20,
+            group_memory: 32 << 20,
+            local_aggregation: true,
+        }
+    }
+}
+
+/// Compiles an optimized plan into a runnable job.
+pub fn compile(plan: &Plan, cfg: &JobGenConfig) -> Result<JobSpec> {
+    let mut b = Builder {
+        spec: JobSpec::new(),
+        cfg,
+        hidden: usize::MAX,
+    };
+    let LogicalOp::DistributeResult { input, exprs } = &plan.root else {
+        return Err(AlgebricksError::Plan(
+            "plan root must be distribute-result".into(),
+        ));
+    };
+    let built = b.compile_op(input)?;
+    // append one column per result expression
+    let evals: Vec<EvalFn> = exprs
+        .iter()
+        .map(|e| b.make_eval(e, &built.schema))
+        .collect::<Result<_>>()?;
+    let n_results = evals.len();
+    let base = built.schema.len();
+    let assign = b.spec.add(OpKind::Assign(evals), built.partitions, "result-exprs");
+    b.spec.connect(built.op, assign, 0, ConnStrategy::OneToOne);
+    let project = b.spec.add(
+        OpKind::Project((base..base + n_results).collect()),
+        1,
+        "result-project",
+    );
+    match &built.local_order {
+        Some(keys) if built.partitions > 1 => {
+            b.spec
+                .connect(assign, project, 0, ConnStrategy::MergeSorted(keys.clone()));
+        }
+        Some(_) | None => {
+            b.spec.connect(assign, project, 0, ConnStrategy::Gather);
+        }
+    }
+    let sink = b.spec.add(OpKind::ResultSink, 1, "sink");
+    b.spec.connect(project, sink, 0, ConnStrategy::OneToOne);
+    Ok(b.spec)
+}
+
+/// Compiles and runs a plan, returning the result values (one per row; a row
+/// with several result expressions yields an array value).
+pub fn execute(
+    plan: &Plan,
+    cfg: &JobGenConfig,
+    ctx: Arc<asterix_hyracks::RuntimeCtx>,
+) -> Result<Vec<Value>> {
+    let spec = compile(plan, cfg)?;
+    let result = asterix_hyracks::exec::run_job(spec, ctx)?;
+    Ok(result
+        .tuples
+        .into_iter()
+        .map(|mut t| if t.len() == 1 { t.pop().unwrap() } else { Value::Array(t) })
+        .collect())
+}
+
+struct Built {
+    op: OpId,
+    partitions: usize,
+    schema: Vec<VarId>,
+    /// When set, every partition's stream is sorted by these columns.
+    local_order: Option<Vec<SortKey>>,
+}
+
+struct Builder<'a> {
+    spec: JobSpec,
+    cfg: &'a JobGenConfig,
+    hidden: usize,
+}
+
+impl<'a> Builder<'a> {
+    fn hidden_var(&mut self) -> VarId {
+        let v = self.hidden;
+        self.hidden -= 1;
+        v
+    }
+
+    fn make_eval(&self, e: &Expr, schema: &[VarId]) -> Result<EvalFn> {
+        let bound = bind(e, schema)?;
+        Ok(Arc::new(move |t| eval(&bound, t).map_err(Into::into)))
+    }
+
+    fn make_pred(&self, e: &Expr, schema: &[VarId]) -> Result<PredFn> {
+        let bound = bind(e, schema)?;
+        Ok(Arc::new(move |t| {
+            Ok(matches!(eval(&bound, t)?, Value::Bool(true)))
+        }))
+    }
+
+    /// Appends an Assign computing `exprs`, returning the new Built with
+    /// hidden vars for the appended columns.
+    fn append_exprs(&mut self, built: Built, exprs: &[Expr], label: &str) -> Result<(Built, Vec<usize>)> {
+        if exprs.is_empty() {
+            let n = built.schema.len();
+            let _ = n;
+            return Ok((built, vec![]));
+        }
+        let evals: Vec<EvalFn> = exprs
+            .iter()
+            .map(|e| self.make_eval(e, &built.schema))
+            .collect::<Result<_>>()?;
+        let op = self.spec.add(OpKind::Assign(evals), built.partitions, label);
+        self.spec.connect(built.op, op, 0, ConnStrategy::OneToOne);
+        let base = built.schema.len();
+        let mut schema = built.schema;
+        let cols: Vec<usize> = (base..base + exprs.len()).collect();
+        for _ in exprs {
+            schema.push(self.hidden_var());
+        }
+        Ok((
+            Built { op, partitions: built.partitions, schema, local_order: built.local_order },
+            cols,
+        ))
+    }
+
+    fn compile_op(&mut self, op: &LogicalOp) -> Result<Built> {
+        match op {
+            LogicalOp::Empty => {
+                let src: Arc<dyn SourceFactory> =
+                    Arc::new(asterix_hyracks::job::FnSource(|_p: usize| {
+                        Ok(Box::new(std::iter::once(Ok(Vec::new())))
+                            as Box<
+                                dyn Iterator<
+                                        Item = asterix_hyracks::Result<asterix_hyracks::Tuple>,
+                                    > + Send,
+                            >)
+                    }));
+                let id = self.spec.add(OpKind::Source(src), 1, "empty");
+                Ok(Built { op: id, partitions: 1, schema: vec![], local_order: None })
+            }
+            LogicalOp::DataSourceScan { source, var, access } => {
+                let factory = match access {
+                    None => source.scan()?,
+                    Some(a) => source.index_scan(&a.index, a.range.clone())?,
+                };
+                let partitions = source.partitions();
+                let label = match access {
+                    None => format!("scan:{}", source.name()),
+                    Some(a) => format!("iscan:{}#{}", source.name(), a.index),
+                };
+                let id = self.spec.add(OpKind::Source(factory), partitions, label);
+                Ok(Built { op: id, partitions, schema: vec![*var], local_order: None })
+            }
+            LogicalOp::Select { input, condition } => {
+                let built = self.compile_op(input)?;
+                let pred = self.make_pred(condition, &built.schema)?;
+                let id = self.spec.add(OpKind::Filter(pred), built.partitions, "select");
+                self.spec.connect(built.op, id, 0, ConnStrategy::OneToOne);
+                Ok(Built { op: id, ..built })
+            }
+            LogicalOp::Assign { input, var, expr } => {
+                let built = self.compile_op(input)?;
+                let eval = self.make_eval(expr, &built.schema)?;
+                let id = self.spec.add(OpKind::Assign(vec![eval]), built.partitions, "assign");
+                self.spec.connect(built.op, id, 0, ConnStrategy::OneToOne);
+                let mut schema = built.schema;
+                schema.push(*var);
+                Ok(Built {
+                    op: id,
+                    partitions: built.partitions,
+                    schema,
+                    local_order: built.local_order,
+                })
+            }
+            LogicalOp::Project { input, vars } => {
+                let built = self.compile_op(input)?;
+                let cols: Vec<usize> = vars
+                    .iter()
+                    .map(|v| {
+                        built.schema.iter().position(|s| s == v).ok_or_else(|| {
+                            AlgebricksError::Plan(format!("project: ${v} not in schema"))
+                        })
+                    })
+                    .collect::<Result<_>>()?;
+                let id = self.spec.add(OpKind::Project(cols), built.partitions, "project");
+                self.spec.connect(built.op, id, 0, ConnStrategy::OneToOne);
+                Ok(Built {
+                    op: id,
+                    partitions: built.partitions,
+                    schema: vars.clone(),
+                    local_order: None,
+                })
+            }
+            LogicalOp::Unnest { input, var, expr, outer } => {
+                let built = self.compile_op(input)?;
+                let eval = self.make_eval(expr, &built.schema)?;
+                let id = self.spec.add(
+                    OpKind::Unnest { expr: eval, outer: *outer },
+                    built.partitions,
+                    "unnest",
+                );
+                self.spec.connect(built.op, id, 0, ConnStrategy::OneToOne);
+                let mut schema = built.schema;
+                schema.push(*var);
+                Ok(Built { op: id, partitions: built.partitions, schema, local_order: None })
+            }
+            LogicalOp::Join { left, right, condition, kind } => {
+                self.compile_join(left, right, condition, *kind)
+            }
+            LogicalOp::GroupBy { input, keys, aggs, collect } => {
+                self.compile_group_by(input, keys, aggs, collect.as_ref())
+            }
+            LogicalOp::Aggregate { input, aggs } => self.compile_scalar_agg(input, aggs),
+            LogicalOp::Order { input, keys } => {
+                let built = self.compile_op(input)?;
+                let exprs: Vec<Expr> = keys.iter().map(|(e, _)| e.clone()).collect();
+                let (built, cols) = self.append_exprs(built, &exprs, "order-keys")?;
+                let sort_keys: Vec<SortKey> = cols
+                    .iter()
+                    .zip(keys.iter())
+                    .map(|(c, (_, desc))| SortKey { col: *c, desc: *desc })
+                    .collect();
+                let id = self.spec.add(
+                    OpKind::Sort { keys: sort_keys.clone(), memory: self.cfg.sort_memory },
+                    built.partitions,
+                    "sort",
+                );
+                self.spec.connect(built.op, id, 0, ConnStrategy::OneToOne);
+                Ok(Built {
+                    op: id,
+                    partitions: built.partitions,
+                    schema: built.schema,
+                    local_order: Some(sort_keys),
+                })
+            }
+            LogicalOp::Limit { input, offset, count } => {
+                let built = self.compile_op(input)?;
+                if built.partitions == 1 {
+                    let id = self.spec.add(
+                        OpKind::Limit { offset: *offset, count: *count },
+                        1,
+                        "limit",
+                    );
+                    self.spec.connect(built.op, id, 0, ConnStrategy::OneToOne);
+                    return Ok(Built { op: id, ..built });
+                }
+                // local pre-limit (keep offset+count per partition), then a
+                // global limit on one partition, preserving order if any
+                let local_keep = count.map(|c| c + *offset);
+                let local = match (&built.local_order, local_keep) {
+                    (Some(keys), Some(keep)) => {
+                        self.spec.add(OpKind::TopK { keys: keys.clone(), k: keep }, built.partitions, "local-topk")
+                    }
+                    _ => self.spec.add(
+                        OpKind::Limit { offset: 0, count: local_keep },
+                        built.partitions,
+                        "local-limit",
+                    ),
+                };
+                self.spec.connect(built.op, local, 0, ConnStrategy::OneToOne);
+                let global = self.spec.add(
+                    OpKind::Limit { offset: *offset, count: *count },
+                    1,
+                    "limit",
+                );
+                match &built.local_order {
+                    Some(keys) => self.spec.connect(
+                        local,
+                        global,
+                        0,
+                        ConnStrategy::MergeSorted(keys.clone()),
+                    ),
+                    None => self.spec.connect(local, global, 0, ConnStrategy::Gather),
+                }
+                Ok(Built {
+                    op: global,
+                    partitions: 1,
+                    schema: built.schema,
+                    local_order: built.local_order,
+                })
+            }
+            LogicalOp::Distinct { input, exprs } => {
+                let built = self.compile_op(input)?;
+                let (built, cols) = self.append_exprs(built, exprs, "distinct-keys")?;
+                let dop = self.cfg.dop.max(1);
+                let id = self.spec.add(
+                    OpKind::Distinct { cols: Some(cols.clone()), memory: self.cfg.group_memory },
+                    dop,
+                    "distinct",
+                );
+                self.spec.connect(built.op, id, 0, ConnStrategy::Hash(cols));
+                Ok(Built {
+                    op: id,
+                    partitions: dop,
+                    schema: built.schema,
+                    local_order: None,
+                })
+            }
+            LogicalOp::UnionAll { left, right, out, left_vars, right_vars } => {
+                let lb = self.compile_op(left)?;
+                let rb = self.compile_op(right)?;
+                let lcols: Vec<usize> = left_vars
+                    .iter()
+                    .map(|v| {
+                        lb.schema.iter().position(|s| s == v).ok_or_else(|| {
+                            AlgebricksError::Plan(format!("union: ${v} not in left schema"))
+                        })
+                    })
+                    .collect::<Result<_>>()?;
+                let rcols: Vec<usize> = right_vars
+                    .iter()
+                    .map(|v| {
+                        rb.schema.iter().position(|s| s == v).ok_or_else(|| {
+                            AlgebricksError::Plan(format!("union: ${v} not in right schema"))
+                        })
+                    })
+                    .collect::<Result<_>>()?;
+                let lproj = self.spec.add(OpKind::Project(lcols), lb.partitions, "union-left");
+                self.spec.connect(lb.op, lproj, 0, ConnStrategy::OneToOne);
+                let rproj = self.spec.add(OpKind::Project(rcols), rb.partitions, "union-right");
+                self.spec.connect(rb.op, rproj, 0, ConnStrategy::OneToOne);
+                let id = self.spec.add(OpKind::UnionAll, 1, "union");
+                self.spec.connect(lproj, id, 0, ConnStrategy::Gather);
+                self.spec.connect(rproj, id, 1, ConnStrategy::Gather);
+                Ok(Built { op: id, partitions: 1, schema: out.clone(), local_order: None })
+            }
+            LogicalOp::DistributeResult { .. } => Err(AlgebricksError::Plan(
+                "nested distribute-result".into(),
+            )),
+        }
+    }
+
+    fn compile_join(
+        &mut self,
+        left: &LogicalOp,
+        right: &LogicalOp,
+        condition: &Expr,
+        kind: JoinKind,
+    ) -> Result<Built> {
+        let lb = self.compile_op(left)?;
+        let rb = self.compile_op(right)?;
+        // split the condition into equi pairs and residual conjuncts
+        let mut left_keys: Vec<Expr> = Vec::new();
+        let mut right_keys: Vec<Expr> = Vec::new();
+        let mut residual: Vec<Expr> = Vec::new();
+        for c in crate::rules::conjuncts(condition) {
+            let mut placed = false;
+            if let Expr::Call(Func::Eq, args) = &c {
+                if args.len() == 2 {
+                    let (a, b) = (&args[0], &args[1]);
+                    let a_left = uses_only_vars(a, &lb.schema);
+                    let a_right = uses_only_vars(a, &rb.schema);
+                    let b_left = uses_only_vars(b, &lb.schema);
+                    let b_right = uses_only_vars(b, &rb.schema);
+                    if a_left && b_right {
+                        left_keys.push(a.clone());
+                        right_keys.push(b.clone());
+                        placed = true;
+                    } else if a_right && b_left {
+                        left_keys.push(b.clone());
+                        right_keys.push(a.clone());
+                        placed = true;
+                    }
+                }
+            }
+            if !placed {
+                residual.push(c);
+            }
+        }
+        let hashable = !left_keys.is_empty()
+            && (kind == JoinKind::Inner || residual.is_empty());
+        if hashable {
+            let (lb, lcols) = self.append_exprs(lb, &left_keys, "join-keys-l")?;
+            let (rb, rcols) = self.append_exprs(rb, &right_keys, "join-keys-r")?;
+            let dop = self.cfg.dop.max(lb.partitions.max(rb.partitions));
+            // joined tuple = left cols ++ right cols
+            let probe_key_cols = lcols;
+            let build_key_cols = rcols;
+            let right_arity = rb.schema.len();
+            let shifted_left_keys = probe_key_cols.clone();
+            let id = self.spec.add(
+                OpKind::HashJoin {
+                    left_keys: shifted_left_keys,
+                    right_keys: build_key_cols.clone(),
+                    kind: match kind {
+                        JoinKind::Inner => HJoinKind::Inner,
+                        JoinKind::LeftOuter => HJoinKind::LeftOuter,
+                    },
+                    right_arity,
+                    memory: self.cfg.join_memory,
+                },
+                dop,
+                "hash-join",
+            );
+            self.spec
+                .connect(lb.op, id, 0, ConnStrategy::Hash(probe_key_cols));
+            self.spec
+                .connect(rb.op, id, 1, ConnStrategy::Hash(build_key_cols));
+            let mut schema = lb.schema.clone();
+            schema.extend(rb.schema.iter().copied());
+            let mut built = Built { op: id, partitions: dop, schema, local_order: None };
+            if !residual.is_empty() {
+                let pred = self.make_pred(&crate::rules::conjoin(residual), &built.schema)?;
+                let f = self.spec.add(OpKind::Filter(pred), dop, "join-residual");
+                self.spec.connect(built.op, f, 0, ConnStrategy::OneToOne);
+                built.op = f;
+            }
+            Ok(built)
+        } else {
+            // nested-loop join: broadcast the right side
+            let mut combined = lb.schema.clone();
+            combined.extend(rb.schema.iter().copied());
+            let bound = bind(condition, &combined)?;
+            let right_arity = rb.schema.len();
+            let pred: Pred2Fn = Arc::new(move |l, r| {
+                let mut t = Vec::with_capacity(l.len() + r.len());
+                t.extend_from_slice(l);
+                t.extend_from_slice(r);
+                Ok(matches!(eval(&bound, &t)?, Value::Bool(true)))
+            });
+            let id = self.spec.add(
+                OpKind::NestedLoopJoin {
+                    pred,
+                    kind: match kind {
+                        JoinKind::Inner => HJoinKind::Inner,
+                        JoinKind::LeftOuter => HJoinKind::LeftOuter,
+                    },
+                    right_arity,
+                },
+                lb.partitions,
+                "nl-join",
+            );
+            self.spec.connect(lb.op, id, 0, ConnStrategy::OneToOne);
+            self.spec.connect(rb.op, id, 1, ConnStrategy::Broadcast);
+            Ok(Built { op: id, partitions: lb.partitions, schema: combined, local_order: None })
+        }
+    }
+
+    fn compile_group_by(
+        &mut self,
+        input: &LogicalOp,
+        keys: &[(VarId, Expr)],
+        aggs: &[(VarId, AggFunc, Expr)],
+        collect: Option<&crate::plan::GroupCollect>,
+    ) -> Result<Built> {
+        let built = self.compile_op(input)?;
+        let key_exprs: Vec<Expr> = keys.iter().map(|(_, e)| e.clone()).collect();
+        let (built, key_cols) = self.append_exprs(built, &key_exprs, "group-keys")?;
+        if let Some(c) = collect {
+            if !aggs.is_empty() {
+                return Err(AlgebricksError::Plan(
+                    "group-by cannot mix direct aggregates with a group collection; \
+                     express aggregates over the group variable instead"
+                        .into(),
+                ));
+            }
+            // payload per input tuple: wrapped object (SQL++ GROUP AS) or
+            // the bare value when a single unwrapped binding is collected
+            // (AQL `with $v`)
+            let payload = if !c.wrap && c.fields.len() == 1 {
+                c.fields[0].1.clone()
+            } else {
+                let mut obj_args: Vec<Expr> = Vec::with_capacity(c.fields.len() * 2);
+                for (name, e) in &c.fields {
+                    obj_args.push(Expr::Const(Value::String(name.clone())));
+                    obj_args.push(e.clone());
+                }
+                Expr::Call(Func::ObjectConstructor, obj_args)
+            };
+            let (built, pcols) = self.append_exprs(built, &[payload], "group-payload")?;
+            let dop = self.cfg.dop.max(1);
+            let id = self.spec.add(
+                OpKind::GroupCollect {
+                    key_cols: key_cols.clone(),
+                    payload_cols: pcols,
+                    memory: self.cfg.group_memory,
+                },
+                dop,
+                "group-collect",
+            );
+            self.spec.connect(built.op, id, 0, ConnStrategy::Hash(key_cols));
+            let mut schema: Vec<VarId> = keys.iter().map(|(v, _)| *v).collect();
+            schema.push(c.var);
+            return Ok(Built { op: id, partitions: dop, schema, local_order: None });
+        }
+        // local/global aggregation: decompose each aggregate
+        let agg_exprs: Vec<Expr> = aggs.iter().map(|(_, _, e)| e.clone()).collect();
+        let (built, agg_cols) = self.append_exprs(built, &agg_exprs, "group-args")?;
+        if !self.cfg.local_aggregation {
+            // ablation path: one global group-by fed raw tuples via the
+            // hash exchange — no pre-aggregation before the shuffle
+            let dop = self.cfg.dop.max(1);
+            let direct: Vec<AggSpec> = aggs
+                .iter()
+                .zip(agg_cols.iter())
+                .map(|((_, f, _), col)| match f {
+                    AggFunc::CountStar => AggSpec::CountStar,
+                    AggFunc::Count => AggSpec::Count(*col),
+                    AggFunc::Sum => AggSpec::Sum(*col),
+                    AggFunc::Min => AggSpec::Min(*col),
+                    AggFunc::Max => AggSpec::Max(*col),
+                    AggFunc::Avg => AggSpec::Avg(*col),
+                })
+                .collect();
+            let id = self.spec.add(
+                OpKind::GroupBy {
+                    key_cols: key_cols.clone(),
+                    aggs: direct,
+                    memory: self.cfg.group_memory,
+                },
+                dop,
+                "group-direct",
+            );
+            self.spec.connect(built.op, id, 0, ConnStrategy::Hash(key_cols));
+            let mut schema: Vec<VarId> = keys.iter().map(|(v, _)| *v).collect();
+            schema.extend(aggs.iter().map(|(v, _, _)| *v));
+            return Ok(Built { op: id, partitions: dop, schema, local_order: None });
+        }
+        // local stage
+        let mut local_specs: Vec<AggSpec> = Vec::new();
+        // per logical agg: the local output columns (after the keys)
+        let mut local_slots: Vec<Vec<usize>> = Vec::new();
+        for ((_, f, _), col) in aggs.iter().zip(agg_cols.iter()) {
+            let base = key_cols.len() + local_specs.len();
+            match f {
+                AggFunc::CountStar => {
+                    local_specs.push(AggSpec::CountStar);
+                    local_slots.push(vec![base]);
+                }
+                AggFunc::Count => {
+                    local_specs.push(AggSpec::Count(*col));
+                    local_slots.push(vec![base]);
+                }
+                AggFunc::Sum => {
+                    local_specs.push(AggSpec::Sum(*col));
+                    local_slots.push(vec![base]);
+                }
+                AggFunc::Min => {
+                    local_specs.push(AggSpec::Min(*col));
+                    local_slots.push(vec![base]);
+                }
+                AggFunc::Max => {
+                    local_specs.push(AggSpec::Max(*col));
+                    local_slots.push(vec![base]);
+                }
+                AggFunc::Avg => {
+                    local_specs.push(AggSpec::Sum(*col));
+                    local_specs.push(AggSpec::Count(*col));
+                    local_slots.push(vec![base, base + 1]);
+                }
+            }
+        }
+        let local = self.spec.add(
+            OpKind::GroupBy {
+                key_cols: key_cols.clone(),
+                aggs: local_specs.clone(),
+                memory: self.cfg.group_memory,
+            },
+            built.partitions,
+            "group-local",
+        );
+        self.spec.connect(built.op, local, 0, ConnStrategy::OneToOne);
+        // global stage: keys are now columns 0..k, partials follow
+        let k = key_cols.len();
+        let global_keys: Vec<usize> = (0..k).collect();
+        let mut global_specs: Vec<AggSpec> = Vec::new();
+        for ((_, f, _), slots) in aggs.iter().zip(local_slots.iter()) {
+            match f {
+                AggFunc::CountStar | AggFunc::Count | AggFunc::Sum => {
+                    global_specs.push(AggSpec::Sum(slots[0]));
+                }
+                AggFunc::Min => global_specs.push(AggSpec::Min(slots[0])),
+                AggFunc::Max => global_specs.push(AggSpec::Max(slots[0])),
+                AggFunc::Avg => {
+                    global_specs.push(AggSpec::Sum(slots[0]));
+                    global_specs.push(AggSpec::Sum(slots[1]));
+                }
+            }
+        }
+        let dop = self.cfg.dop.max(1);
+        let global = self.spec.add(
+            OpKind::GroupBy {
+                key_cols: global_keys.clone(),
+                aggs: global_specs.clone(),
+                memory: self.cfg.group_memory,
+            },
+            dop,
+            "group-global",
+        );
+        self.spec
+            .connect(local, global, 0, ConnStrategy::Hash(global_keys));
+        // post-assign: rebuild AVG and COUNT-of-empty semantics, project to
+        // [keys..., final aggs...]
+        let mut finals: Vec<EvalFn> = Vec::new();
+        let mut pos = k;
+        for (_, f, _) in aggs {
+            match f {
+                AggFunc::Avg => {
+                    let sum_col = pos;
+                    let cnt_col = pos + 1;
+                    pos += 2;
+                    finals.push(Arc::new(move |t: &asterix_hyracks::Tuple| {
+                        match (t[sum_col].as_f64(), t[cnt_col].as_f64()) {
+                            (Some(s), Some(c)) if c > 0.0 => Ok(Value::Double(s / c)),
+                            _ => Ok(Value::Null),
+                        }
+                    }));
+                }
+                AggFunc::CountStar | AggFunc::Count => {
+                    let col = pos;
+                    pos += 1;
+                    // SUM of partial counts is Null only if no partials: count 0
+                    finals.push(Arc::new(move |t: &asterix_hyracks::Tuple| {
+                        Ok(match &t[col] {
+                            Value::Null | Value::Missing => Value::Int(0),
+                            other => other.clone(),
+                        })
+                    }));
+                }
+                _ => {
+                    let col = pos;
+                    pos += 1;
+                    finals.push(Arc::new(move |t: &asterix_hyracks::Tuple| Ok(t[col].clone())));
+                }
+            }
+        }
+        let n_aggs = finals.len();
+        let assign = self.spec.add(OpKind::Assign(finals), dop, "group-finals");
+        self.spec.connect(global, assign, 0, ConnStrategy::OneToOne);
+        let width = k + global_specs.len();
+        let mut proj_cols: Vec<usize> = (0..k).collect();
+        proj_cols.extend(width..width + n_aggs);
+        let proj = self.spec.add(OpKind::Project(proj_cols), dop, "group-project");
+        self.spec.connect(assign, proj, 0, ConnStrategy::OneToOne);
+        let mut schema: Vec<VarId> = keys.iter().map(|(v, _)| *v).collect();
+        schema.extend(aggs.iter().map(|(v, _, _)| *v));
+        Ok(Built { op: proj, partitions: dop, schema, local_order: None })
+    }
+
+    fn compile_scalar_agg(
+        &mut self,
+        input: &LogicalOp,
+        aggs: &[(VarId, AggFunc, Expr)],
+    ) -> Result<Built> {
+        let built = self.compile_op(input)?;
+        let agg_exprs: Vec<Expr> = aggs.iter().map(|(_, _, e)| e.clone()).collect();
+        let (built, agg_cols) = self.append_exprs(built, &agg_exprs, "agg-args")?;
+        let mut local_specs: Vec<AggSpec> = Vec::new();
+        let mut local_slots: Vec<Vec<usize>> = Vec::new();
+        for ((_, f, _), col) in aggs.iter().zip(agg_cols.iter()) {
+            let base = local_specs.len();
+            match f {
+                AggFunc::CountStar => {
+                    local_specs.push(AggSpec::CountStar);
+                    local_slots.push(vec![base]);
+                }
+                AggFunc::Count => {
+                    local_specs.push(AggSpec::Count(*col));
+                    local_slots.push(vec![base]);
+                }
+                AggFunc::Sum => {
+                    local_specs.push(AggSpec::Sum(*col));
+                    local_slots.push(vec![base]);
+                }
+                AggFunc::Min => {
+                    local_specs.push(AggSpec::Min(*col));
+                    local_slots.push(vec![base]);
+                }
+                AggFunc::Max => {
+                    local_specs.push(AggSpec::Max(*col));
+                    local_slots.push(vec![base]);
+                }
+                AggFunc::Avg => {
+                    local_specs.push(AggSpec::Sum(*col));
+                    local_specs.push(AggSpec::Count(*col));
+                    local_slots.push(vec![base, base + 1]);
+                }
+            }
+        }
+        let local = self.spec.add(
+            OpKind::Aggregate { aggs: local_specs.clone() },
+            built.partitions,
+            "agg-local",
+        );
+        self.spec.connect(built.op, local, 0, ConnStrategy::OneToOne);
+        let mut global_specs: Vec<AggSpec> = Vec::new();
+        for ((_, f, _), slots) in aggs.iter().zip(local_slots.iter()) {
+            match f {
+                AggFunc::CountStar | AggFunc::Count | AggFunc::Sum => {
+                    global_specs.push(AggSpec::Sum(slots[0]))
+                }
+                AggFunc::Min => global_specs.push(AggSpec::Min(slots[0])),
+                AggFunc::Max => global_specs.push(AggSpec::Max(slots[0])),
+                AggFunc::Avg => {
+                    global_specs.push(AggSpec::Sum(slots[0]));
+                    global_specs.push(AggSpec::Sum(slots[1]));
+                }
+            }
+        }
+        let n_globals = global_specs.len();
+        let global = self.spec.add(OpKind::Aggregate { aggs: global_specs }, 1, "agg-global");
+        self.spec.connect(local, global, 0, ConnStrategy::Gather);
+        let mut finals: Vec<EvalFn> = Vec::new();
+        let mut pos = 0usize;
+        for (_, f, _) in aggs {
+            match f {
+                AggFunc::Avg => {
+                    let (s, c) = (pos, pos + 1);
+                    pos += 2;
+                    finals.push(Arc::new(move |t: &asterix_hyracks::Tuple| {
+                        match (t[s].as_f64(), t[c].as_f64()) {
+                            (Some(sv), Some(cv)) if cv > 0.0 => Ok(Value::Double(sv / cv)),
+                            _ => Ok(Value::Null),
+                        }
+                    }));
+                }
+                AggFunc::CountStar | AggFunc::Count => {
+                    let col = pos;
+                    pos += 1;
+                    finals.push(Arc::new(move |t: &asterix_hyracks::Tuple| {
+                        Ok(match &t[col] {
+                            Value::Null | Value::Missing => Value::Int(0),
+                            other => other.clone(),
+                        })
+                    }));
+                }
+                _ => {
+                    let col = pos;
+                    pos += 1;
+                    finals.push(Arc::new(move |t: &asterix_hyracks::Tuple| Ok(t[col].clone())));
+                }
+            }
+        }
+        let n = finals.len();
+        let assign = self.spec.add(OpKind::Assign(finals), 1, "agg-finals");
+        self.spec.connect(global, assign, 0, ConnStrategy::OneToOne);
+        let proj = self.spec.add(
+            OpKind::Project((n_globals..n_globals + n).collect()),
+            1,
+            "agg-project",
+        );
+        self.spec.connect(assign, proj, 0, ConnStrategy::OneToOne);
+        Ok(Built {
+            op: proj,
+            partitions: 1,
+            schema: aggs.iter().map(|(v, _, _)| *v).collect(),
+            local_order: None,
+        })
+    }
+}
+
+fn uses_only_vars(e: &Expr, allowed: &[VarId]) -> bool {
+    let mut vars = Vec::new();
+    e.used_vars(&mut vars);
+    !vars.is_empty() && vars.iter().all(|v| allowed.contains(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{GroupCollect, LogicalOp, Plan};
+    use crate::rules::optimize;
+    use crate::source::VecSource;
+    use asterix_adm::parse::parse_value;
+    use asterix_hyracks::RuntimeCtx;
+
+    fn users_source() -> Arc<VecSource> {
+        let mk = |id: i64, age: i64, city: &str| {
+            parse_value(&format!(
+                r#"{{"id": {id}, "age": {age}, "city": "{city}",
+                     "friends": [{}, {}]}}"#,
+                id * 2,
+                id * 2 + 1
+            ))
+            .unwrap()
+        };
+        VecSource::new(
+            "users",
+            vec![
+                vec![mk(1, 20, "irvine"), mk(2, 35, "riverside")],
+                vec![mk(3, 41, "irvine"), mk(4, 28, "sandiego")],
+            ],
+        )
+    }
+
+    fn run(plan: Plan) -> Vec<Value> {
+        let mut plan = plan;
+        optimize(&mut plan);
+        execute(&plan, &JobGenConfig { dop: 2, ..Default::default() }, RuntimeCtx::temp().unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn scan_select_project_result() {
+        let plan = Plan::new(LogicalOp::DistributeResult {
+            input: Box::new(LogicalOp::Select {
+                input: Box::new(LogicalOp::DataSourceScan {
+                    source: users_source(),
+                    var: 0,
+                    access: None,
+                }),
+                condition: Expr::bin(
+                    Func::Gt,
+                    Expr::field(Expr::Var(0), "age"),
+                    Expr::Const(Value::Int(30)),
+                ),
+            }),
+            exprs: vec![Expr::field(Expr::Var(0), "id")],
+        });
+        let mut out = run(plan);
+        out.sort_by(asterix_adm::compare::total_cmp);
+        assert_eq!(out, vec![Value::Int(2), Value::Int(3)]);
+    }
+
+    #[test]
+    fn group_by_with_local_global_split() {
+        let plan = Plan::new(LogicalOp::DistributeResult {
+            input: Box::new(LogicalOp::GroupBy {
+                input: Box::new(LogicalOp::DataSourceScan {
+                    source: users_source(),
+                    var: 0,
+                    access: None,
+                }),
+                keys: vec![(10, Expr::field(Expr::Var(0), "city"))],
+                aggs: vec![
+                    (11, AggFunc::CountStar, Expr::Const(Value::Int(0))),
+                    (12, AggFunc::Avg, Expr::field(Expr::Var(0), "age")),
+                ],
+                collect: None,
+            }),
+            exprs: vec![Expr::Var(10), Expr::Var(11), Expr::Var(12)],
+        });
+        let mut rows = run(plan);
+        rows.sort_by(asterix_adm::compare::total_cmp);
+        assert_eq!(rows.len(), 3);
+        let irvine = rows
+            .iter()
+            .find(|r| r.index(0) == &Value::from("irvine"))
+            .unwrap();
+        assert_eq!(irvine.index(1), &Value::Int(2));
+        assert_eq!(irvine.index(2), &Value::Double(30.5));
+    }
+
+    #[test]
+    fn group_collect_builds_objects() {
+        let plan = Plan::new(LogicalOp::DistributeResult {
+            input: Box::new(LogicalOp::GroupBy {
+                input: Box::new(LogicalOp::DataSourceScan {
+                    source: users_source(),
+                    var: 0,
+                    access: None,
+                }),
+                keys: vec![(10, Expr::field(Expr::Var(0), "city"))],
+                aggs: vec![],
+                collect: Some(GroupCollect {
+                    var: 11,
+                    fields: vec![("u".into(), Expr::Var(0))],
+                    wrap: true,
+                }),
+            }),
+            exprs: vec![Expr::Var(10), Expr::Call(Func::CollCount, vec![Expr::Var(11)])],
+        });
+        let mut rows = run(plan);
+        rows.sort_by(asterix_adm::compare::total_cmp);
+        let irvine = rows
+            .iter()
+            .find(|r| r.index(0) == &Value::from("irvine"))
+            .unwrap();
+        assert_eq!(irvine.index(1), &Value::Int(2), "group size via COLL_COUNT");
+    }
+
+    #[test]
+    fn hash_join_via_equi_condition() {
+        let msgs = VecSource::single(
+            "msgs",
+            vec![
+                parse_value(r#"{"mid": 100, "author": 1}"#).unwrap(),
+                parse_value(r#"{"mid": 101, "author": 1}"#).unwrap(),
+                parse_value(r#"{"mid": 102, "author": 3}"#).unwrap(),
+            ],
+        );
+        let plan = Plan::new(LogicalOp::DistributeResult {
+            input: Box::new(LogicalOp::Join {
+                left: Box::new(LogicalOp::DataSourceScan {
+                    source: users_source(),
+                    var: 0,
+                    access: None,
+                }),
+                right: Box::new(LogicalOp::DataSourceScan { source: msgs, var: 1, access: None }),
+                condition: Expr::bin(
+                    Func::Eq,
+                    Expr::field(Expr::Var(0), "id"),
+                    Expr::field(Expr::Var(1), "author"),
+                ),
+                kind: JoinKind::Inner,
+            }),
+            exprs: vec![Expr::field(Expr::Var(1), "mid")],
+        });
+        let mut out = run(plan);
+        out.sort_by(asterix_adm::compare::total_cmp);
+        assert_eq!(out, vec![Value::Int(100), Value::Int(101), Value::Int(102)]);
+    }
+
+    #[test]
+    fn order_limit_topk_path() {
+        let plan = Plan::new(LogicalOp::DistributeResult {
+            input: Box::new(LogicalOp::Limit {
+                input: Box::new(LogicalOp::Order {
+                    input: Box::new(LogicalOp::DataSourceScan {
+                        source: users_source(),
+                        var: 0,
+                        access: None,
+                    }),
+                    keys: vec![(Expr::field(Expr::Var(0), "age"), true)],
+                }),
+                offset: 0,
+                count: Some(2),
+            }),
+            exprs: vec![Expr::field(Expr::Var(0), "age")],
+        });
+        let out = run(plan);
+        assert_eq!(out, vec![Value::Int(41), Value::Int(35)], "top-2 ages descending");
+    }
+
+    #[test]
+    fn unnest_flattens_arrays() {
+        let plan = Plan::new(LogicalOp::DistributeResult {
+            input: Box::new(LogicalOp::Unnest {
+                input: Box::new(LogicalOp::DataSourceScan {
+                    source: users_source(),
+                    var: 0,
+                    access: None,
+                }),
+                var: 1,
+                expr: Expr::field(Expr::Var(0), "friends"),
+                outer: false,
+            }),
+            exprs: vec![Expr::Var(1)],
+        });
+        let out = run(plan);
+        assert_eq!(out.len(), 8, "4 users x 2 friends");
+    }
+
+    #[test]
+    fn scalar_aggregate_parallel() {
+        let plan = Plan::new(LogicalOp::DistributeResult {
+            input: Box::new(LogicalOp::Aggregate {
+                input: Box::new(LogicalOp::DataSourceScan {
+                    source: users_source(),
+                    var: 0,
+                    access: None,
+                }),
+                aggs: vec![
+                    (10, AggFunc::CountStar, Expr::Const(Value::Int(0))),
+                    (11, AggFunc::Sum, Expr::field(Expr::Var(0), "age")),
+                    (12, AggFunc::Min, Expr::field(Expr::Var(0), "age")),
+                ],
+            }),
+            exprs: vec![Expr::Var(10), Expr::Var(11), Expr::Var(12)],
+        });
+        let out = run(plan);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].index(0), &Value::Int(4));
+        assert_eq!(out[0].index(1), &Value::Int(124));
+        assert_eq!(out[0].index(2), &Value::Int(20));
+    }
+
+    #[test]
+    fn theta_join_uses_nested_loop() {
+        let small = VecSource::single(
+            "bounds",
+            vec![parse_value(r#"{"lo": 25, "hi": 40}"#).unwrap()],
+        );
+        let plan = Plan::new(LogicalOp::DistributeResult {
+            input: Box::new(LogicalOp::Join {
+                left: Box::new(LogicalOp::DataSourceScan {
+                    source: users_source(),
+                    var: 0,
+                    access: None,
+                }),
+                right: Box::new(LogicalOp::DataSourceScan { source: small, var: 1, access: None }),
+                condition: Expr::bin(
+                    Func::And,
+                    Expr::bin(
+                        Func::Gt,
+                        Expr::field(Expr::Var(0), "age"),
+                        Expr::field(Expr::Var(1), "lo"),
+                    ),
+                    Expr::bin(
+                        Func::Lt,
+                        Expr::field(Expr::Var(0), "age"),
+                        Expr::field(Expr::Var(1), "hi"),
+                    ),
+                ),
+                kind: JoinKind::Inner,
+            }),
+            exprs: vec![Expr::field(Expr::Var(0), "id")],
+        });
+        let mut out = run(plan);
+        out.sort_by(asterix_adm::compare::total_cmp);
+        assert_eq!(out, vec![Value::Int(2), Value::Int(4)], "ages 35, 28 in (25,40)");
+    }
+
+    #[test]
+    fn distinct_on_expression() {
+        let plan = Plan::new(LogicalOp::DistributeResult {
+            input: Box::new(LogicalOp::Distinct {
+                input: Box::new(LogicalOp::DataSourceScan {
+                    source: users_source(),
+                    var: 0,
+                    access: None,
+                }),
+                exprs: vec![Expr::field(Expr::Var(0), "city")],
+            }),
+            exprs: vec![Expr::field(Expr::Var(0), "city")],
+        });
+        let out = run(plan);
+        assert_eq!(out.len(), 3, "three distinct cities");
+    }
+
+    #[test]
+    fn left_outer_join_pads() {
+        let msgs = VecSource::single(
+            "msgs",
+            vec![parse_value(r#"{"mid": 100, "author": 1}"#).unwrap()],
+        );
+        let plan = Plan::new(LogicalOp::DistributeResult {
+            input: Box::new(LogicalOp::Join {
+                left: Box::new(LogicalOp::DataSourceScan {
+                    source: users_source(),
+                    var: 0,
+                    access: None,
+                }),
+                right: Box::new(LogicalOp::DataSourceScan { source: msgs, var: 1, access: None }),
+                condition: Expr::bin(
+                    Func::Eq,
+                    Expr::field(Expr::Var(0), "id"),
+                    Expr::field(Expr::Var(1), "author"),
+                ),
+                kind: JoinKind::LeftOuter,
+            }),
+            exprs: vec![
+                Expr::field(Expr::Var(0), "id"),
+                Expr::Call(Func::IsMissing, vec![Expr::Var(1)]),
+            ],
+        });
+        let mut out = run(plan);
+        out.sort_by(asterix_adm::compare::total_cmp);
+        assert_eq!(out.len(), 4);
+        // user 1 matched; users 2..4 padded with MISSING
+        assert_eq!(out[0].index(1), &Value::Bool(false));
+        assert_eq!(out[1].index(1), &Value::Bool(true));
+    }
+}

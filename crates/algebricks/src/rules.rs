@@ -1,0 +1,702 @@
+//! The rule-based optimizer (paper Figure 5: "rewrite rules" boxes).
+//!
+//! A small but representative subset of Algebricks' rule sets, run to a
+//! fixpoint:
+//!
+//! 1. constant folding in every expression;
+//! 2. select consolidation (adjacent selects merge into one conjunction);
+//! 3. selection pushdown through assigns/unnests and into/through joins;
+//! 4. select-into-join merging (filters directly above a join become join
+//!    conditions, later split into equi-keys by the job generator);
+//! 5. dead-assign elimination (unused computed variables vanish);
+//! 6. **index access-path introduction**: a select over a data-source scan
+//!    whose conjuncts constrain an indexed field is rewritten to an
+//!    index-scan (B+ tree range, R-tree spatial intersection, or inverted
+//!    keyword probe), keeping the original predicate as a residual filter —
+//!    the data-partition-aware access-path selection the paper credits
+//!    Algebricks with (Section III, feature 3).
+
+use crate::expr::{const_fold, Expr, Func};
+use crate::plan::{LogicalOp, Plan, VarId};
+use crate::source::{IndexKind, IndexRange};
+use asterix_adm::Value;
+
+/// Optimizes a plan in place, running all rules to a fixpoint.
+pub fn optimize(plan: &mut Plan) {
+    let mut rounds = 0;
+    loop {
+        let mut changed = false;
+        fold_all_exprs(&mut plan.root);
+        changed |= rewrite(&mut plan.root, &merge_selects);
+        changed |= rewrite(&mut plan.root, &push_select);
+        changed |= rewrite(&mut plan.root, &select_into_join);
+        changed |= rewrite(&mut plan.root, &introduce_index_paths);
+        changed |= eliminate_dead_assigns(&mut plan.root);
+        rounds += 1;
+        if !changed || rounds > 12 {
+            break;
+        }
+    }
+}
+
+/// Applies `rule` bottom-up everywhere; returns whether anything changed.
+fn rewrite(op: &mut LogicalOp, rule: &dyn Fn(LogicalOp) -> (LogicalOp, bool)) -> bool {
+    let mut changed = false;
+    for child in op.children_mut() {
+        changed |= rewrite(child, rule);
+    }
+    let owned = std::mem::replace(op, LogicalOp::Empty);
+    let (new, c) = rule(owned);
+    *op = new;
+    changed | c
+}
+
+fn fold_all_exprs(op: &mut LogicalOp) {
+    match op {
+        LogicalOp::Select { condition, .. } => const_fold(condition),
+        LogicalOp::Assign { expr, .. } | LogicalOp::Unnest { expr, .. } => const_fold(expr),
+        LogicalOp::Join { condition, .. } => const_fold(condition),
+        LogicalOp::GroupBy { keys, aggs, collect, .. } => {
+            for (_, e) in keys {
+                const_fold(e);
+            }
+            for (_, _, e) in aggs {
+                const_fold(e);
+            }
+            if let Some(c) = collect {
+                for (_, e) in &mut c.fields {
+                    const_fold(e);
+                }
+            }
+        }
+        LogicalOp::Aggregate { aggs, .. } => {
+            for (_, _, e) in aggs {
+                const_fold(e);
+            }
+        }
+        LogicalOp::Order { keys, .. } => {
+            for (e, _) in keys {
+                const_fold(e);
+            }
+        }
+        LogicalOp::Distinct { exprs, .. } | LogicalOp::DistributeResult { exprs, .. } => {
+            for e in exprs {
+                const_fold(e);
+            }
+        }
+        _ => {}
+    }
+    for child in op.children_mut() {
+        fold_all_exprs(child);
+    }
+}
+
+/// Splits a condition into its top-level conjuncts.
+pub fn conjuncts(e: &Expr) -> Vec<Expr> {
+    match e {
+        Expr::Call(Func::And, args) => args.iter().flat_map(conjuncts).collect(),
+        other => vec![other.clone()],
+    }
+}
+
+/// Rebuilds a conjunction, dropping redundant TRUE literals (TRUE when empty).
+pub fn conjoin(cs: Vec<Expr>) -> Expr {
+    let mut cs: Vec<Expr> = cs
+        .into_iter()
+        .filter(|c| *c != Expr::Const(Value::Bool(true)))
+        .collect();
+    match cs.len() {
+        0 => Expr::Const(Value::Bool(true)),
+        1 => cs.pop().unwrap(),
+        _ => Expr::Call(Func::And, cs),
+    }
+}
+
+fn uses_only(e: &Expr, allowed: &[VarId]) -> bool {
+    let mut vars = Vec::new();
+    e.used_vars(&mut vars);
+    vars.iter().all(|v| allowed.contains(v))
+}
+
+fn merge_selects(op: LogicalOp) -> (LogicalOp, bool) {
+    if let LogicalOp::Select { input, condition } = op {
+        if let LogicalOp::Select { input: inner, condition: inner_cond } = *input {
+            let mut cs = conjuncts(&condition);
+            cs.extend(conjuncts(&inner_cond));
+            return (
+                LogicalOp::Select { input: inner, condition: conjoin(cs) },
+                true,
+            );
+        }
+        // drop trivially-true selects
+        if condition == Expr::Const(Value::Bool(true)) {
+            return (*input, true);
+        }
+        return (LogicalOp::Select { input, condition }, false);
+    }
+    (op, false)
+}
+
+fn push_select(op: LogicalOp) -> (LogicalOp, bool) {
+    let LogicalOp::Select { input, condition } = op else {
+        return (op, false);
+    };
+    match *input {
+        // through an assign the condition doesn't depend on
+        LogicalOp::Assign { input: deeper, var, expr } => {
+            let below = deeper.schema();
+            let mut pushable = Vec::new();
+            let mut stay = Vec::new();
+            for c in conjuncts(&condition) {
+                if uses_only(&c, &below) {
+                    pushable.push(c);
+                } else {
+                    stay.push(c);
+                }
+            }
+            if pushable.is_empty() {
+                return (
+                    LogicalOp::Select {
+                        input: Box::new(LogicalOp::Assign { input: deeper, var, expr }),
+                        condition,
+                    },
+                    false,
+                );
+            }
+            let pushed = LogicalOp::Select { input: deeper, condition: conjoin(pushable) };
+            let assign = LogicalOp::Assign { input: Box::new(pushed), var, expr };
+            let rebuilt = if stay.is_empty() {
+                assign
+            } else {
+                LogicalOp::Select { input: Box::new(assign), condition: conjoin(stay) }
+            };
+            (rebuilt, true)
+        }
+        // through an unnest the condition doesn't depend on
+        LogicalOp::Unnest { input: deeper, var, expr, outer } => {
+            let below = deeper.schema();
+            let mut pushable = Vec::new();
+            let mut stay = Vec::new();
+            for c in conjuncts(&condition) {
+                // pushing below an outer unnest changes semantics; keep above
+                if !outer && uses_only(&c, &below) {
+                    pushable.push(c);
+                } else {
+                    stay.push(c);
+                }
+            }
+            if pushable.is_empty() {
+                return (
+                    LogicalOp::Select {
+                        input: Box::new(LogicalOp::Unnest { input: deeper, var, expr, outer }),
+                        condition,
+                    },
+                    false,
+                );
+            }
+            let pushed = LogicalOp::Select { input: deeper, condition: conjoin(pushable) };
+            let unnest = LogicalOp::Unnest { input: Box::new(pushed), var, expr, outer };
+            let rebuilt = if stay.is_empty() {
+                unnest
+            } else {
+                LogicalOp::Select { input: Box::new(unnest), condition: conjoin(stay) }
+            };
+            (rebuilt, true)
+        }
+        other => (
+            LogicalOp::Select { input: Box::new(other), condition },
+            false,
+        ),
+    }
+}
+
+fn select_into_join(op: LogicalOp) -> (LogicalOp, bool) {
+    let LogicalOp::Select { input, condition } = op else {
+        return (op, false);
+    };
+    match *input {
+        LogicalOp::Join { left, right, condition: jc, kind } => {
+            // Push side-local conjuncts into the inner sides; merge the rest
+            // into the join condition. (For outer joins, only left-side
+            // pushdown is semantics-preserving; we conservatively merge
+            // everything into the post-join filter instead.)
+            if kind != crate::plan::JoinKind::Inner {
+                return (
+                    LogicalOp::Select {
+                        input: Box::new(LogicalOp::Join { left, right, condition: jc, kind }),
+                        condition,
+                    },
+                    false,
+                );
+            }
+            let lschema = left.schema();
+            let rschema = right.schema();
+            let mut to_left = Vec::new();
+            let mut to_right = Vec::new();
+            let mut to_join = conjuncts(&jc);
+            let mut changed = false;
+            for c in conjuncts(&condition) {
+                if uses_only(&c, &lschema) {
+                    to_left.push(c);
+                    changed = true;
+                } else if uses_only(&c, &rschema) {
+                    to_right.push(c);
+                    changed = true;
+                } else {
+                    to_join.push(c);
+                    changed = true;
+                }
+            }
+            let left = if to_left.is_empty() {
+                left
+            } else {
+                Box::new(LogicalOp::Select { input: left, condition: conjoin(to_left) })
+            };
+            let right = if to_right.is_empty() {
+                right
+            } else {
+                Box::new(LogicalOp::Select { input: right, condition: conjoin(to_right) })
+            };
+            (
+                LogicalOp::Join { left, right, condition: conjoin(to_join), kind },
+                changed,
+            )
+        }
+        other => (
+            LogicalOp::Select { input: Box::new(other), condition },
+            false,
+        ),
+    }
+}
+
+/// Matches `field-access chain on the scan variable` against an index's
+/// field path.
+fn matches_indexed_field(e: &Expr, scan_var: VarId, path: &[String]) -> bool {
+    let mut cur = e;
+    let mut rev: Vec<&str> = Vec::new();
+    loop {
+        match cur {
+            Expr::Field(base, name) => {
+                rev.push(name);
+                cur = base;
+            }
+            Expr::Var(v) if *v == scan_var => break,
+            _ => return false,
+        }
+    }
+    rev.reverse();
+    rev.len() == path.len() && rev.iter().zip(path).all(|(a, b)| *a == b.as_str())
+}
+
+fn const_value(e: &Expr) -> Option<Value> {
+    match e {
+        Expr::Const(v) => Some(v.clone()),
+        _ => None,
+    }
+}
+
+fn introduce_index_paths(op: LogicalOp) -> (LogicalOp, bool) {
+    let LogicalOp::Select { input, condition } = op else {
+        return (op, false);
+    };
+    let LogicalOp::DataSourceScan { source, var, access: None } = *input else {
+        return (LogicalOp::Select { input, condition }, false);
+    };
+    let indexes = source.indexes();
+    let mut chosen: Option<crate::plan::AccessPath> = None;
+    'outer: for idx in &indexes {
+        match idx.kind {
+            IndexKind::BTree => {
+                // accumulate range bounds from comparison conjuncts
+                let mut lo: Option<(Value, bool)> = None;
+                let mut hi: Option<(Value, bool)> = None;
+                for c in conjuncts(&condition) {
+                    let Expr::Call(f, args) = &c else { continue };
+                    let (field_side, const_side, f) = if args.len() == 2
+                        && matches_indexed_field(&args[0], var, &idx.field)
+                        && const_value(&args[1]).is_some()
+                    {
+                        (&args[0], &args[1], *f)
+                    } else if args.len() == 2
+                        && matches_indexed_field(&args[1], var, &idx.field)
+                        && const_value(&args[0]).is_some()
+                    {
+                        // flip the comparison
+                        let flipped = match *f {
+                            Func::Lt => Func::Gt,
+                            Func::Le => Func::Ge,
+                            Func::Gt => Func::Lt,
+                            Func::Ge => Func::Le,
+                            other => other,
+                        };
+                        (&args[1], &args[0], flipped)
+                    } else {
+                        continue;
+                    };
+                    let _ = field_side;
+                    let v = const_value(const_side).unwrap();
+                    match f {
+                        Func::Eq => {
+                            lo = Some((v.clone(), true));
+                            hi = Some((v, true));
+                        }
+                        Func::Ge => lo = Some((v, true)),
+                        Func::Gt => lo = Some((v, false)),
+                        Func::Le => hi = Some((v, true)),
+                        Func::Lt => hi = Some((v, false)),
+                        _ => continue,
+                    }
+                }
+                if lo.is_some() || hi.is_some() {
+                    chosen = Some(crate::plan::AccessPath {
+                        index: idx.name.clone(),
+                        kind: IndexKind::BTree,
+                        range: IndexRange::Range {
+                            lo: lo.as_ref().map(|(v, _)| v.clone()),
+                            lo_inclusive: lo.map(|(_, i)| i).unwrap_or(true),
+                            hi: hi.as_ref().map(|(v, _)| v.clone()),
+                            hi_inclusive: hi.map(|(_, i)| i).unwrap_or(true),
+                        },
+                    });
+                    break 'outer;
+                }
+            }
+            IndexKind::RTree => {
+                for c in conjuncts(&condition) {
+                    if let Expr::Call(Func::SpatialIntersect, args) = &c {
+                        if args.len() == 2 && matches_indexed_field(&args[0], var, &idx.field) {
+                            if let Some(rect) = const_value(&args[1]).and_then(|v| match v {
+                                Value::Rectangle(r) => Some(r),
+                                Value::Point(p) => Some(p.to_mbr()),
+                                _ => None,
+                            }) {
+                                chosen = Some(crate::plan::AccessPath {
+                                    index: idx.name.clone(),
+                                    kind: IndexKind::RTree,
+                                    range: IndexRange::Spatial(rect),
+                                });
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+            }
+            IndexKind::Keyword => {
+                for c in conjuncts(&condition) {
+                    if let Expr::Call(Func::StringContains, args) = &c {
+                        if args.len() == 2 && matches_indexed_field(&args[0], var, &idx.field) {
+                            if let Some(Value::String(s)) = const_value(&args[1]) {
+                                // token-based index: only safe as a pre-filter
+                                // when the pattern is a single full token
+                                let toks = asterix_storage::inverted::tokenize(&s);
+                                if toks.len() == 1 && toks[0].len() == s.to_lowercase().len() {
+                                    chosen = Some(crate::plan::AccessPath {
+                                        index: idx.name.clone(),
+                                        kind: IndexKind::Keyword,
+                                        range: IndexRange::Keyword(s),
+                                    });
+                                    break 'outer;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    match chosen {
+        Some(access) => (
+            // keep the whole predicate as a residual filter: index probes
+            // over-approximate (keyword tokens, spatial MBRs, range+other
+            // conjuncts), so the select above guarantees exactness
+            LogicalOp::Select {
+                input: Box::new(LogicalOp::DataSourceScan {
+                    source,
+                    var,
+                    access: Some(access),
+                }),
+                condition,
+            },
+            true,
+        ),
+        None => (
+            LogicalOp::Select {
+                input: Box::new(LogicalOp::DataSourceScan { source, var, access: None }),
+                condition,
+            },
+            false,
+        ),
+    }
+}
+
+/// Removes `Assign`s whose variable is never used above them.
+fn eliminate_dead_assigns(root: &mut LogicalOp) -> bool {
+    fn walk(op: &mut LogicalOp, needed: &mut Vec<VarId>) -> bool {
+        // vars needed by this operator's own expressions
+        for e in op.exprs() {
+            e.used_vars(needed);
+        }
+        // project narrows requirements, union renames — treat conservatively
+        if let LogicalOp::Project { vars, .. } = op {
+            for v in vars.iter() {
+                if !needed.contains(v) {
+                    needed.push(*v);
+                }
+            }
+        }
+        if let LogicalOp::UnionAll { out, left_vars, right_vars, .. } = op {
+            for v in out.iter().chain(left_vars.iter()).chain(right_vars.iter()) {
+                if !needed.contains(v) {
+                    needed.push(*v);
+                }
+            }
+        }
+        let mut changed = false;
+        // remove dead assign directly below
+        loop {
+            let replace = match op {
+                LogicalOp::Select { input, .. }
+                | LogicalOp::Assign { input, .. }
+                | LogicalOp::Project { input, .. }
+                | LogicalOp::Unnest { input, .. }
+                | LogicalOp::GroupBy { input, .. }
+                | LogicalOp::Aggregate { input, .. }
+                | LogicalOp::Order { input, .. }
+                | LogicalOp::Limit { input, .. }
+                | LogicalOp::Distinct { input, .. }
+                | LogicalOp::DistributeResult { input, .. } => {
+                    if let LogicalOp::Assign { var, .. } = input.as_ref() {
+                        if !needed.contains(var) {
+                            let inner = std::mem::replace(input.as_mut(), LogicalOp::Empty);
+                            if let LogicalOp::Assign { input: deeper, .. } = inner {
+                                **input = *deeper;
+                                true
+                            } else {
+                                unreachable!()
+                            }
+                        } else {
+                            false
+                        }
+                    } else {
+                        false
+                    }
+                }
+                _ => false,
+            };
+            if replace {
+                changed = true;
+            } else {
+                break;
+            }
+        }
+        for child in op.children_mut() {
+            let mut child_needed = needed.clone();
+            changed |= walk(child, &mut child_needed);
+        }
+        changed
+    }
+    let mut needed = Vec::new();
+    walk(root, &mut needed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::JoinKind;
+    use crate::source::{DataSource, IndexInfo, VecSource};
+    use std::sync::Arc;
+
+    fn scan(var: VarId) -> LogicalOp {
+        LogicalOp::DataSourceScan {
+            source: VecSource::single("ds", vec![]),
+            var,
+            access: None,
+        }
+    }
+
+    fn gt_field(var: VarId, field: &str, v: i64) -> Expr {
+        Expr::bin(Func::Gt, Expr::field(Expr::Var(var), field), Expr::Const(Value::Int(v)))
+    }
+
+    #[test]
+    fn selects_merge_and_trivial_drops() {
+        let mut plan = Plan::new(LogicalOp::DistributeResult {
+            input: Box::new(LogicalOp::Select {
+                input: Box::new(LogicalOp::Select {
+                    input: Box::new(scan(0)),
+                    condition: gt_field(0, "a", 1),
+                }),
+                condition: gt_field(0, "b", 2),
+            }),
+            exprs: vec![Expr::Var(0)],
+        });
+        optimize(&mut plan);
+        let p = plan.pretty();
+        assert_eq!(p.matches("select").count(), 1, "merged into one select:\n{p}");
+        assert!(p.contains("and("), "{p}");
+    }
+
+    #[test]
+    fn select_pushes_through_assign() {
+        // select(cond on $0) over assign $1 := ... must swap
+        let mut plan = Plan::new(LogicalOp::DistributeResult {
+            input: Box::new(LogicalOp::Select {
+                input: Box::new(LogicalOp::Assign {
+                    input: Box::new(scan(0)),
+                    var: 1,
+                    expr: Expr::field(Expr::Var(0), "x"),
+                }),
+                condition: gt_field(0, "a", 5),
+            }),
+            exprs: vec![Expr::Var(1)],
+        });
+        optimize(&mut plan);
+        let p = plan.pretty();
+        let select_pos = p.find("select").unwrap();
+        let assign_pos = p.find("assign").unwrap();
+        assert!(assign_pos < select_pos, "select pushed below assign:\n{p}");
+    }
+
+    #[test]
+    fn select_splits_across_join() {
+        let cond = conjoin(vec![
+            gt_field(0, "a", 1),                       // left only
+            gt_field(1, "b", 2),                       // right only
+            Expr::bin(
+                Func::Eq,
+                Expr::field(Expr::Var(0), "k"),
+                Expr::field(Expr::Var(1), "k"),
+            ), // join condition
+        ]);
+        let mut plan = Plan::new(LogicalOp::DistributeResult {
+            input: Box::new(LogicalOp::Select {
+                input: Box::new(LogicalOp::Join {
+                    left: Box::new(scan(0)),
+                    right: Box::new(scan(1)),
+                    condition: Expr::Const(Value::Bool(true)),
+                    kind: JoinKind::Inner,
+                }),
+                condition: cond,
+            }),
+            exprs: vec![Expr::Var(0)],
+        });
+        optimize(&mut plan);
+        let p = plan.pretty();
+        assert!(p.contains("Inner-join eq("), "equi condition moved into join:\n{p}");
+        assert_eq!(p.matches("select gt(").count(), 2, "side filters pushed:\n{p}");
+    }
+
+    #[test]
+    fn dead_assigns_are_removed() {
+        let mut plan = Plan::new(LogicalOp::DistributeResult {
+            input: Box::new(LogicalOp::Assign {
+                input: Box::new(LogicalOp::Assign {
+                    input: Box::new(scan(0)),
+                    var: 1,
+                    expr: Expr::field(Expr::Var(0), "used"),
+                }),
+                var: 2,
+                expr: Expr::field(Expr::Var(0), "unused"),
+            }),
+            exprs: vec![Expr::Var(1)],
+        });
+        optimize(&mut plan);
+        let p = plan.pretty();
+        assert_eq!(p.matches("assign").count(), 1, "dead assign removed:\n{p}");
+        assert!(p.contains("used"), "{p}");
+        assert!(!p.contains("unused"), "{p}");
+    }
+
+    struct IndexedSource;
+    impl DataSource for IndexedSource {
+        fn name(&self) -> &str {
+            "users"
+        }
+        fn partitions(&self) -> usize {
+            1
+        }
+        fn scan(&self) -> crate::error::Result<Arc<dyn asterix_hyracks::job::SourceFactory>> {
+            VecSource::single("users", vec![]).scan()
+        }
+        fn indexes(&self) -> Vec<IndexInfo> {
+            vec![IndexInfo {
+                name: "sinceIdx".into(),
+                field: vec!["userSince".into()],
+                kind: IndexKind::BTree,
+            }]
+        }
+        fn index_scan(
+            &self,
+            _index: &str,
+            _range: IndexRange,
+        ) -> crate::error::Result<Arc<dyn asterix_hyracks::job::SourceFactory>> {
+            VecSource::single("users", vec![]).scan()
+        }
+    }
+
+    #[test]
+    fn index_access_path_is_introduced() {
+        let cond = conjoin(vec![
+            Expr::bin(
+                Func::Ge,
+                Expr::field(Expr::Var(0), "userSince"),
+                Expr::Const(Value::DateTime(1000)),
+            ),
+            Expr::bin(
+                Func::Lt,
+                Expr::field(Expr::Var(0), "userSince"),
+                Expr::Const(Value::DateTime(2000)),
+            ),
+        ]);
+        let mut plan = Plan::new(LogicalOp::DistributeResult {
+            input: Box::new(LogicalOp::Select {
+                input: Box::new(LogicalOp::DataSourceScan {
+                    source: Arc::new(IndexedSource),
+                    var: 0,
+                    access: None,
+                }),
+                condition: cond,
+            }),
+            exprs: vec![Expr::Var(0)],
+        });
+        optimize(&mut plan);
+        let p = plan.pretty();
+        assert!(p.contains("index-scan users#sinceIdx"), "{p}");
+        assert!(p.contains("select"), "residual filter kept:\n{p}");
+    }
+
+    #[test]
+    fn no_index_path_for_unindexed_field() {
+        let mut plan = Plan::new(LogicalOp::DistributeResult {
+            input: Box::new(LogicalOp::Select {
+                input: Box::new(LogicalOp::DataSourceScan {
+                    source: Arc::new(IndexedSource),
+                    var: 0,
+                    access: None,
+                }),
+                condition: gt_field(0, "name", 5),
+            }),
+            exprs: vec![Expr::Var(0)],
+        });
+        optimize(&mut plan);
+        assert!(plan.pretty().contains("scan users"), "{}", plan.pretty());
+        assert!(!plan.pretty().contains("index-scan"));
+    }
+
+    #[test]
+    fn constant_folding_in_plan() {
+        let mut plan = Plan::new(LogicalOp::DistributeResult {
+            input: Box::new(LogicalOp::Select {
+                input: Box::new(scan(0)),
+                condition: Expr::bin(
+                    Func::Gt,
+                    Expr::field(Expr::Var(0), "x"),
+                    Expr::bin(Func::Add, Expr::Const(Value::Int(2)), Expr::Const(Value::Int(3))),
+                ),
+            }),
+            exprs: vec![Expr::Var(0)],
+        });
+        optimize(&mut plan);
+        assert!(plan.pretty().contains("gt($0.x, 5)"), "{}", plan.pretty());
+    }
+}

@@ -1,0 +1,26 @@
+//! Criterion bench for E10: schema-compressed vs self-describing encoding.
+use asterix_adm::binary::encode;
+use asterix_adm::schema_encode::encode_with_schema;
+use asterix_adm::types::gleambook_types;
+use asterix_adm::validate::cast_object;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let reg = gleambook_types();
+    let ty = reg.get("GleambookMessageType").unwrap();
+    let v = asterix_adm::parse::parse_value(
+        r#"{"messageId": 1, "authorId": 2, "message": " love the new phone its platform",
+            "senderLocation": point("-110.5,33.2")}"#,
+    )
+    .unwrap();
+    let cast = cast_object(&v, ty, &reg).unwrap();
+    let mut g = c.benchmark_group("e10_open_closed");
+    g.bench_function("encode_schema_compressed", |b| {
+        b.iter(|| encode_with_schema(&cast, ty).unwrap().len())
+    });
+    g.bench_function("encode_self_describing", |b| b.iter(|| encode(&cast).len()));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for E11: STR build + query, point-MBR optimization on/off.
+use asterix_core::datagen::DataGen;
+use asterix_adm::{Point, Rectangle};
+use asterix_storage::cache::BufferCache;
+use asterix_storage::io::FileManager;
+use asterix_storage::rtree::{DiskRTree, RTreeBuilder, SpatialEntry};
+use asterix_storage::stats::IoStats;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("bench-e11-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let fm = FileManager::new(&dir, IoStats::new()).unwrap();
+    let cache = BufferCache::new(fm, 1024);
+    let mut gen = DataGen::new(11);
+    let entries: Vec<SpatialEntry> = (0..20_000u64)
+        .map(|i| SpatialEntry {
+            mbr: gen.clustered_point(1000.0, 4).to_mbr(),
+            key: i.to_le_bytes().to_vec(),
+        })
+        .collect();
+    let q = Rectangle::new(Point::new(200.0, 200.0), Point::new(320.0, 320.0));
+    let mut g = c.benchmark_group("e11_point_mbr");
+    g.sample_size(10);
+    for optimize in [true, false] {
+        let w = cache.manager().bulk_writer(&format!("b-{optimize}.rtree")).unwrap();
+        let tree = DiskRTree::from_built(
+            Arc::clone(&cache),
+            RTreeBuilder::new(w, optimize).build(entries.clone()).unwrap(),
+        );
+        g.bench_function(format!("query_opt_{optimize}"), |b| {
+            b.iter(|| tree.search(&q).unwrap().len())
+        });
+    }
+    g.finish();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

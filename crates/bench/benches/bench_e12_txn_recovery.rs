@@ -1,0 +1,38 @@
+//! Criterion bench for E12: commit throughput with WAL force.
+use asterix_core::instance::Instance;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let db = Instance::temp().unwrap();
+    db.execute_sqlpp(
+        "CREATE TYPE T AS { id: int, v: int };
+         CREATE DATASET D(T) PRIMARY KEY id;",
+    )
+    .unwrap();
+    let mut g = c.benchmark_group("e12_txn");
+    g.sample_size(10);
+    let mut next = 0i64;
+    g.bench_function("commit_10_record_txn", |b| {
+        b.iter(|| {
+            let mut txn = db.begin();
+            for _ in 0..10 {
+                next += 1;
+                txn.write(
+                    "D",
+                    &asterix_adm::parse::parse_value(&format!(
+                        r#"{{"id":{},"v":1}}"#,
+                        next % 50_000
+                    ))
+                    .unwrap(),
+                    true,
+                )
+                .unwrap();
+            }
+            txn.commit().unwrap();
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for E1: Figure 3(c)-style query latency on a loaded
+//! Gleambook instance.
+use asterix_bench::experiments::gleambook_ddl;
+use asterix_core::datagen::DataGen;
+use asterix_core::instance::Instance;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let db = Instance::temp().unwrap();
+    db.execute_sqlpp(gleambook_ddl()).unwrap();
+    let mut gen = DataGen::new(1);
+    let mut txn = db.begin();
+    for i in 1..=300i64 {
+        txn.write("GleambookUsers", &gen.user(i), true).unwrap();
+    }
+    for i in 1..=900i64 {
+        txn.write("GleambookMessages", &gen.message(i, 300), true).unwrap();
+    }
+    txn.commit().unwrap();
+    let mut g = c.benchmark_group("e1_gleambook");
+    g.sample_size(10);
+    g.bench_function("group_by_query", |b| {
+        b.iter(|| {
+            db.query(
+                "SELECT nf AS numFriends, COUNT(u) AS n FROM GleambookUsers u \
+                 LET nf = COLL_COUNT(u.friendIds) GROUP BY nf",
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("index_point_query", |b| {
+        b.iter(|| {
+            db.query("SELECT VALUE m.messageId FROM GleambookMessages m WHERE m.authorId = 7")
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench for E3: point lookups, B+ tree vs linear hashing.
+use asterix_adm::binary::encode_key;
+use asterix_adm::Value;
+use asterix_storage::btree::{BTreeBuilder, DiskBTree};
+use asterix_storage::cache::BufferCache;
+use asterix_storage::io::FileManager;
+use asterix_storage::linear_hash::LinearHash;
+use asterix_storage::stats::IoStats;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("bench-e3-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let fm = FileManager::new(&dir, IoStats::new()).unwrap();
+    let cache = BufferCache::new(Arc::clone(&fm), 256);
+    let n = 50_000i64;
+    let key = |i: i64| encode_key(&[Value::Int(i)]);
+    let w = fm.bulk_writer("b.btree").unwrap();
+    let mut b = BTreeBuilder::new(w, n as usize);
+    for i in 0..n {
+        b.add(&key(i), b"v").unwrap();
+    }
+    let btree = DiskBTree::from_built(Arc::clone(&cache), b.finish().unwrap());
+    let mut hash = LinearHash::create(Arc::clone(&cache), "b.lh", 64, 40).unwrap();
+    for i in 0..n {
+        hash.put(&key(i), b"v").unwrap();
+    }
+    let mut g = c.benchmark_group("e3_btree_vs_hash");
+    g.sample_size(20);
+    let mut i = 0i64;
+    g.bench_function("btree_get", |b| {
+        b.iter(|| {
+            i = (i * 7919 + 13) % n;
+            btree.get(&key(i)).unwrap()
+        })
+    });
+    g.bench_function("hash_get", |b| {
+        b.iter(|| {
+            i = (i * 7919 + 13) % n;
+            hash.get(&key(i)).unwrap()
+        })
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

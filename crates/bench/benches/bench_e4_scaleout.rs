@@ -1,0 +1,43 @@
+//! Criterion bench for E4: partition-parallel scan-aggregate, P=1 vs P=4.
+use asterix_core::instance::{Instance, InstanceConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn load(p: usize, n: i64) -> Instance {
+    let db = Instance::open(InstanceConfig { nodes: p, partitions: p, ..Default::default() })
+        .unwrap();
+    db.execute_sqlpp(
+        "CREATE TYPE T AS { id: int, grp: int };
+         CREATE DATASET D(T) PRIMARY KEY id;",
+    )
+    .unwrap();
+    let mut txn = db.begin();
+    for i in 0..n {
+        txn.write(
+            "D",
+            &asterix_adm::parse::parse_value(&format!(r#"{{"id":{i},"grp":{}}}"#, i % 16))
+                .unwrap(),
+            true,
+        )
+        .unwrap();
+    }
+    txn.commit().unwrap();
+    db
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_scaleout");
+    g.sample_size(10);
+    for p in [1usize, 4] {
+        let db = load(p, 4_000);
+        g.bench_function(format!("scan_agg_p{p}"), |b| {
+            b.iter(|| {
+                db.query("SELECT d.grp AS g, COUNT(*) AS n FROM D d GROUP BY d.grp")
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

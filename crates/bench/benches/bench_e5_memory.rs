@@ -1,0 +1,31 @@
+//! Criterion bench for E5: external sort across memory budgets.
+use asterix_adm::Value;
+use asterix_hyracks::ctx::RuntimeCtx;
+use asterix_hyracks::job::SortKey;
+use asterix_hyracks::ops::sort::external_sort;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_memory");
+    g.sample_size(10);
+    for (label, budget) in [("in_memory", 256usize << 20), ("tiny_256k", 256 << 10)] {
+        g.bench_function(format!("sort_20k_{label}"), |b| {
+            b.iter(|| {
+                let ctx = RuntimeCtx::temp().unwrap();
+                external_sort(
+                    (0..20_000i64).map(|i| Ok(vec![Value::Int((i * 7919) % 20_000)])),
+                    vec![SortKey::asc(0)],
+                    budget,
+                    Arc::clone(&ctx),
+                )
+                .unwrap()
+                .count()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

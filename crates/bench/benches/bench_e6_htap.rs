@@ -1,0 +1,34 @@
+//! Criterion bench for E6: shadow-link pump throughput.
+use asterix_core::dcp::{create_shadow_dataset, FrontEndStore, ShadowLink};
+use asterix_core::instance::Instance;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let db = Instance::temp().unwrap();
+    create_shadow_dataset(&db, "Shadow", "id").unwrap();
+    let store = FrontEndStore::new();
+    let link = ShadowLink::new(store.clone(), db.clone(), "Shadow");
+    let mut g = c.benchmark_group("e6_htap");
+    g.sample_size(10);
+    let mut next = 0i64;
+    g.bench_function("pump_256_mutations", |b| {
+        b.iter(|| {
+            for _ in 0..256 {
+                store.set(
+                    format!("{}", next % 1000),
+                    asterix_adm::parse::parse_value(&format!(
+                        r#"{{"id": {}, "v": {next}}}"#,
+                        next % 1000
+                    ))
+                    .unwrap(),
+                );
+                next += 1;
+            }
+            link.pump().unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion bench for E7: sorted vs random-order PK fetch.
+use asterix_adm::binary::encode_key;
+use asterix_adm::Value;
+use asterix_core::datagen::DataGen;
+use asterix_storage::cache::BufferCache;
+use asterix_storage::io::FileManager;
+use asterix_storage::lsm::{LsmConfig, LsmTree, MergePolicy};
+use asterix_storage::stats::IoStats;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("bench-e7-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let fm = FileManager::new(&dir, IoStats::new()).unwrap();
+    let cache = BufferCache::new(fm, 256);
+    let n = 40_000i64;
+    let key = |i: i64| encode_key(&[Value::Int(i)]);
+    let mut primary = LsmTree::new(
+        Arc::clone(&cache),
+        LsmConfig { name: "p".into(), mem_budget: 2 << 20,
+                    merge_policy: MergePolicy::Constant { max_components: 2 }, bloom: true, compress_values: false },
+    );
+    for i in 0..n {
+        primary.upsert(key(i), vec![b'x'; 150]).unwrap();
+    }
+    primary.flush().unwrap();
+    let mut gen = DataGen::new(7);
+    let candidates: Vec<Vec<u8>> = (0..2_000).map(|_| key(gen.int(0, n))).collect();
+    let mut sorted = candidates.clone();
+    sorted.sort_by(|a, b| asterix_adm::binary::compare_keys(a, b));
+    let mut g = c.benchmark_group("e7_sorted_fetch");
+    g.sample_size(10);
+    g.bench_function("fetch_random_order", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for pk in &candidates {
+                if primary.get(pk).unwrap().is_some() {
+                    n += 1;
+                }
+            }
+            n
+        })
+    });
+    g.bench_function("fetch_sorted_pks", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for pk in &sorted {
+                if primary.get(pk).unwrap().is_some() {
+                    n += 1;
+                }
+            }
+            n
+        })
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench for E8: LSM ingest under different merge policies.
+use asterix_adm::binary::encode_key;
+use asterix_adm::Value;
+use asterix_storage::cache::BufferCache;
+use asterix_storage::io::FileManager;
+use asterix_storage::lsm::{LsmConfig, LsmTree, MergePolicy};
+use asterix_storage::stats::IoStats;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_lsm_merge");
+    g.sample_size(10);
+    for (name, policy) in [
+        ("nomerge", MergePolicy::NoMerge),
+        ("constant4", MergePolicy::Constant { max_components: 4 }),
+    ] {
+        g.bench_function(format!("ingest_10k_{name}"), |b| {
+            b.iter(|| {
+                let dir = std::env::temp_dir()
+                    .join(format!("bench-e8-{}-{name}", std::process::id()));
+                std::fs::create_dir_all(&dir).unwrap();
+                let fm = FileManager::new(&dir, IoStats::new()).unwrap();
+                let cache = BufferCache::new(fm, 64);
+                let mut t = LsmTree::new(
+                    cache,
+                    LsmConfig { name: "t".into(), mem_budget: 64 << 10,
+                                merge_policy: policy, bloom: true ,
+                compress_values: false},
+                );
+                for i in 0..10_000i64 {
+                    t.upsert(encode_key(&[Value::Int(i % 2_000)]), vec![b'v'; 64]).unwrap();
+                }
+                let n = t.component_count();
+                let _ = std::fs::remove_dir_all(dir);
+                n
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench for E9: compile (parse+translate+optimize) cost, SQL++ vs AQL.
+use asterix_bench::experiments::gleambook_ddl;
+use asterix_core::instance::{Instance, Language};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let db = Instance::temp().unwrap();
+    db.execute_sqlpp(gleambook_ddl()).unwrap();
+    let sqlpp = "SELECT VALUE m.messageId FROM GleambookMessages m \
+                 WHERE m.authorId >= 3 AND m.authorId <= 5";
+    let aql = "for $m in dataset GleambookMessages \
+               where $m.authorId >= 3 and $m.authorId <= 5 return $m.messageId";
+    let mut g = c.benchmark_group("e9_two_languages");
+    g.sample_size(30);
+    g.bench_function("compile_sqlpp", |b| {
+        b.iter(|| db.explain(sqlpp, Language::Sqlpp).unwrap())
+    });
+    g.bench_function("compile_aql", |b| b.iter(|| db.explain(aql, Language::Aql).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! `repro` — regenerates every experiment table of EXPERIMENTS.md.
+//!
+//! ```text
+//! repro              # run all 13 experiments at full size
+//! repro --quick      # small sizes (seconds instead of minutes)
+//! repro e2 e7        # selected experiments
+//! repro --markdown   # emit Markdown tables (for EXPERIMENTS.md)
+//! ```
+
+use asterix_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let markdown = args.iter().any(|a| a == "--markdown" || a == "-m");
+    let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with('-')).collect();
+
+    let reports = if ids.is_empty() {
+        eprintln!(
+            "running all 13 experiments ({} sizes)...",
+            if quick { "quick" } else { "full" }
+        );
+        experiments::all(quick)
+    } else {
+        let mut out = Vec::new();
+        for id in ids {
+            match experiments::by_id(id, quick) {
+                Some(r) => out.push(r),
+                None => {
+                    eprintln!("unknown experiment {id:?} (expected e1..e13)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    };
+    for r in &reports {
+        if markdown {
+            println!("{}", r.render_markdown());
+        } else {
+            println!("{}", r.render());
+        }
+    }
+    eprintln!("{} experiment(s) completed", reports.len());
+}

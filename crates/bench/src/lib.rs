@@ -1,0 +1,24 @@
+//! # asterix-bench — the reproduction harness
+//!
+//! One module per experiment in DESIGN.md's experiment index (E1–E13), each
+//! regenerating the paper-shaped table for one figure or empirical claim of
+//! "AsterixDB Mid-Flight" (ICDE 2019). The `repro` binary runs them and
+//! prints the tables recorded in EXPERIMENTS.md; the Criterion benches in
+//! `benches/` micro-benchmark the same code paths.
+
+pub mod experiments;
+pub mod report;
+
+pub use report::ExpReport;
+
+/// Wall-clock helper.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, std::time::Duration) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Milliseconds with two decimals.
+pub fn ms(d: std::time::Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}

@@ -1,0 +1,108 @@
+//! Experiment reports: aligned-table rendering for the `repro` binary and
+//! EXPERIMENTS.md.
+
+/// One experiment's result table.
+#[derive(Debug, Clone)]
+pub struct ExpReport {
+    pub id: &'static str,
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+    /// Free-form observations ("shape" checks against the paper's claim).
+    pub notes: Vec<String>,
+}
+
+impl ExpReport {
+    /// Starts a report.
+    pub fn new(id: &'static str, title: impl Into<String>, headers: &[&str]) -> Self {
+        ExpReport {
+            id,
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a row (stringified cells).
+    pub fn row(&mut self, cells: &[String]) {
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Adds an observation line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Renders the report as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {}: {} ==\n", self.id, self.title));
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(c.len());
+                }
+            }
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("  note: {n}\n"));
+        }
+        out
+    }
+
+    /// Renders as a Markdown table (EXPERIMENTS.md).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {} — {}\n\n", self.id, self.title));
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}|\n",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("\n> {n}\n"));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut r = ExpReport::new("E0", "demo", &["col", "value"]);
+        r.row(&["a".into(), "1".into()]);
+        r.row(&["long-name".into(), "2".into()]);
+        r.note("shape holds");
+        let text = r.render();
+        assert!(text.contains("E0: demo"));
+        assert!(text.contains("long-name"));
+        assert!(text.contains("note: shape holds"));
+        let md = r.render_markdown();
+        assert!(md.contains("| col | value |"));
+    }
+}

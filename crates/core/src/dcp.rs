@@ -1,0 +1,293 @@
+//! HTAP shadowing — the Couchbase Analytics architecture of paper Figure 7.
+//!
+//! "Data and data changes in the Couchbase front-end data store are streamed
+//! in real time into the Couchbase Analytics backend, where it can then be
+//! sliced and diced in its natural (application schema) form using SQL++."
+//!
+//! [`FrontEndStore`] simulates the operational document store (the Data
+//! Service): a KV store of JSON documents with a DCP-like totally-ordered
+//! mutation sequence. A [`ShadowLink`] consumes the stream from a cursor and
+//! applies mutations to an analytics dataset in an [`Instance`] — providing
+//! the near-real-time copy and the performance isolation experiment E6
+//! measures (analytics queries never touch the front-end store).
+
+use crate::error::{CoreError, Result};
+use crate::instance::Instance;
+use asterix_adm::binary::encode_key;
+use asterix_adm::Value;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One DCP mutation.
+#[derive(Debug, Clone)]
+pub struct Mutation {
+    pub seq: u64,
+    pub key: String,
+    pub kind: MutationKind,
+}
+
+/// Mutation payloads.
+#[derive(Debug, Clone)]
+pub enum MutationKind {
+    Put(Value),
+    Delete,
+}
+
+#[derive(Default)]
+struct FrontInner {
+    docs: std::collections::HashMap<String, Value>,
+    log: Vec<Mutation>,
+}
+
+/// The simulated operational KV document store (Figure 7's Data Service).
+#[derive(Clone, Default)]
+pub struct FrontEndStore {
+    inner: Arc<Mutex<FrontInner>>,
+}
+
+impl FrontEndStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        FrontEndStore::default()
+    }
+
+    /// Sets a document (operational write path).
+    pub fn set(&self, key: impl Into<String>, doc: Value) {
+        let key = key.into();
+        let mut inner = self.inner.lock();
+        let seq = inner.log.len() as u64 + 1;
+        inner.docs.insert(key.clone(), doc.clone());
+        inner.log.push(Mutation { seq, key, kind: MutationKind::Put(doc) });
+    }
+
+    /// Deletes a document.
+    pub fn delete(&self, key: &str) {
+        let mut inner = self.inner.lock();
+        if inner.docs.remove(key).is_some() {
+            let seq = inner.log.len() as u64 + 1;
+            inner.log.push(Mutation {
+                seq,
+                key: key.to_string(),
+                kind: MutationKind::Delete,
+            });
+        }
+    }
+
+    /// Point read (operational read path).
+    pub fn get(&self, key: &str) -> Option<Value> {
+        self.inner.lock().docs.get(key).cloned()
+    }
+
+    /// Number of live documents.
+    pub fn len(&self) -> usize {
+        self.inner.lock().docs.len()
+    }
+
+    /// True when the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Highest mutation sequence number.
+    pub fn high_seq(&self) -> u64 {
+        self.inner.lock().log.len() as u64
+    }
+
+    /// Mutations with `seq > cursor`, in order (the DCP stream).
+    pub fn stream_since(&self, cursor: u64) -> Vec<Mutation> {
+        let inner = self.inner.lock();
+        inner
+            .log
+            .iter()
+            .filter(|m| m.seq > cursor)
+            .cloned()
+            .collect()
+    }
+}
+
+/// Continuously shadows a [`FrontEndStore`] into an analytics dataset.
+pub struct ShadowLink {
+    store: FrontEndStore,
+    instance: Instance,
+    dataset: String,
+    cursor: AtomicU64,
+    stopped: Arc<AtomicBool>,
+}
+
+impl ShadowLink {
+    /// Creates a link from `store` into `dataset` of `instance`.
+    pub fn new(store: FrontEndStore, instance: Instance, dataset: impl Into<String>) -> Arc<Self> {
+        Arc::new(ShadowLink {
+            store,
+            instance,
+            dataset: dataset.into(),
+            cursor: AtomicU64::new(0),
+            stopped: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// Applies all pending mutations once; returns how many were applied.
+    pub fn pump(&self) -> Result<usize> {
+        let cursor = self.cursor.load(Ordering::Acquire);
+        let pending = self.store.stream_since(cursor);
+        if pending.is_empty() {
+            return Ok(0);
+        }
+        let n = pending.len();
+        let mut last = cursor;
+        let mut txn = self.instance.begin();
+        for m in pending {
+            match m.kind {
+                MutationKind::Put(doc) => {
+                    txn.write(&self.dataset, &doc, true)?;
+                }
+                MutationKind::Delete => {
+                    let pk = key_to_pk(&m.key);
+                    txn.delete(&self.dataset, &encode_key(&[pk]))?;
+                }
+            }
+            last = m.seq;
+        }
+        txn.commit()?;
+        self.cursor.store(last, Ordering::Release);
+        Ok(n)
+    }
+
+    /// Shadow lag: mutations produced but not yet applied.
+    pub fn lag(&self) -> u64 {
+        self.store
+            .high_seq()
+            .saturating_sub(self.cursor.load(Ordering::Acquire))
+    }
+
+    /// Spawns a pump thread with the given poll interval; returns a join
+    /// handle (the thread exits after [`ShadowLink::stop`]).
+    pub fn start(self: &Arc<Self>, poll: std::time::Duration) -> std::thread::JoinHandle<()> {
+        let me = Arc::clone(self);
+        std::thread::spawn(move || {
+            while !me.stopped.load(Ordering::Acquire) {
+                match me.pump() {
+                    Ok(0) => std::thread::sleep(poll),
+                    Ok(_) => {}
+                    Err(_) => std::thread::sleep(poll),
+                }
+            }
+        })
+    }
+
+    /// Signals the pump thread to exit.
+    pub fn stop(&self) {
+        self.stopped.store(true, Ordering::Release);
+    }
+
+    /// Final catch-up + stop (drains remaining mutations synchronously).
+    pub fn drain(&self) -> Result<()> {
+        self.stop();
+        while self.lag() > 0 {
+            self.pump()?;
+        }
+        Ok(())
+    }
+}
+
+/// Maps a KV key to a primary-key value: integers parse as ints, everything
+/// else is a string key.
+pub fn key_to_pk(key: &str) -> Value {
+    match key.parse::<i64>() {
+        Ok(i) => Value::Int(i),
+        Err(_) => Value::from(key),
+    }
+}
+
+impl std::fmt::Debug for ShadowLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShadowLink")
+            .field("dataset", &self.dataset)
+            .field("cursor", &self.cursor.load(Ordering::Relaxed))
+            .field("lag", &self.lag())
+            .finish()
+    }
+}
+
+/// Convenience: create the analytics dataset (open type) used by shadow
+/// links in examples and benches.
+pub fn create_shadow_dataset(instance: &Instance, dataset: &str, pk_field: &str) -> Result<()> {
+    instance
+        .execute_sqlpp(&format!(
+            "CREATE TYPE {dataset}ShadowType AS {{ {pk_field}: int }};
+             CREATE DATASET {dataset}({dataset}ShadowType) PRIMARY KEY {pk_field};"
+        ))
+        .map(|_| ())
+        .map_err(|e| CoreError::Catalog(format!("creating shadow dataset: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asterix_adm::parse::parse_value;
+
+    fn doc(id: i64, v: i64) -> Value {
+        parse_value(&format!(r#"{{"id": {id}, "v": {v}}}"#)).unwrap()
+    }
+
+    #[test]
+    fn front_end_store_streams_mutations() {
+        let store = FrontEndStore::new();
+        store.set("1", doc(1, 10));
+        store.set("2", doc(2, 20));
+        store.set("1", doc(1, 11)); // update
+        store.delete("2");
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.high_seq(), 4);
+        let all = store.stream_since(0);
+        assert_eq!(all.len(), 4);
+        let tail = store.stream_since(2);
+        assert_eq!(tail.len(), 2);
+        assert!(matches!(tail[1].kind, MutationKind::Delete));
+        // deleting a missing key is not a mutation
+        store.delete("nope");
+        assert_eq!(store.high_seq(), 4);
+    }
+
+    #[test]
+    fn shadow_link_applies_puts_updates_deletes() {
+        let instance = Instance::temp().unwrap();
+        create_shadow_dataset(&instance, "Shadow", "id").unwrap();
+        let store = FrontEndStore::new();
+        let link = ShadowLink::new(store.clone(), instance.clone(), "Shadow");
+        store.set("1", doc(1, 10));
+        store.set("2", doc(2, 20));
+        assert_eq!(link.lag(), 2);
+        assert_eq!(link.pump().unwrap(), 2);
+        assert_eq!(link.lag(), 0);
+        assert_eq!(instance.count("Shadow").unwrap(), 2);
+        // update + delete
+        store.set("1", doc(1, 99));
+        store.delete("2");
+        link.pump().unwrap();
+        let rows = instance.query("SELECT VALUE s.v FROM Shadow s").unwrap();
+        assert_eq!(rows, vec![Value::Int(99)]);
+    }
+
+    #[test]
+    fn pump_thread_keeps_up() {
+        let instance = Instance::temp().unwrap();
+        create_shadow_dataset(&instance, "Shadow", "id").unwrap();
+        let store = FrontEndStore::new();
+        let link = ShadowLink::new(store.clone(), instance.clone(), "Shadow");
+        let handle = link.start(std::time::Duration::from_millis(1));
+        for i in 0..200 {
+            store.set(format!("{i}"), doc(i, i));
+        }
+        link.drain().unwrap();
+        handle.join().unwrap();
+        assert_eq!(instance.count("Shadow").unwrap(), 200);
+    }
+
+    #[test]
+    fn key_mapping() {
+        assert_eq!(key_to_pk("42"), Value::Int(42));
+        assert_eq!(key_to_pk("user::42"), Value::from("user::42"));
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type for the BDMS layer.
+
+use std::fmt;
+
+/// Result alias used throughout `asterix-core`.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Errors raised by the system layer.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Catalog problems: unknown/duplicate datasets, types, indexes.
+    Catalog(String),
+    /// DML-level constraint violations (missing PK, bad record type).
+    Constraint(String),
+    /// Storage layer.
+    Storage(asterix_storage::StorageError),
+    /// Dataflow layer.
+    Hyracks(asterix_hyracks::HyracksError),
+    /// Compiler layer.
+    Algebricks(asterix_algebricks::AlgebricksError),
+    /// Query language layer.
+    Sqlpp(asterix_sqlpp::SqlppError),
+    /// Data model layer.
+    Adm(asterix_adm::AdmError),
+    /// Transaction conflicts / aborts.
+    Txn(String),
+    /// Filesystem problems.
+    Io(std::io::Error),
+    /// Unsupported operation.
+    Unsupported(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Catalog(m) => write!(f, "catalog error: {m}"),
+            CoreError::Constraint(m) => write!(f, "constraint violation: {m}"),
+            CoreError::Storage(e) => write!(f, "{e}"),
+            CoreError::Hyracks(e) => write!(f, "{e}"),
+            CoreError::Algebricks(e) => write!(f, "{e}"),
+            CoreError::Sqlpp(e) => write!(f, "{e}"),
+            CoreError::Adm(e) => write!(f, "{e}"),
+            CoreError::Txn(m) => write!(f, "transaction error: {m}"),
+            CoreError::Io(e) => write!(f, "I/O error: {e}"),
+            CoreError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<asterix_storage::StorageError> for CoreError {
+    fn from(e: asterix_storage::StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+impl From<asterix_hyracks::HyracksError> for CoreError {
+    fn from(e: asterix_hyracks::HyracksError) -> Self {
+        CoreError::Hyracks(e)
+    }
+}
+impl From<asterix_algebricks::AlgebricksError> for CoreError {
+    fn from(e: asterix_algebricks::AlgebricksError) -> Self {
+        CoreError::Algebricks(e)
+    }
+}
+impl From<asterix_sqlpp::SqlppError> for CoreError {
+    fn from(e: asterix_sqlpp::SqlppError) -> Self {
+        CoreError::Sqlpp(e)
+    }
+}
+impl From<asterix_adm::AdmError> for CoreError {
+    fn from(e: asterix_adm::AdmError) -> Self {
+        CoreError::Adm(e)
+    }
+}
+impl From<std::io::Error> for CoreError {
+    fn from(e: std::io::Error) -> Self {
+        CoreError::Io(e)
+    }
+}

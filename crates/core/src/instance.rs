@@ -1,0 +1,901 @@
+//! The embeddable BDMS instance: Figure 1's cluster controller plus query
+//! service, wired over the full stack.
+//!
+//! An [`Instance`] owns a simulated shared-nothing cluster, the metadata
+//! catalog, and the transaction machinery. Statements in either language
+//! (SQL++ or AQL — paper §IV-A) are parsed, translated onto the shared
+//! Algebricks algebra, optimized, compiled to Hyracks jobs, and executed
+//! against the LSM-backed dataset partitions.
+//!
+//! Durability model (see DESIGN.md): all committed mutations are WAL-logged
+//! per node and recovered by committed-log replay on reopen; DDL is replayed
+//! from a persisted DDL log. (Reopening LSM disk components directly is left
+//! as future work — the paper's own recovery story evolved the same way.)
+
+use crate::catalog::{Catalog, DatasetKind};
+use crate::dataset::{extract_pk, partition_of, DatasetPartition, StorageConfig};
+use crate::error::{CoreError, Result};
+use crate::node::Cluster;
+use crate::sources::{DatasetRuntime, DatasetSource, ExternalSource};
+use crate::txn::{TxnManager, UndoEntry};
+use asterix_adm::binary::{decode, encode};
+use asterix_adm::Value;
+use asterix_algebricks::jobgen::{self, JobGenConfig};
+use asterix_algebricks::plan::VarGen;
+use asterix_algebricks::rules::optimize;
+use asterix_algebricks::source::DataSource;
+use asterix_hyracks::RuntimeCtx;
+use asterix_sqlpp::ast::{DmlStmt, Query, Stmt};
+use asterix_sqlpp::translate::{translate_query, CatalogView};
+use asterix_storage::wal::{committed_operations, read_log, WalRecord};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Query language selector (paper §IV-A: SQL++ deprecated AQL, both remain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Language {
+    Sqlpp,
+    Aql,
+}
+
+/// Instance configuration.
+#[derive(Debug, Clone)]
+pub struct InstanceConfig {
+    /// Data directory. `None` creates (and removes on drop) a temp dir.
+    pub data_dir: Option<PathBuf>,
+    /// Number of simulated storage nodes (Figure 1).
+    pub nodes: usize,
+    /// Storage partitions per dataset (hash-partitioned by primary key).
+    pub partitions: usize,
+    /// Buffer-cache frames per node (Figure 2's buffer cache).
+    pub cache_pages_per_node: usize,
+    /// LSM tuning.
+    pub storage: StorageConfig,
+    /// Working-memory budget per memory-intensive operator instance.
+    pub op_memory: usize,
+    /// Sort candidate PKs before fetching in index scans (§V-B; E7 toggles).
+    pub sorted_index_fetch: bool,
+    /// Local/global aggregation splitting (ablation E13 toggles).
+    pub local_aggregation: bool,
+}
+
+impl Default for InstanceConfig {
+    fn default() -> Self {
+        InstanceConfig {
+            data_dir: None,
+            nodes: 2,
+            partitions: 2,
+            cache_pages_per_node: 1024,
+            storage: StorageConfig::default(),
+            op_memory: 32 << 20,
+            sorted_index_fetch: true,
+            local_aggregation: true,
+        }
+    }
+}
+
+/// Result of one executed statement.
+#[derive(Debug)]
+pub enum ExecResult {
+    /// Query results, one value per row.
+    Rows(Vec<Value>),
+    /// DDL/DML confirmation.
+    Message(String),
+}
+
+impl ExecResult {
+    /// The rows of a query result (empty for messages).
+    pub fn rows(self) -> Vec<Value> {
+        match self {
+            ExecResult::Rows(r) => r,
+            ExecResult::Message(_) => Vec::new(),
+        }
+    }
+}
+
+struct Inner {
+    config: InstanceConfig,
+    root: PathBuf,
+    temp_guard: bool,
+    catalog: RwLock<Catalog>,
+    cluster: Cluster,
+    datasets: RwLock<HashMap<String, Arc<DatasetRuntime>>>,
+    txns: TxnManager,
+    ctx: Arc<RuntimeCtx>,
+    vargen: Mutex<VarGen>,
+    ddl_log: Mutex<Vec<String>>,
+}
+
+/// An AsterixDB instance. Cloning yields another handle on the same
+/// instance (feeds, shadow links, and channels hold clones).
+pub struct Instance {
+    inner: Arc<Inner>,
+}
+
+impl Clone for Instance {
+    fn clone(&self) -> Self {
+        Instance { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl Instance {
+    /// Opens an instance, recovering any existing state under the data dir.
+    pub fn open(config: InstanceConfig) -> Result<Instance> {
+        let (root, temp_guard) = match &config.data_dir {
+            Some(d) => (d.clone(), false),
+            None => {
+                let p = std::env::temp_dir().join(format!(
+                    "asterix-instance-{}-{}",
+                    std::process::id(),
+                    std::time::SystemTime::now()
+                        .duration_since(std::time::UNIX_EPOCH)
+                        .unwrap()
+                        .as_nanos()
+                ));
+                (p, true)
+            }
+        };
+        std::fs::create_dir_all(&root)?;
+        let cluster = Cluster::open(&root, config.nodes, config.cache_pages_per_node)?;
+        let ctx = RuntimeCtx::new(root.join("spill"))
+            .map_err(CoreError::Hyracks)?;
+        let inner = Arc::new(Inner {
+            config,
+            root,
+            temp_guard,
+            catalog: RwLock::new(Catalog::new()),
+            cluster,
+            datasets: RwLock::new(HashMap::new()),
+            txns: TxnManager::default(),
+            ctx,
+            vargen: Mutex::new(VarGen::new()),
+            ddl_log: Mutex::new(Vec::new()),
+        });
+        let instance = Instance { inner };
+        instance.recover()?;
+        Ok(instance)
+    }
+
+    /// Opens a throwaway instance with default config (examples/tests).
+    pub fn temp() -> Result<Instance> {
+        Instance::open(InstanceConfig::default())
+    }
+
+    /// The instance's data directory.
+    pub fn data_dir(&self) -> &PathBuf {
+        &self.inner.root
+    }
+
+    /// The cluster (I/O statistics etc.).
+    pub fn cluster(&self) -> &Cluster {
+        &self.inner.cluster
+    }
+
+    /// Dataflow statistics (spills, merge passes, ...).
+    pub fn dataflow_stats(&self) -> asterix_hyracks::ctx::DataflowSnapshot {
+        self.inner.ctx.stats.snapshot()
+    }
+
+    // -----------------------------------------------------------------
+    // recovery
+    // -----------------------------------------------------------------
+
+    fn ddl_log_path(&self) -> PathBuf {
+        self.inner.root.join("catalog.ddl")
+    }
+
+    fn persist_ddl(&self, stmt_text: &str) -> Result<()> {
+        let mut log = self.inner.ddl_log.lock();
+        log.push(stmt_text.to_string());
+        let arr = Value::Array(log.iter().map(|s| Value::from(s.as_str())).collect());
+        std::fs::write(self.ddl_log_path(), asterix_adm::print::to_adm_string(&arr))?;
+        Ok(())
+    }
+
+    fn recover(&self) -> Result<()> {
+        // 0. validate (or persist) the physical layout: partition counts
+        // must match the WAL's, or replay would scatter keys
+        let layout_path = self.inner.root.join("layout.adm");
+        let me = Value::object(vec![
+            ("partitions".into(), Value::Int(self.inner.config.partitions.max(1) as i64)),
+            ("nodes".into(), Value::Int(self.inner.config.nodes.max(1) as i64)),
+        ]);
+        if layout_path.exists() {
+            let text = std::fs::read_to_string(&layout_path)?;
+            let stored = asterix_adm::parse::parse_value(&text).map_err(CoreError::Adm)?;
+            if stored.field("partitions") != me.field("partitions") {
+                return Err(CoreError::Catalog(format!(
+                    "data directory was created with {} partitions/dataset; reopen with the                      same partition count (got {})",
+                    stored.field("partitions"),
+                    me.field("partitions"),
+                )));
+            }
+        } else {
+            std::fs::write(&layout_path, asterix_adm::print::to_adm_string(&me))?;
+        }
+        // 1. replay DDL
+        let path = self.ddl_log_path();
+        if path.exists() {
+            let text = std::fs::read_to_string(&path)?;
+            let arr = asterix_adm::parse::parse_value(&text).map_err(CoreError::Adm)?;
+            let stmts: Vec<String> = arr
+                .as_collection()
+                .unwrap_or(&[])
+                .iter()
+                .filter_map(|v| v.as_str().map(str::to_owned))
+                .collect();
+            *self.inner.ddl_log.lock() = stmts.clone();
+            for text in &stmts {
+                for stmt in asterix_sqlpp::parse_sqlpp(text).map_err(CoreError::Sqlpp)? {
+                    if let Stmt::Ddl(ddl) = stmt {
+                        self.apply_ddl(&ddl, false)?;
+                    }
+                }
+            }
+        }
+        // 2. replay committed WAL operations, node by node, in log order
+        let mut max_txn = 0u64;
+        for node in &self.inner.cluster.nodes {
+            let records = read_log(node.wal_path())?;
+            for (_, r) in &records {
+                if let WalRecord::Update { txn_id, .. }
+                | WalRecord::Commit { txn_id }
+                | WalRecord::Abort { txn_id } = r
+                {
+                    max_txn = max_txn.max(*txn_id);
+                }
+            }
+            for (_, dataset, partition, is_delete, key, value) in
+                committed_operations(&records)
+            {
+                let datasets = self.inner.datasets.read();
+                let Some(rt) = datasets.get(&dataset) else { continue };
+                let Some(part) = rt.partitions.get(partition as usize) else { continue };
+                if is_delete {
+                    part.write().delete(&key)?;
+                } else {
+                    let record = decode(&value).map_err(CoreError::Adm)?;
+                    part.write().upsert(&record)?;
+                }
+            }
+        }
+        self.inner.txns.observe_recovered(max_txn);
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // statement execution
+    // -----------------------------------------------------------------
+
+    /// Executes a sequence of statements in the given language.
+    pub fn execute(&self, text: &str, language: Language) -> Result<Vec<ExecResult>> {
+        let stmts = match language {
+            Language::Sqlpp => asterix_sqlpp::parse_sqlpp(text).map_err(CoreError::Sqlpp)?,
+            Language::Aql => vec![asterix_sqlpp::parse_aql(text).map_err(CoreError::Sqlpp)?],
+        };
+        let mut out = Vec::with_capacity(stmts.len());
+        for stmt in &stmts {
+            out.push(match stmt {
+                Stmt::Ddl(ddl) => {
+                    let msg = self.apply_ddl(ddl, true)?;
+                    ExecResult::Message(msg)
+                }
+                Stmt::Dml(dml) => ExecResult::Message(self.apply_dml(dml)?),
+                Stmt::Query(q) => ExecResult::Rows(self.run_query(q)?),
+            });
+        }
+        Ok(out)
+    }
+
+    /// Convenience: runs SQL++ statements.
+    pub fn execute_sqlpp(&self, text: &str) -> Result<Vec<ExecResult>> {
+        self.execute(text, Language::Sqlpp)
+    }
+
+    /// Convenience: runs one SQL++ query, returning its rows.
+    pub fn query(&self, text: &str) -> Result<Vec<Value>> {
+        let mut results = self.execute(text, Language::Sqlpp)?;
+        match results.pop() {
+            Some(ExecResult::Rows(rows)) => Ok(rows),
+            _ => Err(CoreError::Unsupported("statement was not a query".into())),
+        }
+    }
+
+    /// Convenience: runs one AQL query, returning its rows.
+    pub fn query_aql(&self, text: &str) -> Result<Vec<Value>> {
+        let mut results = self.execute(text, Language::Aql)?;
+        match results.pop() {
+            Some(ExecResult::Rows(rows)) => Ok(rows),
+            _ => Err(CoreError::Unsupported("statement was not a query".into())),
+        }
+    }
+
+    fn apply_ddl(&self, ddl: &asterix_sqlpp::ast::DdlStmt, persist: bool) -> Result<String> {
+        use asterix_sqlpp::ast::DdlStmt as D;
+        let msg = self.inner.catalog.write().apply_ddl(ddl)?;
+        match ddl {
+            D::CreateDataset { name, .. } => {
+                let def = self
+                    .inner
+                    .catalog
+                    .read()
+                    .dataset(name)
+                    .cloned()
+                    .expect("just created");
+                let record_type = self.inner.catalog.read().types.get(&def.type_name).cloned();
+                let mut partitions = Vec::with_capacity(self.inner.config.partitions);
+                for p in 0..self.inner.config.partitions.max(1) {
+                    let node = Arc::clone(self.inner.cluster.node_for_partition(p));
+                    partitions.push(Arc::new(RwLock::new(DatasetPartition::create_typed(
+                        &def,
+                        record_type.clone(),
+                        p as u32,
+                        node,
+                        &self.inner.config.storage,
+                    )?)));
+                }
+                self.inner
+                    .datasets
+                    .write()
+                    .insert(name.clone(), Arc::new(DatasetRuntime { def, partitions }));
+            }
+            D::CreateIndex { dataset, name, .. } => {
+                let def = self
+                    .inner
+                    .catalog
+                    .read()
+                    .dataset(dataset)
+                    .cloned()
+                    .expect("just updated");
+                let idx = def
+                    .indexes
+                    .iter()
+                    .find(|i| i.name == *name)
+                    .cloned()
+                    .expect("just created");
+                // rebuild the runtime with the extra index (backfilled)
+                let mut datasets = self.inner.datasets.write();
+                if let Some(rt) = datasets.get(dataset) {
+                    for part in &rt.partitions {
+                        part.write().add_index(&idx, &self.inner.config.storage)?;
+                    }
+                    // refresh the def carried by the runtime
+                    let new_rt = Arc::new(DatasetRuntime {
+                        def,
+                        partitions: rt.partitions.clone(),
+                    });
+                    datasets.insert(dataset.clone(), new_rt);
+                }
+            }
+            D::DropDataset { name } => {
+                self.inner.datasets.write().remove(name);
+            }
+            D::DropIndex { dataset, .. } => {
+                // runtime keeps serving the dropped index's storage until
+                // restart; the catalog stops advertising it immediately
+                let def = self.inner.catalog.read().dataset(dataset).cloned();
+                if let (Some(def), Some(rt)) =
+                    (def, self.inner.datasets.read().get(dataset).cloned())
+                {
+                    self.inner.datasets.write().insert(
+                        dataset.clone(),
+                        Arc::new(DatasetRuntime { def, partitions: rt.partitions.clone() }),
+                    );
+                }
+            }
+            _ => {}
+        }
+        if persist {
+            self.persist_ddl(&render_ddl(ddl))?;
+        }
+        Ok(msg)
+    }
+
+    fn apply_dml(&self, dml: &DmlStmt) -> Result<String> {
+        match dml {
+            DmlStmt::InsertUpsert { dataset, is_upsert, value } => {
+                let record = self.eval_standalone(value)?;
+                let records = match record {
+                    Value::Array(items) | Value::Multiset(items) => items,
+                    single => vec![single],
+                };
+                let n = records.len();
+                let mut txn = self.begin();
+                for r in &records {
+                    txn.write(dataset, r, *is_upsert)?;
+                }
+                txn.commit()?;
+                Ok(format!(
+                    "{} {n} record(s) into {dataset}",
+                    if *is_upsert { "upserted" } else { "inserted" }
+                ))
+            }
+            DmlStmt::Delete { dataset, var, condition } => {
+                let alias = var.clone().unwrap_or_else(|| dataset.clone());
+                let q = match condition {
+                    Some(c) => {
+                        let mut q = Query::default();
+                        q.from.push(asterix_sqlpp::ast::FromTerm {
+                            expr: asterix_sqlpp::ast::Expr::Ident(dataset.clone()),
+                            alias: alias.clone(),
+                            joins: vec![],
+                        });
+                        q.where_clause = Some(c.clone());
+                        q.select = Some(asterix_sqlpp::ast::SelectClause::Element(
+                            asterix_sqlpp::ast::Expr::Ident(alias.clone()),
+                        ));
+                        q
+                    }
+                    None => {
+                        let mut q = Query::default();
+                        q.from.push(asterix_sqlpp::ast::FromTerm {
+                            expr: asterix_sqlpp::ast::Expr::Ident(dataset.clone()),
+                            alias: alias.clone(),
+                            joins: vec![],
+                        });
+                        q.select = Some(asterix_sqlpp::ast::SelectClause::Element(
+                            asterix_sqlpp::ast::Expr::Ident(alias),
+                        ));
+                        q
+                    }
+                };
+                let victims = self.run_query(&q)?;
+                let def = self
+                    .inner
+                    .catalog
+                    .read()
+                    .dataset(dataset)
+                    .cloned()
+                    .ok_or_else(|| CoreError::Catalog(format!("unknown dataset {dataset:?}")))?;
+                let mut txn = self.begin();
+                let mut n = 0usize;
+                for rec in &victims {
+                    let pk = extract_pk(rec, def.primary_key())?;
+                    txn.delete(dataset, &pk)?;
+                    n += 1;
+                }
+                txn.commit()?;
+                Ok(format!("deleted {n} record(s) from {dataset}"))
+            }
+            DmlStmt::Load { dataset, adapter, properties } => {
+                if adapter != "localfs" {
+                    return Err(CoreError::Unsupported(format!("load adapter {adapter:?}")));
+                }
+                let cfg = crate::external::ExternalConfig::from_properties(properties)?;
+                let (ty, registry) = {
+                    let cat = self.inner.catalog.read();
+                    let def = cat
+                        .dataset(dataset)
+                        .ok_or_else(|| CoreError::Catalog(format!("unknown dataset {dataset:?}")))?;
+                    (cat.types.get(&def.type_name).cloned(), cat.types.clone())
+                };
+                let records = crate::external::read_external(&cfg, ty.as_ref(), &registry)?;
+                let n = records.len();
+                let mut txn = self.begin();
+                for r in &records {
+                    txn.write(dataset, r, true)?;
+                }
+                txn.commit()?;
+                Ok(format!("loaded {n} record(s) into {dataset}"))
+            }
+        }
+    }
+
+    /// Evaluates a standalone (no FROM scope) expression, e.g. the value of
+    /// an INSERT.
+    fn eval_standalone(&self, e: &asterix_sqlpp::ast::Expr) -> Result<Value> {
+        let q = Query::of_expr(e.clone());
+        let mut rows = self.run_query(&q)?;
+        rows.pop()
+            .ok_or_else(|| CoreError::Constraint("expression produced no value".into()))
+    }
+
+    /// Runs one translated query.
+    fn run_query(&self, q: &Query) -> Result<Vec<Value>> {
+        let view = self.catalog_view();
+        let mut plan = {
+            let mut vg = self.inner.vargen.lock();
+            translate_query(q, &view, &mut vg).map_err(CoreError::Sqlpp)?
+        };
+        optimize(&mut plan);
+        let cfg = JobGenConfig {
+            dop: self.inner.config.partitions.max(1),
+            sort_memory: self.inner.config.op_memory,
+            join_memory: self.inner.config.op_memory,
+            group_memory: self.inner.config.op_memory,
+            local_aggregation: self.inner.config.local_aggregation,
+        };
+        let rows = jobgen::execute(&plan, &cfg, Arc::clone(&self.inner.ctx))?;
+        Ok(rows)
+    }
+
+    /// Compiles a query and returns its optimized logical plan text
+    /// (EXPLAIN; also how experiment E9 compares the two languages).
+    pub fn explain(&self, text: &str, language: Language) -> Result<String> {
+        let stmt = match language {
+            Language::Sqlpp => asterix_sqlpp::parse_sqlpp(text)
+                .map_err(CoreError::Sqlpp)?
+                .into_iter()
+                .next()
+                .ok_or_else(|| CoreError::Unsupported("empty statement".into()))?,
+            Language::Aql => asterix_sqlpp::parse_aql(text).map_err(CoreError::Sqlpp)?,
+        };
+        let Stmt::Query(q) = stmt else {
+            return Err(CoreError::Unsupported("EXPLAIN requires a query".into()));
+        };
+        let view = self.catalog_view();
+        let mut plan = {
+            let mut vg = self.inner.vargen.lock();
+            translate_query(&q, &view, &mut vg).map_err(CoreError::Sqlpp)?
+        };
+        optimize(&mut plan);
+        Ok(plan.pretty())
+    }
+
+    fn catalog_view(&self) -> InstanceCatalogView {
+        InstanceCatalogView {
+            datasets: self.inner.datasets.read().clone(),
+            catalog_types: self.inner.catalog.read().types.clone(),
+            external: self
+                .inner
+                .catalog
+                .read()
+                .datasets()
+                .iter()
+                .filter_map(|d| match &d.kind {
+                    DatasetKind::External { properties, .. } => Some((
+                        d.name.clone(),
+                        (properties.clone(), d.type_name.clone()),
+                    )),
+                    _ => None,
+                })
+                .collect(),
+            sorted_fetch: self.inner.config.sorted_index_fetch,
+        }
+    }
+
+    /// Direct record count of a dataset (diagnostics).
+    pub fn count(&self, dataset: &str) -> Result<usize> {
+        let rt = self
+            .inner
+            .datasets
+            .read()
+            .get(dataset)
+            .cloned()
+            .ok_or_else(|| CoreError::Catalog(format!("unknown dataset {dataset:?}")))?;
+        rt.count()
+    }
+
+    /// Physical encoded size of a record under a dataset's layout (after
+    /// casting to the dataset type) — E10's storage metric.
+    pub fn record_encoded_len(&self, dataset: &str, record: &Value) -> Result<usize> {
+        let rt = self.dataset_runtime(dataset)?;
+        let cat = self.inner.catalog.read();
+        let record = match cat.types.get(&rt.def.type_name) {
+            Some(t) => asterix_adm::validate::cast_object(record, t, &cat.types)
+                .map_err(CoreError::Adm)?,
+            None => record.clone(),
+        };
+        let len = rt.partitions[0].read().encoded_len(&record)?;
+        Ok(len)
+    }
+
+    /// Per-partition live record counts (E4's balance metric).
+    pub fn partition_counts(&self, dataset: &str) -> Result<Vec<usize>> {
+        let rt = self.dataset_runtime(dataset)?;
+        rt.partitions
+            .iter()
+            .map(|p| p.read().count())
+            .collect()
+    }
+
+    /// Flushes every dataset's LSM memory components to disk.
+    pub fn flush_all(&self) -> Result<()> {
+        for rt in self.inner.datasets.read().values() {
+            rt.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Simulates a crash: drops the instance without flushing memory
+    /// components (the WAL survives; reopen with the same `data_dir`).
+    pub fn crash(mut self) -> PathBuf {
+        self.inner_mut_temp_guard(false);
+        self.inner.root.clone()
+    }
+
+    fn inner_mut_temp_guard(&mut self, keep: bool) {
+        // we cannot get &mut Inner through Arc; use an atomic-free trick:
+        // temp_guard is only read in Drop, so store intent in an env-free
+        // side table — simplest is to leak the guard decision via a file.
+        if !keep {
+            let _ = std::fs::write(self.inner.root.join(".keep"), b"1");
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // transactional write API (used by DML, feeds, recovery, benches)
+    // -----------------------------------------------------------------
+
+    /// Begins an explicit transaction.
+    pub fn begin(&self) -> Txn<'_> {
+        Txn {
+            instance: self,
+            id: self.inner.txns.begin(),
+            undo: Vec::new(),
+            finished: false,
+        }
+    }
+
+    fn dataset_runtime(&self, name: &str) -> Result<Arc<DatasetRuntime>> {
+        self.inner
+            .datasets
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CoreError::Catalog(format!("unknown dataset {name:?}")))
+    }
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        if self.temp_guard && !self.root.join(".keep").exists() {
+            let _ = std::fs::remove_dir_all(&self.root);
+        }
+    }
+}
+
+/// Renders DDL back to SQL++ for the persisted DDL log.
+fn render_ddl(ddl: &asterix_sqlpp::ast::DdlStmt) -> String {
+    use asterix_sqlpp::ast::{DdlStmt as D, IndexKindAst, TypeExprAst};
+    fn ty(t: &TypeExprAst) -> String {
+        match t {
+            TypeExprAst::Named(n) => n.clone(),
+            TypeExprAst::Array(i) => format!("[{}]", ty(i)),
+            TypeExprAst::Multiset(i) => format!("{{{{{}}}}}", ty(i)),
+        }
+    }
+    match ddl {
+        D::CreateType { name, is_closed, fields } => {
+            let fs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "`{}`: {}{}",
+                        f.name,
+                        ty(&f.ty),
+                        if f.optional { "?" } else { "" }
+                    )
+                })
+                .collect();
+            format!(
+                "CREATE TYPE {name} AS {}{{ {} }}",
+                if *is_closed { "CLOSED " } else { "" },
+                fs.join(", ")
+            )
+        }
+        D::CreateDataset { name, type_name, primary_key } => format!(
+            "CREATE DATASET {name}({type_name}) PRIMARY KEY {}",
+            primary_key.join(", ")
+        ),
+        D::CreateExternalDataset { name, type_name, adapter, properties } => {
+            let props: Vec<String> = properties
+                .iter()
+                .map(|(k, v)| format!("(\"{k}\"=\"{v}\")"))
+                .collect();
+            format!(
+                "CREATE EXTERNAL DATASET {name}({type_name}) USING {adapter} ({})",
+                props.join(", ")
+            )
+        }
+        D::CreateIndex { name, dataset, field, kind } => format!(
+            "CREATE INDEX {name} ON {dataset}({}) TYPE {}",
+            field.join("."),
+            match kind {
+                IndexKindAst::BTree => "BTREE",
+                IndexKindAst::RTree => "RTREE",
+                IndexKindAst::Keyword => "KEYWORD",
+            }
+        ),
+        D::DropDataset { name } => format!("DROP DATASET {name}"),
+        D::DropType { name } => format!("DROP TYPE {name}"),
+        D::DropIndex { dataset, name } => format!("DROP INDEX {dataset}.{name}"),
+    }
+}
+
+/// An explicit transaction handle (record-level atomicity).
+pub struct Txn<'a> {
+    instance: &'a Instance,
+    id: u64,
+    undo: Vec<UndoEntry>,
+    finished: bool,
+}
+
+impl<'a> Txn<'a> {
+    /// The transaction id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Writes (insert or upsert) one record.
+    pub fn write(&mut self, dataset: &str, record: &Value, is_upsert: bool) -> Result<()> {
+        let inner = &self.instance.inner;
+        let rt = self.instance.dataset_runtime(dataset)?;
+        let (ty, registry) = {
+            let cat = inner.catalog.read();
+            match cat.types.get(&rt.def.type_name) {
+                Some(t) => (Some(t.clone()), cat.types.clone()),
+                None => (None, cat.types.clone()),
+            }
+        };
+        let record = match &ty {
+            Some(t) => {
+                asterix_adm::validate::cast_object(record, t, &registry).map_err(CoreError::Adm)?
+            }
+            None => record.clone(),
+        };
+        let pk = extract_pk(&record, rt.def.primary_key())?;
+        let p = partition_of(&pk, rt.partitions.len());
+        inner.txns.locks.lock(self.id, dataset, &pk)?;
+        let part = &rt.partitions[p as usize];
+        {
+            let mut guard = part.write();
+            if !is_upsert && guard.get(&pk)?.is_some() {
+                return Err(CoreError::Constraint(format!(
+                    "insert: a record with this key already exists in {dataset}"
+                )));
+            }
+            // WAL first
+            {
+                let node = guard.node();
+                let mut wal = node.wal.lock();
+                wal.append(&WalRecord::Update {
+                    txn_id: self.id,
+                    dataset: dataset.to_string(),
+                    partition: p,
+                    is_delete: false,
+                    key: pk.clone(),
+                    value: encode(&record),
+                })
+                .map_err(CoreError::Storage)?;
+            }
+            let before = guard.upsert(&record)?;
+            self.undo.push(UndoEntry {
+                dataset: dataset.to_string(),
+                partition: p,
+                pk,
+                before,
+            });
+        }
+        Ok(())
+    }
+
+    /// Deletes one record by encoded primary key.
+    pub fn delete(&mut self, dataset: &str, pk: &[u8]) -> Result<()> {
+        let inner = &self.instance.inner;
+        let rt = self.instance.dataset_runtime(dataset)?;
+        let p = partition_of(pk, rt.partitions.len());
+        inner.txns.locks.lock(self.id, dataset, pk)?;
+        let part = &rt.partitions[p as usize];
+        let mut guard = part.write();
+        {
+            let node = guard.node();
+            let mut wal = node.wal.lock();
+            wal.append(&WalRecord::Update {
+                txn_id: self.id,
+                dataset: dataset.to_string(),
+                partition: p,
+                is_delete: true,
+                key: pk.to_vec(),
+                value: Vec::new(),
+            })
+            .map_err(CoreError::Storage)?;
+        }
+        let before = guard.delete(pk)?;
+        self.undo.push(UndoEntry {
+            dataset: dataset.to_string(),
+            partition: p,
+            pk: pk.to_vec(),
+            before,
+        });
+        Ok(())
+    }
+
+    /// Commits: forces the WAL and releases locks.
+    pub fn commit(mut self) -> Result<()> {
+        let inner = &self.instance.inner;
+        // write a commit record to every node's log that saw this txn, then
+        // sync them (simplest correct policy: log+sync on all nodes touched)
+        let mut touched: Vec<usize> = self
+            .undo
+            .iter()
+            .map(|u| u.partition as usize % inner.cluster.nodes.len())
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        for n in touched {
+            let node = &inner.cluster.nodes[n];
+            let mut wal = node.wal.lock();
+            wal.append(&WalRecord::Commit { txn_id: self.id })
+                .map_err(CoreError::Storage)?;
+            wal.sync().map_err(CoreError::Storage)?;
+        }
+        inner.txns.locks.release_all(self.id);
+        self.finished = true;
+        Ok(())
+    }
+
+    /// Aborts: rolls back with before-images, logs the abort, releases locks.
+    pub fn abort(mut self) -> Result<()> {
+        self.rollback()?;
+        self.finished = true;
+        Ok(())
+    }
+
+    fn rollback(&mut self) -> Result<()> {
+        let inner = &self.instance.inner;
+        // undo in reverse order
+        while let Some(u) = self.undo.pop() {
+            let rt = self.instance.dataset_runtime(&u.dataset)?;
+            let part = &rt.partitions[u.partition as usize];
+            let mut guard = part.write();
+            match u.before {
+                Some(rec) => {
+                    guard.upsert(&rec)?;
+                }
+                None => {
+                    guard.delete(&u.pk)?;
+                }
+            }
+        }
+        let mut touched: Vec<usize> = (0..inner.cluster.nodes.len()).collect();
+        touched.dedup();
+        for n in touched {
+            let node = &inner.cluster.nodes[n];
+            let mut wal = node.wal.lock();
+            wal.append(&WalRecord::Abort { txn_id: self.id })
+                .map_err(CoreError::Storage)?;
+        }
+        inner.txns.locks.release_all(self.id);
+        Ok(())
+    }
+}
+
+impl<'a> Drop for Txn<'a> {
+    fn drop(&mut self) {
+        if !self.finished {
+            let _ = self.rollback();
+        }
+    }
+}
+
+/// Catalog view handed to the query translator.
+pub struct InstanceCatalogView {
+    datasets: HashMap<String, Arc<DatasetRuntime>>,
+    catalog_types: asterix_adm::types::TypeRegistry,
+    external: HashMap<String, (Vec<(String, String)>, String)>,
+    sorted_fetch: bool,
+}
+
+impl CatalogView for InstanceCatalogView {
+    fn dataset(&self, name: &str) -> Option<Arc<dyn DataSource>> {
+        if let Some(rt) = self.datasets.get(name) {
+            return Some(Arc::new(DatasetSource {
+                runtime: Arc::clone(rt),
+                sorted_fetch: self.sorted_fetch,
+            }));
+        }
+        if let Some((props, type_name)) = self.external.get(name) {
+            let config = crate::external::ExternalConfig::from_properties(props).ok()?;
+            return Some(Arc::new(ExternalSource {
+                name: name.to_string(),
+                config,
+                record_type: self.catalog_types.get(type_name).cloned(),
+                registry: self.catalog_types.clone(),
+            }));
+        }
+        None
+    }
+}

@@ -1,0 +1,126 @@
+//! Storage nodes and the simulated shared-nothing cluster (paper Figure 1).
+//!
+//! Each [`Node`] owns an I/O device directory, a buffer cache sized from the
+//! node's memory budget (Figure 2), and a write-ahead log. The real system's
+//! network is substituted by in-process handles; everything else — per-node
+//! storage partitions, per-node caches, per-node logs — matches the paper's
+//! architecture (see DESIGN.md, substitutions table).
+
+use crate::error::Result;
+use asterix_storage::cache::BufferCache;
+use asterix_storage::io::FileManager;
+use asterix_storage::stats::IoStats;
+use asterix_storage::wal::WalWriter;
+use parking_lot::Mutex;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// One storage node.
+pub struct Node {
+    pub id: usize,
+    pub dir: PathBuf,
+    pub cache: Arc<BufferCache>,
+    pub wal: Mutex<WalWriter>,
+}
+
+impl Node {
+    /// Opens (or creates) a node rooted at `dir` with a buffer cache of
+    /// `cache_pages` frames.
+    pub fn open(id: usize, dir: impl AsRef<Path>, cache_pages: usize) -> Result<Arc<Node>> {
+        let dir = dir.as_ref().to_path_buf();
+        let stats = IoStats::new();
+        let fm = FileManager::new(&dir, stats)?;
+        let cache = BufferCache::new(fm, cache_pages);
+        let wal = WalWriter::open(dir.join("node.wal"))?;
+        Ok(Arc::new(Node { id, dir, cache, wal: Mutex::new(wal) }))
+    }
+
+    /// The node's I/O statistics.
+    pub fn stats(&self) -> &Arc<IoStats> {
+        self.cache.stats()
+    }
+
+    /// Path of this node's WAL file.
+    pub fn wal_path(&self) -> PathBuf {
+        self.dir.join("node.wal")
+    }
+}
+
+/// The cluster controller's view of the nodes.
+pub struct Cluster {
+    pub nodes: Vec<Arc<Node>>,
+}
+
+impl Cluster {
+    /// Opens a cluster of `n` nodes under `root` (one subdirectory each).
+    pub fn open(root: impl AsRef<Path>, n: usize, cache_pages_per_node: usize) -> Result<Cluster> {
+        let mut nodes = Vec::with_capacity(n.max(1));
+        for i in 0..n.max(1) {
+            let dir = root.as_ref().join(format!("node{i}"));
+            nodes.push(Node::open(i, dir, cache_pages_per_node)?);
+        }
+        Ok(Cluster { nodes })
+    }
+
+    /// Node responsible for partition `p` (round-robin placement).
+    pub fn node_for_partition(&self, p: usize) -> &Arc<Node> {
+        &self.nodes[p % self.nodes.len()]
+    }
+
+    /// Aggregate physical reads across nodes.
+    pub fn total_physical_reads(&self) -> u64 {
+        self.nodes.iter().map(|n| n.stats().physical_reads()).sum()
+    }
+
+    /// Aggregate physical writes across nodes.
+    pub fn total_physical_writes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.stats().physical_writes()).sum()
+    }
+
+    /// Resets all node I/O counters.
+    pub fn reset_stats(&self) {
+        for n in &self.nodes {
+            n.stats().reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp() -> PathBuf {
+        let p = std::env::temp_dir().join(format!(
+            "asterix-core-node-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    #[test]
+    fn cluster_opens_nodes_with_separate_devices() {
+        let root = tmp();
+        let c = Cluster::open(&root, 3, 16).unwrap();
+        assert_eq!(c.nodes.len(), 3);
+        assert_eq!(c.node_for_partition(0).id, 0);
+        assert_eq!(c.node_for_partition(4).id, 1);
+        for n in &c.nodes {
+            assert!(n.dir.exists());
+            assert!(n.wal_path().exists());
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn zero_nodes_clamps_to_one() {
+        let root = tmp();
+        let c = Cluster::open(&root, 0, 4).unwrap();
+        assert_eq!(c.nodes.len(), 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,252 @@
+//! Bridges from stored datasets to the Algebricks compiler's
+//! [`DataSource`] abstraction — including the index access paths with the
+//! §V-B sorted-PK fetch (experiment E7).
+
+use crate::catalog::{DatasetDef, IndexKind};
+use crate::dataset::DatasetPartition;
+use crate::error::Result as CoreResult;
+use crate::external::ExternalConfig;
+use asterix_adm::types::{ObjectType, TypeRegistry};
+use asterix_adm::Value;
+use asterix_algebricks::error::{AlgebricksError, Result as AlgResult};
+use asterix_algebricks::source::{DataSource, IndexInfo, IndexRange};
+use asterix_algebricks::source::IndexKind as AlgIndexKind;
+use asterix_hyracks::job::{FnSource, SourceFactory};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// The runtime handle on one dataset: its definition plus its partitions.
+pub struct DatasetRuntime {
+    pub def: DatasetDef,
+    pub partitions: Vec<Arc<RwLock<DatasetPartition>>>,
+}
+
+impl DatasetRuntime {
+    /// Total live records across partitions.
+    pub fn count(&self) -> CoreResult<usize> {
+        let mut n = 0;
+        for p in &self.partitions {
+            n += p.read().count()?;
+        }
+        Ok(n)
+    }
+
+    /// Flushes every partition's memory components.
+    pub fn flush(&self) -> CoreResult<()> {
+        for p in &self.partitions {
+            p.write().flush()?;
+        }
+        Ok(())
+    }
+}
+
+/// [`DataSource`] over an internal dataset.
+pub struct DatasetSource {
+    pub runtime: Arc<DatasetRuntime>,
+    /// Sort candidate PKs before fetching records (§V-B trick; configurable
+    /// so experiment E7 can measure both sides).
+    pub sorted_fetch: bool,
+}
+
+impl DatasetSource {
+    /// Wraps a dataset runtime with the default (sorted-fetch) behaviour.
+    pub fn new(runtime: Arc<DatasetRuntime>) -> Arc<Self> {
+        Arc::new(DatasetSource { runtime, sorted_fetch: true })
+    }
+}
+
+fn records_factory(
+    partitions: Vec<Arc<RwLock<DatasetPartition>>>,
+    f: impl Fn(&DatasetPartition) -> CoreResult<Vec<Value>> + Send + Sync + 'static,
+) -> Arc<dyn SourceFactory> {
+    Arc::new(FnSource(move |p: usize| {
+        let part = partitions
+            .get(p)
+            .ok_or_else(|| asterix_hyracks::HyracksError::Eval(format!("no partition {p}")))?;
+        let records = f(&part.read())
+            .map_err(|e| asterix_hyracks::HyracksError::Eval(e.to_string()))?;
+        Ok(Box::new(records.into_iter().map(|r| Ok(vec![r])))
+            as Box<dyn Iterator<Item = asterix_hyracks::Result<asterix_hyracks::Tuple>> + Send>)
+    }))
+}
+
+impl DataSource for DatasetSource {
+    fn name(&self) -> &str {
+        &self.runtime.def.name
+    }
+
+    fn partitions(&self) -> usize {
+        self.runtime.partitions.len()
+    }
+
+    fn scan(&self) -> AlgResult<Arc<dyn SourceFactory>> {
+        Ok(records_factory(self.runtime.partitions.clone(), |part| part.scan()))
+    }
+
+    fn indexes(&self) -> Vec<IndexInfo> {
+        self.runtime
+            .def
+            .indexes
+            .iter()
+            .map(|i| IndexInfo {
+                name: i.name.clone(),
+                field: i.field.clone(),
+                kind: match i.kind {
+                    IndexKind::BTree => AlgIndexKind::BTree,
+                    IndexKind::RTree => AlgIndexKind::RTree,
+                    IndexKind::Keyword => AlgIndexKind::Keyword,
+                },
+            })
+            .collect()
+    }
+
+    fn index_scan(&self, index: &str, range: IndexRange) -> AlgResult<Arc<dyn SourceFactory>> {
+        // verify the index exists up front for a clean compile-time error
+        if !self.runtime.def.indexes.iter().any(|i| i.name == index) {
+            return Err(AlgebricksError::Plan(format!(
+                "dataset {} has no index {index:?}",
+                self.name()
+            )));
+        }
+        let index = index.to_string();
+        let sorted = self.sorted_fetch;
+        Ok(records_factory(self.runtime.partitions.clone(), move |part| {
+            let pks = match &range {
+                IndexRange::Range { lo, lo_inclusive, hi, hi_inclusive } => part
+                    .btree_index_pks(&index, lo.as_ref(), *lo_inclusive, hi.as_ref(), *hi_inclusive)
+                    .map_err(|e| {
+                        crate::error::CoreError::Catalog(format!("index probe: {e}"))
+                    })?,
+                IndexRange::Spatial(rect) => part.rtree_index_pks(&index, rect)?,
+                IndexRange::Keyword(q) => part.keyword_index_pks(&index, q)?,
+            };
+            part.fetch_records(pks, sorted)
+        }))
+    }
+}
+
+/// [`DataSource`] over an external `localfs` dataset (Figure 3(b)).
+pub struct ExternalSource {
+    pub name: String,
+    pub config: ExternalConfig,
+    pub record_type: Option<ObjectType>,
+    pub registry: TypeRegistry,
+}
+
+impl DataSource for ExternalSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn partitions(&self) -> usize {
+        1
+    }
+
+    fn scan(&self) -> AlgResult<Arc<dyn SourceFactory>> {
+        let cfg = self.config.clone();
+        let ty = self.record_type.clone();
+        let registry = self.registry.clone();
+        Ok(Arc::new(FnSource(move |_p: usize| {
+            let records = crate::external::read_external(&cfg, ty.as_ref(), &registry)
+                .map_err(|e| asterix_hyracks::HyracksError::Eval(e.to_string()))?;
+            Ok(Box::new(records.into_iter().map(|r| Ok(vec![r])))
+                as Box<
+                    dyn Iterator<Item = asterix_hyracks::Result<asterix_hyracks::Tuple>> + Send,
+                >)
+        })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{DatasetKind, IndexDef};
+    use crate::dataset::StorageConfig;
+    use crate::node::Node;
+    use asterix_adm::parse::parse_value;
+
+    fn runtime(n_parts: usize) -> (Arc<DatasetRuntime>, std::path::PathBuf) {
+        let root = std::env::temp_dir().join(format!(
+            "asterix-src-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&root).unwrap();
+        let def = DatasetDef {
+            name: "T".into(),
+            type_name: "any".into(),
+            kind: DatasetKind::Internal { primary_key: vec!["id".into()] },
+            indexes: vec![IndexDef {
+                name: "byV".into(),
+                field: vec!["v".into()],
+                kind: IndexKind::BTree,
+            }],
+        };
+        let mut partitions = Vec::new();
+        for p in 0..n_parts {
+            let node = Node::open(p, root.join(format!("n{p}")), 64).unwrap();
+            partitions.push(Arc::new(RwLock::new(
+                DatasetPartition::create(&def, p as u32, node, &StorageConfig::default()).unwrap(),
+            )));
+        }
+        (Arc::new(DatasetRuntime { def, partitions }), root)
+    }
+
+    #[test]
+    fn scan_covers_all_partitions() {
+        let (rt, root) = runtime(3);
+        for i in 0..30 {
+            let rec = parse_value(&format!(r#"{{"id": {i}, "v": {}}}"#, i % 5)).unwrap();
+            let pk = crate::dataset::extract_pk(&rec, &["id".into()]).unwrap();
+            let p = crate::dataset::partition_of(&pk, 3) as usize;
+            rt.partitions[p].write().upsert(&rec).unwrap();
+        }
+        let src = DatasetSource::new(Arc::clone(&rt));
+        let factory = src.scan().unwrap();
+        let mut total = 0;
+        for p in 0..3 {
+            total += factory.open(p).unwrap().count();
+        }
+        assert_eq!(total, 30);
+        assert_eq!(rt.count().unwrap(), 30);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn index_scan_filters_by_range() {
+        let (rt, root) = runtime(2);
+        for i in 0..40 {
+            let rec = parse_value(&format!(r#"{{"id": {i}, "v": {}}}"#, i % 10)).unwrap();
+            let pk = crate::dataset::extract_pk(&rec, &["id".into()]).unwrap();
+            let p = crate::dataset::partition_of(&pk, 2) as usize;
+            rt.partitions[p].write().upsert(&rec).unwrap();
+        }
+        let src = DatasetSource::new(Arc::clone(&rt));
+        let factory = src
+            .index_scan(
+                "byV",
+                IndexRange::Range {
+                    lo: Some(Value::Int(3)),
+                    lo_inclusive: true,
+                    hi: Some(Value::Int(4)),
+                    hi_inclusive: true,
+                },
+            )
+            .unwrap();
+        let mut hits = 0;
+        for p in 0..2 {
+            for t in factory.open(p).unwrap() {
+                let t = t.unwrap();
+                let v = t[0].field("v").as_i64().unwrap();
+                assert!((3..=4).contains(&v));
+                hits += 1;
+            }
+        }
+        assert_eq!(hits, 8, "v in {{3,4}} of 0..10 over 40 records");
+        assert!(src.index_scan("nope", IndexRange::Keyword("x".into())).is_err());
+        let _ = std::fs::remove_dir_all(root);
+    }
+}

@@ -1,0 +1,474 @@
+//! End-to-end integration tests on the embedded instance: the full paper
+//! Figure 3 scenario, index access paths, transactions and crash recovery,
+//! and AQL/SQL++ equivalence.
+
+use asterix_adm::Value;
+use asterix_core::instance::{Instance, InstanceConfig, Language};
+
+fn gleambook_ddl() -> &'static str {
+    r#"
+    CREATE TYPE EmploymentType AS {
+        organizationName: string,
+        startDate: date,
+        endDate: date?
+    };
+    CREATE TYPE GleambookUserType AS {
+        id: int,
+        alias: string,
+        name: string,
+        userSince: datetime,
+        friendIds: {{ int }},
+        employment: [EmploymentType]
+    };
+    CREATE TYPE GleambookMessageType AS {
+        messageId: int,
+        authorId: int,
+        inResponseTo: int?,
+        senderLocation: point?,
+        message: string
+    };
+    CREATE DATASET GleambookUsers(GleambookUserType) PRIMARY KEY id;
+    CREATE DATASET GleambookMessages(GleambookMessageType) PRIMARY KEY messageId;
+    CREATE INDEX gbUserSinceIdx ON GleambookUsers(userSince);
+    CREATE INDEX gbAuthorIdx ON GleambookMessages(authorId) TYPE BTREE;
+    CREATE INDEX gbSenderLocIndex ON GleambookMessages(senderLocation) TYPE RTREE;
+    CREATE INDEX gbMessageIdx ON GleambookMessages(message) TYPE KEYWORD;
+    "#
+}
+
+fn load_users(db: &Instance, n: i64) {
+    let mut gen = asterix_core::datagen::DataGen::new(42);
+    let mut txn = db.begin();
+    for i in 1..=n {
+        txn.write("GleambookUsers", &gen.user(i), true).unwrap();
+    }
+    txn.commit().unwrap();
+}
+
+fn load_messages(db: &Instance, n: i64, users: i64) {
+    let mut gen = asterix_core::datagen::DataGen::new(43);
+    let mut txn = db.begin();
+    for i in 1..=n {
+        txn.write("GleambookMessages", &gen.message(i, users), true).unwrap();
+    }
+    txn.commit().unwrap();
+}
+
+#[test]
+fn figure3_full_scenario() {
+    let db = Instance::temp().unwrap();
+    db.execute_sqlpp(gleambook_ddl()).unwrap();
+    load_users(&db, 100);
+    load_messages(&db, 300, 100);
+    // Figure 3(b): external access log referencing real user aliases
+    let aliases: Vec<String> = db
+        .query("SELECT VALUE u.alias FROM GleambookUsers u")
+        .unwrap()
+        .into_iter()
+        .map(|v| v.as_str().unwrap().to_string())
+        .collect();
+    let mut gen = asterix_core::datagen::DataGen::new(44);
+    let epoch = asterix_core::datagen::epoch_2012();
+    let lines: Vec<String> = (0..500)
+        .map(|i| {
+            gen.access_log_line(&aliases[i as usize % aliases.len()], epoch + i * 60_000)
+        })
+        .collect();
+    let log_path = db.data_dir().join("accesses.txt");
+    std::fs::write(&log_path, lines.join("\n")).unwrap();
+    db.execute_sqlpp(&format!(
+        r#"
+        CREATE TYPE AccessLogType AS CLOSED {{
+            ip: string, time: string, user: string, verb: string,
+            'path': string, stat: int32, size: int32
+        }};
+        CREATE EXTERNAL DATASET AccessLog(AccessLogType) USING localfs
+          (("path"="{}"), ("format"="delimited-text"), ("delimiter"="|"));
+        "#,
+        log_path.display()
+    ))
+    .unwrap();
+    // external data is queryable in situ
+    let n = db
+        .query("SELECT COUNT(*) AS n FROM AccessLog a")
+        .unwrap();
+    assert_eq!(n[0].field("n"), &Value::Int(500));
+    // Figure 3(d): the UPSERT
+    db.execute_sqlpp(
+        r#"
+        UPSERT INTO GleambookUsers (
+            {"id":667, "alias":"dfrump", "name":"DonaldFrump",
+             "nickname":"Frumpkin",
+             "userSince":datetime("2017-01-01T00:00:00"),
+             "friendIds":{{}},
+             "employment":[{"organizationName":"USA",
+                            "startDate":date("2017-01-20")}],
+             "gender":"M"}
+        );
+        "#,
+    )
+    .unwrap();
+    assert_eq!(db.count("GleambookUsers").unwrap(), 101);
+    let frump = db
+        .query("SELECT VALUE u FROM GleambookUsers u WHERE u.id = 667")
+        .unwrap();
+    assert_eq!(frump[0].field("gender"), &Value::from("M"), "open field kept");
+    // Figure 3(c): the analytical query (fixed window over the log's range)
+    let rows = db
+        .query(
+            r#"
+            WITH startTime AS datetime("2012-01-01T00:00:00"),
+                 endTime AS datetime("2012-01-01T02:00:00")
+            SELECT nf AS numFriends, COUNT(user) AS activeUsers
+            FROM GleambookUsers user
+            LET nf = COLL_COUNT(user.friendIds)
+            WHERE SOME logrec IN AccessLog SATISFIES
+                      user.alias = logrec.user
+                  AND datetime(logrec.time) >= startTime
+                  AND datetime(logrec.time) <= endTime
+            GROUP BY nf
+            "#,
+        )
+        .unwrap();
+    assert!(!rows.is_empty(), "some users were active in the window");
+    let total: i64 = rows
+        .iter()
+        .map(|r| r.field("activeUsers").as_i64().unwrap())
+        .sum();
+    assert!(total > 0 && total <= 101);
+    // every row has both fields
+    for r in &rows {
+        assert!(r.field("numFriends").as_i64().is_some());
+    }
+}
+
+#[test]
+fn secondary_index_access_paths_are_used_and_correct() {
+    let db = Instance::temp().unwrap();
+    db.execute_sqlpp(gleambook_ddl()).unwrap();
+    load_messages(&db, 500, 50);
+    // btree path
+    let plan = db
+        .explain(
+            "SELECT VALUE m FROM GleambookMessages m WHERE m.authorId = 7",
+            Language::Sqlpp,
+        )
+        .unwrap();
+    assert!(plan.contains("index-scan GleambookMessages#gbAuthorIdx"), "{plan}");
+    let via_index = db
+        .query("SELECT VALUE m.messageId FROM GleambookMessages m WHERE m.authorId = 7")
+        .unwrap();
+    // compare against a full-scan formulation the optimizer can't index
+    let via_scan = db
+        .query(
+            "SELECT VALUE m.messageId FROM GleambookMessages m WHERE m.authorId + 0 = 7",
+        )
+        .unwrap();
+    let canon = |mut v: Vec<Value>| {
+        v.sort_by(asterix_adm::compare::total_cmp);
+        v
+    };
+    assert_eq!(canon(via_index), canon(via_scan));
+    // rtree path
+    let plan = db
+        .explain(
+            r#"SELECT VALUE m FROM GleambookMessages m
+               WHERE spatial_intersect(m.senderLocation,
+                                       create_rectangle(create_point(-120.0, 30.0),
+                                                        create_point(-110.0, 40.0)))"#,
+            Language::Sqlpp,
+        )
+        .unwrap();
+    assert!(plan.contains("gbSenderLocIndex"), "{plan}");
+    // keyword path
+    let plan = db
+        .explain(
+            "SELECT VALUE m FROM GleambookMessages m WHERE contains(m.message, 'verizon')",
+            Language::Sqlpp,
+        )
+        .unwrap();
+    assert!(plan.contains("gbMessageIdx"), "{plan}");
+    let hits = db
+        .query("SELECT VALUE m.message FROM GleambookMessages m WHERE contains(m.message, 'verizon')")
+        .unwrap();
+    assert!(hits.iter().all(|m| m.as_str().unwrap().contains("verizon")));
+}
+
+#[test]
+fn delete_statement_and_insert_constraints() {
+    let db = Instance::temp().unwrap();
+    db.execute_sqlpp(
+        "CREATE TYPE T AS { id: int, grp: int };
+         CREATE DATASET D(T) PRIMARY KEY id;",
+    )
+    .unwrap();
+    db.execute_sqlpp(
+        r#"INSERT INTO D ([{"id":1,"grp":1},{"id":2,"grp":1},{"id":3,"grp":2}])"#,
+    )
+    .unwrap();
+    // INSERT with duplicate key fails, UPSERT succeeds
+    assert!(db.execute_sqlpp(r#"INSERT INTO D ({"id":1,"grp":9})"#).is_err());
+    db.execute_sqlpp(r#"UPSERT INTO D ({"id":1,"grp":9})"#).unwrap();
+    let v = db.query("SELECT VALUE d.grp FROM D d WHERE d.id = 1").unwrap();
+    assert_eq!(v, vec![Value::Int(9)]);
+    // DELETE with predicate
+    db.execute_sqlpp("DELETE FROM D d WHERE d.grp = 1").unwrap();
+    assert_eq!(db.count("D").unwrap(), 2);
+}
+
+#[test]
+fn explicit_txn_abort_rolls_back() {
+    let db = Instance::temp().unwrap();
+    db.execute_sqlpp(
+        "CREATE TYPE T AS { id: int, v: int };
+         CREATE DATASET D(T) PRIMARY KEY id;",
+    )
+    .unwrap();
+    db.execute_sqlpp(r#"UPSERT INTO D ({"id":1,"v":10})"#).unwrap();
+    let mut txn = db.begin();
+    txn.write("D", &asterix_adm::parse::parse_value(r#"{"id":1,"v":99}"#).unwrap(), true)
+        .unwrap();
+    txn.write("D", &asterix_adm::parse::parse_value(r#"{"id":2,"v":20}"#).unwrap(), true)
+        .unwrap();
+    txn.abort().unwrap();
+    let rows = db.query("SELECT VALUE d.v FROM D d ORDER BY d.id").unwrap();
+    assert_eq!(rows, vec![Value::Int(10)], "abort restored before-images");
+}
+
+#[test]
+fn crash_recovery_replays_committed_only() {
+    let dir = std::env::temp_dir().join(format!(
+        "asterix-recovery-test-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    let config = InstanceConfig { data_dir: Some(dir.clone()), ..Default::default() };
+    {
+        let db = Instance::open(config.clone()).unwrap();
+        db.execute_sqlpp(
+            "CREATE TYPE T AS { id: int, v: int };
+             CREATE DATASET D(T) PRIMARY KEY id;",
+        )
+        .unwrap();
+        // committed work
+        let mut txn = db.begin();
+        for i in 0..50 {
+            txn.write(
+                "D",
+                &asterix_adm::parse::parse_value(&format!(r#"{{"id":{i},"v":{i}}}"#)).unwrap(),
+                true,
+            )
+            .unwrap();
+        }
+        txn.commit().unwrap();
+        // committed delete
+        let mut txn = db.begin();
+        txn.delete("D", &asterix_adm::binary::encode_key(&[Value::Int(7)])).unwrap();
+        txn.commit().unwrap();
+        // uncommitted work lost in the crash (logged, never committed)
+        let mut txn = db.begin();
+        txn.write(
+            "D",
+            &asterix_adm::parse::parse_value(r#"{"id":999,"v":0}"#).unwrap(),
+            true,
+        )
+        .unwrap();
+        std::mem::forget(txn); // crash before commit: no rollback either
+        let _ = db.crash();
+    }
+    {
+        let db = Instance::open(config).unwrap();
+        assert_eq!(db.count("D").unwrap(), 49, "50 committed inserts, 1 committed delete");
+        let rows = db.query("SELECT VALUE d.id FROM D d WHERE d.id = 999").unwrap();
+        assert!(rows.is_empty(), "uncommitted insert did not survive");
+        let rows = db.query("SELECT VALUE d.id FROM D d WHERE d.id = 7").unwrap();
+        assert!(rows.is_empty(), "committed delete survived");
+        // the recovered instance is fully usable
+        db.execute_sqlpp(r#"UPSERT INTO D ({"id":1000,"v":1})"#).unwrap();
+        assert_eq!(db.count("D").unwrap(), 50);
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn aql_and_sqlpp_agree_end_to_end() {
+    let db = Instance::temp().unwrap();
+    db.execute_sqlpp(gleambook_ddl()).unwrap();
+    load_messages(&db, 200, 20);
+    let sql = db
+        .query(
+            "SELECT VALUE m.messageId FROM GleambookMessages m
+             WHERE m.authorId = 5 ORDER BY m.messageId",
+        )
+        .unwrap();
+    let aql = db
+        .query_aql(
+            "for $m in dataset GleambookMessages
+             where $m.authorId = 5
+             order by $m.messageId
+             return $m.messageId",
+        )
+        .unwrap();
+    assert_eq!(sql, aql);
+    // identical optimized plans (E9's claim)
+    let p1 = db
+        .explain(
+            "SELECT VALUE m.messageId FROM GleambookMessages m WHERE m.authorId = 5",
+            Language::Sqlpp,
+        )
+        .unwrap();
+    let p2 = db
+        .explain(
+            "for $m in dataset GleambookMessages where $m.authorId = 5 return $m.messageId",
+            Language::Aql,
+        )
+        .unwrap();
+    assert_eq!(p1, p2);
+}
+
+#[test]
+fn multi_partition_parallel_query() {
+    let db = Instance::open(InstanceConfig {
+        nodes: 4,
+        partitions: 4,
+        ..Default::default()
+    })
+    .unwrap();
+    db.execute_sqlpp(
+        "CREATE TYPE T AS { id: int, grp: int, val: int };
+         CREATE DATASET D(T) PRIMARY KEY id;",
+    )
+    .unwrap();
+    let mut txn = db.begin();
+    for i in 0..2_000 {
+        txn.write(
+            "D",
+            &asterix_adm::parse::parse_value(&format!(
+                r#"{{"id":{i},"grp":{},"val":{}}}"#,
+                i % 10,
+                i % 100
+            ))
+            .unwrap(),
+            true,
+        )
+        .unwrap();
+    }
+    txn.commit().unwrap();
+    let rows = db
+        .query(
+            "SELECT d.grp AS g, COUNT(*) AS n, SUM(d.val) AS s FROM D d
+             GROUP BY d.grp ORDER BY g",
+        )
+        .unwrap();
+    assert_eq!(rows.len(), 10);
+    for r in &rows {
+        assert_eq!(r.field("n"), &Value::Int(200));
+    }
+    // join across partitions
+    let joined = db
+        .query(
+            "SELECT COUNT(*) AS n FROM D a JOIN D b ON a.id = b.id WHERE a.grp = 3",
+        )
+        .unwrap();
+    assert_eq!(joined[0].field("n"), &Value::Int(200));
+}
+
+#[test]
+fn temporal_binning_functions_for_user_studies() {
+    // the §V-D multitasking-study requirement end-to-end
+    let db = Instance::temp().unwrap();
+    db.execute_sqlpp(
+        "CREATE TYPE A AS { id: int, start: datetime, stop: datetime };
+         CREATE DATASET Activities(A) PRIMARY KEY id;",
+    )
+    .unwrap();
+    db.execute_sqlpp(
+        r#"UPSERT INTO Activities ([
+            {"id":1,"start":datetime("2020-01-01T00:30:00"),"stop":datetime("2020-01-01T02:15:00")},
+            {"id":2,"start":datetime("2020-01-01T01:00:00"),"stop":datetime("2020-01-01T01:20:00")}
+        ])"#,
+    )
+    .unwrap();
+    let rows = db
+        .query(
+            r#"SELECT VALUE COLL_COUNT(overlap_bins(a.start, a.stop,
+                     datetime("2020-01-01T00:00:00"), duration("PT1H")))
+               FROM Activities a ORDER BY a.id"#,
+        )
+        .unwrap();
+    assert_eq!(rows, vec![Value::Int(3), Value::Int(1)], "activity 1 spans 3 hourly bins");
+}
+
+#[test]
+fn union_all_end_to_end() {
+    let db = Instance::temp().unwrap();
+    db.execute_sqlpp(
+        "CREATE TYPE T AS { id: int, v: int };
+         CREATE DATASET A(T) PRIMARY KEY id;
+         CREATE DATASET B(T) PRIMARY KEY id;",
+    )
+    .unwrap();
+    db.execute_sqlpp(r#"INSERT INTO A ([{"id":1,"v":10},{"id":2,"v":20}])"#).unwrap();
+    db.execute_sqlpp(r#"INSERT INTO B ([{"id":1,"v":30}])"#).unwrap();
+    let mut rows = db
+        .query(
+            "SELECT VALUE a.v FROM A a
+             UNION ALL SELECT VALUE b.v FROM B b
+             UNION ALL SELECT VALUE 99",
+        )
+        .unwrap();
+    rows.sort_by(asterix_rs_sortkey);
+    assert_eq!(
+        rows,
+        vec![Value::Int(10), Value::Int(20), Value::Int(30), Value::Int(99)]
+    );
+}
+
+fn asterix_rs_sortkey(a: &Value, b: &Value) -> std::cmp::Ordering {
+    asterix_adm::compare::total_cmp(a, b)
+}
+
+#[test]
+fn reopen_with_different_partition_count_is_rejected() {
+    let dir = std::env::temp_dir().join(format!(
+        "asterix-layout-test-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    {
+        let db = Instance::open(InstanceConfig {
+            data_dir: Some(dir.clone()),
+            partitions: 4,
+            nodes: 2,
+            ..Default::default()
+        })
+        .unwrap();
+        db.execute_sqlpp("CREATE TYPE T AS { id: int }; CREATE DATASET D(T) PRIMARY KEY id;")
+            .unwrap();
+    }
+    // same partition count: fine
+    Instance::open(InstanceConfig {
+        data_dir: Some(dir.clone()),
+        partitions: 4,
+        nodes: 2,
+        ..Default::default()
+    })
+    .unwrap();
+    // different partition count: rejected with a clear error
+    let err = Instance::open(InstanceConfig {
+        data_dir: Some(dir.clone()),
+        partitions: 8,
+        nodes: 2,
+        ..Default::default()
+    })
+    .map(|_| ())
+    .unwrap_err();
+    assert!(err.to_string().contains("partition"), "{err}");
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -1,0 +1,172 @@
+//! Property test for the whole query path: randomly generated WHERE
+//! predicates over a known dataset must return exactly the rows a naïve
+//! in-memory evaluation selects — through parsing, translation,
+//! optimization (including index-access-path introduction), job generation,
+//! and parallel execution.
+
+use asterix_adm::Value;
+use asterix_core::instance::{Instance, InstanceConfig};
+use proptest::prelude::*;
+
+const N: i64 = 400;
+
+/// One comparison atom on a known field.
+#[derive(Debug, Clone)]
+enum Atom {
+    A(i64, CmpOp), // indexed field a: 0..20
+    B(i64, CmpOp), // unindexed field b: 0..50
+    CNull(bool),   // c IS [NOT] NULL (c is null for every 7th row)
+}
+
+#[derive(Debug, Clone, Copy)]
+enum CmpOp {
+    Eq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Ne,
+}
+
+impl CmpOp {
+    fn sql(&self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Ne => "!=",
+        }
+    }
+
+    fn eval(&self, l: i64, r: i64) -> bool {
+        match self {
+            CmpOp::Eq => l == r,
+            CmpOp::Lt => l < r,
+            CmpOp::Le => l <= r,
+            CmpOp::Gt => l > r,
+            CmpOp::Ge => l >= r,
+            CmpOp::Ne => l != r,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Pred {
+    Atom(Atom),
+    And(Box<Pred>, Box<Pred>),
+    Or(Box<Pred>, Box<Pred>),
+    Not(Box<Pred>),
+}
+
+fn arb_cmp() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Ne),
+    ]
+}
+
+fn arb_atom() -> impl Strategy<Value = Atom> {
+    prop_oneof![
+        (0i64..20, arb_cmp()).prop_map(|(v, op)| Atom::A(v, op)),
+        (0i64..50, arb_cmp()).prop_map(|(v, op)| Atom::B(v, op)),
+        any::<bool>().prop_map(Atom::CNull),
+    ]
+}
+
+fn arb_pred() -> impl Strategy<Value = Pred> {
+    arb_atom().prop_map(Pred::Atom).prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| Pred::And(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| Pred::Or(Box::new(l), Box::new(r))),
+            inner.prop_map(|p| Pred::Not(Box::new(p))),
+        ]
+    })
+}
+
+fn to_sql(p: &Pred) -> String {
+    match p {
+        Pred::Atom(Atom::A(v, op)) => format!("(t.a {} {v})", op.sql()),
+        Pred::Atom(Atom::B(v, op)) => format!("(t.b {} {v})", op.sql()),
+        Pred::Atom(Atom::CNull(neg)) => {
+            format!("(t.c IS {}NULL)", if *neg { "NOT " } else { "" })
+        }
+        Pred::And(l, r) => format!("({} AND {})", to_sql(l), to_sql(r)),
+        Pred::Or(l, r) => format!("({} OR {})", to_sql(l), to_sql(r)),
+        Pred::Not(inner) => format!("(NOT {})", to_sql(inner)),
+    }
+}
+
+/// Three-valued logic evaluation of the predicate over row `i` (matching
+/// SQL++: a NULL c makes comparisons on it unknown — but here only IS NULL
+/// touches c, so everything stays two-valued).
+fn eval(p: &Pred, i: i64) -> bool {
+    let a = i % 20;
+    let b = (i * 7) % 50;
+    let c_null = i % 7 == 0;
+    match p {
+        Pred::Atom(Atom::A(v, op)) => op.eval(a, *v),
+        Pred::Atom(Atom::B(v, op)) => op.eval(b, *v),
+        Pred::Atom(Atom::CNull(neg)) => c_null != *neg,
+        Pred::And(l, r) => eval(l, i) && eval(r, i),
+        Pred::Or(l, r) => eval(l, i) || eval(r, i),
+        Pred::Not(inner) => !eval(inner, i),
+    }
+}
+
+fn build_instance() -> Instance {
+    let db = Instance::open(InstanceConfig { nodes: 2, partitions: 3, ..Default::default() })
+        .unwrap();
+    db.execute_sqlpp(
+        "CREATE TYPE T AS { id: int, a: int, b: int, c: int? };
+         CREATE DATASET D(T) PRIMARY KEY id;
+         CREATE INDEX byA ON D(a);",
+    )
+    .unwrap();
+    let mut txn = db.begin();
+    for i in 0..N {
+        let c = if i % 7 == 0 { "null".to_string() } else { (i % 3).to_string() };
+        txn.write(
+            "D",
+            &asterix_adm::parse::parse_value(&format!(
+                r#"{{"id": {i}, "a": {}, "b": {}, "c": {c}}}"#,
+                i % 20,
+                (i * 7) % 50
+            ))
+            .unwrap(),
+            true,
+        )
+        .unwrap();
+    }
+    txn.commit().unwrap();
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_predicates_match_brute_force(pred in arb_pred()) {
+        // one shared instance would be faster but proptest shrinking forks
+        // inputs; building per case keeps the test hermetic
+        let db = build_instance();
+        let sql = format!("SELECT VALUE t.id FROM D t WHERE {}", to_sql(&pred));
+        let mut got: Vec<i64> = db
+            .query(&sql)
+            .unwrap()
+            .into_iter()
+            .map(|v| v.as_i64().unwrap())
+            .collect();
+        got.sort_unstable();
+        let want: Vec<i64> = (0..N).filter(|i| eval(&pred, *i)).collect();
+        prop_assert_eq!(got, want, "query: {}", sql);
+        let _ = Value::Null;
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type for the Hyracks runtime.
+
+use std::fmt;
+
+/// Result alias used throughout `asterix-hyracks`.
+pub type Result<T> = std::result::Result<T, HyracksError>;
+
+/// Errors raised by job construction or execution.
+#[derive(Debug)]
+pub enum HyracksError {
+    /// Malformed job specification (bad ports, partition mismatch, cycles).
+    InvalidJob(String),
+    /// Runtime expression/operator evaluation error.
+    Eval(String),
+    /// Storage error (spills, scans).
+    Storage(asterix_storage::StorageError),
+    /// Data-model error.
+    Adm(asterix_adm::AdmError),
+    /// A worker thread panicked.
+    WorkerPanic(String),
+    /// Filesystem error on spill files.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for HyracksError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HyracksError::InvalidJob(m) => write!(f, "invalid job: {m}"),
+            HyracksError::Eval(m) => write!(f, "evaluation error: {m}"),
+            HyracksError::Storage(e) => write!(f, "storage error in dataflow: {e}"),
+            HyracksError::Adm(e) => write!(f, "data-model error in dataflow: {e}"),
+            HyracksError::WorkerPanic(m) => write!(f, "worker panicked: {m}"),
+            HyracksError::Io(e) => write!(f, "spill I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HyracksError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HyracksError::Storage(e) => Some(e),
+            HyracksError::Adm(e) => Some(e),
+            HyracksError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<asterix_storage::StorageError> for HyracksError {
+    fn from(e: asterix_storage::StorageError) -> Self {
+        HyracksError::Storage(e)
+    }
+}
+
+impl From<asterix_adm::AdmError> for HyracksError {
+    fn from(e: asterix_adm::AdmError) -> Self {
+        HyracksError::Adm(e)
+    }
+}
+
+impl From<std::io::Error> for HyracksError {
+    fn from(e: std::io::Error) -> Self {
+        HyracksError::Io(e)
+    }
+}

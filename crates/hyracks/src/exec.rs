@@ -1,0 +1,830 @@
+//! The job executor: one worker thread per operator-partition, bounded
+//! frame channels between them (push-based dataflow, as in Hyracks).
+//!
+//! Connectors materialize as an S×D channel matrix per edge; producers
+//! route tuples by the connector strategy, consumers read their column.
+//! Early termination (e.g. LIMIT satisfied) propagates upstream naturally:
+//! closed channels make producers stop gracefully.
+
+use crate::ctx::RuntimeCtx;
+use crate::error::{HyracksError, Result};
+use crate::frame::{Frame, Tuple};
+use crate::job::{
+    cmp_tuples, ConnStrategy, JobSpec, OpKind, SortKey,
+};
+use crate::ops;
+use asterix_adm::compare::hash64_slice;
+use asterix_adm::Value;
+use crossbeam::channel::{bounded, Receiver, Select, Sender};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering as AtomicOrdering;
+use std::sync::Arc;
+
+/// Frames buffered per channel before producers block.
+const CHANNEL_CAP: usize = 8;
+
+// ---------------------------------------------------------------------------
+// Input side
+// ---------------------------------------------------------------------------
+
+/// Streaming iterator over one input port (any-order across producers).
+pub struct TupleStream {
+    receivers: Vec<Receiver<Frame>>,
+    open: Vec<bool>,
+    buffer: VecDeque<Tuple>,
+}
+
+impl TupleStream {
+    fn new(receivers: Vec<Receiver<Frame>>) -> Self {
+        let open = vec![true; receivers.len()];
+        TupleStream { receivers, open, buffer: VecDeque::new() }
+    }
+
+    fn refill(&mut self) -> bool {
+        loop {
+            let live: Vec<usize> = (0..self.receivers.len()).filter(|i| self.open[*i]).collect();
+            if live.is_empty() {
+                return false;
+            }
+            let mut sel = Select::new();
+            for &i in &live {
+                sel.recv(&self.receivers[i]);
+            }
+            let op = sel.select();
+            let idx = live[op.index()];
+            match op.recv(&self.receivers[idx]) {
+                Ok(frame) => {
+                    if !frame.is_empty() {
+                        self.buffer.extend(frame);
+                        return true;
+                    }
+                }
+                Err(_) => self.open[idx] = false,
+            }
+        }
+    }
+}
+
+impl Iterator for TupleStream {
+    type Item = Result<Tuple>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.buffer.is_empty() && !self.refill() {
+            return None;
+        }
+        self.buffer.pop_front().map(Ok)
+    }
+}
+
+/// Per-producer stream used by sorted-merge consumption.
+struct RecvStream {
+    receiver: Receiver<Frame>,
+    buffer: VecDeque<Tuple>,
+}
+
+impl Iterator for RecvStream {
+    type Item = Result<Tuple>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(t) = self.buffer.pop_front() {
+                return Some(Ok(t));
+            }
+            match self.receiver.recv() {
+                Ok(frame) => self.buffer.extend(frame),
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+enum PortReader {
+    Any(TupleStream),
+    Merge(Box<dyn Iterator<Item = Result<Tuple>> + Send>),
+}
+
+impl PortReader {
+    fn into_iter(self) -> Box<dyn Iterator<Item = Result<Tuple>> + Send> {
+        match self {
+            PortReader::Any(s) => Box::new(s),
+            PortReader::Merge(m) => m,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Output side
+// ---------------------------------------------------------------------------
+
+/// Routes a worker's output tuples to consumer partitions per the connector
+/// strategy.
+pub struct OutputRouter {
+    strategy: ConnStrategy,
+    senders: Vec<Sender<Frame>>,
+    buffers: Vec<Frame>,
+    my_partition: usize,
+    stats: Arc<RuntimeCtx>,
+}
+
+impl OutputRouter {
+    fn new(strategy: ConnStrategy, senders: Vec<Sender<Frame>>, my_partition: usize, ctx: Arc<RuntimeCtx>) -> Self {
+        let buffers = senders.iter().map(|_| Frame::new()).collect();
+        OutputRouter { strategy, senders, buffers, my_partition, stats: ctx }
+    }
+
+    /// Pushes one tuple; returns `false` when every consumer is gone (the
+    /// worker should stop producing).
+    pub fn push(&mut self, t: Tuple) -> Result<bool> {
+        self.stats.stats.tuples_moved.fetch_add(1, AtomicOrdering::Relaxed);
+        if !matches!(self.strategy, ConnStrategy::OneToOne) {
+            self.stats
+                .stats
+                .tuples_exchanged
+                .fetch_add(1, AtomicOrdering::Relaxed);
+        }
+        match &self.strategy {
+            ConnStrategy::OneToOne => self.buffer_to(self.my_partition, t),
+            ConnStrategy::Gather | ConnStrategy::MergeSorted(_) => self.buffer_to(0, t),
+            ConnStrategy::Hash(cols) => {
+                let key: Vec<Value> = cols.iter().map(|c| t[*c].clone()).collect();
+                let dst = (hash64_slice(&key) % self.senders.len() as u64) as usize;
+                self.buffer_to(dst, t)
+            }
+            ConnStrategy::Broadcast => {
+                let mut any_alive = false;
+                for d in 0..self.senders.len() {
+                    if self.buffer_to(d, t.clone())? {
+                        any_alive = true;
+                    }
+                }
+                Ok(any_alive)
+            }
+        }
+    }
+
+    fn buffer_to(&mut self, dst: usize, t: Tuple) -> Result<bool> {
+        if self.buffers[dst].push(t) {
+            return self.flush(dst);
+        }
+        Ok(true)
+    }
+
+    fn flush(&mut self, dst: usize) -> Result<bool> {
+        if self.buffers[dst].is_empty() {
+            return Ok(true);
+        }
+        let frame = self.buffers[dst].take();
+        Ok(self.senders[dst].send(frame).is_ok())
+    }
+
+    /// Flushes all buffers and closes the output.
+    pub fn finish(mut self) -> Result<()> {
+        for d in 0..self.senders.len() {
+            let _ = self.flush(d);
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+/// Result of a job: the tuples gathered by the result sink.
+#[derive(Debug)]
+pub struct JobResult {
+    pub tuples: Vec<Tuple>,
+}
+
+/// Executes a validated job to completion.
+pub fn run_job(spec: JobSpec, ctx: Arc<RuntimeCtx>) -> Result<JobResult> {
+    spec.validate()?;
+    let spec = Arc::new(spec);
+    // channel matrix per connector: [src_partition][dst_partition]
+    struct Matrix {
+        senders: Vec<Vec<Sender<Frame>>>,
+        receivers: Vec<Vec<Option<Receiver<Frame>>>>,
+    }
+    let mut matrices: Vec<Matrix> = Vec::with_capacity(spec.connectors.len());
+    for c in &spec.connectors {
+        let sp = spec.ops[c.src].partitions;
+        let dp = spec.ops[c.dst].partitions;
+        let mut senders = Vec::with_capacity(sp);
+        let mut receivers: Vec<Vec<Option<Receiver<Frame>>>> = (0..dp).map(|_| Vec::new()).collect();
+        for _ in 0..sp {
+            let mut row = Vec::with_capacity(dp);
+            for (d, recv_col) in receivers.iter_mut().enumerate() {
+                let _ = d;
+                let (tx, rx) = bounded::<Frame>(CHANNEL_CAP);
+                row.push(tx);
+                recv_col.push(Some(rx));
+            }
+            senders.push(row);
+        }
+        matrices.push(Matrix { senders, receivers });
+    }
+    let results: Arc<Mutex<Vec<Tuple>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut handles = Vec::new();
+    for (op_id, op) in spec.ops.iter().enumerate() {
+        for p in 0..op.partitions {
+            // input ports
+            let arity = op.kind.arity();
+            let mut ports: Vec<PortReader> = Vec::with_capacity(arity);
+            for port in 0..arity {
+                let (ci, conn) = spec
+                    .connectors
+                    .iter()
+                    .enumerate()
+                    .find(|(_, c)| c.dst == op_id && c.dst_port == port)
+                    .expect("validated");
+                let col: Vec<Receiver<Frame>> = matrices[ci].receivers[p]
+                    .iter_mut()
+                    .map(|r| r.take().expect("receiver taken once"))
+                    .collect();
+                let reader = match &conn.strategy {
+                    ConnStrategy::MergeSorted(keys) => {
+                        let streams: Vec<RecvStream> = col
+                            .into_iter()
+                            .map(|receiver| RecvStream { receiver, buffer: VecDeque::new() })
+                            .collect();
+                        PortReader::Merge(Box::new(ops::sort::KWayMerge::new(
+                            streams,
+                            keys.clone(),
+                        )))
+                    }
+                    _ => PortReader::Any(TupleStream::new(col)),
+                };
+                ports.push(reader);
+            }
+            // output router
+            let out = spec
+                .connectors
+                .iter()
+                .enumerate()
+                .find(|(_, c)| c.src == op_id)
+                .map(|(ci, c)| {
+                    OutputRouter::new(
+                        c.strategy.clone(),
+                        matrices[ci].senders[p].clone(),
+                        p,
+                        Arc::clone(&ctx),
+                    )
+                });
+            let spec2 = Arc::clone(&spec);
+            let ctx2 = Arc::clone(&ctx);
+            let results2 = Arc::clone(&results);
+            let label = format!("{}#{p}", op.label);
+            let handle = std::thread::Builder::new()
+                .name(label.clone())
+                .spawn(move || -> Result<()> {
+                    run_worker(&spec2.ops[op_id].kind, p, ports, out, ctx2, results2)
+                })
+                .map_err(HyracksError::Io)?;
+            handles.push((label, handle));
+        }
+    }
+    // Drop our copies of the senders so channels close when workers finish.
+    drop(matrices);
+    let mut first_err: Option<HyracksError> = None;
+    for (label, h) in handles {
+        match h.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+            Err(panic) => {
+                if first_err.is_none() {
+                    let msg = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "unknown panic".into());
+                    first_err = Some(HyracksError::WorkerPanic(format!("{label}: {msg}")));
+                }
+            }
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    let tuples = std::mem::take(&mut *results.lock());
+    Ok(JobResult { tuples })
+}
+
+fn run_worker(
+    kind: &OpKind,
+    partition: usize,
+    mut ports: Vec<PortReader>,
+    out: Option<OutputRouter>,
+    ctx: Arc<RuntimeCtx>,
+    results: Arc<Mutex<Vec<Tuple>>>,
+) -> Result<()> {
+    if let OpKind::ResultSink = kind {
+        let input = ports.remove(0).into_iter();
+        let mut local = Vec::new();
+        for t in input {
+            local.push(t?);
+        }
+        results.lock().extend(local);
+        return Ok(());
+    }
+    let mut out = out.expect("non-sink operators have an output");
+    let stopped = run_op_body(kind, partition, ports, &mut out, &ctx)?;
+    let _ = stopped;
+    out.finish()
+}
+
+/// Runs the operator body; returns Ok(..) on success (early stop included).
+fn run_op_body(
+    kind: &OpKind,
+    partition: usize,
+    mut ports: Vec<PortReader>,
+    out: &mut OutputRouter,
+    ctx: &Arc<RuntimeCtx>,
+) -> Result<bool> {
+    match kind {
+        OpKind::ResultSink => unreachable!("handled by caller"),
+        OpKind::Source(factory) => {
+            let iter = factory.open(partition)?;
+            for t in iter {
+                if !out.push(t?)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        OpKind::Filter(pred) => {
+            let input = ports.remove(0).into_iter();
+            for t in input {
+                let t = t?;
+                if pred(&t)? && !out.push(t)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        OpKind::Assign(exprs) => {
+            let input = ports.remove(0).into_iter();
+            for t in input {
+                let mut t = t?;
+                for e in exprs {
+                    let v = e(&t)?;
+                    t.push(v);
+                }
+                if !out.push(t)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        OpKind::Project(cols) => {
+            let input = ports.remove(0).into_iter();
+            for t in input {
+                let t = t?;
+                let projected: Tuple = cols.iter().map(|c| t[*c].clone()).collect();
+                if !out.push(projected)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        OpKind::Unnest { expr, outer } => {
+            let input = ports.remove(0).into_iter();
+            for t in input {
+                let t = t?;
+                let coll = expr(&t)?;
+                match coll.as_collection() {
+                    Some(items) if !items.is_empty() => {
+                        for item in items {
+                            let mut row = t.clone();
+                            row.push(item.clone());
+                            if !out.push(row)? {
+                                return Ok(false);
+                            }
+                        }
+                    }
+                    _ => {
+                        if *outer {
+                            let mut row = t.clone();
+                            row.push(Value::Missing);
+                            if !out.push(row)? {
+                                return Ok(false);
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(true)
+        }
+        OpKind::Limit { offset, count } => {
+            let input = ports.remove(0).into_iter();
+            let mut skipped = 0usize;
+            let mut emitted = 0usize;
+            for t in input {
+                let t = t?;
+                if skipped < *offset {
+                    skipped += 1;
+                    continue;
+                }
+                if let Some(c) = count {
+                    if emitted >= *c {
+                        break;
+                    }
+                }
+                emitted += 1;
+                if !out.push(t)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        OpKind::Sort { keys, memory } => {
+            let input = ports.remove(0).into_iter();
+            let sorted = ops::sort::external_sort(input, keys.clone(), *memory, Arc::clone(ctx))?;
+            for t in sorted {
+                if !out.push(t?)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        OpKind::TopK { keys, k } => {
+            let input = ports.remove(0).into_iter();
+            for t in ops::sort::top_k(input, keys, *k)? {
+                if !out.push(t)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        OpKind::Aggregate { aggs } => {
+            let input = ports.remove(0).into_iter();
+            let t = ops::scalar_aggregate(input, aggs)?;
+            out.push(t)?;
+            Ok(true)
+        }
+        OpKind::GroupBy { key_cols, aggs, memory } => {
+            let input = ports.remove(0).into_iter();
+            let mut ok = true;
+            ops::groupby::hash_group_by(input, key_cols, aggs, *memory, ctx, &mut |t| {
+                let cont = out.push(t)?;
+                if !cont {
+                    ok = false;
+                }
+                Ok(cont)
+            })?;
+            Ok(ok)
+        }
+        OpKind::GroupCollect { key_cols, payload_cols, memory } => {
+            let input = ports.remove(0).into_iter();
+            let mut ok = true;
+            ops::groupby::group_collect(input, key_cols, payload_cols, *memory, ctx, &mut |t| {
+                let cont = out.push(t)?;
+                if !cont {
+                    ok = false;
+                }
+                Ok(cont)
+            })?;
+            Ok(ok)
+        }
+        OpKind::Distinct { cols, memory } => {
+            let input = ports.remove(0).into_iter();
+            let mut ok = true;
+            ops::groupby::distinct(input, cols.as_deref(), *memory, ctx, &mut |t| {
+                let cont = out.push(t)?;
+                if !cont {
+                    ok = false;
+                }
+                Ok(cont)
+            })?;
+            Ok(ok)
+        }
+        OpKind::HashJoin { left_keys, right_keys, kind, right_arity, memory } => {
+            let build = ports.remove(1).into_iter();
+            let probe = ports.remove(0).into_iter();
+            let cfg = ops::join::HashJoinCfg {
+                left_keys: left_keys.clone(),
+                right_keys: right_keys.clone(),
+                kind: *kind,
+                right_arity: *right_arity,
+                memory: *memory,
+            };
+            let mut ok = true;
+            ops::join::hash_join(probe, build, &cfg, ctx, &mut |t| {
+                let cont = out.push(t)?;
+                if !cont {
+                    ok = false;
+                }
+                Ok(cont)
+            })?;
+            Ok(ok)
+        }
+        OpKind::NestedLoopJoin { pred, kind, right_arity } => {
+            let build = ports.remove(1).into_iter();
+            let probe = ports.remove(0).into_iter();
+            let mut ok = true;
+            ops::join::nested_loop_join(probe, build, pred, *kind, *right_arity, &mut |t| {
+                let cont = out.push(t)?;
+                if !cont {
+                    ok = false;
+                }
+                Ok(cont)
+            })?;
+            Ok(ok)
+        }
+        OpKind::UnionAll => {
+            let second = ports.remove(1).into_iter();
+            let first = ports.remove(0).into_iter();
+            for t in first.chain(second) {
+                if !out.push(t?)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+    }
+}
+
+/// Convenience: run a job and return result tuples sorted by `keys`
+/// (handy in tests where gather order is nondeterministic).
+pub fn run_job_sorted(spec: JobSpec, ctx: Arc<RuntimeCtx>, keys: &[SortKey]) -> Result<Vec<Tuple>> {
+    let mut r = run_job(spec, ctx)?.tuples;
+    r.sort_by(|a, b| cmp_tuples(a, b, keys));
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{AggSpec, FnSource, JoinKind, SortKey};
+    use std::sync::Arc;
+
+    fn int_source(per_partition: i64) -> OpKind {
+        OpKind::Source(Arc::new(FnSource(move |p: usize| {
+            let base = p as i64 * per_partition;
+            Ok(Box::new(
+                (0..per_partition).map(move |i| Ok(vec![Value::Int(base + i), Value::Int((base + i) % 10)])),
+            ) as Box<dyn Iterator<Item = Result<Tuple>> + Send>)
+        })))
+    }
+
+    #[test]
+    fn scan_filter_gather() {
+        let mut j = JobSpec::new();
+        let s = j.add(int_source(100), 4, "scan");
+        let f = j.add(
+            OpKind::Filter(Arc::new(|t: &Tuple| Ok(matches!(&t[0], Value::Int(i) if i % 2 == 0)))),
+            4,
+            "filter",
+        );
+        let r = j.add(OpKind::ResultSink, 1, "sink");
+        j.connect(s, f, 0, ConnStrategy::OneToOne);
+        j.connect(f, r, 0, ConnStrategy::Gather);
+        let out = run_job(j, RuntimeCtx::temp().unwrap()).unwrap().tuples;
+        assert_eq!(out.len(), 200, "half of 400 across 4 partitions");
+    }
+
+    #[test]
+    fn parallel_sort_with_merge_connector() {
+        let mut j = JobSpec::new();
+        let s = j.add(int_source(500), 4, "scan");
+        let keys = vec![SortKey::desc(0)];
+        let sort = j.add(OpKind::Sort { keys: keys.clone(), memory: 1 << 20 }, 4, "sort");
+        let r = j.add(OpKind::ResultSink, 1, "sink");
+        j.connect(s, sort, 0, ConnStrategy::OneToOne);
+        j.connect(sort, r, 0, ConnStrategy::MergeSorted(keys.clone()));
+        let out = run_job(j, RuntimeCtx::temp().unwrap()).unwrap().tuples;
+        assert_eq!(out.len(), 2000);
+        for w in out.windows(2) {
+            assert!(
+                cmp_tuples(&w[0], &w[1], &keys) != std::cmp::Ordering::Greater,
+                "globally sorted via merge connector"
+            );
+        }
+        assert_eq!(out[0][0], Value::Int(1999));
+    }
+
+    #[test]
+    fn hash_partitioned_group_by() {
+        let mut j = JobSpec::new();
+        let s = j.add(int_source(250), 4, "scan");
+        let g = j.add(
+            OpKind::GroupBy {
+                key_cols: vec![1],
+                aggs: vec![AggSpec::CountStar],
+                memory: 1 << 20,
+            },
+            4,
+            "group",
+        );
+        let r = j.add(OpKind::ResultSink, 1, "sink");
+        j.connect(s, g, 0, ConnStrategy::Hash(vec![1]));
+        j.connect(g, r, 0, ConnStrategy::Gather);
+        let out = run_job_sorted(j, RuntimeCtx::temp().unwrap(), &[SortKey::asc(0)]).unwrap();
+        assert_eq!(out.len(), 10, "10 distinct group keys");
+        for t in &out {
+            assert_eq!(t[1], Value::Int(100), "each mod-10 class has 100 members");
+        }
+    }
+
+    #[test]
+    fn parallel_hash_join() {
+        let mut j = JobSpec::new();
+        let left = j.add(int_source(100), 2, "left");
+        let right = j.add(
+            OpKind::Source(Arc::new(FnSource(move |p: usize| {
+                // keys 0..50 live in one logical stream split over 2 partitions
+                Ok(Box::new((0..25).map(move |i| {
+                    let k = p as i64 * 25 + i;
+                    Ok(vec![Value::Int(k), Value::from(format!("r{k}"))])
+                }))
+                    as Box<dyn Iterator<Item = Result<Tuple>> + Send>)
+            }))),
+            2,
+            "right",
+        );
+        let join = j.add(
+            OpKind::HashJoin {
+                left_keys: vec![0],
+                right_keys: vec![0],
+                kind: JoinKind::Inner,
+                right_arity: 2,
+                memory: 1 << 20,
+            },
+            2,
+            "join",
+        );
+        let r = j.add(OpKind::ResultSink, 1, "sink");
+        j.connect(left, join, 0, ConnStrategy::Hash(vec![0]));
+        j.connect(right, join, 1, ConnStrategy::Hash(vec![0]));
+        j.connect(join, r, 0, ConnStrategy::Gather);
+        let out = run_job(j, RuntimeCtx::temp().unwrap()).unwrap().tuples;
+        assert_eq!(out.len(), 50, "left keys 0..200, right keys 0..50");
+        assert!(out.iter().all(|t| t.len() == 4));
+    }
+
+    #[test]
+    fn broadcast_join_small_build_side() {
+        let mut j = JobSpec::new();
+        let left = j.add(int_source(100), 3, "left");
+        let right = j.add(
+            OpKind::Source(Arc::new(FnSource(|p: usize| {
+                if p == 0 {
+                    Ok(Box::new((0..5).map(|i| Ok(vec![Value::Int(i), Value::from("x")])))
+                        as Box<dyn Iterator<Item = Result<Tuple>> + Send>)
+                } else {
+                    Ok(Box::new(std::iter::empty())
+                        as Box<dyn Iterator<Item = Result<Tuple>> + Send>)
+                }
+            }))),
+            1,
+            "right",
+        );
+        let join = j.add(
+            OpKind::HashJoin {
+                left_keys: vec![0],
+                right_keys: vec![0],
+                kind: JoinKind::Inner,
+                right_arity: 2,
+                memory: 1 << 20,
+            },
+            3,
+            "join",
+        );
+        let r = j.add(OpKind::ResultSink, 1, "sink");
+        j.connect(left, join, 0, ConnStrategy::OneToOne);
+        j.connect(right, join, 1, ConnStrategy::Broadcast);
+        j.connect(join, r, 0, ConnStrategy::Gather);
+        let out = run_job(j, RuntimeCtx::temp().unwrap()).unwrap().tuples;
+        assert_eq!(out.len(), 5, "keys 0..5 exist only in partition 0 of left");
+    }
+
+    #[test]
+    fn limit_stops_early() {
+        let mut j = JobSpec::new();
+        // huge source; limit must cut it off without consuming everything
+        let s = j.add(int_source(1_000_000), 1, "scan");
+        let l = j.add(OpKind::Limit { offset: 5, count: Some(10) }, 1, "limit");
+        let r = j.add(OpKind::ResultSink, 1, "sink");
+        j.connect(s, l, 0, ConnStrategy::OneToOne);
+        j.connect(l, r, 0, ConnStrategy::Gather);
+        let ctx = RuntimeCtx::temp().unwrap();
+        let out = run_job(j, Arc::clone(&ctx)).unwrap().tuples;
+        assert_eq!(out.len(), 10);
+        assert_eq!(out[0][0], Value::Int(5), "offset skipped");
+        let moved = ctx.stats.snapshot().tuples_moved;
+        assert!(moved < 100_000, "early termination pruned the scan ({moved} moved)");
+    }
+
+    #[test]
+    fn union_all_concatenates() {
+        let mut j = JobSpec::new();
+        let a = j.add(int_source(10), 1, "a");
+        let b = j.add(int_source(5), 1, "b");
+        let u = j.add(OpKind::UnionAll, 1, "union");
+        let r = j.add(OpKind::ResultSink, 1, "sink");
+        j.connect(a, u, 0, ConnStrategy::OneToOne);
+        j.connect(b, u, 1, ConnStrategy::Gather);
+        j.connect(u, r, 0, ConnStrategy::Gather);
+        let out = run_job(j, RuntimeCtx::temp().unwrap()).unwrap().tuples;
+        assert_eq!(out.len(), 15);
+    }
+
+    #[test]
+    fn assign_project_unnest_pipeline() {
+        let mut j = JobSpec::new();
+        let s = j.add(
+            OpKind::Source(Arc::new(FnSource(|_p: usize| {
+                Ok(Box::new((0..3).map(|i| {
+                    Ok(vec![Value::Int(i), Value::Array(vec![Value::Int(10 * i), Value::Int(10 * i + 1)])])
+                })) as Box<dyn Iterator<Item = Result<Tuple>> + Send>)
+            }))),
+            1,
+            "src",
+        );
+        let un = j.add(
+            OpKind::Unnest { expr: Arc::new(|t: &Tuple| Ok(t[1].clone())), outer: false },
+            1,
+            "unnest",
+        );
+        let asn = j.add(
+            OpKind::Assign(vec![Arc::new(|t: &Tuple| {
+                Ok(Value::Int(t[2].as_i64().unwrap_or(0) + 1))
+            })]),
+            1,
+            "assign",
+        );
+        let proj = j.add(OpKind::Project(vec![0, 3]), 1, "project");
+        let r = j.add(OpKind::ResultSink, 1, "sink");
+        j.connect(s, un, 0, ConnStrategy::OneToOne);
+        j.connect(un, asn, 0, ConnStrategy::OneToOne);
+        j.connect(asn, proj, 0, ConnStrategy::OneToOne);
+        j.connect(proj, r, 0, ConnStrategy::Gather);
+        let out = run_job_sorted(
+            JobSpec { ops: j.ops, connectors: j.connectors },
+            RuntimeCtx::temp().unwrap(),
+            &[SortKey::asc(0), SortKey::asc(1)],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 6);
+        assert_eq!(out[0], vec![Value::Int(0), Value::Int(1)]);
+        assert_eq!(out[5], vec![Value::Int(2), Value::Int(22)]);
+    }
+
+    #[test]
+    fn error_in_source_propagates() {
+        let mut j = JobSpec::new();
+        let s = j.add(
+            OpKind::Source(Arc::new(FnSource(|_p: usize| {
+                Ok(Box::new((0..10).map(|i| {
+                    if i == 5 {
+                        Err(HyracksError::Eval("boom".into()))
+                    } else {
+                        Ok(vec![Value::Int(i)])
+                    }
+                })) as Box<dyn Iterator<Item = Result<Tuple>> + Send>)
+            }))),
+            1,
+            "src",
+        );
+        let r = j.add(OpKind::ResultSink, 1, "sink");
+        j.connect(s, r, 0, ConnStrategy::Gather);
+        let err = run_job(j, RuntimeCtx::temp().unwrap()).unwrap_err();
+        assert!(err.to_string().contains("boom"), "{err}");
+    }
+
+    #[test]
+    fn scalar_aggregate_over_gather() {
+        let mut j = JobSpec::new();
+        let s = j.add(int_source(100), 4, "scan");
+        let a = j.add(
+            OpKind::Aggregate { aggs: vec![AggSpec::CountStar, AggSpec::Sum(0)] },
+            1,
+            "agg",
+        );
+        let r = j.add(OpKind::ResultSink, 1, "sink");
+        j.connect(s, a, 0, ConnStrategy::Gather);
+        j.connect(a, r, 0, ConnStrategy::Gather);
+        let out = run_job(j, RuntimeCtx::temp().unwrap()).unwrap().tuples;
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0][0], Value::Int(400));
+        assert_eq!(out[0][1], Value::Int((0..400).sum::<i64>()));
+    }
+
+    #[test]
+    fn distinct_across_partitions() {
+        let mut j = JobSpec::new();
+        let s = j.add(int_source(100), 4, "scan"); // col1 = value % 10 everywhere
+        let p = j.add(OpKind::Project(vec![1]), 4, "proj");
+        let d = j.add(OpKind::Distinct { cols: None, memory: 1 << 20 }, 2, "distinct");
+        let r = j.add(OpKind::ResultSink, 1, "sink");
+        j.connect(s, p, 0, ConnStrategy::OneToOne);
+        j.connect(p, d, 0, ConnStrategy::Hash(vec![0]));
+        j.connect(d, r, 0, ConnStrategy::Gather);
+        let out = run_job_sorted(j, RuntimeCtx::temp().unwrap(), &[SortKey::asc(0)]).unwrap();
+        assert_eq!(out.len(), 10);
+    }
+}

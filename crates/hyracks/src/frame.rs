@@ -1,0 +1,125 @@
+//! Tuples and frames — the units of dataflow.
+//!
+//! Hyracks moves data between operators in *frames*: fixed-budget batches of
+//! tuples. Batching amortizes channel synchronization the way real Hyracks
+//! frames amortize network/buffer costs. A tuple is a flat vector of ADM
+//! [`Value`]s; operators address fields by column index (the Algebricks
+//! compiler assigns columns to logical variables).
+
+use asterix_adm::Value;
+
+/// One dataflow tuple: a flat row of values.
+pub type Tuple = Vec<Value>;
+
+/// Target frame payload size in bytes.
+pub const FRAME_BUDGET: usize = 64 * 1024;
+
+/// A batch of tuples bounded by an approximate byte budget.
+#[derive(Debug, Default, Clone)]
+pub struct Frame {
+    tuples: Vec<Tuple>,
+    bytes: usize,
+}
+
+impl Frame {
+    /// Creates an empty frame.
+    pub fn new() -> Self {
+        Frame::default()
+    }
+
+    /// Approximate size of a tuple, used for frame and working-memory
+    /// accounting.
+    pub fn tuple_size(t: &Tuple) -> usize {
+        24 + t.iter().map(Value::heap_size).sum::<usize>()
+    }
+
+    /// Adds a tuple; returns `true` when the frame is full and should be
+    /// shipped.
+    pub fn push(&mut self, t: Tuple) -> bool {
+        self.bytes += Self::tuple_size(&t);
+        self.tuples.push(t);
+        self.bytes >= FRAME_BUDGET
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when no tuples are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Approximate payload bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// The buffered tuples.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Consumes the frame, yielding its tuples.
+    pub fn into_tuples(self) -> Vec<Tuple> {
+        self.tuples
+    }
+
+    /// Drains the frame for reuse.
+    pub fn take(&mut self) -> Frame {
+        std::mem::take(self)
+    }
+}
+
+impl FromIterator<Tuple> for Frame {
+    fn from_iter<T: IntoIterator<Item = Tuple>>(iter: T) -> Self {
+        let mut f = Frame::new();
+        for t in iter {
+            f.push(t);
+        }
+        f
+    }
+}
+
+impl IntoIterator for Frame {
+    type Item = Tuple;
+    type IntoIter = std::vec::IntoIter<Tuple>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tuples.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_reports_full_at_budget() {
+        let mut f = Frame::new();
+        let big = vec![Value::String("x".repeat(FRAME_BUDGET / 4))];
+        assert!(!f.push(big.clone()));
+        assert!(!f.push(big.clone()));
+        assert!(!f.push(big.clone()));
+        assert!(f.push(big), "fourth large tuple crosses the budget");
+        assert_eq!(f.len(), 4);
+    }
+
+    #[test]
+    fn take_resets() {
+        let mut f = Frame::new();
+        f.push(vec![Value::Int(1)]);
+        let taken = f.take();
+        assert_eq!(taken.len(), 1);
+        assert!(f.is_empty());
+        assert_eq!(f.bytes(), 0);
+    }
+
+    #[test]
+    fn from_iter_collects() {
+        let f: Frame = (0..10).map(|i| vec![Value::Int(i)]).collect();
+        assert_eq!(f.len(), 10);
+        let back: Vec<Tuple> = f.into_iter().collect();
+        assert_eq!(back[9], vec![Value::Int(9)]);
+    }
+}

@@ -1,0 +1,32 @@
+//! # Hyracks — the partitioned-parallel dataflow runtime
+//!
+//! A Rust reproduction of the Hyracks data-parallel platform (paper Section
+//! III, feature 4; Borkar et al., ICDE 2011): "an efficient dataflow
+//! execution engine for partitioned-parallel execution of query plans".
+//!
+//! A query plan compiles into a [`job::JobSpec`] — a DAG of operator
+//! descriptors, each instantiated as N partition-parallel workers, wired by
+//! *connectors* (one-to-one, hash-partition, broadcast, sorted-merge). The
+//! [`exec`] module runs a job by spawning one worker thread per
+//! operator-partition and streaming [`frame::Frame`]s (tuple batches)
+//! through bounded channels — the same push-based frame dataflow as Hyracks.
+//!
+//! The paper's fundamental assumption — "the portion of data stored on a
+//! given node can well exceed the size of its main memory, and likewise for
+//! intermediate query results" (ref \[10\]) — is honored by the memory-bounded
+//! operators: [`ops::sort`] (external run-merge sort), [`ops::join`] (hybrid
+//! hash join with grace partitioning), and [`ops::groupby`] (hash aggregation
+//! with partition spilling) all degrade gracefully to disk under a
+//! configurable working-memory budget (experiment E5).
+
+pub mod ctx;
+pub mod error;
+pub mod exec;
+pub mod frame;
+pub mod job;
+pub mod ops;
+
+pub use ctx::RuntimeCtx;
+pub use error::{HyracksError, Result};
+pub use frame::{Frame, Tuple};
+pub use job::{ConnStrategy, JobSpec, OpId, OpKind};

@@ -1,0 +1,404 @@
+//! Hash-based grouped aggregation with hybrid spilling, plus the sort-based
+//! group-collect operator behind SQL++'s nested GROUP BY output.
+//!
+//! The hybrid scheme mirrors the join: groups resident when the budget was
+//! exceeded keep aggregating in place; tuples of *new* keys spill to hash
+//! partitions that are aggregated recursively — grouped aggregation over
+//! inputs larger than memory degrades gracefully (paper ref \[10\], E5).
+
+use crate::ctx::{RunHandle, RuntimeCtx};
+use crate::error::Result;
+use crate::frame::{Frame, Tuple};
+use crate::job::{cmp_tuples, AggSpec, SortKey};
+use crate::ops::sort::external_sort;
+use crate::ops::AggState;
+use asterix_adm::compare::{hash64_slice, OrdValue};
+use asterix_adm::Value;
+use std::collections::HashMap;
+use std::sync::atomic::Ordering as AtomicOrdering;
+use std::sync::Arc;
+
+const GRACE_PARTITIONS: usize = 8;
+const MAX_DEPTH: usize = 3;
+
+fn key_of(t: &Tuple, cols: &[usize]) -> Vec<OrdValue> {
+    cols.iter().map(|c| OrdValue(t[*c].clone())).collect()
+}
+
+fn raw_key(k: &[OrdValue]) -> Vec<Value> {
+    k.iter().map(|v| v.0.clone()).collect()
+}
+
+/// Hash group-by: emits one tuple per group — key columns then one column
+/// per aggregate.
+pub fn hash_group_by(
+    input: impl Iterator<Item = Result<Tuple>>,
+    key_cols: &[usize],
+    aggs: &[AggSpec],
+    memory: usize,
+    ctx: &Arc<RuntimeCtx>,
+    emit: &mut dyn FnMut(Tuple) -> Result<bool>,
+) -> Result<()> {
+    group_level(input, key_cols, aggs, memory, ctx, emit, 0, 0x2545_f491_4f6c_dd1d)?;
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn group_level(
+    input: impl Iterator<Item = Result<Tuple>>,
+    key_cols: &[usize],
+    aggs: &[AggSpec],
+    memory: usize,
+    ctx: &Arc<RuntimeCtx>,
+    emit: &mut dyn FnMut(Tuple) -> Result<bool>,
+    depth: usize,
+    seed: u64,
+) -> Result<bool> {
+    let mut table: HashMap<Vec<OrdValue>, Vec<AggState>> = HashMap::new();
+    let mut bytes = 0usize;
+    let mut spills: Option<Vec<crate::ctx::RunWriter>> = None;
+    let part_of = |k: &[OrdValue]| {
+        let raw = raw_key(k);
+        ((hash64_slice(&raw).rotate_left(29)) ^ seed) as usize % GRACE_PARTITIONS
+    };
+    for item in input {
+        let t = item?;
+        let k = key_of(&t, key_cols);
+        if let Some(states) = table.get_mut(&k) {
+            for s in states {
+                s.update(&t);
+            }
+            continue;
+        }
+        let can_admit = bytes < memory || depth >= MAX_DEPTH;
+        if can_admit {
+            bytes += 64 + raw_key(&k).iter().map(Value::heap_size).sum::<usize>() + 64 * aggs.len();
+            let mut states: Vec<AggState> = aggs.iter().map(|a| AggState::new(*a)).collect();
+            for s in &mut states {
+                s.update(&t);
+            }
+            table.insert(k, states);
+        } else {
+            // spill tuples of non-resident groups
+            let writers = match &mut spills {
+                Some(w) => w,
+                None => {
+                    ctx.stats.groups_spilled.fetch_add(1, AtomicOrdering::Relaxed);
+                    spills = Some(
+                        (0..GRACE_PARTITIONS)
+                            .map(|_| ctx.new_run())
+                            .collect::<Result<_>>()?,
+                    );
+                    spills.as_mut().unwrap()
+                }
+            };
+            writers[part_of(&k)].write(&t)?;
+        }
+    }
+    // emit resident groups
+    for (k, states) in table {
+        let mut out = raw_key(&k);
+        out.extend(states.iter().map(AggState::finish));
+        if !emit(out)? {
+            return Ok(false);
+        }
+    }
+    // recurse into spilled partitions
+    if let Some(writers) = spills {
+        let handles: Vec<RunHandle> = writers
+            .into_iter()
+            .map(|w| w.finish(ctx))
+            .collect::<Result<_>>()?;
+        for h in &handles {
+            let cont = group_level(
+                h.read()?,
+                key_cols,
+                aggs,
+                memory,
+                ctx,
+                emit,
+                depth + 1,
+                seed.rotate_left(31),
+            )?;
+            if !cont {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// Sort-based group-collect: groups by `key_cols` and emits, per group, the
+/// key columns followed by one array value holding the grouped tuples
+/// projected to `payload_cols` (each as an array). This is the operator
+/// behind SQL++ `GROUP BY` when the query references the group itself —
+/// JSON's nested data model makes the group a first-class value (paper §IV-A
+/// on SQL++'s "generalized support for grouping and aggregation").
+pub fn group_collect(
+    input: impl Iterator<Item = Result<Tuple>>,
+    key_cols: &[usize],
+    payload_cols: &[usize],
+    memory: usize,
+    ctx: &Arc<RuntimeCtx>,
+    emit: &mut dyn FnMut(Tuple) -> Result<bool>,
+) -> Result<()> {
+    let sort_keys: Vec<SortKey> = key_cols.iter().map(|c| SortKey::asc(*c)).collect();
+    let sorted = external_sort(input, sort_keys.clone(), memory, Arc::clone(ctx))?;
+    let mut current_key: Option<Tuple> = None;
+    let mut group: Vec<Value> = Vec::new();
+    let flush = |key: &Tuple,
+                 group: &mut Vec<Value>,
+                 emit: &mut dyn FnMut(Tuple) -> Result<bool>|
+     -> Result<bool> {
+        let mut out: Tuple = key.clone();
+        out.push(Value::Array(std::mem::take(group)));
+        emit(out)
+    };
+    for item in sorted {
+        let t = item?;
+        let key: Tuple = key_cols.iter().map(|c| t[*c].clone()).collect();
+        // A single payload column collects bare values; multiple columns
+        // collect per-tuple arrays.
+        let payload = if payload_cols.len() == 1 {
+            t[payload_cols[0]].clone()
+        } else {
+            Value::Array(payload_cols.iter().map(|c| t[*c].clone()).collect::<Vec<_>>())
+        };
+        match &current_key {
+            Some(k) if cmp_tuples(k, &key, &all_asc(key.len())) == std::cmp::Ordering::Equal => {
+                group.push(payload);
+            }
+            Some(k) => {
+                if !flush(k, &mut group, emit)? {
+                    return Ok(());
+                }
+                current_key = Some(key);
+                group.push(payload);
+            }
+            None => {
+                current_key = Some(key);
+                group.push(payload);
+            }
+        }
+    }
+    if let Some(k) = current_key {
+        flush(&k, &mut group, emit)?;
+    }
+    Ok(())
+}
+
+fn all_asc(n: usize) -> Vec<SortKey> {
+    (0..n).map(SortKey::asc).collect()
+}
+
+/// Duplicate elimination on `cols` (or whole tuples), hybrid-hash based.
+pub fn distinct(
+    input: impl Iterator<Item = Result<Tuple>>,
+    cols: Option<&[usize]>,
+    memory: usize,
+    ctx: &Arc<RuntimeCtx>,
+    emit: &mut dyn FnMut(Tuple) -> Result<bool>,
+) -> Result<()> {
+    distinct_level(input, cols, memory, ctx, emit, 0, 0x9e37_79b9)?;
+    Ok(())
+}
+
+fn distinct_level(
+    input: impl Iterator<Item = Result<Tuple>>,
+    cols: Option<&[usize]>,
+    memory: usize,
+    ctx: &Arc<RuntimeCtx>,
+    emit: &mut dyn FnMut(Tuple) -> Result<bool>,
+    depth: usize,
+    seed: u64,
+) -> Result<bool> {
+    let mut seen: HashMap<Vec<OrdValue>, Tuple> = HashMap::new();
+    let mut bytes = 0usize;
+    let mut spills: Option<Vec<crate::ctx::RunWriter>> = None;
+    for item in input {
+        let t = item?;
+        let k: Vec<OrdValue> = match cols {
+            Some(cs) => key_of(&t, cs),
+            None => t.iter().cloned().map(OrdValue).collect(),
+        };
+        if seen.contains_key(&k) {
+            continue;
+        }
+        if bytes < memory || depth >= MAX_DEPTH {
+            bytes += Frame::tuple_size(&t) + 32;
+            seen.insert(k, t);
+        } else {
+            let writers = match &mut spills {
+                Some(w) => w,
+                None => {
+                    spills = Some(
+                        (0..GRACE_PARTITIONS)
+                            .map(|_| ctx.new_run())
+                            .collect::<Result<_>>()?,
+                    );
+                    spills.as_mut().unwrap()
+                }
+            };
+            let raw = raw_key(&k);
+            let p = ((hash64_slice(&raw)) ^ seed) as usize % GRACE_PARTITIONS;
+            writers[p].write(&t)?;
+        }
+    }
+    for (_, t) in seen {
+        if !emit(t)? {
+            return Ok(false);
+        }
+    }
+    if let Some(writers) = spills {
+        let handles: Vec<RunHandle> = writers
+            .into_iter()
+            .map(|w| w.finish(ctx))
+            .collect::<Result<_>>()?;
+        for h in &handles {
+            if !distinct_level(h.read()?, cols, memory, ctx, emit, depth + 1, seed.rotate_left(13))? {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(n: i64, groups: i64) -> Vec<Result<Tuple>> {
+        (0..n)
+            .map(|i| Ok(vec![Value::Int(i % groups), Value::Int(i), Value::from(format!("r{i}"))]))
+            .collect()
+    }
+
+    fn run_group(
+        input: Vec<Result<Tuple>>,
+        keys: &[usize],
+        aggs: &[AggSpec],
+        memory: usize,
+    ) -> (Vec<Tuple>, crate::ctx::DataflowSnapshot) {
+        let ctx = RuntimeCtx::temp().unwrap();
+        let mut out = Vec::new();
+        hash_group_by(input.into_iter(), keys, aggs, memory, &ctx, &mut |t| {
+            out.push(t);
+            Ok(true)
+        })
+        .unwrap();
+        out.sort_by(|a, b| cmp_tuples(a, b, &[SortKey::asc(0)]));
+        (out, ctx.stats.snapshot())
+    }
+
+    #[test]
+    fn basic_grouping() {
+        let (out, snap) = run_group(
+            rows(100, 4),
+            &[0],
+            &[AggSpec::CountStar, AggSpec::Sum(1), AggSpec::Min(1), AggSpec::Max(1)],
+            64 << 20,
+        );
+        assert_eq!(out.len(), 4);
+        assert_eq!(snap.groups_spilled, 0);
+        // group 0: values 0,4,...,96 → count 25, sum 1200, min 0, max 96
+        assert_eq!(out[0][0], Value::Int(0));
+        assert_eq!(out[0][1], Value::Int(25));
+        assert_eq!(out[0][2], Value::Int(1200));
+        assert_eq!(out[0][3], Value::Int(0));
+        assert_eq!(out[0][4], Value::Int(96));
+    }
+
+    #[test]
+    fn spilling_grouping_matches_in_memory() {
+        let (big, _) =
+            run_group(rows(20_000, 3_000), &[0], &[AggSpec::CountStar, AggSpec::Sum(1)], 64 << 20);
+        let (small, snap) =
+            run_group(rows(20_000, 3_000), &[0], &[AggSpec::CountStar, AggSpec::Sum(1)], 16 << 10);
+        assert!(snap.groups_spilled > 0, "spill mode engaged");
+        assert_eq!(big, small, "spilled result identical");
+        assert_eq!(big.len(), 3_000);
+    }
+
+    #[test]
+    fn group_collect_nests_payloads() {
+        let ctx = RuntimeCtx::temp().unwrap();
+        let input = rows(10, 2);
+        let mut out = Vec::new();
+        group_collect(input.into_iter(), &[0], &[1, 2], 1 << 20, &ctx, &mut |t| {
+            out.push(t);
+            Ok(true)
+        })
+        .unwrap();
+        out.sort_by(|a, b| cmp_tuples(a, b, &[SortKey::asc(0)]));
+        assert_eq!(out.len(), 2);
+        let group0 = out[0][1].as_collection().unwrap();
+        assert_eq!(group0.len(), 5, "5 tuples in group 0");
+        assert!(matches!(&group0[0], Value::Array(items) if items.len() == 2));
+    }
+
+    #[test]
+    fn group_collect_empty_input() {
+        let ctx = RuntimeCtx::temp().unwrap();
+        let mut out = Vec::new();
+        group_collect(std::iter::empty(), &[0], &[1], 1 << 20, &ctx, &mut |t| {
+            out.push(t);
+            Ok(true)
+        })
+        .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn distinct_whole_tuple_and_columns() {
+        let ctx = RuntimeCtx::temp().unwrap();
+        let input = || -> Vec<Result<Tuple>> {
+            vec![
+                Ok(vec![Value::Int(1), Value::from("a")]),
+                Ok(vec![Value::Int(1), Value::from("a")]),
+                Ok(vec![Value::Int(1), Value::from("b")]),
+                Ok(vec![Value::Int(2), Value::from("a")]),
+            ]
+        };
+        let mut out = Vec::new();
+        distinct(input().into_iter(), None, 1 << 20, &ctx, &mut |t| {
+            out.push(t);
+            Ok(true)
+        })
+        .unwrap();
+        assert_eq!(out.len(), 3);
+        let mut out2 = Vec::new();
+        distinct(input().into_iter(), Some(&[0]), 1 << 20, &ctx, &mut |t| {
+            out2.push(t);
+            Ok(true)
+        })
+        .unwrap();
+        assert_eq!(out2.len(), 2, "distinct on column 0 only");
+    }
+
+    #[test]
+    fn distinct_spills_and_stays_correct() {
+        let ctx = RuntimeCtx::temp().unwrap();
+        let input: Vec<Result<Tuple>> = (0..10_000)
+            .map(|i| Ok(vec![Value::Int(i % 1_000), Value::from(format!("pad{}", i % 1_000))]))
+            .collect();
+        let mut out = Vec::new();
+        distinct(input.into_iter(), None, 8 << 10, &ctx, &mut |t| {
+            out.push(t);
+            Ok(true)
+        })
+        .unwrap();
+        assert_eq!(out.len(), 1_000);
+    }
+
+    #[test]
+    fn grouping_with_null_keys() {
+        let input: Vec<Result<Tuple>> = vec![
+            Ok(vec![Value::Null, Value::Int(1), Value::from("x")]),
+            Ok(vec![Value::Null, Value::Int(2), Value::from("y")]),
+            Ok(vec![Value::Int(1), Value::Int(3), Value::from("z")]),
+        ];
+        let (out, _) = run_group(input, &[0], &[AggSpec::CountStar], 1 << 20);
+        assert_eq!(out.len(), 2, "NULL forms its own group (SQL GROUP BY)");
+        assert_eq!(out[0][1], Value::Int(2));
+    }
+}

@@ -1,0 +1,382 @@
+//! Hybrid hash join with grace (partitioned) spilling.
+//!
+//! Builds a hash table on input port 1 (the build side). If the build side
+//! exceeds the working-memory budget, both sides are hash-partitioned to
+//! spill files and each partition pair is joined independently — the classic
+//! hybrid/grace scheme, so joins whose inputs exceed memory degrade
+//! gracefully instead of failing (paper ref \[10\], experiment E5).
+
+use crate::ctx::{RunHandle, RuntimeCtx};
+use crate::error::Result;
+use crate::frame::{Frame, Tuple};
+use crate::job::JoinKind;
+use asterix_adm::compare::{adm_eq, hash64_slice};
+use asterix_adm::Value;
+use std::collections::HashMap;
+use std::sync::atomic::Ordering as AtomicOrdering;
+use std::sync::Arc;
+
+/// Number of grace partitions per spill level.
+const GRACE_PARTITIONS: usize = 8;
+/// Maximum recursion depth before giving up on partitioning (extremely
+/// skewed data) and joining in memory regardless of the budget.
+const MAX_DEPTH: usize = 3;
+
+/// Configuration of one hash join.
+#[derive(Clone)]
+pub struct HashJoinCfg {
+    pub left_keys: Vec<usize>,
+    pub right_keys: Vec<usize>,
+    pub kind: JoinKind,
+    pub right_arity: usize,
+    pub memory: usize,
+}
+
+fn key_of(t: &Tuple, cols: &[usize]) -> Vec<Value> {
+    cols.iter().map(|c| t[*c].clone()).collect()
+}
+
+fn keys_join_eq(a: &[Value], b: &[Value]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| adm_eq(x, y))
+}
+
+/// True when the key contains NULL/MISSING — SQL join semantics: unknown
+/// keys match nothing.
+fn key_has_unknown(k: &[Value]) -> bool {
+    k.iter().any(Value::is_unknown)
+}
+
+/// Runs the join, calling `emit` for each output tuple (left columns then
+/// right columns). `emit` returning `false` stops the join early.
+pub fn hash_join(
+    probe: impl Iterator<Item = Result<Tuple>>,
+    build: impl Iterator<Item = Result<Tuple>>,
+    cfg: &HashJoinCfg,
+    ctx: &Arc<RuntimeCtx>,
+    emit: &mut dyn FnMut(Tuple) -> Result<bool>,
+) -> Result<()> {
+    join_level(probe, build, cfg, ctx, emit, 0, 0x517c_c1b7_2722_0a95)?;
+    Ok(())
+}
+
+/// One level of the hybrid scheme. Returns false when `emit` stopped early.
+fn join_level(
+    probe: impl Iterator<Item = Result<Tuple>>,
+    build: impl Iterator<Item = Result<Tuple>>,
+    cfg: &HashJoinCfg,
+    ctx: &Arc<RuntimeCtx>,
+    emit: &mut dyn FnMut(Tuple) -> Result<bool>,
+    depth: usize,
+    seed: u64,
+) -> Result<bool> {
+    // Try to build in memory within the budget.
+    let mut table: HashMap<u64, Vec<(Vec<Value>, Tuple)>> = HashMap::new();
+    let mut build_bytes = 0usize;
+    let mut build = build.peekable();
+    let mut overflow = false;
+    let mut overflowed_rows: Vec<Tuple> = Vec::new();
+    while let Some(item) = build.next() {
+        let t = item?;
+        build_bytes += Frame::tuple_size(&t);
+        let k = key_of(&t, &cfg.right_keys);
+        if !key_has_unknown(&k) {
+            table.entry(hash64_slice(&k)).or_default().push((k, t));
+        }
+        if build_bytes > cfg.memory && depth < MAX_DEPTH {
+            overflow = true;
+            // drain the rest of the build side raw; everything respills
+            for rest in build.by_ref() {
+                overflowed_rows.push(rest?);
+            }
+            break;
+        }
+    }
+    if !overflow {
+        // stream the probe side against the in-memory table
+        return probe_table(probe, &table, cfg, emit);
+    }
+    ctx.stats.joins_spilled.fetch_add(1, AtomicOrdering::Relaxed);
+    // Grace mode: partition both sides by a salted hash of the join key.
+    let salt = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(depth as u64);
+    let part_of = |k: &[Value]| (hash64_slice(k).rotate_left(17) ^ salt) as usize % GRACE_PARTITIONS;
+    let mut build_parts: Vec<crate::ctx::RunWriter> = (0..GRACE_PARTITIONS)
+        .map(|_| ctx.new_run())
+        .collect::<Result<_>>()?;
+    // respill what we had in the table + the overflow tail
+    for bucket in table.into_values() {
+        for (k, t) in bucket {
+            build_parts[part_of(&k)].write(&t)?;
+        }
+    }
+    for t in overflowed_rows {
+        let k = key_of(&t, &cfg.right_keys);
+        if !key_has_unknown(&k) {
+            build_parts[part_of(&k)].write(&t)?;
+        }
+    }
+    let build_handles: Vec<RunHandle> = build_parts
+        .into_iter()
+        .map(|w| w.finish(ctx))
+        .collect::<Result<_>>()?;
+    let mut probe_parts: Vec<crate::ctx::RunWriter> = (0..GRACE_PARTITIONS)
+        .map(|_| ctx.new_run())
+        .collect::<Result<_>>()?;
+    for t in probe {
+        let t = t?;
+        let k = key_of(&t, &cfg.left_keys);
+        if key_has_unknown(&k) {
+            // unknown keys match nothing; for outer joins they still surface
+            if cfg.kind == JoinKind::LeftOuter {
+                let mut out = t;
+                out.extend(std::iter::repeat_n(Value::Missing, cfg.right_arity));
+                if !emit(out)? {
+                    return Ok(false);
+                }
+            }
+            continue;
+        }
+        probe_parts[part_of(&k)].write(&t)?;
+    }
+    let probe_handles: Vec<RunHandle> = probe_parts
+        .into_iter()
+        .map(|w| w.finish(ctx))
+        .collect::<Result<_>>()?;
+    // join each partition pair recursively
+    for (b, p) in build_handles.iter().zip(probe_handles.iter()) {
+        let cont = join_level(
+            p.read()?,
+            b.read()?,
+            cfg,
+            ctx,
+            emit,
+            depth + 1,
+            salt.rotate_left(23),
+        )?;
+        if !cont {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+fn probe_table(
+    probe: impl Iterator<Item = Result<Tuple>>,
+    table: &HashMap<u64, Vec<(Vec<Value>, Tuple)>>,
+    cfg: &HashJoinCfg,
+    emit: &mut dyn FnMut(Tuple) -> Result<bool>,
+) -> Result<bool> {
+    for t in probe {
+        let t = t?;
+        let k = key_of(&t, &cfg.left_keys);
+        let mut matched = false;
+        if !key_has_unknown(&k) {
+            if let Some(bucket) = table.get(&hash64_slice(&k)) {
+                for (bk, bt) in bucket {
+                    if keys_join_eq(&k, bk) {
+                        matched = true;
+                        let mut out = t.clone();
+                        out.extend(bt.iter().cloned());
+                        if !emit(out)? {
+                            return Ok(false);
+                        }
+                    }
+                }
+            }
+        }
+        if !matched && cfg.kind == JoinKind::LeftOuter {
+            let mut out = t;
+            out.extend(std::iter::repeat_n(Value::Missing, cfg.right_arity));
+            if !emit(out)? {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// Nested-loop join: buffers the build side (port 1), streams the probe.
+pub fn nested_loop_join(
+    probe: impl Iterator<Item = Result<Tuple>>,
+    build: impl Iterator<Item = Result<Tuple>>,
+    pred: &crate::job::Pred2Fn,
+    kind: JoinKind,
+    right_arity: usize,
+    emit: &mut dyn FnMut(Tuple) -> Result<bool>,
+) -> Result<()> {
+    let build: Vec<Tuple> = build.collect::<Result<_>>()?;
+    for t in probe {
+        let t = t?;
+        let mut matched = false;
+        for b in &build {
+            if pred(&t, b)? {
+                matched = true;
+                let mut out = t.clone();
+                out.extend(b.iter().cloned());
+                if !emit(out)? {
+                    return Ok(());
+                }
+            }
+        }
+        if !matched && kind == JoinKind::LeftOuter {
+            let mut out = t;
+            out.extend(std::iter::repeat_n(Value::Missing, right_arity));
+            if !emit(out)? {
+                return Ok(());
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(pairs: &[(i64, &str)]) -> Vec<Result<Tuple>> {
+        pairs
+            .iter()
+            .map(|(k, s)| Ok(vec![Value::Int(*k), Value::from(*s)]))
+            .collect()
+    }
+
+    fn cfg(kind: JoinKind, memory: usize) -> HashJoinCfg {
+        HashJoinCfg {
+            left_keys: vec![0],
+            right_keys: vec![0],
+            kind,
+            right_arity: 2,
+            memory,
+        }
+    }
+
+    fn collect_join(
+        probe: Vec<Result<Tuple>>,
+        build: Vec<Result<Tuple>>,
+        cfg: &HashJoinCfg,
+    ) -> Vec<Tuple> {
+        let ctx = RuntimeCtx::temp().unwrap();
+        let mut out = Vec::new();
+        hash_join(probe.into_iter(), build.into_iter(), cfg, &ctx, &mut |t| {
+            out.push(t);
+            Ok(true)
+        })
+        .unwrap();
+        out
+    }
+
+    #[test]
+    fn inner_join_in_memory() {
+        let probe = rows(&[(1, "a"), (2, "b"), (3, "c")]);
+        let build = rows(&[(2, "x"), (3, "y"), (3, "z"), (4, "w")]);
+        let mut out = collect_join(probe, build, &cfg(JoinKind::Inner, 1 << 20));
+        out.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        assert_eq!(out.len(), 3, "2 matches 1, 3 matches 2");
+        assert!(out.iter().all(|t| t.len() == 4));
+    }
+
+    #[test]
+    fn left_outer_pads_missing() {
+        let probe = rows(&[(1, "a"), (2, "b")]);
+        let build = rows(&[(2, "x")]);
+        let out = collect_join(probe, build, &cfg(JoinKind::LeftOuter, 1 << 20));
+        assert_eq!(out.len(), 2);
+        let unmatched = out.iter().find(|t| t[0] == Value::Int(1)).unwrap();
+        assert_eq!(unmatched[2], Value::Missing);
+        assert_eq!(unmatched[3], Value::Missing);
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let probe = || vec![Ok(vec![Value::Null, Value::from("p")])];
+        let build = || vec![Ok(vec![Value::Null, Value::from("b")])];
+        let out = collect_join(probe(), build(), &cfg(JoinKind::Inner, 1 << 20));
+        assert!(out.is_empty(), "NULL != NULL in joins");
+        let out = collect_join(probe(), build(), &cfg(JoinKind::LeftOuter, 1 << 20));
+        assert_eq!(out.len(), 1, "outer join still surfaces the left row");
+        assert_eq!(out[0][2], Value::Missing);
+    }
+
+    #[test]
+    fn grace_spill_matches_in_memory_result() {
+        let n = 3_000i64;
+        let probe = || -> Vec<Result<Tuple>> {
+            (0..n).map(|i| Ok(vec![Value::Int(i % 500), Value::from(format!("p{i}"))])).collect()
+        };
+        let build = || -> Vec<Result<Tuple>> {
+            (0..500).map(|i| Ok(vec![Value::Int(i), Value::from(format!("b{i}"))])).collect()
+        };
+        let big = collect_join(probe(), build(), &cfg(JoinKind::Inner, 64 << 20));
+        let ctx = RuntimeCtx::temp().unwrap();
+        let mut small = Vec::new();
+        hash_join(
+            probe().into_iter(),
+            build().into_iter(),
+            &cfg(JoinKind::Inner, 4 << 10), // tiny budget forces grace mode
+            &ctx,
+            &mut |t| {
+                small.push(t);
+                Ok(true)
+            },
+        )
+        .unwrap();
+        assert!(ctx.stats.snapshot().joins_spilled > 0, "grace mode engaged");
+        assert_eq!(big.len(), small.len());
+        let canon = |mut v: Vec<Tuple>| {
+            v.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+            v
+        };
+        assert_eq!(canon(big), canon(small));
+    }
+
+    #[test]
+    fn cross_type_numeric_join_keys() {
+        let probe = vec![Ok(vec![Value::Double(2.0), Value::from("p")])];
+        let build = vec![Ok(vec![Value::Int(2), Value::from("b")])];
+        let out = collect_join(probe, build, &cfg(JoinKind::Inner, 1 << 20));
+        assert_eq!(out.len(), 1, "Int(2) joins Double(2.0)");
+    }
+
+    #[test]
+    fn early_stop_via_emit() {
+        let probe = rows(&[(1, "a"), (1, "b"), (1, "c")]);
+        let build = rows(&[(1, "x")]);
+        let ctx = RuntimeCtx::temp().unwrap();
+        let mut n = 0;
+        hash_join(
+            probe.into_iter(),
+            build.into_iter(),
+            &cfg(JoinKind::Inner, 1 << 20),
+            &ctx,
+            &mut |_t| {
+                n += 1;
+                Ok(n < 2)
+            },
+        )
+        .unwrap();
+        assert_eq!(n, 2, "stopped after limit");
+    }
+
+    #[test]
+    fn nested_loop_theta_join() {
+        let probe = rows(&[(1, "a"), (5, "b")]);
+        let build = rows(&[(3, "x"), (7, "y")]);
+        let pred: crate::job::Pred2Fn = Arc::new(|l, r| {
+            Ok(matches!((&l[0], &r[0]), (Value::Int(a), Value::Int(b)) if a < b))
+        });
+        let mut out = Vec::new();
+        nested_loop_join(
+            probe.into_iter(),
+            build.into_iter(),
+            &pred,
+            JoinKind::Inner,
+            2,
+            &mut |t| {
+                out.push(t);
+                Ok(true)
+            },
+        )
+        .unwrap();
+        // 1 < 3, 1 < 7, 5 < 7
+        assert_eq!(out.len(), 3);
+    }
+}

@@ -1,0 +1,197 @@
+//! Operator implementations.
+//!
+//! The memory-hungry operators live in their own modules ([`sort`], [`join`],
+//! [`groupby`]); this module provides the aggregate-function machinery shared
+//! by scalar aggregation and group-by.
+
+pub mod groupby;
+pub mod join;
+pub mod sort;
+
+use crate::error::Result;
+use crate::frame::Tuple;
+use crate::job::AggSpec;
+use asterix_adm::compare::total_cmp;
+use asterix_adm::Value;
+use std::cmp::Ordering;
+
+/// Running state of one aggregate function (SQL null semantics: NULL and
+/// MISSING inputs are skipped; aggregates over no values yield NULL, except
+/// COUNT which yields 0).
+#[derive(Debug, Clone)]
+pub struct AggState {
+    spec: AggSpec,
+    count: u64,
+    sum_int: i64,
+    sum_double: f64,
+    ints_only: bool,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+impl AggState {
+    /// Fresh accumulator for `spec`.
+    pub fn new(spec: AggSpec) -> Self {
+        AggState {
+            spec,
+            count: 0,
+            sum_int: 0,
+            sum_double: 0.0,
+            ints_only: true,
+            min: None,
+            max: None,
+        }
+    }
+
+    /// Folds one tuple into the accumulator.
+    pub fn update(&mut self, tuple: &Tuple) {
+        let col = match self.spec {
+            AggSpec::CountStar => {
+                self.count += 1;
+                return;
+            }
+            AggSpec::Count(c)
+            | AggSpec::Sum(c)
+            | AggSpec::Min(c)
+            | AggSpec::Max(c)
+            | AggSpec::Avg(c) => c,
+        };
+        let v = &tuple[col];
+        if v.is_unknown() {
+            return;
+        }
+        self.count += 1;
+        match self.spec {
+            AggSpec::Sum(_) | AggSpec::Avg(_) => match v {
+                Value::Int(i) => {
+                    self.sum_int = self.sum_int.wrapping_add(*i);
+                    self.sum_double += *i as f64;
+                }
+                Value::Double(d) => {
+                    self.ints_only = false;
+                    self.sum_double += d;
+                }
+                _ => { /* non-numeric values are skipped, like NULLs */ }
+            },
+            AggSpec::Min(_)
+                if self.min.as_ref().is_none_or(|m| total_cmp(v, m) == Ordering::Less) => {
+                    self.min = Some(v.clone());
+                }
+            AggSpec::Max(_)
+                if self.max.as_ref().is_none_or(|m| total_cmp(v, m) == Ordering::Greater) => {
+                    self.max = Some(v.clone());
+                }
+            _ => {}
+        }
+    }
+
+    /// Produces the final aggregate value.
+    pub fn finish(&self) -> Value {
+        match self.spec {
+            AggSpec::CountStar | AggSpec::Count(_) => Value::Int(self.count as i64),
+            AggSpec::Sum(_) => {
+                if self.count == 0 {
+                    Value::Null
+                } else if self.ints_only {
+                    Value::Int(self.sum_int)
+                } else {
+                    Value::Double(self.sum_double)
+                }
+            }
+            AggSpec::Avg(_) => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Double(self.sum_double / self.count as f64)
+                }
+            }
+            AggSpec::Min(_) => self.min.clone().unwrap_or(Value::Null),
+            AggSpec::Max(_) => self.max.clone().unwrap_or(Value::Null),
+        }
+    }
+
+    /// Approximate heap footprint for memory budgeting.
+    pub fn approx_bytes(&self) -> usize {
+        64 + self.min.as_ref().map_or(0, Value::heap_size)
+            + self.max.as_ref().map_or(0, Value::heap_size)
+    }
+}
+
+/// Runs a whole-input scalar aggregation, producing the single output tuple.
+pub fn scalar_aggregate(
+    input: impl Iterator<Item = Result<Tuple>>,
+    aggs: &[AggSpec],
+) -> Result<Tuple> {
+    let mut states: Vec<AggState> = aggs.iter().map(|a| AggState::new(*a)).collect();
+    for t in input {
+        let t = t?;
+        for s in &mut states {
+            s.update(&t);
+        }
+    }
+    Ok(states.iter().map(AggState::finish).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Result<Tuple>> {
+        vec![
+            Ok(vec![Value::Int(1), Value::Double(2.5)]),
+            Ok(vec![Value::Int(3), Value::Null]),
+            Ok(vec![Value::Int(2), Value::Double(0.5)]),
+            Ok(vec![Value::Null, Value::Double(1.0)]),
+        ]
+    }
+
+    #[test]
+    fn count_star_vs_count_col() {
+        let out = scalar_aggregate(
+            rows().into_iter(),
+            &[AggSpec::CountStar, AggSpec::Count(0), AggSpec::Count(1)],
+        )
+        .unwrap();
+        assert_eq!(out, vec![Value::Int(4), Value::Int(3), Value::Int(3)]);
+    }
+
+    #[test]
+    fn sum_avg_min_max() {
+        let out = scalar_aggregate(
+            rows().into_iter(),
+            &[
+                AggSpec::Sum(0),
+                AggSpec::Avg(0),
+                AggSpec::Min(0),
+                AggSpec::Max(0),
+                AggSpec::Sum(1),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out[0], Value::Int(6));
+        assert_eq!(out[1], Value::Double(2.0));
+        assert_eq!(out[2], Value::Int(1));
+        assert_eq!(out[3], Value::Int(3));
+        assert_eq!(out[4], Value::Double(4.0));
+    }
+
+    #[test]
+    fn empty_input_yields_null_and_zero() {
+        let out = scalar_aggregate(
+            std::iter::empty(),
+            &[AggSpec::CountStar, AggSpec::Sum(0), AggSpec::Min(0), AggSpec::Avg(0)],
+        )
+        .unwrap();
+        assert_eq!(out, vec![Value::Int(0), Value::Null, Value::Null, Value::Null]);
+    }
+
+    #[test]
+    fn int_overflow_to_double_path() {
+        let rows = vec![
+            Ok(vec![Value::Int(5)]),
+            Ok(vec![Value::Double(0.5)]),
+        ];
+        let out = scalar_aggregate(rows.into_iter(), &[AggSpec::Sum(0)]).unwrap();
+        assert_eq!(out[0], Value::Double(5.5), "mixed numerics sum as double");
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type for the query-language front-ends.
+
+use std::fmt;
+
+/// Result alias used throughout `asterix-sqlpp`.
+pub type Result<T> = std::result::Result<T, SqlppError>;
+
+/// Errors raised by lexing, parsing, or translation.
+#[derive(Debug)]
+pub enum SqlppError {
+    /// Lexical error with position.
+    Lex { line: u32, column: u32, message: String },
+    /// Syntax error with position.
+    Parse { line: u32, column: u32, message: String },
+    /// Semantic error during translation (unknown dataset, bad scope, ...).
+    Semantic(String),
+    /// Feature recognized but not supported by this implementation.
+    Unsupported(String),
+    /// Error from the algebra layer.
+    Algebricks(asterix_algebricks::AlgebricksError),
+    /// Error from the data model (literal parsing).
+    Adm(asterix_adm::AdmError),
+}
+
+impl fmt::Display for SqlppError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlppError::Lex { line, column, message } => {
+                write!(f, "lexical error at {line}:{column}: {message}")
+            }
+            SqlppError::Parse { line, column, message } => {
+                write!(f, "syntax error at {line}:{column}: {message}")
+            }
+            SqlppError::Semantic(m) => write!(f, "semantic error: {m}"),
+            SqlppError::Unsupported(m) => write!(f, "unsupported feature: {m}"),
+            SqlppError::Algebricks(e) => write!(f, "{e}"),
+            SqlppError::Adm(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlppError {}
+
+impl From<asterix_algebricks::AlgebricksError> for SqlppError {
+    fn from(e: asterix_algebricks::AlgebricksError) -> Self {
+        SqlppError::Algebricks(e)
+    }
+}
+
+impl From<asterix_adm::AdmError> for SqlppError {
+    fn from(e: asterix_adm::AdmError) -> Self {
+        SqlppError::Adm(e)
+    }
+}

@@ -1,0 +1,178 @@
+//! Parser corpus: a battery of realistic SQL++ and AQL inputs that must
+//! parse (or fail with a clean error — never panic), plus DDL/DML coverage.
+
+use asterix_sqlpp::{parse_aql, parse_sqlpp};
+
+const GOOD_SQLPP: &[&str] = &[
+    // minimal forms
+    "SELECT VALUE 1",
+    "SELECT VALUE [1, 2, 3]",
+    "SELECT VALUE {{ 1, 1, 2 }}",
+    "SELECT VALUE {\"a\": 1, \"b\": [true, null, missing]}",
+    "SELECT 1 AS one, 'two' AS two",
+    "SELECT DISTINCT VALUE x FROM [1,1,2] x",
+    // clause combinations
+    "SELECT VALUE u FROM Users u WHERE u.age > 21 ORDER BY u.name DESC LIMIT 10 OFFSET 5",
+    "WITH cutoff AS 10 SELECT VALUE u FROM Users u WHERE u.id < cutoff",
+    "SELECT VALUE nf FROM Users u LET nf = coll_count(u.friendIds), dbl = nf * 2 WHERE dbl > 4",
+    "SELECT u.city AS c, COUNT(*) AS n FROM Users u GROUP BY u.city HAVING COUNT(*) > 1",
+    "SELECT g, COLL_COUNT(grp) FROM Users u GROUP BY u.grade AS g GROUP AS grp",
+    // joins and unnest
+    "SELECT VALUE m FROM Users u JOIN Msgs m ON m.author = u.id",
+    "SELECT VALUE m FROM Users u INNER JOIN Msgs m ON m.author = u.id",
+    "SELECT VALUE m FROM Users u LEFT JOIN Msgs m ON m.author = u.id",
+    "SELECT VALUE m FROM Users u LEFT OUTER JOIN Msgs m ON m.author = u.id",
+    "SELECT VALUE e FROM Users u UNNEST u.employment e",
+    "SELECT VALUE e FROM Users u LEFT UNNEST u.employment e",
+    "SELECT VALUE x FROM Users u, Msgs m, [1,2] x",
+    // predicates
+    "SELECT VALUE u FROM Users u WHERE u.a BETWEEN 1 AND 9 AND u.b NOT BETWEEN 2 AND 3",
+    "SELECT VALUE u FROM Users u WHERE u.x IN [1,2,3] OR u.y NOT IN [4]",
+    "SELECT VALUE u FROM Users u WHERE u.name LIKE 'A%' AND u.alias NOT LIKE '_x%'",
+    "SELECT VALUE u FROM Users u WHERE u.x IS NULL AND u.y IS NOT MISSING AND u.z IS UNKNOWN",
+    "SELECT VALUE u FROM Users u WHERE SOME f IN u.friends SATISFIES f = 3",
+    "SELECT VALUE u FROM Users u WHERE EXISTS u.employment",
+    "SELECT VALUE u FROM Users u WHERE NOT (u.a = 1 OR u.b = 2)",
+    // expressions
+    "SELECT VALUE 1 + 2 * 3 - 4 / 5 % 6",
+    "SELECT VALUE -x.a FROM T x",
+    "SELECT VALUE 'a' || 'b' || 'c'",
+    "SELECT VALUE CASE WHEN x.a > 0 THEN 'pos' WHEN x.a < 0 THEN 'neg' ELSE 'zero' END FROM T x",
+    "SELECT VALUE t.arr[0].field[1] FROM T t",
+    "SELECT VALUE datetime('2020-01-01T00:00:00') + duration('P1D')",
+    "SELECT VALUE interval_bin(t.at, datetime('2020-01-01T00:00:00'), duration('PT1H')) FROM T t",
+    // subqueries in FROM
+    "SELECT VALUE x.n FROM (SELECT u.name AS n FROM Users u) x",
+    // quoted identifiers
+    "SELECT VALUE t.`order` FROM `select` t",
+    // comments
+    "SELECT VALUE 1 -- trailing comment",
+    "SELECT /* block */ VALUE 1",
+];
+
+const GOOD_DDL_DML: &[&str] = &[
+    "CREATE TYPE T AS { a: int }",
+    "CREATE TYPE T AS CLOSED { a: int, b: string?, c: [int], d: {{ string }} }",
+    "CREATE DATASET D(T) PRIMARY KEY a",
+    "CREATE DATASET D(T) PRIMARY KEY a, b",
+    "CREATE INDEX i ON D(a)",
+    "CREATE INDEX i ON D(a.b.c) TYPE BTREE",
+    "CREATE INDEX i ON D(loc) TYPE RTREE",
+    "CREATE INDEX i ON D(text) TYPE KEYWORD",
+    r#"CREATE EXTERNAL DATASET L(T) USING localfs (("path"="/tmp/x"),("format"="adm"))"#,
+    "DROP DATASET D",
+    "DROP TYPE T",
+    "DROP INDEX D.i",
+    r#"INSERT INTO D ({"a": 1})"#,
+    r#"UPSERT INTO D ([{"a": 1}, {"a": 2}])"#,
+    "DELETE FROM D WHERE a = 1",
+    "DELETE FROM D d WHERE d.a = 1",
+    r#"LOAD DATASET D USING localfs (("path"="/tmp/x.adm"),("format"="adm"))"#,
+];
+
+const BAD_SQLPP: &[&str] = &[
+    "",
+    "SELECT",
+    "SELECT VALUE",
+    "SELECT VALUE FROM x",
+    "SELECT VALUE 1 FROM",
+    "FROM Users u SELECT VALUE u", // FROM-first unsupported in this dialect
+    "SELECT VALUE u FROM Users u WHERE",
+    "SELECT VALUE u FROM Users u GROUP",
+    "SELECT VALUE u FROM Users u ORDER",
+    "SELECT VALUE u FROM Users u LIMIT 'ten'",
+    "SELECT VALUE (1",
+    "SELECT VALUE [1, 2",
+    "SELECT VALUE {\"a\" 1}",
+    "SELECT VALUE CASE WHEN 1 THEN 2", // missing END
+    "CREATE DATASET D", // missing type
+    "CREATE TYPE T AS { a }",
+    "INSERT D (1)", // missing INTO
+    "@@@@",
+];
+
+const GOOD_AQL: &[&str] = &[
+    "for $x in dataset T return $x",
+    "for $x in dataset('T') return $x.a",
+    "for $x in dataset T where $x.a > 1 and $x.b < 2 return [$x.a, $x.b]",
+    "for $x in dataset T let $y := $x.a * 2 where $y > 4 return $y",
+    "for $x in dataset T order by $x.a desc, $x.b limit 3 offset 1 return $x",
+    "for $x in dataset T group by $g := $x.grp with $x return { 'g': $g, 'n': coll_count($x) }",
+    "for $x in dataset A, $y in dataset B where $x.id = $y.ref return {'x': $x, 'y': $y}",
+    "for $x in dataset T where some $f in $x.fs satisfies $f = 1 return $x",
+    "let $c := 10 for $x in dataset T where $x.a < $c return $x",
+    "1 + 2",
+];
+
+const BAD_AQL: &[&str] = &[
+    "for $x in dataset T",           // missing return
+    "for x in dataset T return x",   // not a variable
+    "for $x dataset T return $x",    // missing in
+    "return",
+    "for $x in dataset T group by $g = $x.a return $g", // needs :=
+];
+
+#[test]
+fn good_sqlpp_parses() {
+    for q in GOOD_SQLPP {
+        parse_sqlpp(q).unwrap_or_else(|e| panic!("{q:?}: {e}"));
+    }
+}
+
+#[test]
+fn good_ddl_dml_parses() {
+    for q in GOOD_DDL_DML {
+        parse_sqlpp(q).unwrap_or_else(|e| panic!("{q:?}: {e}"));
+    }
+}
+
+#[test]
+fn bad_sqlpp_fails_cleanly() {
+    for q in BAD_SQLPP {
+        match parse_sqlpp(q) {
+            Err(_) => {}
+            Ok(stmts) if stmts.is_empty() && q.trim().is_empty() => {}
+            Ok(stmts) => panic!("{q:?} unexpectedly parsed: {stmts:?}"),
+        }
+    }
+}
+
+#[test]
+fn good_aql_parses() {
+    for q in GOOD_AQL {
+        parse_aql(q).unwrap_or_else(|e| panic!("{q:?}: {e}"));
+    }
+}
+
+#[test]
+fn bad_aql_fails_cleanly() {
+    for q in BAD_AQL {
+        assert!(parse_aql(q).is_err(), "{q:?} unexpectedly parsed");
+    }
+}
+
+#[test]
+fn multi_statement_scripts() {
+    let script = r#"
+        CREATE TYPE T AS { id: int };
+        CREATE DATASET D(T) PRIMARY KEY id;
+        INSERT INTO D ({"id": 1});
+        SELECT VALUE d FROM D d;
+    "#;
+    let stmts = parse_sqlpp(script).unwrap();
+    assert_eq!(stmts.len(), 4);
+}
+
+#[test]
+fn union_all_parses_and_flattens() {
+    use asterix_sqlpp::ast::Stmt;
+    let stmts = parse_sqlpp(
+        "SELECT VALUE 1 UNION ALL SELECT VALUE 2 UNION ALL SELECT VALUE 3",
+    )
+    .unwrap();
+    let Stmt::Query(q) = &stmts[0] else { panic!() };
+    assert_eq!(q.union_with.len(), 2, "arms flattened");
+    assert!(q.union_with.iter().all(|a| a.union_with.is_empty()));
+    // UNION without ALL is rejected (set union is unsupported)
+    assert!(parse_sqlpp("SELECT VALUE 1 UNION SELECT VALUE 2").is_err());
+}

@@ -1,0 +1,157 @@
+//! Bloom filters for LSM disk components.
+//!
+//! Each disk component carries a bloom filter over its keys so point lookups
+//! can skip components that certainly do not contain the key — essential when
+//! a NoMerge-ish policy leaves many components (experiment E8 measures this).
+//!
+//! Classic double-hashing construction: k index probes derived from two
+//! 64-bit hashes, `g_i(x) = h1(x) + i*h2(x)`.
+
+use std::hash::Hasher;
+
+/// A serializable bloom filter over byte-string keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    n_bits: u64,
+    n_hashes: u32,
+}
+
+fn hash_pair(key: &[u8]) -> (u64, u64) {
+    let mut h1 = std::collections::hash_map::DefaultHasher::new();
+    h1.write(key);
+    let a = h1.finish();
+    let mut h2 = std::collections::hash_map::DefaultHasher::new();
+    h2.write_u64(a ^ 0x9e37_79b9_7f4a_7c15);
+    h2.write(key);
+    let mut b = h2.finish();
+    if b == 0 {
+        b = 0x5851_f42d_4c95_7f2d; // h2 must be non-zero for double hashing
+    }
+    (a, b)
+}
+
+impl BloomFilter {
+    /// Sizes a filter for `expected_keys` at roughly `bits_per_key` bits per
+    /// key (10 bits/key ≈ 1% false-positive rate).
+    pub fn new(expected_keys: usize, bits_per_key: usize) -> Self {
+        let n_bits = ((expected_keys.max(1) * bits_per_key.max(1)) as u64).next_multiple_of(64);
+        // optimal k = ln2 * bits/key
+        let n_hashes = ((bits_per_key as f64) * std::f64::consts::LN_2).round().max(1.0) as u32;
+        BloomFilter {
+            bits: vec![0u64; (n_bits / 64) as usize],
+            n_bits,
+            n_hashes,
+        }
+    }
+
+    /// Inserts a key.
+    pub fn insert(&mut self, key: &[u8]) {
+        let (h1, h2) = hash_pair(key);
+        for i in 0..self.n_hashes {
+            let bit = (h1.wrapping_add((i as u64).wrapping_mul(h2))) % self.n_bits;
+            self.bits[(bit / 64) as usize] |= 1u64 << (bit % 64);
+        }
+    }
+
+    /// True when the key *may* be present; false means definitely absent.
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        let (h1, h2) = hash_pair(key);
+        for i in 0..self.n_hashes {
+            let bit = (h1.wrapping_add((i as u64).wrapping_mul(h2))) % self.n_bits;
+            if self.bits[(bit / 64) as usize] & (1u64 << (bit % 64)) == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Serializes to bytes (stored in the component file's trailer pages).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.bits.len() * 8);
+        out.extend_from_slice(&self.n_bits.to_le_bytes());
+        out.extend_from_slice(&self.n_hashes.to_le_bytes());
+        for w in &self.bits {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes from [`BloomFilter::to_bytes`] output.
+    pub fn from_bytes(buf: &[u8]) -> Option<Self> {
+        if buf.len() < 12 {
+            return None;
+        }
+        let n_bits = u64::from_le_bytes(buf[0..8].try_into().ok()?);
+        let n_hashes = u32::from_le_bytes(buf[8..12].try_into().ok()?);
+        let n_words = (n_bits / 64) as usize;
+        if n_bits % 64 != 0 || buf.len() < 12 + n_words * 8 || n_hashes == 0 {
+            return None;
+        }
+        let bits = buf[12..12 + n_words * 8]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        Some(BloomFilter { bits, n_bits, n_hashes })
+    }
+
+    /// Size of the serialized form in bytes.
+    pub fn serialized_len(&self) -> usize {
+        12 + self.bits.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::new(1000, 10);
+        for i in 0..1000u32 {
+            f.insert(&i.to_le_bytes());
+        }
+        for i in 0..1000u32 {
+            assert!(f.may_contain(&i.to_le_bytes()), "false negative for {i}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_reasonable() {
+        let mut f = BloomFilter::new(10_000, 10);
+        for i in 0..10_000u32 {
+            f.insert(&i.to_le_bytes());
+        }
+        let mut fp = 0;
+        let probes = 10_000u32;
+        for i in probes..2 * probes {
+            if f.may_contain(&i.to_le_bytes()) {
+                fp += 1;
+            }
+        }
+        let rate = fp as f64 / probes as f64;
+        assert!(rate < 0.05, "false-positive rate {rate} too high");
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut f = BloomFilter::new(100, 8);
+        for i in 0..100u32 {
+            f.insert(&i.to_le_bytes());
+        }
+        let bytes = f.to_bytes();
+        assert_eq!(bytes.len(), f.serialized_len());
+        let back = BloomFilter::from_bytes(&bytes).unwrap();
+        assert_eq!(f, back);
+        assert!(BloomFilter::from_bytes(&bytes[..5]).is_none());
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing_surely() {
+        let f = BloomFilter::new(10, 10);
+        // an empty filter returns false for everything
+        for i in 0..100u32 {
+            assert!(!f.may_contain(&i.to_le_bytes()));
+        }
+    }
+}

@@ -1,0 +1,770 @@
+//! Immutable, bulk-loaded on-disk B+ trees.
+//!
+//! Every LSM disk component is one of these: the memory component is flushed
+//! (or several components merged) by streaming *sorted* key/value pairs into
+//! a [`BTreeBuilder`], which packs leaves left-to-right and then builds the
+//! internal levels — exactly the "well-known efficient B+ tree load" Goetz
+//! Graefe contrasts with hashing in the paper's §V-C anecdote (experiment E3).
+//!
+//! ## File layout (append-only, trailer-addressed)
+//!
+//! ```text
+//! [leaf pages...][internal level 1...][...][root page][bloom pages...][trailer page]
+//! ```
+//!
+//! The trailer (last page) records the root page, entry count, bloom-filter
+//! location, and min/max keys; readers open the file by reading the trailer.
+//! Keys are composite ADM keys encoded by `asterix_adm::binary::encode_key`
+//! and ordered by `compare_keys`.
+
+use crate::bloom::BloomFilter;
+use crate::cache::BufferCache;
+use crate::error::{Result, StorageError};
+use crate::io::{FileId, PageFileWriter, PAGE_SIZE};
+use asterix_adm::binary::compare_keys;
+use std::cmp::Ordering;
+use std::ops::Bound;
+use std::sync::Arc;
+
+const MAGIC: u32 = 0x4254_5245; // "BTRE"
+const PAGE_HEADER: usize = 11; // is_leaf u8 + n u16 + next_leaf u64
+const NO_NEXT: u64 = u64::MAX;
+
+/// Maximum key+value size storable in one page.
+pub const MAX_ENTRY: usize = PAGE_SIZE - PAGE_HEADER - 2 /* offset */ - 4 /* lens */;
+
+// ---------------------------------------------------------------------------
+// Page construction & parsing
+// ---------------------------------------------------------------------------
+
+struct PageBuilder {
+    is_leaf: bool,
+    offsets: Vec<u16>,
+    payload: Vec<u8>,
+}
+
+impl PageBuilder {
+    fn new(is_leaf: bool) -> Self {
+        PageBuilder { is_leaf, offsets: Vec::new(), payload: Vec::new() }
+    }
+
+    fn used(&self) -> usize {
+        PAGE_HEADER + self.offsets.len() * 2 + self.payload.len()
+    }
+
+    fn fits(&self, key: &[u8], val_len: usize) -> bool {
+        self.used() + 2 + 4 + key.len() + val_len <= PAGE_SIZE
+    }
+
+    fn push(&mut self, key: &[u8], val: &[u8]) {
+        let off = (PAGE_HEADER + self.payload.len()) as u16; // payload-relative fixup at emit
+        self.offsets.push(off);
+        self.payload.extend_from_slice(&(key.len() as u16).to_le_bytes());
+        self.payload.extend_from_slice(key);
+        self.payload.extend_from_slice(&(val.len() as u16).to_le_bytes());
+        self.payload.extend_from_slice(val);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// Emits the page bytes; `next_leaf` is the forward sibling pointer.
+    fn emit(&self, next_leaf: u64) -> Vec<u8> {
+        let n = self.offsets.len();
+        let mut page = vec![0u8; PAGE_SIZE];
+        page[0] = self.is_leaf as u8;
+        page[1..3].copy_from_slice(&(n as u16).to_le_bytes());
+        page[3..11].copy_from_slice(&next_leaf.to_le_bytes());
+        let table = PAGE_HEADER;
+        let data_start = table + 2 * n;
+        for (i, off) in self.offsets.iter().enumerate() {
+            // stored offsets are absolute within the page
+            let abs = (data_start + (*off as usize - PAGE_HEADER)) as u16;
+            page[table + 2 * i..table + 2 * i + 2].copy_from_slice(&abs.to_le_bytes());
+        }
+        page[data_start..data_start + self.payload.len()].copy_from_slice(&self.payload);
+        page
+    }
+}
+
+/// Zero-copy view over a tree page.
+pub(crate) struct PageView<'a> {
+    page: &'a [u8],
+}
+
+impl<'a> PageView<'a> {
+    pub(crate) fn new(page: &'a [u8]) -> Self {
+        PageView { page }
+    }
+
+    pub(crate) fn is_leaf(&self) -> bool {
+        self.page[0] == 1
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        u16::from_le_bytes(self.page[1..3].try_into().unwrap()) as usize
+    }
+
+    pub(crate) fn next_leaf(&self) -> Option<u64> {
+        let v = u64::from_le_bytes(self.page[3..11].try_into().unwrap());
+        (v != NO_NEXT).then_some(v)
+    }
+
+    pub(crate) fn entry(&self, i: usize) -> (&'a [u8], &'a [u8]) {
+        let off =
+            u16::from_le_bytes(self.page[PAGE_HEADER + 2 * i..PAGE_HEADER + 2 * i + 2].try_into().unwrap())
+                as usize;
+        let klen = u16::from_le_bytes(self.page[off..off + 2].try_into().unwrap()) as usize;
+        let key = &self.page[off + 2..off + 2 + klen];
+        let voff = off + 2 + klen;
+        let vlen = u16::from_le_bytes(self.page[voff..voff + 2].try_into().unwrap()) as usize;
+        (key, &self.page[voff + 2..voff + 2 + vlen])
+    }
+
+    /// Index of the first entry with key >= target (lower bound).
+    pub(crate) fn lower_bound(&self, target: &[u8]) -> usize {
+        let (mut lo, mut hi) = (0usize, self.len());
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if compare_keys(self.entry(mid).0, target) == Ordering::Less {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Index of the child to descend into for `target` (internal pages):
+    /// the rightmost entry with key <= target, clamped to 0.
+    fn child_index(&self, target: &[u8]) -> usize {
+        let lb = self.lower_bound(target);
+        if lb < self.len() && compare_keys(self.entry(lb).0, target) == Ordering::Equal {
+            lb
+        } else {
+            lb.saturating_sub(1)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+/// Streams sorted `(key, value)` pairs into a new B+ tree component file.
+pub struct BTreeBuilder {
+    writer: PageFileWriter,
+    leaf: PageBuilder,
+    /// First key of each completed page at the level below, with its page no.
+    pending_level: Vec<(Vec<u8>, u64)>,
+    last_key: Option<Vec<u8>>,
+    first_key: Option<Vec<u8>>,
+    entry_count: u64,
+    bloom: Option<BloomFilter>,
+    leaves_written: u64,
+}
+
+impl BTreeBuilder {
+    /// Starts building into `writer`. When `expected_keys > 0` a bloom filter
+    /// sized for that many keys is attached to the component.
+    pub fn new(writer: PageFileWriter, expected_keys: usize) -> Self {
+        BTreeBuilder {
+            writer,
+            leaf: PageBuilder::new(true),
+            pending_level: Vec::new(),
+            last_key: None,
+            first_key: None,
+            entry_count: 0,
+            bloom: (expected_keys > 0).then(|| BloomFilter::new(expected_keys, 10)),
+            leaves_written: 0,
+        }
+    }
+
+    /// Appends the next pair; keys must arrive in strictly increasing order.
+    pub fn add(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        if key.len() + value.len() > MAX_ENTRY {
+            return Err(StorageError::RecordTooLarge {
+                size: key.len() + value.len(),
+                max: MAX_ENTRY,
+            });
+        }
+        if let Some(last) = &self.last_key {
+            if compare_keys(last, key) != Ordering::Less {
+                return Err(StorageError::Invalid(
+                    "bulk-load keys must be strictly increasing".into(),
+                ));
+            }
+        }
+        if self.first_key.is_none() {
+            self.first_key = Some(key.to_vec());
+        }
+        if !self.leaf.fits(key, value.len()) {
+            self.finish_leaf()?;
+        }
+        if self.leaf.is_empty() {
+            self.pending_level.push((key.to_vec(), self.leaf_page_no()));
+        }
+        self.leaf.push(key, value);
+        if let Some(b) = &mut self.bloom {
+            b.insert(key);
+        }
+        self.last_key = Some(key.to_vec());
+        self.entry_count += 1;
+        Ok(())
+    }
+
+    fn leaf_page_no(&self) -> u64 {
+        self.leaves_written
+    }
+
+    /// Writes the current leaf. Leaves occupy pages `0..n_leaves` in order, so
+    /// the next-pointer is simply the following page number; scans detect the
+    /// end of the leaf level by landing on a non-leaf page (internal pages,
+    /// bloom pages, and the trailer all start with a byte != 1).
+    fn finish_leaf(&mut self) -> Result<()> {
+        if self.leaf.is_empty() {
+            return Ok(());
+        }
+        let page = std::mem::replace(&mut self.leaf, PageBuilder::new(true));
+        self.leaves_written += 1;
+        self.writer.append(&page.emit(self.leaves_written))?;
+        Ok(())
+    }
+
+    /// Finalizes the tree: writes leaves, internal levels, bloom, trailer.
+    /// Returns the opened component description.
+    pub fn finish(mut self) -> Result<BuiltTree> {
+        self.finish_leaf()?;
+        let n_leaves = self.leaves_written;
+        // Build internal levels bottom-up.
+        let mut level = std::mem::take(&mut self.pending_level);
+        let mut root_page: u64 = 0; // single-leaf or empty tree roots at page 0
+        let mut next_page_no = n_leaves;
+        while level.len() > 1 {
+            let mut upper: Vec<(Vec<u8>, u64)> = Vec::new();
+            let mut pb = PageBuilder::new(false);
+            let mut first_of_page: Option<Vec<u8>> = None;
+            for (key, child) in level {
+                let child_bytes = child.to_le_bytes();
+                if !pb.fits(&key, child_bytes.len()) {
+                    let emitted = pb.emit(NO_NEXT);
+                    self.writer.append(&emitted)?;
+                    upper.push((first_of_page.take().unwrap(), next_page_no));
+                    next_page_no += 1;
+                    pb = PageBuilder::new(false);
+                }
+                if pb.is_empty() {
+                    first_of_page = Some(key.clone());
+                }
+                pb.push(&key, &child_bytes);
+            }
+            if !pb.is_empty() {
+                let emitted = pb.emit(NO_NEXT);
+                self.writer.append(&emitted)?;
+                upper.push((first_of_page.take().unwrap(), next_page_no));
+                next_page_no += 1;
+            }
+            level = upper;
+        }
+        if let Some((_, page)) = level.first() {
+            root_page = *page;
+        }
+        // Bloom pages.
+        let bloom_bytes = self.bloom.as_ref().map(|b| b.to_bytes()).unwrap_or_default();
+        let bloom_start = next_page_no;
+        let mut bloom_pages = 0u32;
+        for chunk in bloom_bytes.chunks(PAGE_SIZE) {
+            let mut page = vec![0u8; PAGE_SIZE];
+            page[..chunk.len()].copy_from_slice(chunk);
+            self.writer.append(&page)?;
+            bloom_pages += 1;
+        }
+        // Trailer.
+        let min_key = self.first_key.clone().unwrap_or_default();
+        let max_key = self.last_key.clone().unwrap_or_default();
+        let mut trailer = vec![0u8; PAGE_SIZE];
+        let mut w = 0usize;
+        let put = |bytes: &[u8], trailer: &mut Vec<u8>, w: &mut usize| {
+            trailer[*w..*w + bytes.len()].copy_from_slice(bytes);
+            *w += bytes.len();
+        };
+        put(&MAGIC.to_le_bytes(), &mut trailer, &mut w);
+        put(&root_page.to_le_bytes(), &mut trailer, &mut w);
+        put(&self.entry_count.to_le_bytes(), &mut trailer, &mut w);
+        put(&n_leaves.to_le_bytes(), &mut trailer, &mut w);
+        put(&bloom_start.to_le_bytes(), &mut trailer, &mut w);
+        put(&bloom_pages.to_le_bytes(), &mut trailer, &mut w);
+        put(&(bloom_bytes.len() as u32).to_le_bytes(), &mut trailer, &mut w);
+        put(&(min_key.len() as u32).to_le_bytes(), &mut trailer, &mut w);
+        put(&min_key, &mut trailer, &mut w);
+        put(&(max_key.len() as u32).to_le_bytes(), &mut trailer, &mut w);
+        put(&max_key, &mut trailer, &mut w);
+        self.writer.append(&trailer)?;
+        let file = self.writer.finish()?;
+        Ok(BuiltTree {
+            file,
+            root_page,
+            entry_count: self.entry_count,
+            bloom: self.bloom,
+            min_key,
+            max_key,
+        })
+    }
+}
+
+/// Result of a bulk load: everything needed to construct a [`DiskBTree`].
+pub struct BuiltTree {
+    pub file: FileId,
+    pub root_page: u64,
+    pub entry_count: u64,
+    pub bloom: Option<BloomFilter>,
+    pub min_key: Vec<u8>,
+    pub max_key: Vec<u8>,
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// A read-only handle on a B+ tree component; all page reads go through the
+/// buffer cache.
+pub struct DiskBTree {
+    cache: Arc<BufferCache>,
+    file: FileId,
+    root_page: u64,
+    entry_count: u64,
+    bloom: Option<BloomFilter>,
+    min_key: Vec<u8>,
+    max_key: Vec<u8>,
+}
+
+impl DiskBTree {
+    /// Wraps a freshly built tree.
+    pub fn from_built(cache: Arc<BufferCache>, built: BuiltTree) -> Self {
+        DiskBTree {
+            cache,
+            file: built.file,
+            root_page: built.root_page,
+            entry_count: built.entry_count,
+            bloom: built.bloom,
+            min_key: built.min_key,
+            max_key: built.max_key,
+        }
+    }
+
+    /// Opens an existing component file by reading its trailer page.
+    pub fn open(cache: Arc<BufferCache>, file: FileId) -> Result<Self> {
+        let n_pages = cache.manager().page_count(file)?;
+        if n_pages == 0 {
+            return Err(StorageError::Corrupt("empty btree file".into()));
+        }
+        let trailer = cache.manager().read_page(file, n_pages - 1)?;
+        let mut r = 0usize;
+        let take = |n: usize, r: &mut usize| {
+            let s = &trailer[*r..*r + n];
+            *r += n;
+            s.to_vec()
+        };
+        let magic = u32::from_le_bytes(take(4, &mut r).try_into().unwrap());
+        if magic != MAGIC {
+            return Err(StorageError::Corrupt("bad btree magic".into()));
+        }
+        let root_page = u64::from_le_bytes(take(8, &mut r).try_into().unwrap());
+        let entry_count = u64::from_le_bytes(take(8, &mut r).try_into().unwrap());
+        let _n_leaves = u64::from_le_bytes(take(8, &mut r).try_into().unwrap());
+        let bloom_start = u64::from_le_bytes(take(8, &mut r).try_into().unwrap());
+        let bloom_pages = u32::from_le_bytes(take(4, &mut r).try_into().unwrap());
+        let bloom_len = u32::from_le_bytes(take(4, &mut r).try_into().unwrap()) as usize;
+        let min_len = u32::from_le_bytes(take(4, &mut r).try_into().unwrap()) as usize;
+        let min_key = take(min_len, &mut r);
+        let max_len = u32::from_le_bytes(take(4, &mut r).try_into().unwrap()) as usize;
+        let max_key = take(max_len, &mut r);
+        let bloom = if bloom_pages > 0 {
+            let mut bytes = Vec::with_capacity(bloom_len);
+            for p in 0..bloom_pages as u64 {
+                let page = cache.manager().read_page(file, bloom_start + p)?;
+                bytes.extend_from_slice(&page);
+            }
+            bytes.truncate(bloom_len);
+            Some(
+                BloomFilter::from_bytes(&bytes)
+                    .ok_or_else(|| StorageError::Corrupt("bad bloom filter".into()))?,
+            )
+        } else {
+            None
+        };
+        Ok(DiskBTree { cache, file, root_page, entry_count, bloom, min_key, max_key })
+    }
+
+    /// The component's file id.
+    pub fn file(&self) -> FileId {
+        self.file
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> u64 {
+        self.entry_count
+    }
+
+    /// True when the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entry_count == 0
+    }
+
+    /// Smallest key (empty for an empty tree).
+    pub fn min_key(&self) -> &[u8] {
+        &self.min_key
+    }
+
+    /// Largest key.
+    pub fn max_key(&self) -> &[u8] {
+        &self.max_key
+    }
+
+    /// True when the bloom filter (if any) admits the key.
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        self.bloom.as_ref().is_none_or(|b| b.may_contain(key))
+    }
+
+    fn leaf_for(&self, key: &[u8]) -> Result<(Arc<Vec<u8>>, u64)> {
+        let mut page_no = self.root_page;
+        loop {
+            let page = self.cache.get(self.file, page_no)?;
+            let view = PageView::new(&page);
+            if view.is_leaf() {
+                return Ok((page, page_no));
+            }
+            let idx = view.child_index(key);
+            let (_, child) = view.entry(idx);
+            page_no = u64::from_le_bytes(child.try_into().map_err(|_| {
+                StorageError::Corrupt("internal entry is not a child pointer".into())
+            })?);
+        }
+    }
+
+    /// Point lookup. Consults the bloom filter first.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        if self.entry_count == 0 || !self.may_contain(key) {
+            return Ok(None);
+        }
+        if compare_keys(key, &self.min_key) == Ordering::Less
+            || compare_keys(key, &self.max_key) == Ordering::Greater
+        {
+            return Ok(None);
+        }
+        let (page, _) = self.leaf_for(key)?;
+        let view = PageView::new(&page);
+        let idx = view.lower_bound(key);
+        if idx < view.len() {
+            let (k, v) = view.entry(idx);
+            if compare_keys(k, key) == Ordering::Equal {
+                return Ok(Some(v.to_vec()));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Range scan over `[lo, hi]` with the given bounds (`Bound::Unbounded`
+    /// for open ends). Yields `(key, value)` pairs in key order.
+    pub fn range(
+        &self,
+        lo: Bound<&[u8]>,
+        hi: Bound<Vec<u8>>,
+    ) -> Result<BTreeRangeIter> {
+        if self.entry_count == 0 {
+            return Ok(BTreeRangeIter::empty());
+        }
+        let (page, page_no, idx) = match lo {
+            Bound::Unbounded => {
+                // descend to the leftmost leaf
+                let mut page_no = self.root_page;
+                loop {
+                    let page = self.cache.get(self.file, page_no)?;
+                    let view = PageView::new(&page);
+                    if view.is_leaf() {
+                        break (page, page_no, 0usize);
+                    }
+                    let (_, child) = view.entry(0);
+                    page_no = u64::from_le_bytes(child.try_into().unwrap());
+                }
+            }
+            Bound::Included(k) | Bound::Excluded(k) => {
+                let (page, page_no) = self.leaf_for(k)?;
+                let view = PageView::new(&page);
+                let mut idx = view.lower_bound(k);
+                if matches!(lo, Bound::Excluded(_))
+                    && idx < view.len()
+                    && compare_keys(view.entry(idx).0, k) == Ordering::Equal
+                {
+                    idx += 1;
+                }
+                (page, page_no, idx)
+            }
+        };
+        Ok(BTreeRangeIter {
+            tree: Some(TreeRef { cache: Arc::clone(&self.cache), file: self.file }),
+            page: Some(page),
+            page_no,
+            idx,
+            hi,
+        })
+    }
+
+    /// Full scan in key order.
+    pub fn scan(&self) -> Result<BTreeRangeIter> {
+        self.range(Bound::Unbounded, Bound::Unbounded)
+    }
+}
+
+struct TreeRef {
+    cache: Arc<BufferCache>,
+    file: FileId,
+}
+
+/// Iterator over a key range; yields `Result<(key, value)>`.
+pub struct BTreeRangeIter {
+    tree: Option<TreeRef>,
+    page: Option<Arc<Vec<u8>>>,
+    page_no: u64,
+    idx: usize,
+    hi: Bound<Vec<u8>>,
+}
+
+impl BTreeRangeIter {
+    fn empty() -> Self {
+        BTreeRangeIter { tree: None, page: None, page_no: 0, idx: 0, hi: Bound::Unbounded }
+    }
+}
+
+impl Iterator for BTreeRangeIter {
+    type Item = Result<(Vec<u8>, Vec<u8>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let tree = self.tree.as_ref()?;
+            let page = self.page.as_ref()?;
+            let view = PageView::new(page);
+            if self.idx >= view.len() {
+                match view.next_leaf() {
+                    None => {
+                        self.page = None;
+                        return None;
+                    }
+                    Some(next) => {
+                        match tree.cache.get(tree.file, next) {
+                            Ok(p) => {
+                                // Leaves are packed first in the file, so the
+                                // last leaf's next-pointer lands on a non-leaf
+                                // page — that is the end of the scan.
+                                if !PageView::new(&p).is_leaf() {
+                                    self.page = None;
+                                    return None;
+                                }
+                                self.page = Some(p);
+                                self.page_no = next;
+                                self.idx = 0;
+                                continue;
+                            }
+                            Err(e) => {
+                                self.page = None;
+                                return Some(Err(e));
+                            }
+                        }
+                    }
+                }
+            }
+            let (k, v) = view.entry(self.idx);
+            // upper bound check
+            let in_range = match &self.hi {
+                Bound::Unbounded => true,
+                Bound::Included(h) => compare_keys(k, h) != Ordering::Greater,
+                Bound::Excluded(h) => compare_keys(k, h) == Ordering::Less,
+            };
+            if !in_range {
+                self.page = None;
+                return None;
+            }
+            let item = (k.to_vec(), v.to_vec());
+            self.idx += 1;
+            return Some(Ok(item));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::FileManager;
+    use crate::stats::IoStats;
+    use crate::testutil::TempDir;
+    use asterix_adm::binary::encode_key;
+    use asterix_adm::Value;
+
+    fn setup(cache_pages: usize) -> (Arc<BufferCache>, TempDir) {
+        let dir = TempDir::new();
+        let fm = FileManager::new(dir.path(), IoStats::new()).unwrap();
+        (BufferCache::new(fm, cache_pages), dir)
+    }
+
+    fn key(i: i64) -> Vec<u8> {
+        encode_key(&[Value::Int(i)])
+    }
+
+    fn build(cache: &Arc<BufferCache>, name: &str, n: i64, bloom: bool) -> DiskBTree {
+        let w = cache.manager().bulk_writer(name).unwrap();
+        let mut b = BTreeBuilder::new(w, if bloom { n as usize } else { 0 });
+        for i in 0..n {
+            b.add(&key(i), format!("value-{i}").as_bytes()).unwrap();
+        }
+        DiskBTree::from_built(Arc::clone(cache), b.finish().unwrap())
+    }
+
+    #[test]
+    fn point_lookups() {
+        let (cache, _d) = setup(64);
+        let t = build(&cache, "t.btree", 10_000, true);
+        assert_eq!(t.len(), 10_000);
+        assert_eq!(t.get(&key(0)).unwrap().unwrap(), b"value-0");
+        assert_eq!(t.get(&key(9_999)).unwrap().unwrap(), b"value-9999");
+        assert_eq!(t.get(&key(4_321)).unwrap().unwrap(), b"value-4321");
+        assert!(t.get(&key(10_000)).unwrap().is_none());
+        assert!(t.get(&key(-1)).unwrap().is_none());
+    }
+
+    #[test]
+    fn full_scan_in_order() {
+        let (cache, _d) = setup(64);
+        let t = build(&cache, "t.btree", 5_000, false);
+        let mut count = 0i64;
+        for item in t.scan().unwrap() {
+            let (k, v) = item.unwrap();
+            assert_eq!(k, key(count));
+            assert_eq!(v, format!("value-{count}").as_bytes());
+            count += 1;
+        }
+        assert_eq!(count, 5_000);
+    }
+
+    #[test]
+    fn range_scans() {
+        let (cache, _d) = setup(64);
+        let t = build(&cache, "t.btree", 1_000, false);
+        let lo = key(100);
+        let items: Vec<_> = t
+            .range(Bound::Included(&lo), Bound::Included(key(110)))
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(items.len(), 11);
+        assert_eq!(items[0].0, key(100));
+        assert_eq!(items[10].0, key(110));
+        // exclusive bounds
+        let items: Vec<_> = t
+            .range(Bound::Excluded(&lo), Bound::Excluded(key(110)))
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(items.len(), 9);
+        // unbounded high
+        let n = t.range(Bound::Included(&key(990)), Bound::Unbounded).unwrap().count();
+        assert_eq!(n, 10);
+        // range starting between keys
+        let t2_lo = key(-5);
+        let n = t.range(Bound::Included(&t2_lo), Bound::Included(key(2))).unwrap().count();
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let (cache, _d) = setup(8);
+        let t = build(&cache, "e.btree", 0, false);
+        assert!(t.is_empty());
+        assert!(t.get(&key(1)).unwrap().is_none());
+        assert_eq!(t.scan().unwrap().count(), 0);
+    }
+
+    #[test]
+    fn single_entry_tree() {
+        let (cache, _d) = setup(8);
+        let t = build(&cache, "s.btree", 1, true);
+        assert_eq!(t.get(&key(0)).unwrap().unwrap(), b"value-0");
+        assert!(t.get(&key(1)).unwrap().is_none());
+    }
+
+    #[test]
+    fn reopen_from_disk() {
+        let (cache, dir) = setup(64);
+        {
+            build(&cache, "r.btree", 2_000, true);
+        }
+        let fm2 = FileManager::new(dir.path(), IoStats::new()).unwrap();
+        let cache2 = BufferCache::new(fm2, 64);
+        let fid = cache2.manager().open("r.btree").unwrap();
+        let t = DiskBTree::open(Arc::clone(&cache2), fid).unwrap();
+        assert_eq!(t.len(), 2_000);
+        assert_eq!(t.get(&key(1234)).unwrap().unwrap(), b"value-1234");
+        assert!(t.get(&key(5555)).unwrap().is_none());
+    }
+
+    #[test]
+    fn bloom_filter_skips_absent_keys_without_io() {
+        let (cache, _d) = setup(64);
+        let t = build(&cache, "b.btree", 10_000, true);
+        // warm nothing; absent keys far outside should mostly be skipped by
+        // the min/max check or bloom, costing no physical reads
+        cache.stats().reset();
+        for i in 20_000..20_100i64 {
+            assert!(t.get(&key(i)).unwrap().is_none());
+        }
+        assert_eq!(cache.stats().physical_reads(), 0, "min/max short-circuit");
+    }
+
+    #[test]
+    fn rejects_unsorted_input() {
+        let (cache, _d) = setup(8);
+        let w = cache.manager().bulk_writer("u.btree").unwrap();
+        let mut b = BTreeBuilder::new(w, 0);
+        b.add(&key(5), b"x").unwrap();
+        assert!(b.add(&key(5), b"y").is_err(), "duplicate key");
+        assert!(b.add(&key(4), b"z").is_err(), "descending key");
+    }
+
+    #[test]
+    fn rejects_oversized_entry() {
+        let (cache, _d) = setup(8);
+        let w = cache.manager().bulk_writer("o.btree").unwrap();
+        let mut b = BTreeBuilder::new(w, 0);
+        let huge = vec![0u8; PAGE_SIZE];
+        match b.add(&key(1), &huge) {
+            Err(StorageError::RecordTooLarge { .. }) => {}
+            other => panic!("expected RecordTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn string_and_composite_keys() {
+        let (cache, _d) = setup(64);
+        let w = cache.manager().bulk_writer("c.btree").unwrap();
+        let mut b = BTreeBuilder::new(w, 100);
+        let mut keys: Vec<Vec<u8>> = Vec::new();
+        for i in 0..100 {
+            keys.push(encode_key(&[
+                Value::from(format!("user{i:03}")),
+                Value::Int(i),
+            ]));
+        }
+        for k in &keys {
+            b.add(k, b"v").unwrap();
+        }
+        let t = DiskBTree::from_built(Arc::clone(&cache), b.finish().unwrap());
+        for k in &keys {
+            assert!(t.get(k).unwrap().is_some());
+        }
+        // prefix range: all keys beginning with "user05"
+        let lo = encode_key(&[Value::from("user050")]);
+        let hi = encode_key(&[Value::from("user059"), Value::Int(i64::MAX)]);
+        let n = t.range(Bound::Included(&lo), Bound::Included(hi)).unwrap().count();
+        assert_eq!(n, 10);
+    }
+}

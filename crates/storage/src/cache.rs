@@ -1,0 +1,301 @@
+//! The node-level buffer cache (paper Figure 2).
+//!
+//! A fixed budget of [`PAGE_SIZE`] frames shared by all dataset partitions on
+//! a node, with CLOCK (second-chance) eviction. Pages are returned as
+//! `Arc<Vec<u8>>`, so a reader holding a page is never invalidated by
+//! eviction — eviction merely drops the cache's reference.
+//!
+//! Most cached files (LSM components) are immutable, so eviction is free.
+//! Mutable structures (linear hashing) write through [`BufferCache::put`],
+//! which marks frames dirty; dirty frames are written back on eviction or
+//! [`BufferCache::flush_file`] — the classic steal/no-force discipline.
+
+use crate::error::Result;
+use crate::io::{FileId, FileManager, PAGE_SIZE};
+use crate::stats::IoStats;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+#[derive(Clone)]
+struct Frame {
+    data: Arc<Vec<u8>>,
+    dirty: bool,
+    referenced: bool,
+}
+
+struct CacheInner {
+    frames: HashMap<(FileId, u64), Frame>,
+    /// CLOCK ring of resident page keys plus the rotating hand.
+    ring: Vec<(FileId, u64)>,
+    hand: usize,
+}
+
+/// A CLOCK buffer cache over one [`FileManager`].
+pub struct BufferCache {
+    manager: Arc<FileManager>,
+    stats: Arc<IoStats>,
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+}
+
+impl BufferCache {
+    /// Creates a cache of `capacity` frames (each [`PAGE_SIZE`] bytes) over
+    /// `manager`. A capacity of 0 disables caching (every read is physical).
+    pub fn new(manager: Arc<FileManager>, capacity: usize) -> Arc<Self> {
+        let stats = Arc::clone(manager.stats());
+        Arc::new(BufferCache {
+            manager,
+            stats,
+            capacity,
+            inner: Mutex::new(CacheInner {
+                frames: HashMap::with_capacity(capacity),
+                ring: Vec::with_capacity(capacity),
+                hand: 0,
+            }),
+        })
+    }
+
+    /// The underlying file manager.
+    pub fn manager(&self) -> &Arc<FileManager> {
+        &self.manager
+    }
+
+    /// The shared I/O counters.
+    pub fn stats(&self) -> &Arc<IoStats> {
+        &self.stats
+    }
+
+    /// Frame budget in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Reads a page through the cache.
+    pub fn get(&self, file: FileId, page_no: u64) -> Result<Arc<Vec<u8>>> {
+        if self.capacity == 0 {
+            self.stats.count_cache_miss();
+            return Ok(Arc::new(self.manager.read_page(file, page_no)?));
+        }
+        let key = (file, page_no);
+        {
+            let mut inner = self.inner.lock();
+            if let Some(frame) = inner.frames.get_mut(&key) {
+                frame.referenced = true;
+                self.stats.count_cache_hit();
+                return Ok(Arc::clone(&frame.data));
+            }
+        }
+        // Miss: do the physical read outside the lock, then install.
+        self.stats.count_cache_miss();
+        let data = Arc::new(self.manager.read_page(file, page_no)?);
+        self.install(key, Arc::clone(&data), false)?;
+        Ok(data)
+    }
+
+    /// Writes a page through the cache (marks the frame dirty; the physical
+    /// write happens on eviction or flush). `data` must be one page.
+    pub fn put(&self, file: FileId, page_no: u64, data: Vec<u8>) -> Result<()> {
+        debug_assert_eq!(data.len(), PAGE_SIZE);
+        if self.capacity == 0 {
+            return self.manager.write_page(file, page_no, &data);
+        }
+        self.install((file, page_no), Arc::new(data), true)
+    }
+
+    fn install(&self, key: (FileId, u64), data: Arc<Vec<u8>>, dirty: bool) -> Result<()> {
+        // Collect evicted dirty pages and write them back outside the lock.
+        type Writeback = ((FileId, u64), Arc<Vec<u8>>);
+        let mut writebacks: Vec<Writeback> = Vec::new();
+        {
+            let mut inner = self.inner.lock();
+            if let Some(frame) = inner.frames.get_mut(&key) {
+                frame.data = data;
+                frame.dirty = frame.dirty || dirty;
+                frame.referenced = true;
+            } else {
+                while inner.frames.len() >= self.capacity && !inner.ring.is_empty() {
+                    // CLOCK sweep: clear reference bits until a victim appears.
+                    let idx = inner.hand % inner.ring.len();
+                    let victim_key = inner.ring[idx];
+                    let evict = {
+                        let frame = inner.frames.get_mut(&victim_key).expect("ring in sync");
+                        if frame.referenced {
+                            frame.referenced = false;
+                            false
+                        } else {
+                            true
+                        }
+                    };
+                    if evict {
+                        let frame = inner.frames.remove(&victim_key).unwrap();
+                        inner.ring.swap_remove(idx);
+                        if idx >= inner.ring.len() {
+                            inner.hand = 0;
+                        }
+                        self.stats.count_eviction();
+                        if frame.dirty {
+                            writebacks.push((victim_key, frame.data));
+                        }
+                    } else {
+                        inner.hand = (idx + 1) % inner.ring.len().max(1);
+                    }
+                }
+                inner.frames.insert(key, Frame { data, dirty, referenced: true });
+                inner.ring.push(key);
+            }
+        }
+        for ((fid, page), data) in writebacks {
+            self.manager.write_page(fid, page, &data)?;
+        }
+        Ok(())
+    }
+
+    /// Writes back all dirty frames of `file` (without evicting them).
+    pub fn flush_file(&self, file: FileId) -> Result<()> {
+        let dirty: Vec<(u64, Arc<Vec<u8>>)> = {
+            let mut inner = self.inner.lock();
+            inner
+                .frames
+                .iter_mut()
+                .filter(|((fid, _), f)| *fid == file && f.dirty)
+                .map(|((_, page), f)| {
+                    f.dirty = false;
+                    (*page, Arc::clone(&f.data))
+                })
+                .collect()
+        };
+        for (page, data) in dirty {
+            self.manager.write_page(file, page, &data)?;
+        }
+        self.manager.sync(file)?;
+        Ok(())
+    }
+
+    /// Drops all frames of `file` (used when a component is deleted after a
+    /// merge). Dirty frames of a dropped file are discarded by design.
+    pub fn evict_file(&self, file: FileId) {
+        let mut inner = self.inner.lock();
+        inner.frames.retain(|(fid, _), _| *fid != file);
+        inner.ring.retain(|(fid, _)| *fid != file);
+        inner.hand = 0;
+    }
+
+    /// Number of frames currently resident.
+    pub fn resident(&self) -> usize {
+        self.inner.lock().frames.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::TempDir;
+
+    fn setup(capacity: usize) -> (Arc<BufferCache>, Arc<FileManager>, TempDir) {
+        let dir = TempDir::new();
+        let fm = FileManager::new(dir.path(), IoStats::new()).unwrap();
+        let cache = BufferCache::new(Arc::clone(&fm), capacity);
+        (cache, fm, dir)
+    }
+
+    fn make_file_named(fm: &Arc<FileManager>, name: &str, pages: u8) -> FileId {
+        let id = fm.create(name).unwrap();
+        for i in 0..pages {
+            let mut p = vec![0u8; PAGE_SIZE];
+            p[0] = i;
+            fm.append_page(id, &p).unwrap();
+        }
+        id
+    }
+
+    fn make_file(fm: &Arc<FileManager>, pages: u8) -> FileId {
+        make_file_named(fm, "f.pf", pages)
+    }
+
+    #[test]
+    fn hits_avoid_physical_reads() {
+        let (cache, fm, _d) = setup(4);
+        let id = make_file(&fm, 2);
+        fm.stats().reset();
+        assert_eq!(cache.get(id, 0).unwrap()[0], 0);
+        assert_eq!(cache.get(id, 0).unwrap()[0], 0);
+        assert_eq!(cache.get(id, 1).unwrap()[0], 1);
+        assert_eq!(fm.stats().physical_reads(), 2, "two misses");
+        assert_eq!(fm.stats().cache_hits(), 1);
+    }
+
+    #[test]
+    fn eviction_bounds_residency() {
+        let (cache, fm, _d) = setup(2);
+        let id = make_file(&fm, 6);
+        for p in 0..6 {
+            cache.get(id, p).unwrap();
+        }
+        assert!(cache.resident() <= 2);
+        assert!(fm.stats().evictions() >= 4);
+    }
+
+    #[test]
+    fn clock_keeps_hot_page() {
+        let (cache, fm, _d) = setup(2);
+        let id = make_file(&fm, 4);
+        cache.get(id, 0).unwrap();
+        for p in 1..4 {
+            cache.get(id, p).unwrap();
+            cache.get(id, 0).unwrap(); // keep page 0 hot
+        }
+        fm.stats().reset();
+        cache.get(id, 0).unwrap();
+        assert_eq!(fm.stats().physical_reads(), 0, "hot page stayed resident");
+    }
+
+    #[test]
+    fn dirty_writeback_on_eviction_and_flush() {
+        let (cache, fm, _d) = setup(2);
+        let id = make_file(&fm, 1);
+        // make the file writable again for the test: create a fresh one
+        let id2 = fm.create("mut.pf").unwrap();
+        fm.append_page(id2, &vec![0u8; PAGE_SIZE]).unwrap();
+        let mut p = vec![0u8; PAGE_SIZE];
+        p[7] = 99;
+        cache.put(id2, 0, p).unwrap();
+        // not yet on disk
+        assert_eq!(fm.read_page(id2, 0).unwrap()[7], 0);
+        cache.flush_file(id2).unwrap();
+        assert_eq!(fm.read_page(id2, 0).unwrap()[7], 99);
+        // eviction writeback: dirty again, then flood the cache
+        let mut p2 = vec![0u8; PAGE_SIZE];
+        p2[7] = 123;
+        cache.put(id2, 0, p2).unwrap();
+        cache.get(id, 0).unwrap();
+        let id3 = make_file_named(&fm, "g.pf", 3);
+        for i in 0..3 {
+            cache.get(id3, i).unwrap();
+        }
+        assert_eq!(fm.read_page(id2, 0).unwrap()[7], 123, "evicted dirty page written back");
+    }
+
+    #[test]
+    fn zero_capacity_is_uncached() {
+        let (cache, fm, _d) = setup(0);
+        let id = make_file(&fm, 1);
+        fm.stats().reset();
+        cache.get(id, 0).unwrap();
+        cache.get(id, 0).unwrap();
+        assert_eq!(fm.stats().physical_reads(), 2);
+        assert_eq!(fm.stats().cache_hits(), 0);
+    }
+
+    #[test]
+    fn evict_file_drops_frames() {
+        let (cache, fm, _d) = setup(8);
+        let id = make_file(&fm, 3);
+        for p in 0..3 {
+            cache.get(id, p).unwrap();
+        }
+        assert_eq!(cache.resident(), 3);
+        cache.evict_file(id);
+        assert_eq!(cache.resident(), 0);
+    }
+}

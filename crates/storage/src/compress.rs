@@ -1,0 +1,219 @@
+//! Storage compression (paper §VII: "recent examples include storage
+//! compression and much-improved parallel sorting" among the open-source
+//! contributions that flowed into the commercial system).
+//!
+//! A small, dependency-free LZSS-style byte compressor used for LSM
+//! component values when [`crate::lsm::LsmConfig::compress_values`] is set.
+//! Format: a leading flag byte (0 = stored raw, 1 = compressed + u32
+//! original length), then a token stream — control bytes whose bits select
+//! literal (0) or back-reference (1) items; back-references are
+//! `(offset: u16, len: u8)` into the previous 64 KiB window with lengths
+//! 4..=258. Record payloads are small, so the match table is a simple
+//! 4-byte-hash head table — fast enough for the write path, and decompression
+//! is a tight copy loop.
+
+/// Compression never helps below this size.
+const MIN_INPUT: usize = 16;
+/// Minimum match length worth encoding (3 bytes would break even).
+const MIN_MATCH: usize = 4;
+/// Maximum encodable match length (`u8::MAX as usize + MIN_MATCH - 1`).
+const MAX_MATCH: usize = 258;
+/// Back-reference window (u16 offsets).
+const WINDOW: usize = 65_535;
+const HASH_BITS: u32 = 13;
+
+#[inline]
+fn hash4(data: &[u8]) -> usize {
+    let v = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compresses `input`. Falls back to stored-raw framing when compression
+/// would not shrink the payload, so output is never more than 1 byte larger.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    if input.len() >= MIN_INPUT {
+        if let Some(c) = try_compress(input) {
+            return c;
+        }
+    }
+    let mut out = Vec::with_capacity(input.len() + 1);
+    out.push(0u8);
+    out.extend_from_slice(input);
+    out
+}
+
+fn try_compress(input: &[u8]) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    out.push(1u8);
+    out.extend_from_slice(&(input.len() as u32).to_le_bytes());
+    let mut heads = vec![usize::MAX; 1 << HASH_BITS];
+    let mut i = 0usize;
+    let mut control_pos = out.len();
+    out.push(0);
+    let mut control_bits = 0u8;
+    let mut n_items = 0u8;
+    macro_rules! flush_control {
+        () => {
+            out[control_pos] = control_bits;
+            control_pos = out.len();
+            out.push(0);
+            control_bits = 0;
+            n_items = 0;
+        };
+    }
+    while i < input.len() {
+        let mut emitted_ref = false;
+        if i + MIN_MATCH <= input.len() {
+            let h = hash4(&input[i..]);
+            let cand = heads[h];
+            heads[h] = i;
+            if cand != usize::MAX && i - cand <= WINDOW && input[cand..cand + 4] == input[i..i + 4]
+            {
+                // extend the match
+                let mut len = 4usize;
+                let max = (input.len() - i).min(MAX_MATCH);
+                while len < max && input[cand + len] == input[i + len] {
+                    len += 1;
+                }
+                let offset = (i - cand) as u16;
+                control_bits |= 1 << n_items;
+                out.extend_from_slice(&offset.to_le_bytes());
+                out.push((len - MIN_MATCH + 1) as u8);
+                // seed hashes inside the match so later data can reference it
+                let seed_end = (i + len).min(input.len().saturating_sub(MIN_MATCH));
+                let mut j = i + 1;
+                while j < seed_end {
+                    heads[hash4(&input[j..])] = j;
+                    j += 1;
+                }
+                i += len;
+                emitted_ref = true;
+            }
+        }
+        if !emitted_ref {
+            out.push(input[i]);
+            i += 1;
+        }
+        n_items += 1;
+        if n_items == 8 {
+            flush_control!();
+        }
+    }
+    out[control_pos] = control_bits;
+    if n_items == 0 {
+        out.pop(); // unused trailing control byte
+    }
+    (out.len() < input.len()).then_some(out)
+}
+
+/// Decompresses a buffer produced by [`compress`].
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, String> {
+    match data.first() {
+        Some(0) => Ok(data[1..].to_vec()),
+        Some(1) => {
+            if data.len() < 5 {
+                return Err("truncated compressed header".into());
+            }
+            let orig_len = u32::from_le_bytes(data[1..5].try_into().unwrap()) as usize;
+            let mut out = Vec::with_capacity(orig_len);
+            let mut i = 5usize;
+            while out.len() < orig_len {
+                if i >= data.len() {
+                    return Err("truncated compressed stream".into());
+                }
+                let control = data[i];
+                i += 1;
+                for bit in 0..8 {
+                    if out.len() >= orig_len {
+                        break;
+                    }
+                    if control & (1 << bit) != 0 {
+                        if i + 3 > data.len() {
+                            return Err("truncated back-reference".into());
+                        }
+                        let offset =
+                            u16::from_le_bytes(data[i..i + 2].try_into().unwrap()) as usize;
+                        let len = data[i + 2] as usize + MIN_MATCH - 1;
+                        i += 3;
+                        if offset == 0 || offset > out.len() {
+                            return Err("back-reference out of range".into());
+                        }
+                        let start = out.len() - offset;
+                        for k in 0..len {
+                            let b = out[start + k];
+                            out.push(b);
+                        }
+                    } else {
+                        if i >= data.len() {
+                            return Err("truncated literal".into());
+                        }
+                        out.push(data[i]);
+                        i += 1;
+                    }
+                }
+            }
+            if out.len() != orig_len {
+                return Err(format!("length mismatch: {} vs {orig_len}", out.len()));
+            }
+            Ok(out)
+        }
+        _ => Err("bad compression flag".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> usize {
+        let c = compress(data);
+        let d = decompress(&c).unwrap();
+        assert_eq!(d, data);
+        c.len()
+    }
+
+    #[test]
+    fn roundtrips() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"hello world");
+        roundtrip(&[0u8; 1000]);
+        roundtrip("the quick brown fox jumps over the lazy dog".repeat(20).as_bytes());
+        let mixed: Vec<u8> = (0..5000u32).flat_map(|i| i.to_le_bytes()).collect();
+        roundtrip(&mixed);
+    }
+
+    #[test]
+    fn compresses_redundant_data() {
+        let data = b"abcdefgh".repeat(100);
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 4, "{} vs {}", c.len(), data.len());
+    }
+
+    #[test]
+    fn incompressible_data_costs_one_byte() {
+        // pseudo-random bytes: no 4-byte repeats within the window
+        let data: Vec<u8> = (0..512u64)
+            .flat_map(|i| (i.wrapping_mul(0x9E3779B97F4A7C15)).to_le_bytes())
+            .collect();
+        let c = compress(&data);
+        assert!(c.len() <= data.len() + 1);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn overlapping_references() {
+        // runs force overlapping copies (offset < len)
+        let data = vec![b'x'; 10_000];
+        let c = compress(&data);
+        assert!(c.len() < 200, "run-length-ish case: {}", c.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(decompress(&[]).is_err());
+        assert!(decompress(&[9, 1, 2]).is_err());
+        assert!(decompress(&[1, 200, 0, 0, 0, 0b1, 5, 0, 1]).is_err(), "offset > produced");
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type for the storage layer.
+
+use std::fmt;
+
+/// Result alias used throughout `asterix-storage`.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+/// Errors raised by the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// A persisted structure failed an integrity check.
+    Corrupt(String),
+    /// An entry exceeds what a page can hold.
+    RecordTooLarge { size: usize, max: usize },
+    /// A referenced file/component does not exist.
+    NotFound(String),
+    /// Data-model error bubbling up from key decoding.
+    Adm(asterix_adm::AdmError),
+    /// Misuse of the API (e.g. unsorted bulk-load input).
+    Invalid(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StorageError::Corrupt(m) => write!(f, "corrupt storage structure: {m}"),
+            StorageError::RecordTooLarge { size, max } => {
+                write!(f, "record of {size} bytes exceeds page capacity {max}")
+            }
+            StorageError::NotFound(m) => write!(f, "not found: {m}"),
+            StorageError::Adm(e) => write!(f, "data-model error in storage: {e}"),
+            StorageError::Invalid(m) => write!(f, "invalid storage operation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            StorageError::Adm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+impl From<asterix_adm::AdmError> for StorageError {
+    fn from(e: asterix_adm::AdmError) -> Self {
+        StorageError::Adm(e)
+    }
+}

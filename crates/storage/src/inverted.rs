@@ -1,0 +1,233 @@
+//! LSM inverted keyword index (`CREATE INDEX ... TYPE KEYWORD`, paper
+//! Figure 3(a) and Section III item 8).
+//!
+//! Indexes the tokens of a string (or the elements of a string collection)
+//! to the record's primary key. Physically it is an [`LsmTree`] over the
+//! composite key `(token, pk)` — LSM-ifying the inverted index exactly the
+//! way AsterixDB does (secondary indexes reuse the LSM machinery).
+
+use crate::cache::BufferCache;
+use crate::error::Result;
+use crate::lsm::{LsmConfig, LsmTree, MergePolicy};
+use asterix_adm::binary::{decode_key, encode_key};
+use asterix_adm::Value;
+use std::ops::Bound;
+use std::sync::Arc;
+
+/// Splits text into lowercase alphanumeric word tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            cur.extend(c.to_lowercase());
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// An LSM-based inverted keyword index mapping tokens to primary keys.
+pub struct InvertedIndex {
+    tree: LsmTree,
+}
+
+impl InvertedIndex {
+    /// Creates an inverted index with its own LSM tree.
+    pub fn new(cache: Arc<BufferCache>, name: impl Into<String>) -> Self {
+        let mut config = LsmConfig::new(name);
+        config.merge_policy = MergePolicy::Prefix {
+            max_mergable_bytes: 16 << 20,
+            max_tolerance_components: 4,
+        };
+        InvertedIndex { tree: LsmTree::new(cache, config) }
+    }
+
+    /// Creates with a custom LSM configuration.
+    pub fn with_config(cache: Arc<BufferCache>, config: LsmConfig) -> Self {
+        InvertedIndex { tree: LsmTree::new(cache, config) }
+    }
+
+    fn entry_key(token: &str, pk: &[Value]) -> Vec<u8> {
+        let mut parts = Vec::with_capacity(1 + pk.len());
+        parts.push(Value::from(token));
+        parts.extend(pk.iter().cloned());
+        encode_key(&parts)
+    }
+
+    /// Indexes `text` under primary key `pk`.
+    pub fn insert_text(&mut self, text: &str, pk: &[Value]) -> Result<()> {
+        let mut tokens = tokenize(text);
+        tokens.sort_unstable();
+        tokens.dedup();
+        for tok in tokens {
+            self.tree.upsert(Self::entry_key(&tok, pk), Vec::new())?;
+        }
+        Ok(())
+    }
+
+    /// Removes the postings of `text` for `pk` (on delete/update).
+    pub fn delete_text(&mut self, text: &str, pk: &[Value]) -> Result<()> {
+        let mut tokens = tokenize(text);
+        tokens.sort_unstable();
+        tokens.dedup();
+        for tok in tokens {
+            self.tree.delete(Self::entry_key(&tok, pk))?;
+        }
+        Ok(())
+    }
+
+    /// Primary keys of records containing `token` (case-insensitive).
+    pub fn search_token(&self, token: &str) -> Result<Vec<Vec<Value>>> {
+        let token = token.to_lowercase();
+        let lo = encode_key(&[Value::from(token.as_str())]);
+        // All composite keys whose first part equals `token` sort directly
+        // after the 1-part prefix key and before the next token.
+        let mut out = Vec::new();
+        for (k, _) in self
+            .tree
+            .range(Bound::Included(lo.as_slice()), Bound::Unbounded)?
+        {
+            let parts = decode_key(&k)?;
+            match parts.first() {
+                Some(Value::String(s)) if *s == token => {
+                    out.push(parts[1..].to_vec());
+                }
+                _ => break,
+            }
+        }
+        Ok(out)
+    }
+
+    /// Primary keys of records containing *all* the query's tokens
+    /// (conjunctive keyword search).
+    pub fn search_all(&self, query: &str) -> Result<Vec<Vec<Value>>> {
+        let mut tokens = tokenize(query);
+        tokens.sort_unstable();
+        tokens.dedup();
+        let mut result: Option<Vec<Vec<Value>>> = None;
+        for tok in tokens {
+            let pks = self.search_token(&tok)?;
+            result = Some(match result {
+                None => pks,
+                Some(prev) => prev
+                    .into_iter()
+                    .filter(|pk| pks.contains(pk))
+                    .collect(),
+            });
+            if matches!(&result, Some(r) if r.is_empty()) {
+                break;
+            }
+        }
+        Ok(result.unwrap_or_default())
+    }
+
+    /// Forces a flush of the underlying LSM tree.
+    pub fn flush(&mut self) -> Result<()> {
+        self.tree.flush()
+    }
+
+    /// Disk components of the underlying tree.
+    pub fn component_count(&self) -> usize {
+        self.tree.component_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::FileManager;
+    use crate::stats::IoStats;
+    use crate::testutil::TempDir;
+
+    fn setup() -> (Arc<BufferCache>, TempDir) {
+        let dir = TempDir::new();
+        let fm = FileManager::new(dir.path(), IoStats::new()).unwrap();
+        (BufferCache::new(fm, 64), dir)
+    }
+
+    #[test]
+    fn tokenizer() {
+        assert_eq!(tokenize("Hello, World!"), vec!["hello", "world"]);
+        assert_eq!(tokenize("  a--b_c 42 "), vec!["a", "b", "c", "42"]);
+        assert_eq!(tokenize("ÜBER straße"), vec!["über", "straße"]);
+        assert!(tokenize("...").is_empty());
+    }
+
+    #[test]
+    fn index_and_search() {
+        let (cache, _d) = setup();
+        let mut idx = InvertedIndex::new(cache, "kw");
+        idx.insert_text("the quick brown fox", &[Value::Int(1)]).unwrap();
+        idx.insert_text("the lazy dog", &[Value::Int(2)]).unwrap();
+        idx.insert_text("quick quick dog", &[Value::Int(3)]).unwrap();
+        let hits = idx.search_token("quick").unwrap();
+        assert_eq!(hits, vec![vec![Value::Int(1)], vec![Value::Int(3)]]);
+        let hits = idx.search_token("THE").unwrap();
+        assert_eq!(hits.len(), 2, "case-insensitive");
+        assert!(idx.search_token("cat").unwrap().is_empty());
+    }
+
+    #[test]
+    fn conjunctive_search() {
+        let (cache, _d) = setup();
+        let mut idx = InvertedIndex::new(cache, "kw");
+        idx.insert_text("big data management system", &[Value::Int(1)]).unwrap();
+        idx.insert_text("big active data", &[Value::Int(2)]).unwrap();
+        idx.insert_text("little data", &[Value::Int(3)]).unwrap();
+        let hits = idx.search_all("big data").unwrap();
+        assert_eq!(hits, vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+        let hits = idx.search_all("big data management").unwrap();
+        assert_eq!(hits, vec![vec![Value::Int(1)]]);
+        assert!(idx.search_all("big cats").unwrap().is_empty());
+    }
+
+    #[test]
+    fn search_spans_flushes() {
+        let (cache, _d) = setup();
+        let mut idx = InvertedIndex::new(cache, "kw");
+        idx.insert_text("alpha beta", &[Value::Int(1)]).unwrap();
+        idx.flush().unwrap();
+        idx.insert_text("beta gamma", &[Value::Int(2)]).unwrap();
+        let hits = idx.search_token("beta").unwrap();
+        assert_eq!(hits.len(), 2);
+        assert!(idx.component_count() >= 1);
+    }
+
+    #[test]
+    fn delete_removes_postings() {
+        let (cache, _d) = setup();
+        let mut idx = InvertedIndex::new(cache, "kw");
+        idx.insert_text("hello world", &[Value::Int(1)]).unwrap();
+        idx.insert_text("hello there", &[Value::Int(2)]).unwrap();
+        idx.flush().unwrap();
+        idx.delete_text("hello world", &[Value::Int(1)]).unwrap();
+        let hits = idx.search_token("hello").unwrap();
+        assert_eq!(hits, vec![vec![Value::Int(2)]]);
+        assert!(idx.search_token("world").unwrap().is_empty());
+    }
+
+    #[test]
+    fn duplicate_tokens_in_one_text() {
+        let (cache, _d) = setup();
+        let mut idx = InvertedIndex::new(cache, "kw");
+        idx.insert_text("spam spam spam", &[Value::Int(7)]).unwrap();
+        let hits = idx.search_token("spam").unwrap();
+        assert_eq!(hits.len(), 1, "deduplicated postings");
+    }
+
+    #[test]
+    fn string_primary_keys() {
+        let (cache, _d) = setup();
+        let mut idx = InvertedIndex::new(cache, "kw");
+        idx.insert_text("msg one", &[Value::from("userA"), Value::Int(1)]).unwrap();
+        idx.insert_text("msg two", &[Value::from("userB"), Value::Int(2)]).unwrap();
+        let hits = idx.search_token("msg").unwrap();
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0], vec![Value::from("userA"), Value::Int(1)]);
+    }
+}

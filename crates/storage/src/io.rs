@@ -1,0 +1,369 @@
+//! Page-file layer: fixed-size pages in ordinary files, managed per
+//! "I/O device" directory (paper Figure 2 shows multiple I/O devices per
+//! node, each holding LSM components).
+//!
+//! All physical reads/writes are counted in [`IoStats`]. Immutable component
+//! files are written once with a sequential [`PageFileWriter`] and then only
+//! read (through the buffer cache); mutable structures (linear hashing, WAL)
+//! use in-place page writes.
+
+use crate::error::{Result, StorageError};
+use crate::stats::IoStats;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// Size of one storage page in bytes.
+pub const PAGE_SIZE: usize = 8192;
+
+/// Identifier of an open page file within a [`FileManager`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u32);
+
+struct OpenFile {
+    file: File,
+    path: PathBuf,
+    pages: u64,
+    writable: bool,
+}
+
+/// Manages the page files under one device directory.
+///
+/// Files are created, opened, read page-wise, and deleted here; every
+/// physical access increments the shared [`IoStats`].
+pub struct FileManager {
+    dir: PathBuf,
+    stats: Arc<IoStats>,
+    next_id: AtomicU32,
+    files: RwLock<HashMap<FileId, Arc<RwLock<OpenFile>>>>,
+}
+
+impl FileManager {
+    /// Opens (creating if needed) a device directory.
+    pub fn new(dir: impl AsRef<Path>, stats: Arc<IoStats>) -> Result<Arc<Self>> {
+        std::fs::create_dir_all(dir.as_ref())?;
+        Ok(Arc::new(FileManager {
+            dir: dir.as_ref().to_path_buf(),
+            stats,
+            next_id: AtomicU32::new(1),
+            files: RwLock::new(HashMap::new()),
+        }))
+    }
+
+    /// The device directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The shared I/O counters.
+    pub fn stats(&self) -> &Arc<IoStats> {
+        &self.stats
+    }
+
+    fn register(&self, file: File, path: PathBuf, pages: u64, writable: bool) -> FileId {
+        let id = FileId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.files
+            .write()
+            .insert(id, Arc::new(RwLock::new(OpenFile { file, path, pages, writable })));
+        id
+    }
+
+    /// Creates a new, empty, writable page file with the given name.
+    pub fn create(&self, name: &str) -> Result<FileId> {
+        let path = self.dir.join(name);
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(self.register(file, path, 0, true))
+    }
+
+    /// Opens an existing file read-only (e.g. a component found at recovery).
+    pub fn open(&self, name: &str) -> Result<FileId> {
+        let path = self.dir.join(name);
+        let file = OpenOptions::new().read(true).open(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                StorageError::NotFound(format!("file {}", path.display()))
+            } else {
+                StorageError::Io(e)
+            }
+        })?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(StorageError::Corrupt(format!(
+                "file {} length {len} is not page-aligned",
+                path.display()
+            )));
+        }
+        Ok(self.register(file, path, len / PAGE_SIZE as u64, false))
+    }
+
+    fn handle(&self, id: FileId) -> Result<Arc<RwLock<OpenFile>>> {
+        self.files
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| StorageError::NotFound(format!("file id {id:?}")))
+    }
+
+    /// Number of pages in the file.
+    pub fn page_count(&self, id: FileId) -> Result<u64> {
+        Ok(self.handle(id)?.read().pages)
+    }
+
+    /// Reads one physical page.
+    pub fn read_page(&self, id: FileId, page_no: u64) -> Result<Vec<u8>> {
+        let handle = self.handle(id)?;
+        let guard = handle.read();
+        if page_no >= guard.pages {
+            return Err(StorageError::Corrupt(format!(
+                "read of page {page_no} past end ({} pages) in {}",
+                guard.pages,
+                guard.path.display()
+            )));
+        }
+        let mut buf = vec![0u8; PAGE_SIZE];
+        guard.file.read_exact_at(&mut buf, page_no * PAGE_SIZE as u64)?;
+        self.stats.count_physical_read(PAGE_SIZE as u64);
+        Ok(buf)
+    }
+
+    /// Writes one physical page in place, extending the file if `page_no`
+    /// is the next page.
+    pub fn write_page(&self, id: FileId, page_no: u64, data: &[u8]) -> Result<()> {
+        if data.len() != PAGE_SIZE {
+            return Err(StorageError::Invalid(format!(
+                "write_page requires exactly {PAGE_SIZE} bytes, got {}",
+                data.len()
+            )));
+        }
+        let handle = self.handle(id)?;
+        let mut guard = handle.write();
+        if !guard.writable {
+            return Err(StorageError::Invalid(format!(
+                "file {} is read-only",
+                guard.path.display()
+            )));
+        }
+        // Writes past the current end extend the file (sparse holes read as
+        // zeros); needed because a buffer cache may write back dirty pages
+        // out of allocation order.
+        guard.file.write_all_at(data, page_no * PAGE_SIZE as u64)?;
+        guard.pages = guard.pages.max(page_no + 1);
+        self.stats.count_physical_write(PAGE_SIZE as u64);
+        Ok(())
+    }
+
+    /// Appends a page at the end, returning its page number.
+    pub fn append_page(&self, id: FileId, data: &[u8]) -> Result<u64> {
+        let page_no = self.page_count(id)?;
+        self.write_page(id, page_no, data)?;
+        Ok(page_no)
+    }
+
+    /// Forces file contents to stable storage.
+    pub fn sync(&self, id: FileId) -> Result<()> {
+        let handle = self.handle(id)?;
+        let guard = handle.read();
+        guard.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Closes and deletes a file (e.g. merged-away LSM components).
+    pub fn delete(&self, id: FileId) -> Result<()> {
+        let handle = self
+            .files
+            .write()
+            .remove(&id)
+            .ok_or_else(|| StorageError::NotFound(format!("file id {id:?}")))?;
+        let guard = handle.read();
+        std::fs::remove_file(&guard.path)?;
+        Ok(())
+    }
+
+    /// Sequential bulk writer for building an immutable component file.
+    /// Pages written through it are counted when [`PageFileWriter::finish`]
+    /// flushes.
+    pub fn bulk_writer(self: &Arc<Self>, name: &str) -> Result<PageFileWriter> {
+        let path = self.dir.join(name);
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(PageFileWriter {
+            manager: Arc::clone(self),
+            writer: Some(BufWriter::with_capacity(64 * PAGE_SIZE, file)),
+            path,
+            pages: 0,
+        })
+    }
+
+    /// Lists files currently open under this manager (name → id).
+    pub fn open_files(&self) -> Vec<(String, FileId)> {
+        self.files
+            .read()
+            .iter()
+            .map(|(id, f)| {
+                (
+                    f.read().path.file_name().unwrap().to_string_lossy().into_owned(),
+                    *id,
+                )
+            })
+            .collect()
+    }
+}
+
+/// Buffered sequential page writer used by bulk loads (B+ tree / R-tree
+/// component construction). Call [`PageFileWriter::finish`] to flush, sync,
+/// and register the file read-only with the manager.
+pub struct PageFileWriter {
+    manager: Arc<FileManager>,
+    writer: Option<BufWriter<File>>,
+    path: PathBuf,
+    pages: u64,
+}
+
+impl PageFileWriter {
+    /// Appends one page (must be exactly [`PAGE_SIZE`] bytes), returning its
+    /// page number.
+    pub fn append(&mut self, data: &[u8]) -> Result<u64> {
+        if data.len() != PAGE_SIZE {
+            return Err(StorageError::Invalid(format!(
+                "append requires exactly {PAGE_SIZE} bytes, got {}",
+                data.len()
+            )));
+        }
+        let w = self
+            .writer
+            .as_mut()
+            .ok_or_else(|| StorageError::Invalid("writer already finished".into()))?;
+        w.write_all(data)?;
+        self.manager.stats.count_physical_write(PAGE_SIZE as u64);
+        let no = self.pages;
+        self.pages += 1;
+        Ok(no)
+    }
+
+    /// Pages appended so far.
+    pub fn page_count(&self) -> u64 {
+        self.pages
+    }
+
+    /// Flushes, syncs, and registers the file; returns its [`FileId`].
+    pub fn finish(mut self) -> Result<FileId> {
+        let mut w = self
+            .writer
+            .take()
+            .ok_or_else(|| StorageError::Invalid("writer already finished".into()))?;
+        w.flush()?;
+        let file = w.into_inner().map_err(|e| StorageError::Io(e.into_error()))?;
+        file.sync_data()?;
+        Ok(self.manager.register(file, self.path.clone(), self.pages, false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::testutil::TempDir;
+
+    fn temp_manager() -> (Arc<FileManager>, TempDir) {
+        let dir = TempDir::new();
+        let stats = IoStats::new();
+        let fm = FileManager::new(dir.path(), stats).unwrap();
+        (fm, dir)
+    }
+
+    #[test]
+    fn write_read_pages() {
+        let (fm, _d) = temp_manager();
+        let id = fm.create("t.pf").unwrap();
+        let mut page = vec![0u8; PAGE_SIZE];
+        page[0] = 42;
+        assert_eq!(fm.append_page(id, &page).unwrap(), 0);
+        page[0] = 43;
+        assert_eq!(fm.append_page(id, &page).unwrap(), 1);
+        assert_eq!(fm.read_page(id, 0).unwrap()[0], 42);
+        assert_eq!(fm.read_page(id, 1).unwrap()[0], 43);
+        assert_eq!(fm.page_count(id).unwrap(), 2);
+        assert_eq!(fm.stats().physical_writes(), 2);
+        assert_eq!(fm.stats().physical_reads(), 2);
+    }
+
+    #[test]
+    fn in_place_update() {
+        let (fm, _d) = temp_manager();
+        let id = fm.create("t.pf").unwrap();
+        let mut page = vec![1u8; PAGE_SIZE];
+        fm.append_page(id, &page).unwrap();
+        page[100] = 99;
+        fm.write_page(id, 0, &page).unwrap();
+        assert_eq!(fm.read_page(id, 0).unwrap()[100], 99);
+        assert_eq!(fm.page_count(id).unwrap(), 1);
+    }
+
+    #[test]
+    fn bounds_and_validation() {
+        let (fm, _d) = temp_manager();
+        let id = fm.create("t.pf").unwrap();
+        assert!(fm.read_page(id, 0).is_err(), "read past end");
+        assert!(fm.write_page(id, 0, &[0; 10]).is_err(), "bad size");
+        // out-of-order writes extend the file with sparse holes
+        fm.write_page(id, 5, &vec![7u8; PAGE_SIZE]).unwrap();
+        assert_eq!(fm.page_count(id).unwrap(), 6);
+        assert_eq!(fm.read_page(id, 5).unwrap()[0], 7);
+        assert_eq!(fm.read_page(id, 2).unwrap()[0], 0, "hole reads as zeros");
+    }
+
+    #[test]
+    fn bulk_writer_then_reopen() {
+        let (fm, d) = temp_manager();
+        {
+            let mut w = fm.bulk_writer("comp.pf").unwrap();
+            for i in 0..5u8 {
+                let mut p = vec![i; PAGE_SIZE];
+                p[0] = i;
+                w.append(&p).unwrap();
+            }
+            let id = w.finish().unwrap();
+            assert_eq!(fm.page_count(id).unwrap(), 5);
+            assert_eq!(fm.read_page(id, 3).unwrap()[0], 3);
+            // bulk files are read-only after finish
+            assert!(fm.write_page(id, 0, &vec![0; PAGE_SIZE]).is_err());
+        }
+        // a second manager can re-open the persisted file
+        let fm2 = FileManager::new(d.path(), IoStats::new()).unwrap();
+        let id2 = fm2.open("comp.pf").unwrap();
+        assert_eq!(fm2.page_count(id2).unwrap(), 5);
+        assert_eq!(fm2.read_page(id2, 4).unwrap()[0], 4);
+    }
+
+    #[test]
+    fn delete_removes_file() {
+        let (fm, d) = temp_manager();
+        let id = fm.create("gone.pf").unwrap();
+        fm.append_page(id, &vec![0; PAGE_SIZE]).unwrap();
+        fm.delete(id).unwrap();
+        assert!(!d.path().join("gone.pf").exists());
+        assert!(fm.read_page(id, 0).is_err());
+    }
+
+    #[test]
+    fn open_missing_file_is_not_found() {
+        let (fm, _d) = temp_manager();
+        match fm.open("nope.pf") {
+            Err(StorageError::NotFound(_)) => {}
+            other => panic!("expected NotFound, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,776 @@
+//! The LSM (Log-Structured Merge) index framework (paper Figure 2, Section
+//! III item 5): every dataset partition is an LSM B+ tree; secondary indexes
+//! are LSM-ified variants sharing this machinery.
+//!
+//! Writes go to an in-memory component ([`MemComponent`]); when it exceeds its
+//! ingestion-buffer budget it is *flushed* — bulk-loaded into an immutable
+//! on-disk B+ tree component. Deletes insert tombstones ("anti-matter").
+//! Reads consult the memory component and then disk components newest-first,
+//! with per-component bloom filters short-circuiting point lookups. A
+//! pluggable [`MergePolicy`] decides when to merge disk components
+//! (experiment E8 compares the policies).
+
+use crate::btree::{BTreeBuilder, BTreeRangeIter, DiskBTree};
+use crate::cache::BufferCache;
+use crate::error::{Result, StorageError};
+use asterix_adm::binary::compare_keys;
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Key wrapper ordering encoded keys by the ADM total order
+// ---------------------------------------------------------------------------
+
+/// Encoded composite key ordered by `asterix_adm::binary::compare_keys`
+/// (the ADM total order), so `Int(2)` and `Double(2.0)` collide as intended.
+#[derive(Debug, Clone)]
+pub struct KeyBytes(pub Vec<u8>);
+
+impl PartialEq for KeyBytes {
+    fn eq(&self, other: &Self) -> bool {
+        compare_keys(&self.0, &other.0) == Ordering::Equal
+    }
+}
+impl Eq for KeyBytes {}
+impl PartialOrd for KeyBytes {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for KeyBytes {
+    fn cmp(&self, other: &Self) -> Ordering {
+        compare_keys(&self.0, &other.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entries & memory component
+// ---------------------------------------------------------------------------
+
+/// A versioned entry: a value or a delete marker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Entry {
+    Put(Vec<u8>),
+    Tombstone,
+}
+
+impl Entry {
+    /// On-disk encoding: marker byte + payload.
+    fn encode(&self) -> Vec<u8> {
+        match self {
+            Entry::Put(v) => {
+                let mut out = Vec::with_capacity(v.len() + 1);
+                out.push(0);
+                out.extend_from_slice(v);
+                out
+            }
+            Entry::Tombstone => vec![1],
+        }
+    }
+
+    fn decode(buf: &[u8]) -> Result<Entry> {
+        match buf.first() {
+            Some(0) => Ok(Entry::Put(buf[1..].to_vec())),
+            Some(1) => Ok(Entry::Tombstone),
+            _ => Err(StorageError::Corrupt("bad LSM entry marker".into())),
+        }
+    }
+}
+
+/// The in-memory (ingestion-buffer) component: an ordered map plus a byte
+/// budget (Figure 2's "LSM memory components" slice of node memory).
+#[derive(Debug, Default)]
+pub struct MemComponent {
+    map: BTreeMap<KeyBytes, Entry>,
+    bytes: usize,
+}
+
+impl MemComponent {
+    /// Creates an empty memory component.
+    pub fn new() -> Self {
+        MemComponent::default()
+    }
+
+    /// Number of entries (tombstones included).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Approximate buffered bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Inserts/overwrites a key.
+    pub fn put(&mut self, key: Vec<u8>, value: Vec<u8>) {
+        self.bytes += key.len() + value.len() + 32;
+        self.map.insert(KeyBytes(key), Entry::Put(value));
+    }
+
+    /// Inserts a tombstone.
+    pub fn delete(&mut self, key: Vec<u8>) {
+        self.bytes += key.len() + 32;
+        self.map.insert(KeyBytes(key), Entry::Tombstone);
+    }
+
+    /// Latest entry for `key`, if buffered here.
+    pub fn get(&self, key: &[u8]) -> Option<&Entry> {
+        self.map.get(&KeyBytes(key.to_vec()))
+    }
+
+    /// Ordered iteration over all buffered entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&KeyBytes, &Entry)> {
+        self.map.iter()
+    }
+
+    /// Ordered iteration over a key range.
+    pub fn range(
+        &self,
+        lo: Bound<Vec<u8>>,
+        hi: Bound<Vec<u8>>,
+    ) -> impl Iterator<Item = (&KeyBytes, &Entry)> {
+        self.map.range((lo.map(KeyBytes), hi.map(KeyBytes)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Merge policies
+// ---------------------------------------------------------------------------
+
+/// When to merge disk components (paper §III item 5; experiment E8).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MergePolicy {
+    /// Never merge: cheapest writes, reads degrade with component count.
+    NoMerge,
+    /// Keep at most `max_components` disk components; merge all into one when
+    /// exceeded (AsterixDB's "constant" policy).
+    Constant { max_components: usize },
+    /// AsterixDB's default "prefix" policy: merge the run of newest
+    /// components that are each smaller than `max_mergable_bytes` once the
+    /// run is longer than `max_tolerance_components`.
+    Prefix {
+        max_mergable_bytes: u64,
+        max_tolerance_components: usize,
+    },
+}
+
+impl MergePolicy {
+    /// Given newest-first component sizes, returns the index range
+    /// `[0, n)` of newest components to merge, or `None`.
+    fn pick_merge(&self, sizes: &[u64]) -> Option<usize> {
+        match *self {
+            MergePolicy::NoMerge => None,
+            MergePolicy::Constant { max_components } => {
+                (sizes.len() > max_components.max(1)).then_some(sizes.len())
+            }
+            MergePolicy::Prefix { max_mergable_bytes, max_tolerance_components } => {
+                let mut run = 0usize;
+                let mut total = 0u64;
+                for &s in sizes {
+                    if s < max_mergable_bytes && total + s <= max_mergable_bytes.saturating_mul(2)
+                    {
+                        run += 1;
+                        total += s;
+                    } else {
+                        break;
+                    }
+                }
+                (run >= 2 && run > max_tolerance_components).then_some(run)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The LSM tree
+// ---------------------------------------------------------------------------
+
+/// Configuration of one LSM index.
+#[derive(Debug, Clone)]
+pub struct LsmConfig {
+    /// Component-file name prefix (unique per index per partition).
+    pub name: String,
+    /// Memory-component budget in bytes; exceeding it triggers a flush.
+    pub mem_budget: usize,
+    /// Merge policy.
+    pub merge_policy: MergePolicy,
+    /// Attach bloom filters to disk components.
+    pub bloom: bool,
+    /// Compress values in disk components (paper §VII's storage compression).
+    pub compress_values: bool,
+}
+
+impl LsmConfig {
+    /// A sensible default configuration for tests and examples.
+    pub fn new(name: impl Into<String>) -> Self {
+        LsmConfig {
+            name: name.into(),
+            mem_budget: 1 << 20,
+            merge_policy: MergePolicy::Prefix {
+                max_mergable_bytes: 16 << 20,
+                max_tolerance_components: 4,
+            },
+            bloom: true,
+            compress_values: false,
+        }
+    }
+}
+
+struct DiskComponent {
+    tree: DiskBTree,
+    size_bytes: u64,
+}
+
+/// Lifetime counters for an LSM index.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LsmStats {
+    pub flushes: u64,
+    pub merges: u64,
+    /// Entries written to disk across flushes and merges (write-amp numerator).
+    pub entries_written: u64,
+    /// Entries ingested by the application (write-amp denominator).
+    pub entries_ingested: u64,
+}
+
+impl LsmStats {
+    /// Write amplification: disk entries written per ingested entry.
+    pub fn write_amplification(&self) -> f64 {
+        if self.entries_ingested == 0 {
+            0.0
+        } else {
+            self.entries_written as f64 / self.entries_ingested as f64
+        }
+    }
+}
+
+/// An LSM B+ tree index over encoded composite keys.
+pub struct LsmTree {
+    cache: Arc<BufferCache>,
+    config: LsmConfig,
+    mem: MemComponent,
+    /// Newest first.
+    disk: Vec<DiskComponent>,
+    next_component_id: AtomicU64,
+    stats: LsmStats,
+}
+
+impl LsmTree {
+    /// Creates an empty LSM tree.
+    pub fn new(cache: Arc<BufferCache>, config: LsmConfig) -> Self {
+        LsmTree {
+            cache,
+            config,
+            mem: MemComponent::new(),
+            disk: Vec::new(),
+            next_component_id: AtomicU64::new(1),
+            stats: LsmStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &LsmConfig {
+        &self.config
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> LsmStats {
+        self.stats
+    }
+
+    /// Number of disk components.
+    pub fn component_count(&self) -> usize {
+        self.disk.len()
+    }
+
+    /// Entries currently buffered in memory.
+    pub fn mem_entries(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// Inserts or replaces `key`. Flushes automatically past the budget.
+    pub fn upsert(&mut self, key: Vec<u8>, value: Vec<u8>) -> Result<()> {
+        self.stats.entries_ingested += 1;
+        self.mem.put(key, value);
+        self.maybe_flush()
+    }
+
+    /// Deletes `key` (tombstone insert).
+    pub fn delete(&mut self, key: Vec<u8>) -> Result<()> {
+        self.stats.entries_ingested += 1;
+        self.mem.delete(key);
+        self.maybe_flush()
+    }
+
+    /// Applies the optional value compression at the disk boundary.
+    fn encode_disk(&self, raw: &[u8]) -> Vec<u8> {
+        if self.config.compress_values {
+            crate::compress::compress(raw)
+        } else {
+            raw.to_vec()
+        }
+    }
+
+    /// Reverses [`LsmTree::encode_disk`].
+    fn decode_disk(&self, raw: &[u8]) -> Result<Vec<u8>> {
+        if self.config.compress_values {
+            crate::compress::decompress(raw).map_err(StorageError::Corrupt)
+        } else {
+            Ok(raw.to_vec())
+        }
+    }
+
+    fn maybe_flush(&mut self) -> Result<()> {
+        if self.mem.bytes() > self.config.mem_budget {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Point lookup: memory component, then disk components newest-first.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        match self.mem.get(key) {
+            Some(Entry::Put(v)) => return Ok(Some(v.clone())),
+            Some(Entry::Tombstone) => return Ok(None),
+            None => {}
+        }
+        for comp in &self.disk {
+            if !comp.tree.may_contain(key) {
+                continue;
+            }
+            if let Some(raw) = comp.tree.get(key)? {
+                let raw = self.decode_disk(&raw)?;
+                return match Entry::decode(&raw)? {
+                    Entry::Put(v) => Ok(Some(v)),
+                    Entry::Tombstone => Ok(None),
+                };
+            }
+        }
+        Ok(None)
+    }
+
+    /// Forces the memory component to disk as a new component.
+    pub fn flush(&mut self) -> Result<()> {
+        if self.mem.is_empty() {
+            return Ok(());
+        }
+        let id = self.next_component_id.fetch_add(1, AtomicOrdering::Relaxed);
+        let name = format!("{}_c{}.btree", self.config.name, id);
+        let writer = self.cache.manager().bulk_writer(&name)?;
+        let expected = if self.config.bloom { self.mem.len() } else { 0 };
+        let mut builder = BTreeBuilder::new(writer, expected);
+        let mut written = 0u64;
+        for (k, e) in self.mem.iter() {
+            let raw = self.encode_disk(&e.encode());
+            builder.add(&k.0, &raw)?;
+            written += 1;
+        }
+        let built = builder.finish()?;
+        let size_bytes = self.cache.manager().page_count(built.file)? * crate::io::PAGE_SIZE as u64;
+        let tree = DiskBTree::from_built(Arc::clone(&self.cache), built);
+        self.disk.insert(0, DiskComponent { tree, size_bytes });
+        self.mem = MemComponent::new();
+        self.stats.flushes += 1;
+        self.stats.entries_written += written;
+        self.maybe_merge()
+    }
+
+    fn maybe_merge(&mut self) -> Result<()> {
+        let sizes: Vec<u64> = self.disk.iter().map(|c| c.size_bytes).collect();
+        if let Some(n) = self.config.merge_policy.pick_merge(&sizes) {
+            self.merge_newest(n)?;
+        }
+        Ok(())
+    }
+
+    /// Merges the `n` newest disk components into one.
+    pub fn merge_newest(&mut self, n: usize) -> Result<()> {
+        let n = n.min(self.disk.len());
+        if n < 2 {
+            return Ok(());
+        }
+        // When the merge includes the oldest component, tombstones can be
+        // dropped; otherwise they must be preserved (they may mask entries in
+        // older components).
+        let includes_oldest = n == self.disk.len();
+        let id = self.next_component_id.fetch_add(1, AtomicOrdering::Relaxed);
+        let name = format!("{}_c{}.btree", self.config.name, id);
+        let writer = self.cache.manager().bulk_writer(&name)?;
+        let expected: u64 = self.disk[..n].iter().map(|c| c.tree.len()).sum();
+        let mut builder =
+            BTreeBuilder::new(writer, if self.config.bloom { expected as usize } else { 0 });
+        // K-way merge, newest (rank 0) wins on duplicate keys.
+        let mut iters: Vec<std::iter::Peekable<BTreeRangeIter>> = Vec::with_capacity(n);
+        for comp in &self.disk[..n] {
+            iters.push(comp.tree.scan()?.peekable());
+        }
+        let mut written = 0u64;
+        loop {
+            // find the smallest key among iterator heads; prefer lowest rank
+            let mut best: Option<(usize, Vec<u8>)> = None;
+            for (rank, it) in iters.iter_mut().enumerate() {
+                let head = match it.peek() {
+                    None => continue,
+                    Some(Err(_)) => {
+                        // surface the error
+                        return Err(it.next().unwrap().unwrap_err());
+                    }
+                    Some(Ok((k, _))) => k.clone(),
+                };
+                best = match best {
+                    None => Some((rank, head)),
+                    Some((brank, bkey)) => {
+                        if compare_keys(&head, &bkey) == Ordering::Less {
+                            Some((rank, head))
+                        } else {
+                            Some((brank, bkey))
+                        }
+                    }
+                };
+            }
+            let Some((winner_rank, winner_key)) = best else { break };
+            // consume the winner's entry and any duplicates in older comps
+            let (_, raw) = iters[winner_rank].next().unwrap()?;
+            for (rank, it) in iters.iter_mut().enumerate() {
+                if rank == winner_rank {
+                    continue;
+                }
+                while matches!(it.peek(), Some(Ok((k, _))) if compare_keys(k, &winner_key) == Ordering::Equal)
+                {
+                    it.next();
+                }
+            }
+            let entry = Entry::decode(&self.decode_disk(&raw)?)?;
+            if matches!(entry, Entry::Tombstone) && includes_oldest {
+                continue; // drop dead tombstones
+            }
+            // stored bytes move as-is: merges never recompress
+            builder.add(&winner_key, &raw)?;
+            written += 1;
+        }
+        let built = builder.finish()?;
+        let size_bytes = self.cache.manager().page_count(built.file)? * crate::io::PAGE_SIZE as u64;
+        let tree = DiskBTree::from_built(Arc::clone(&self.cache), built);
+        // retire merged components
+        let removed: Vec<DiskComponent> = self.disk.drain(..n).collect();
+        for comp in removed {
+            self.cache.evict_file(comp.tree.file());
+            self.cache.manager().delete(comp.tree.file())?;
+        }
+        self.disk.insert(0, DiskComponent { tree, size_bytes });
+        self.stats.merges += 1;
+        self.stats.entries_written += written;
+        Ok(())
+    }
+
+    /// Ordered scan over `[lo, hi]`, resolving versions (newest wins) and
+    /// dropping tombstones. Returns materialized pairs.
+    pub fn range(
+        &self,
+        lo: Bound<&[u8]>,
+        hi: Bound<&[u8]>,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        // Collect per-source ordered streams: rank 0 = memory (newest).
+        type EntryStream<'a> = Box<dyn Iterator<Item = Result<(Vec<u8>, Entry)>> + 'a>;
+        let mut streams: Vec<EntryStream<'_>> = Vec::new();
+        let mem_lo = match lo {
+            Bound::Included(k) => Bound::Included(k.to_vec()),
+            Bound::Excluded(k) => Bound::Excluded(k.to_vec()),
+            Bound::Unbounded => Bound::Unbounded,
+        };
+        let mem_hi = match hi {
+            Bound::Included(k) => Bound::Included(k.to_vec()),
+            Bound::Excluded(k) => Bound::Excluded(k.to_vec()),
+            Bound::Unbounded => Bound::Unbounded,
+        };
+        streams.push(Box::new(
+            self.mem
+                .range(mem_lo, mem_hi)
+                .map(|(k, e)| Ok((k.0.clone(), e.clone()))),
+        ));
+        for comp in &self.disk {
+            let hi_owned = match hi {
+                Bound::Included(k) => Bound::Included(k.to_vec()),
+                Bound::Excluded(k) => Bound::Excluded(k.to_vec()),
+                Bound::Unbounded => Bound::Unbounded,
+            };
+            let it = comp.tree.range(lo, hi_owned)?;
+            let compressed = self.config.compress_values;
+            streams.push(Box::new(it.map(move |r| {
+                r.and_then(|(k, raw)| {
+                    let raw = if compressed {
+                        crate::compress::decompress(&raw).map_err(StorageError::Corrupt)?
+                    } else {
+                        raw
+                    };
+                    Ok((k, Entry::decode(&raw)?))
+                })
+            })));
+        }
+        // K-way merge with rank preference.
+        let mut iters: Vec<_> = streams.into_iter().map(|s| s.peekable()).collect();
+        let mut out = Vec::new();
+        loop {
+            let mut best: Option<(usize, Vec<u8>)> = None;
+            for (rank, it) in iters.iter_mut().enumerate() {
+                let head = match it.peek() {
+                    None => continue,
+                    Some(Err(_)) => return Err(it.next().unwrap().unwrap_err()),
+                    Some(Ok((k, _))) => k.clone(),
+                };
+                best = match best.take() {
+                    None => Some((rank, head)),
+                    Some((brank, bkey)) => {
+                        if compare_keys(&head, &bkey) == Ordering::Less {
+                            Some((rank, head))
+                        } else {
+                            Some((brank, bkey))
+                        }
+                    }
+                };
+            }
+            let Some((winner_rank, winner_key)) = best else { break };
+            let (_, entry) = iters[winner_rank].next().unwrap()?;
+            for (rank, it) in iters.iter_mut().enumerate() {
+                if rank == winner_rank {
+                    continue;
+                }
+                while matches!(it.peek(), Some(Ok((k, _))) if compare_keys(k, &winner_key) == Ordering::Equal)
+                {
+                    it.next();
+                }
+            }
+            if let Entry::Put(v) = entry {
+                out.push((winner_key, v));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Full ordered scan (tombstones resolved).
+    pub fn scan(&self) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.range(Bound::Unbounded, Bound::Unbounded)
+    }
+
+    /// Live entry count (scans; intended for tests and small datasets).
+    pub fn count(&self) -> Result<usize> {
+        Ok(self.scan()?.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::FileManager;
+    use crate::stats::IoStats;
+    use crate::testutil::TempDir;
+    use asterix_adm::binary::encode_key;
+    use asterix_adm::Value;
+
+    fn setup() -> (Arc<BufferCache>, TempDir) {
+        let dir = TempDir::new();
+        let fm = FileManager::new(dir.path(), IoStats::new()).unwrap();
+        (BufferCache::new(fm, 256), dir)
+    }
+
+    fn k(i: i64) -> Vec<u8> {
+        encode_key(&[Value::Int(i)])
+    }
+
+    fn small_config(name: &str, policy: MergePolicy) -> LsmConfig {
+        LsmConfig {
+            name: name.into(),
+            mem_budget: 4 << 10, // tiny: force frequent flushes
+            merge_policy: policy,
+            bloom: true,
+                compress_values: false
+        }
+    }
+
+    #[test]
+    fn upsert_get_across_flushes() {
+        let (cache, _d) = setup();
+        let mut t = LsmTree::new(cache, small_config("t", MergePolicy::NoMerge));
+        for i in 0..2_000 {
+            t.upsert(k(i), format!("v{i}").into_bytes()).unwrap();
+        }
+        assert!(t.component_count() > 1, "flushes happened");
+        for i in (0..2_000).step_by(97) {
+            assert_eq!(t.get(&k(i)).unwrap().unwrap(), format!("v{i}").into_bytes());
+        }
+        assert!(t.get(&k(5_000)).unwrap().is_none());
+    }
+
+    #[test]
+    fn newest_version_wins() {
+        let (cache, _d) = setup();
+        let mut t = LsmTree::new(cache, small_config("t", MergePolicy::NoMerge));
+        t.upsert(k(1), b"old".to_vec()).unwrap();
+        t.flush().unwrap();
+        t.upsert(k(1), b"new".to_vec()).unwrap();
+        assert_eq!(t.get(&k(1)).unwrap().unwrap(), b"new");
+        t.flush().unwrap();
+        assert_eq!(t.get(&k(1)).unwrap().unwrap(), b"new");
+        assert_eq!(t.scan().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn tombstones_mask_older_components() {
+        let (cache, _d) = setup();
+        let mut t = LsmTree::new(cache, small_config("t", MergePolicy::NoMerge));
+        for i in 0..100 {
+            t.upsert(k(i), b"v".to_vec()).unwrap();
+        }
+        t.flush().unwrap();
+        for i in 0..50 {
+            t.delete(k(i)).unwrap();
+        }
+        assert!(t.get(&k(10)).unwrap().is_none());
+        assert_eq!(t.get(&k(60)).unwrap().unwrap(), b"v");
+        t.flush().unwrap();
+        assert!(t.get(&k(10)).unwrap().is_none(), "tombstone flushed");
+        assert_eq!(t.count().unwrap(), 50);
+    }
+
+    #[test]
+    fn range_resolves_versions_and_tombstones() {
+        let (cache, _d) = setup();
+        let mut t = LsmTree::new(cache, small_config("t", MergePolicy::NoMerge));
+        for i in 0..100 {
+            t.upsert(k(i), b"v1".to_vec()).unwrap();
+        }
+        t.flush().unwrap();
+        for i in (0..100).step_by(2) {
+            t.upsert(k(i), b"v2".to_vec()).unwrap();
+        }
+        for i in (1..100).step_by(10) {
+            t.delete(k(i)).unwrap();
+        }
+        let lo = k(0);
+        let hi = k(20);
+        let items = t.range(Bound::Included(&lo), Bound::Included(&hi)).unwrap();
+        // keys 0..=20, minus deleted 1 and 11
+        assert_eq!(items.len(), 19);
+        assert_eq!(items[0], (k(0), b"v2".to_vec()));
+        assert!(items.iter().all(|(key, _)| key != &k(1) && key != &k(11)));
+        let even_val = items.iter().find(|(key, _)| key == &k(2)).unwrap();
+        assert_eq!(even_val.1, b"v2");
+        let odd_val = items.iter().find(|(key, _)| key == &k(3)).unwrap();
+        assert_eq!(odd_val.1, b"v1");
+    }
+
+    #[test]
+    fn constant_policy_bounds_components() {
+        let (cache, _d) = setup();
+        let mut t = LsmTree::new(
+            cache,
+            small_config("t", MergePolicy::Constant { max_components: 3 }),
+        );
+        for i in 0..5_000 {
+            t.upsert(k(i), vec![b'x'; 64]).unwrap();
+        }
+        assert!(t.component_count() <= 3 + 1, "constant policy holds");
+        assert!(t.stats().merges > 0);
+        assert_eq!(t.count().unwrap(), 5_000);
+    }
+
+    #[test]
+    fn no_merge_policy_never_merges() {
+        let (cache, _d) = setup();
+        let mut t = LsmTree::new(cache, small_config("t", MergePolicy::NoMerge));
+        for i in 0..3_000 {
+            t.upsert(k(i), vec![b'x'; 64]).unwrap();
+        }
+        assert!(t.component_count() > 4);
+        assert_eq!(t.stats().merges, 0);
+        t.flush().unwrap();
+        // with no merging, every ingested entry is written to disk exactly once
+        assert!((t.stats().write_amplification() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn prefix_policy_merges_small_runs() {
+        let (cache, _d) = setup();
+        let mut t = LsmTree::new(
+            cache,
+            small_config(
+                "t",
+                MergePolicy::Prefix {
+                    max_mergable_bytes: 1 << 20,
+                    max_tolerance_components: 2,
+                },
+            ),
+        );
+        for i in 0..5_000 {
+            t.upsert(k(i), vec![b'x'; 64]).unwrap();
+        }
+        assert!(t.stats().merges > 0, "prefix policy merged");
+        assert!(t.component_count() <= 4);
+        assert_eq!(t.count().unwrap(), 5_000);
+        assert!(t.stats().write_amplification() > 1.0, "merging costs write amp");
+    }
+
+    #[test]
+    fn merge_all_drops_tombstones() {
+        let (cache, _d) = setup();
+        let mut t = LsmTree::new(cache, small_config("t", MergePolicy::NoMerge));
+        for i in 0..100 {
+            t.upsert(k(i), b"v".to_vec()).unwrap();
+        }
+        t.flush().unwrap();
+        for i in 0..100 {
+            t.delete(k(i)).unwrap();
+        }
+        t.flush().unwrap();
+        let n = t.component_count();
+        t.merge_newest(n).unwrap();
+        assert_eq!(t.component_count(), 1);
+        assert_eq!(t.count().unwrap(), 0);
+        // everything annihilated: component holds zero live entries
+        assert_eq!(t.scan().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn bloom_filters_skip_components_on_point_misses() {
+        let (cache, _d) = setup();
+        let mut t = LsmTree::new(cache.clone(), small_config("t", MergePolicy::NoMerge));
+        for i in 0..2_000 {
+            t.upsert(k(i), b"v".to_vec()).unwrap();
+        }
+        t.flush().unwrap();
+        // probe far-away keys: min/max or bloom pruning means ~0 physical reads
+        cache.stats().reset();
+        for i in 100_000..100_200 {
+            assert!(t.get(&k(i)).unwrap().is_none());
+        }
+        assert_eq!(cache.stats().physical_reads(), 0);
+    }
+
+    #[test]
+    fn mixed_type_keys_order_correctly() {
+        let (cache, _d) = setup();
+        let mut t = LsmTree::new(cache, small_config("t", MergePolicy::NoMerge));
+        t.upsert(encode_key(&[Value::Int(2)]), b"int2".to_vec()).unwrap();
+        t.upsert(encode_key(&[Value::Double(2.5)]), b"d2.5".to_vec()).unwrap();
+        t.upsert(encode_key(&[Value::from("apple")]), b"s".to_vec()).unwrap();
+        t.flush().unwrap();
+        // Double(2.0) must hit the Int(2) entry (ADM equality)
+        assert_eq!(
+            t.get(&encode_key(&[Value::Double(2.0)])).unwrap().unwrap(),
+            b"int2"
+        );
+        let all = t.scan().unwrap();
+        assert_eq!(all.len(), 3);
+        // numbers before strings
+        assert_eq!(all[0].1, b"int2");
+        assert_eq!(all[1].1, b"d2.5");
+        assert_eq!(all[2].1, b"s");
+    }
+}

@@ -1,0 +1,172 @@
+//! I/O and cache statistics.
+//!
+//! The paper's storage arguments (Graefe's B-tree-vs-hashing point in §V-C,
+//! the sorted-PK-fetch trick of §V-B) are phrased in terms of *physical I/O
+//! under a modest memory allocation*. These counters make that measurable:
+//! every physical page read/write and every buffer-cache hit is counted.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared, thread-safe I/O counters. Cheap to clone (an `Arc` handle).
+#[derive(Debug, Default)]
+pub struct IoStats {
+    physical_reads: AtomicU64,
+    physical_writes: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    evictions: AtomicU64,
+    bytes_written: AtomicU64,
+    bytes_read: AtomicU64,
+}
+
+impl IoStats {
+    /// Creates a fresh zeroed counter set behind an `Arc`.
+    pub fn new() -> Arc<Self> {
+        Arc::new(IoStats::default())
+    }
+
+    pub(crate) fn count_physical_read(&self, bytes: u64) {
+        self.physical_reads.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_physical_write(&self, bytes: u64) {
+        self.physical_writes.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_eviction(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of physical page reads performed.
+    pub fn physical_reads(&self) -> u64 {
+        self.physical_reads.load(Ordering::Relaxed)
+    }
+
+    /// Number of physical page writes performed.
+    pub fn physical_writes(&self) -> u64 {
+        self.physical_writes.load(Ordering::Relaxed)
+    }
+
+    /// Buffer-cache hits.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Buffer-cache misses (each implies a physical read).
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses.load(Ordering::Relaxed)
+    }
+
+    /// Buffer-cache evictions.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes physically written (write-amplification numerator).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes physically read.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+
+    /// Resets all counters to zero (between experiment phases).
+    pub fn reset(&self) {
+        self.physical_reads.store(0, Ordering::Relaxed);
+        self.physical_writes.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the counters as a plain struct.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            physical_reads: self.physical_reads(),
+            physical_writes: self.physical_writes(),
+            cache_hits: self.cache_hits(),
+            cache_misses: self.cache_misses(),
+            evictions: self.evictions(),
+            bytes_written: self.bytes_written(),
+            bytes_read: self.bytes_read(),
+        }
+    }
+}
+
+/// A point-in-time copy of [`IoStats`], subtractable for per-phase deltas.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoSnapshot {
+    pub physical_reads: u64,
+    pub physical_writes: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub evictions: u64,
+    pub bytes_written: u64,
+    pub bytes_read: u64,
+}
+
+impl std::ops::Sub for IoSnapshot {
+    type Output = IoSnapshot;
+    fn sub(self, rhs: IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            physical_reads: self.physical_reads - rhs.physical_reads,
+            physical_writes: self.physical_writes - rhs.physical_writes,
+            cache_hits: self.cache_hits - rhs.cache_hits,
+            cache_misses: self.cache_misses - rhs.cache_misses,
+            evictions: self.evictions - rhs.evictions,
+            bytes_written: self.bytes_written - rhs.bytes_written,
+            bytes_read: self.bytes_read - rhs.bytes_read,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let s = IoStats::new();
+        s.count_physical_read(8192);
+        s.count_physical_read(8192);
+        s.count_physical_write(8192);
+        s.count_cache_hit();
+        s.count_cache_miss();
+        s.count_eviction();
+        assert_eq!(s.physical_reads(), 2);
+        assert_eq!(s.physical_writes(), 1);
+        assert_eq!(s.bytes_read(), 16384);
+        assert_eq!(s.cache_hits(), 1);
+        let snap = s.snapshot();
+        assert_eq!(snap.evictions, 1);
+        s.reset();
+        assert_eq!(s.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let s = IoStats::new();
+        s.count_physical_read(100);
+        let before = s.snapshot();
+        s.count_physical_read(100);
+        s.count_physical_read(100);
+        let delta = s.snapshot() - before;
+        assert_eq!(delta.physical_reads, 2);
+        assert_eq!(delta.bytes_read, 200);
+    }
+}

@@ -1,0 +1,85 @@
+//! Quickstart: an embedded AsterixDB-style BDMS in a few lines.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! Creates a temporary instance, declares a type/dataset/index (SQL++ DDL),
+//! inserts data, and queries it in both SQL++ and AQL — the two declarative
+//! languages sharing one compiler (paper §IV-A).
+
+use asterix_rs::core::instance::{Instance, Language};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An embedded instance: 2 simulated storage nodes, 2 partitions/dataset.
+    let db = Instance::temp()?;
+
+    // --- DDL: open type with optional field, dataset, secondary index ---
+    db.execute_sqlpp(
+        "CREATE TYPE BandType AS {
+             id: int,
+             name: string,
+             formed: int,
+             genre: string?
+         };
+         CREATE DATASET Bands(BandType) PRIMARY KEY id;
+         CREATE INDEX byFormed ON Bands(formed);",
+    )?;
+
+    // --- DML: INSERT a batch (open fields welcome) ---
+    db.execute_sqlpp(
+        r#"INSERT INTO Bands ([
+            {"id": 1, "name": "The Kinks",     "formed": 1963, "genre": "rock"},
+            {"id": 2, "name": "Kraftwerk",     "formed": 1970, "genre": "electronic",
+             "city": "Düsseldorf"},
+            {"id": 3, "name": "Television",    "formed": 1973, "genre": "punk"},
+            {"id": 4, "name": "Stereolab",     "formed": 1990},
+            {"id": 5, "name": "Broadcast",     "formed": 1995, "genre": "electronic"}
+        ])"#,
+    )?;
+
+    // --- SQL++ query (the index accelerates the range predicate) ---
+    println!("bands formed in or after 1970, newest first (SQL++):");
+    for row in db.query(
+        "SELECT b.name AS name, b.formed AS formed
+         FROM Bands b
+         WHERE b.formed >= 1970
+         ORDER BY b.formed DESC",
+    )? {
+        println!("  {row}");
+    }
+
+    // --- EXPLAIN shows the optimizer chose the secondary index ---
+    let plan = db.explain(
+        "SELECT VALUE b FROM Bands b WHERE b.formed >= 1970",
+        Language::Sqlpp,
+    )?;
+    println!("\noptimized plan:\n{plan}");
+
+    // --- the same question in AQL, the original query language ---
+    println!("electronic bands (AQL):");
+    for row in db.query_aql(
+        r#"for $b in dataset Bands
+           where $b.genre = "electronic"
+           order by $b.name
+           return $b.name"#,
+    )? {
+        println!("  {row}");
+    }
+
+    // --- aggregation with grouping ---
+    println!("\nbands per genre (SQL++ GROUP BY):");
+    for row in db.query(
+        "SELECT g AS genre, COUNT(*) AS n
+         FROM Bands b
+         GROUP BY if_missing_or_null(b.genre, 'unknown') AS g
+         ORDER BY g",
+    )? {
+        println!("  {row}");
+    }
+
+    // --- open fields round-trip ---
+    let city = db.query("SELECT VALUE b.city FROM Bands b WHERE b.id = 2")?;
+    println!("\nKraftwerk's undeclared open field city = {}", city[0]);
+    Ok(())
+}
