@@ -59,6 +59,9 @@ pub struct InstanceConfig {
     pub sorted_index_fetch: bool,
     /// Local/global aggregation splitting (ablation E13 toggles).
     pub local_aggregation: bool,
+    /// Deterministic fault injector threaded through every node's I/O and
+    /// WAL paths (crash-recovery testing; `None` in production).
+    pub faults: Option<Arc<asterix_storage::faults::FaultInjector>>,
 }
 
 impl Default for InstanceConfig {
@@ -72,6 +75,7 @@ impl Default for InstanceConfig {
             op_memory: 32 << 20,
             sorted_index_fetch: true,
             local_aggregation: true,
+            faults: None,
         }
     }
 }
@@ -138,7 +142,12 @@ impl Instance {
             }
         };
         std::fs::create_dir_all(&root)?;
-        let cluster = Cluster::open(&root, config.nodes, config.cache_pages_per_node)?;
+        let cluster = Cluster::open_with_faults(
+            &root,
+            config.nodes,
+            config.cache_pages_per_node,
+            config.faults.clone(),
+        )?;
         let ctx = RuntimeCtx::new(root.join("spill"))
             .map_err(CoreError::Hyracks)?;
         let inner = Arc::new(Inner {
@@ -836,30 +845,41 @@ impl<'a> Txn<'a> {
 
     fn rollback(&mut self) -> Result<()> {
         let inner = &self.instance.inner;
+        // Best-effort: a failure undoing one entry (e.g. an injected crash)
+        // must not stop the remaining undos, and the locks must be released
+        // regardless — otherwise later transactions block until timeout.
+        let mut first_err: Option<CoreError> = None;
         // undo in reverse order
         while let Some(u) = self.undo.pop() {
-            let rt = self.instance.dataset_runtime(&u.dataset)?;
-            let part = &rt.partitions[u.partition as usize];
-            let mut guard = part.write();
-            match u.before {
-                Some(rec) => {
-                    guard.upsert(&rec)?;
+            let res = (|| -> Result<()> {
+                let rt = self.instance.dataset_runtime(&u.dataset)?;
+                let part = &rt.partitions[u.partition as usize];
+                let mut guard = part.write();
+                match &u.before {
+                    Some(rec) => {
+                        guard.upsert(rec)?;
+                    }
+                    None => {
+                        guard.delete(&u.pk)?;
+                    }
                 }
-                None => {
-                    guard.delete(&u.pk)?;
-                }
+                Ok(())
+            })();
+            if let Err(e) = res {
+                first_err.get_or_insert(e);
             }
         }
-        let mut touched: Vec<usize> = (0..inner.cluster.nodes.len()).collect();
-        touched.dedup();
-        for n in touched {
-            let node = &inner.cluster.nodes[n];
+        for node in &inner.cluster.nodes {
             let mut wal = node.wal.lock();
-            wal.append(&WalRecord::Abort { txn_id: self.id })
-                .map_err(CoreError::Storage)?;
+            if let Err(e) = wal.append(&WalRecord::Abort { txn_id: self.id }) {
+                first_err.get_or_insert(CoreError::Storage(e));
+            }
         }
         inner.txns.locks.release_all(self.id);
-        Ok(())
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 }
 

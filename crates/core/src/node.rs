@@ -8,6 +8,7 @@
 
 use crate::error::Result;
 use asterix_storage::cache::BufferCache;
+use asterix_storage::faults::FaultInjector;
 use asterix_storage::io::FileManager;
 use asterix_storage::stats::IoStats;
 use asterix_storage::wal::WalWriter;
@@ -27,11 +28,29 @@ impl Node {
     /// Opens (or creates) a node rooted at `dir` with a buffer cache of
     /// `cache_pages` frames.
     pub fn open(id: usize, dir: impl AsRef<Path>, cache_pages: usize) -> Result<Arc<Node>> {
+        Node::open_with_faults(id, dir, cache_pages, None)
+    }
+
+    /// Opens a node whose I/O paths (page files and WAL) consult a
+    /// [`FaultInjector`].
+    pub fn open_with_faults(
+        id: usize,
+        dir: impl AsRef<Path>,
+        cache_pages: usize,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> Result<Arc<Node>> {
         let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        // Discard non-durable LSM component files before anything reads
+        // them: recovery rebuilds all components by replaying the committed
+        // WAL into fresh trees, so any component left on disk is either an
+        // orphan of a previous incarnation or a partial flush cut short by
+        // a crash. Only the WAL itself carries durable state.
+        discard_orphan_components(&dir)?;
         let stats = IoStats::new();
-        let fm = FileManager::new(&dir, stats)?;
+        let fm = FileManager::with_faults(&dir, stats, faults.clone())?;
         let cache = BufferCache::new(fm, cache_pages);
-        let wal = WalWriter::open(dir.join("node.wal"))?;
+        let wal = WalWriter::open_with_faults(dir.join("node.wal"), faults)?;
         Ok(Arc::new(Node { id, dir, cache, wal: Mutex::new(wal) }))
     }
 
@@ -46,6 +65,21 @@ impl Node {
     }
 }
 
+/// Removes everything in a node directory except the WAL (see the comment
+/// in [`Node::open_with_faults`]).
+fn discard_orphan_components(dir: &Path) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if !entry.file_type()?.is_file() {
+            continue;
+        }
+        if entry.file_name() != "node.wal" {
+            std::fs::remove_file(entry.path())?;
+        }
+    }
+    Ok(())
+}
+
 /// The cluster controller's view of the nodes.
 pub struct Cluster {
     pub nodes: Vec<Arc<Node>>,
@@ -54,10 +88,21 @@ pub struct Cluster {
 impl Cluster {
     /// Opens a cluster of `n` nodes under `root` (one subdirectory each).
     pub fn open(root: impl AsRef<Path>, n: usize, cache_pages_per_node: usize) -> Result<Cluster> {
+        Cluster::open_with_faults(root, n, cache_pages_per_node, None)
+    }
+
+    /// Opens a cluster whose nodes share one [`FaultInjector`] (a single
+    /// global I/O counter gives crash points a total order across nodes).
+    pub fn open_with_faults(
+        root: impl AsRef<Path>,
+        n: usize,
+        cache_pages_per_node: usize,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> Result<Cluster> {
         let mut nodes = Vec::with_capacity(n.max(1));
         for i in 0..n.max(1) {
             let dir = root.as_ref().join(format!("node{i}"));
-            nodes.push(Node::open(i, dir, cache_pages_per_node)?);
+            nodes.push(Node::open_with_faults(i, dir, cache_pages_per_node, faults.clone())?);
         }
         Ok(Cluster { nodes })
     }
@@ -113,6 +158,20 @@ mod tests {
             assert!(n.dir.exists());
             assert!(n.wal_path().exists());
         }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn reopen_discards_orphan_components_but_keeps_wal() {
+        let root = tmp();
+        let dir = root.join("node0");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("ds_c0.btree"), b"stale component").unwrap();
+        std::fs::write(dir.join("ds_c1.rtree"), b"stale component").unwrap();
+        let n = Node::open(0, &dir, 4).unwrap();
+        assert!(!dir.join("ds_c0.btree").exists(), "orphan component kept");
+        assert!(!dir.join("ds_c1.rtree").exists(), "orphan component kept");
+        assert!(n.wal_path().exists(), "WAL must survive reopen");
         let _ = std::fs::remove_dir_all(&root);
     }
 

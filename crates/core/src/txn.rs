@@ -157,6 +157,70 @@ mod tests {
     }
 
     #[test]
+    fn lock_timeout_then_retry_succeeds_after_release() {
+        let lm = LockManager::new(Duration::from_millis(50));
+        lm.lock(1, "ds", b"k").unwrap();
+        // a timed-out acquisition must not corrupt the lock table...
+        assert!(lm.lock(2, "ds", b"k").is_err());
+        assert_eq!(lm.held(), 1);
+        // ...and the same txn can acquire normally once the owner releases
+        lm.release_all(1);
+        lm.lock(2, "ds", b"k").unwrap();
+        assert_eq!(lm.held(), 1);
+        lm.release_all(2);
+        assert_eq!(lm.held(), 0);
+    }
+
+    #[test]
+    fn release_all_wakes_every_blocked_waiter() {
+        let lm = Arc::new(LockManager::new(Duration::from_secs(5)));
+        lm.lock(1, "ds", b"k").unwrap();
+        let mut handles = Vec::new();
+        for txn in 2..=5u64 {
+            let lm = Arc::clone(&lm);
+            handles.push(thread::spawn(move || {
+                lm.lock(txn, "ds", b"k").unwrap();
+                lm.release_all(txn);
+            }));
+        }
+        thread::sleep(Duration::from_millis(50));
+        assert_eq!(lm.held(), 1, "waiters must block while txn 1 holds");
+        lm.release_all(1);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(lm.held(), 0, "every waiter acquired and released in turn");
+    }
+
+    #[test]
+    fn multi_waiter_handoff_is_mutually_exclusive() {
+        // each waiter bumps a counter inside its critical section; exclusive
+        // handoff means no two observe the same pre-increment value
+        let lm = Arc::new(LockManager::new(Duration::from_secs(5)));
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for txn in 1..=8u64 {
+            let lm = Arc::clone(&lm);
+            let seen = Arc::clone(&seen);
+            handles.push(thread::spawn(move || {
+                lm.lock(txn, "ds", b"hot").unwrap();
+                {
+                    let mut s = seen.lock();
+                    let next = s.len() as u64;
+                    s.push(next);
+                }
+                lm.release_all(txn);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = seen.lock();
+        assert_eq!(*s, (0..8u64).collect::<Vec<_>>(), "handoff must serialize");
+        assert_eq!(lm.held(), 0);
+    }
+
+    #[test]
     fn txn_ids_monotonic_and_recoverable() {
         let tm = TxnManager::default();
         let a = tm.begin();

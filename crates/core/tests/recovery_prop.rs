@@ -1,0 +1,308 @@
+//! Instance-level crash-recovery property tests: randomized transactional
+//! workloads run against a fault-injected instance that crashes after the
+//! Nth I/O operation, then the instance is reopened cleanly and the
+//! recovered state is checked against the two recovery invariants:
+//!
+//!  1. every operation whose transaction's `commit()` returned `Ok` is
+//!     durable after recovery;
+//!  2. every operation whose transaction never reached a successful commit
+//!     is undone after recovery.
+//!
+//! The single transaction whose `commit()` call *errored* (the crash landed
+//! inside its WAL force) is indeterminate: its commit record may or may not
+//! have reached the disk. The recovered state must therefore equal the
+//! committed-only state either with or without that one transaction —
+//! never a mix, because a WAL flush persists the transaction's updates and
+//! its commit record in one prefix-ordered write.
+//!
+//! The harness keeps `short_write_prob` and `fsync_fail_prob` at zero and
+//! uses a single node so exactly one transaction can be ambiguous; the
+//! crash-point schedule itself is still seed-deterministic.
+
+use asterix_adm::Value;
+use asterix_core::dataset::{extract_pk, StorageConfig};
+use asterix_core::instance::{Instance, InstanceConfig};
+use asterix_storage::faults::{FaultConfig, FaultEvent, FaultInjector};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Self-cleaning scratch directory (integration tests cannot use the
+/// crate-private test helpers).
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let p = std::env::temp_dir().join(format!(
+            "asterix-recprop-{tag}-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+
+    fn path(&self) -> &PathBuf {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+const DDL: &str = r#"
+    CREATE TYPE KVType AS { k: int, v: int };
+    CREATE DATASET kv(KVType) PRIMARY KEY k;
+"#;
+
+fn kv_record(k: i64, v: i64) -> Value {
+    Value::object(vec![("k".into(), Value::Int(k)), ("v".into(), Value::Int(v))])
+}
+
+fn pk_of(k: i64) -> Vec<u8> {
+    extract_pk(&kv_record(k, 0), &["k".to_string()]).unwrap()
+}
+
+fn config(dir: &Path, nodes: usize, mem_budget: usize, faults: Option<Arc<FaultInjector>>) -> InstanceConfig {
+    InstanceConfig {
+        data_dir: Some(dir.to_path_buf()),
+        nodes,
+        partitions: 2,
+        cache_pages_per_node: 64,
+        storage: StorageConfig { mem_budget, ..StorageConfig::default() },
+        faults,
+        ..InstanceConfig::default()
+    }
+}
+
+/// Expected post-recovery state(s) of a crashed workload run.
+struct Outcome {
+    /// State from transactions whose commit() returned Ok.
+    committed: BTreeMap<i64, i64>,
+    /// `committed` plus the one transaction whose commit() errored mid-force
+    /// (indeterminate: its commit record may or may not be durable).
+    with_crashing_commit: Option<BTreeMap<i64, i64>>,
+    /// Whether the DDL was applied before the crash.
+    ddl_done: bool,
+}
+
+/// Runs a seed-deterministic workload of small upsert/delete transactions
+/// against a fault-injected single-node instance until the injected crash
+/// (or the workload's natural end). Returns the expected state(s) and the
+/// injector (for schedule inspection).
+fn run_workload(
+    dir: &Path,
+    seed: u64,
+    crash_after: u64,
+    ntxns: usize,
+) -> (Outcome, Arc<FaultInjector>) {
+    let injector = FaultInjector::new(FaultConfig {
+        seed,
+        crash_after_ios: Some(crash_after),
+        ..FaultConfig::default()
+    });
+    let mut out = Outcome {
+        committed: BTreeMap::new(),
+        with_crashing_commit: None,
+        ddl_done: false,
+    };
+    // keep the memory budget small so LSM flushes happen during the
+    // workload and page-write crash points get exercised too
+    let db = match Instance::open(config(dir, 1, 4 << 10, Some(injector.clone()))) {
+        Ok(db) => db,
+        Err(_) => return (out, injector),
+    };
+    if db.execute_sqlpp(DDL).is_err() {
+        return (out, injector);
+    }
+    out.ddl_done = true;
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    for _ in 0..ntxns {
+        let nops = rng.gen_range(1..=3usize);
+        let mut tentative = out.committed.clone();
+        let mut txn = db.begin();
+        let mut failed = false;
+        for _ in 0..nops {
+            let k = rng.gen_range(0i64..40);
+            let delete = rng.gen_bool(0.25) && tentative.contains_key(&k);
+            if delete {
+                if txn.delete("kv", &pk_of(k)).is_ok() {
+                    tentative.remove(&k);
+                } else {
+                    failed = true;
+                    break;
+                }
+            } else {
+                let v = rng.gen_range(0i64..1_000_000);
+                if txn.write("kv", &kv_record(k, v), true).is_ok() {
+                    tentative.insert(k, v);
+                } else {
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        if failed {
+            // drop rolls the txn back (invariant 2: it must be undone)
+            drop(txn);
+            if injector.crashed() {
+                break;
+            }
+            continue;
+        }
+        match txn.commit() {
+            Ok(()) => out.committed = tentative,
+            Err(_) => {
+                out.with_crashing_commit = Some(tentative);
+                break;
+            }
+        }
+        if injector.crashed() {
+            break;
+        }
+    }
+    // drop without flushing memory components: the WAL is the only
+    // durable source recovery may rely on
+    drop(db);
+    (out, injector)
+}
+
+/// Reopens the data dir fault-free and reads back the full kv state.
+/// `None` means the dataset does not exist (the crash preceded its DDL).
+fn reopened_state(dir: &Path) -> Option<BTreeMap<i64, i64>> {
+    let db = Instance::open(config(dir, 1, 4 << 10, None)).expect("recovery must succeed");
+    let rows = db.query("SELECT VALUE d FROM kv d").ok()?;
+    let mut m = BTreeMap::new();
+    for r in rows {
+        let k = r.field("k").as_i64().expect("recovered record has int pk");
+        let v = r.field("v").as_i64().expect("recovered record has int value");
+        m.insert(k, v);
+    }
+    Some(m)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The two recovery invariants over random (workload, crash point, seed)
+    /// triples: confirmed commits survive, unconfirmed transactions vanish,
+    /// and the one crashing commit is all-or-nothing.
+    #[test]
+    fn committed_ops_survive_and_uncommitted_ops_are_undone(
+        seed in 0u64..10_000,
+        crash_after in 0u64..24,
+        ntxns in 4usize..12,
+    ) {
+        let dir = TempDir::new("inv");
+        let (out, injector) = run_workload(dir.path(), seed, crash_after, ntxns);
+        match reopened_state(dir.path()) {
+            None => {
+                prop_assert!(!out.ddl_done, "dataset lost after successful DDL");
+                prop_assert!(out.committed.is_empty());
+            }
+            Some(got) => {
+                let ok_without = got == out.committed;
+                let ok_with = out
+                    .with_crashing_commit
+                    .as_ref()
+                    .is_some_and(|m| got == *m);
+                prop_assert!(
+                    ok_without || ok_with,
+                    "seed={seed} crash_after={crash_after} ntxns={ntxns}: recovered \
+                     state matches neither candidate\n got: {got:?}\n committed: {:?}\n \
+                     with crashing commit: {:?}\n events: {:?}",
+                    out.committed,
+                    out.with_crashing_commit,
+                    injector.events(),
+                );
+            }
+        }
+    }
+}
+
+/// The same (seed, crash point) pair replays the exact same failure
+/// schedule and leaves byte-identical WALs, end to end through the
+/// instance stack.
+#[test]
+fn same_seed_reproduces_instance_failure_schedule() {
+    for crash_after in [2u64, 5, 9] {
+        let run = |tag: &str| -> (Vec<FaultEvent>, Vec<u8>, BTreeMap<i64, i64>) {
+            let dir = TempDir::new(tag);
+            let (out, injector) = run_workload(dir.path(), 77, crash_after, 8);
+            let wal = std::fs::read(dir.path().join("node0/node.wal")).unwrap_or_default();
+            (injector.events(), wal, out.committed)
+        };
+        let (e1, w1, c1) = run("sched1");
+        let (e2, w2, c2) = run("sched2");
+        assert!(!e1.is_empty(), "crash_after={crash_after} should have fired");
+        assert_eq!(e1, e2, "fault schedule must replay byte-for-byte");
+        assert_eq!(w1, w2, "WAL must be byte-identical across same-seed runs");
+        assert_eq!(c1, c2, "commit outcomes must replay");
+    }
+}
+
+/// Deterministic directed test: a crash landing in a transaction *body*
+/// (an LSM flush forced by a tiny memory budget, before any commit record
+/// is even appended) must leave the previously committed state exactly —
+/// no ambiguity, across a two-node cluster.
+#[test]
+fn crash_in_txn_body_rolls_back_exactly_across_nodes() {
+    // probe run: count the I/O ops txn 1's commit consumes, fault-free
+    let probe = TempDir::new("probe");
+    let probe_inj = FaultInjector::new(FaultConfig { seed: 9, ..FaultConfig::default() });
+    let ops_after_commit1;
+    {
+        let db = Instance::open(config(probe.path(), 2, 2 << 10, Some(probe_inj.clone()))).unwrap();
+        db.execute_sqlpp(DDL).unwrap();
+        let mut txn = db.begin();
+        for k in 0..8i64 {
+            txn.write("kv", &kv_record(k, k * 10), true).unwrap();
+        }
+        txn.commit().unwrap();
+        ops_after_commit1 = probe_inj.ops();
+    }
+    assert!(ops_after_commit1 > 0, "commit must force the WAL");
+
+    // real run: same deterministic prefix, crash on the first I/O op after
+    // txn 1's commit — which a bulky txn 2 triggers mid-body via LSM flushes
+    let dir = TempDir::new("body");
+    let injector = FaultInjector::crash_after(9, ops_after_commit1);
+    let db = Instance::open(config(dir.path(), 2, 2 << 10, Some(injector.clone()))).unwrap();
+    db.execute_sqlpp(DDL).unwrap();
+    let mut txn = db.begin();
+    for k in 0..8i64 {
+        txn.write("kv", &kv_record(k, k * 10), true).unwrap();
+    }
+    txn.commit().unwrap();
+    let mut txn2 = db.begin();
+    let mut hit_crash = false;
+    for k in 100..400i64 {
+        if txn2.write("kv", &kv_record(k, 1), true).is_err() {
+            hit_crash = true;
+            break;
+        }
+    }
+    assert!(hit_crash, "txn 2 should crash mid-body before reaching commit");
+    drop(txn2); // rollback
+    assert!(injector.crashed());
+    drop(db);
+
+    // reopen fault-free: txn 1 exactly, txn 2 fully gone — on both nodes
+    let db = Instance::open(config(dir.path(), 2, 2 << 10, None)).unwrap();
+    let rows = db.query("SELECT VALUE d FROM kv d").unwrap();
+    let got: BTreeMap<i64, i64> = rows
+        .iter()
+        .map(|r| (r.field("k").as_i64().unwrap(), r.field("v").as_i64().unwrap()))
+        .collect();
+    let want: BTreeMap<i64, i64> = (0..8i64).map(|k| (k, k * 10)).collect();
+    assert_eq!(got, want, "events: {:?}", injector.events());
+}

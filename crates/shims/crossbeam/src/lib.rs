@@ -1,0 +1,446 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the slice of `crossbeam::channel` the workspace uses: MPMC
+//! `bounded`/`unbounded` channels with blocking `send`/`recv`, `try_recv`,
+//! disconnection semantics, and a blocking `Select` over multiple receivers.
+//!
+//! Implementation: one `Mutex<VecDeque>` + `Condvar` per channel for the
+//! blocking send/recv paths, plus a single process-wide generation counter +
+//! condvar that every state change bumps, which is what `Select` blocks on.
+//! This is a simple, correct design for the executor's test-scale fan-in
+//! (a few dozen channels), not a lock-free port.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
+    use std::time::Duration;
+
+    // Global "something happened on some channel" signal for Select.
+    struct GlobalSignal {
+        generation: Mutex<u64>,
+        cv: Condvar,
+    }
+
+    fn global() -> &'static GlobalSignal {
+        static SIGNAL: OnceLock<GlobalSignal> = OnceLock::new();
+        SIGNAL.get_or_init(|| GlobalSignal {
+            generation: Mutex::new(0),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn bump_global() {
+        let g = global();
+        let mut gen = g.generation.lock().unwrap_or_else(PoisonError::into_inner);
+        *gen = gen.wrapping_add(1);
+        g.cv.notify_all();
+    }
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        cap: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        cv: Condvar,
+    }
+
+    impl<T> Shared<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+            self.state.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    impl fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TryRecvError::Empty => write!(f, "receiving on an empty channel"),
+                TryRecvError::Disconnected => {
+                    write!(f, "receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    /// Creates a channel holding at most `cap` queued messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        make(Some(cap))
+    }
+
+    /// Creates a channel with no capacity bound.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        make(None)
+    }
+
+    fn make<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                cap,
+                senders: 1,
+                receivers: 1,
+            }),
+            cv: Condvar::new(),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
+    }
+
+    impl<T> Sender<T> {
+        /// Blocking send; fails only when every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.0.lock();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                let full = st.cap.is_some_and(|c| st.queue.len() >= c.max(1));
+                if !full {
+                    st.queue.push_back(value);
+                    self.0.cv.notify_all();
+                    drop(st);
+                    bump_global();
+                    return Ok(());
+                }
+                st = self.0.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.lock().senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.lock();
+            st.senders -= 1;
+            if st.senders == 0 {
+                self.0.cv.notify_all();
+                drop(st);
+                bump_global();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocking receive; fails when the channel is empty and every
+        /// sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.0.lock();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    self.0.cv.notify_all(); // free capacity for blocked senders
+                    drop(st);
+                    bump_global();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.0.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.0.lock();
+            if let Some(v) = st.queue.pop_front() {
+                self.0.cv.notify_all();
+                drop(st);
+                bump_global();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Non-blocking drain: yields queued messages until the channel is
+        /// empty or disconnected, never waiting.
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            TryIter { rx: self }
+        }
+
+        /// Number of queued messages (diagnostics).
+        pub fn len(&self) -> usize {
+            self.0.lock().queue.len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        fn ready(&self) -> bool {
+            let st = self.0.lock();
+            !st.queue.is_empty() || st.senders == 0
+        }
+    }
+
+    /// Iterator returned by [`Receiver::try_iter`].
+    pub struct TryIter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for TryIter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.rx.try_recv().ok()
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.lock().receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.lock();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                self.0.cv.notify_all();
+                drop(st);
+                bump_global();
+            }
+        }
+    }
+
+    // -- Select ----------------------------------------------------------
+
+    trait Probe {
+        /// True when a `recv` on this receiver would not block (a message is
+        /// queued, or the channel is disconnected).
+        fn probe_ready(&self) -> bool;
+    }
+
+    impl<T> Probe for Receiver<T> {
+        fn probe_ready(&self) -> bool {
+            self.ready()
+        }
+    }
+
+    /// Blocking readiness selection over registered receive operations.
+    pub struct Select<'a> {
+        probes: Vec<&'a dyn Probe>,
+    }
+
+    /// A ready operation returned by [`Select::select`].
+    pub struct SelectedOperation {
+        index: usize,
+    }
+
+    impl SelectedOperation {
+        /// Index of the ready operation, in registration order.
+        pub fn index(&self) -> usize {
+            self.index
+        }
+
+        /// Completes the operation on the receiver it was registered with.
+        pub fn recv<T>(self, r: &Receiver<T>) -> Result<T, RecvError> {
+            r.recv()
+        }
+    }
+
+    impl<'a> Select<'a> {
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Self {
+            Select { probes: Vec::new() }
+        }
+
+        /// Registers a receive operation; returns its index.
+        pub fn recv<T>(&mut self, r: &'a Receiver<T>) -> usize {
+            self.probes.push(r);
+            self.probes.len() - 1
+        }
+
+        /// Blocks until some registered operation is ready.
+        pub fn select(&mut self) -> SelectedOperation {
+            assert!(!self.probes.is_empty(), "select with no operations");
+            let g = global();
+            let mut gen = g.generation.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                // Probe while holding the generation lock: a state change
+                // between probe and wait would bump the generation and the
+                // timed wait below re-probes anyway.
+                for (i, p) in self.probes.iter().enumerate() {
+                    if p.probe_ready() {
+                        return SelectedOperation { index: i };
+                    }
+                }
+                let seen = *gen;
+                while *gen == seen {
+                    let (g2, timeout) = g
+                        .cv
+                        .wait_timeout(gen, Duration::from_millis(5))
+                        .unwrap_or_else(PoisonError::into_inner);
+                    gen = g2;
+                    if timeout.timed_out() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn bounded_send_recv_fifo() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.recv().unwrap(), 0);
+        assert_eq!(rx.try_recv().unwrap(), 1);
+        assert_eq!(rx.len(), 2);
+    }
+
+    #[test]
+    fn bounded_blocks_until_capacity_frees() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let h = thread::spawn(move || tx.send(2).unwrap());
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv().unwrap(), 1);
+        h.join().unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn disconnect_semantics() {
+        let (tx, rx) = unbounded::<i32>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+
+        let (tx2, rx2) = unbounded::<i32>();
+        assert_eq!(rx2.try_recv(), Err(TryRecvError::Empty));
+        drop(rx2);
+        assert!(tx2.send(9).is_err());
+    }
+
+    #[test]
+    fn select_picks_ready_channel() {
+        let (tx1, rx1) = bounded::<i32>(2);
+        let (tx2, rx2) = bounded::<i32>(2);
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(30));
+            tx2.send(7).unwrap();
+            thread::sleep(Duration::from_millis(30));
+            tx1.send(8).unwrap();
+        });
+        let mut sel = Select::new();
+        sel.recv(&rx1);
+        sel.recv(&rx2);
+        let op = sel.select();
+        assert_eq!(op.index(), 1);
+        assert_eq!(op.recv(&rx2).unwrap(), 7);
+
+        let mut sel = Select::new();
+        sel.recv(&rx1);
+        sel.recv(&rx2);
+        let op = sel.select();
+        assert_eq!(op.index(), 0);
+        assert_eq!(op.recv(&rx1).unwrap(), 8);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn select_sees_disconnection() {
+        let (tx, rx) = bounded::<i32>(1);
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            drop(tx);
+        });
+        let mut sel = Select::new();
+        sel.recv(&rx);
+        let op = sel.select();
+        assert!(op.recv(&rx).is_err());
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn mpmc_many_producers_consumers() {
+        let (tx, rx) = bounded::<usize>(8);
+        let mut handles = Vec::new();
+        for p in 0..4 {
+            let tx = tx.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(p * 1000 + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let mut consumers = Vec::new();
+        for _ in 0..2 {
+            let rx = rx.clone();
+            consumers.push(thread::spawn(move || {
+                let mut n = 0usize;
+                while rx.recv().is_ok() {
+                    n += 1;
+                }
+                n
+            }));
+        }
+        drop(rx);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, 400);
+    }
+}

@@ -1,0 +1,672 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this shim implements a
+//! small deterministic property-testing engine with the API subset the
+//! workspace's test suites use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]`),
+//! * [`Strategy`] with `prop_map`, `prop_recursive`, `boxed`,
+//! * `any::<T>()`, ranges, `Just`, tuples, `&str` character-class patterns,
+//! * `prop::collection::{vec, btree_set}`,
+//! * [`prop_oneof!`], [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`].
+//!
+//! Differences from upstream: no shrinking (a failing case reports its test
+//! name, case index, and seed — the run is fully deterministic, so that
+//! triple reproduces it exactly), and value streams differ from upstream's.
+//! Case counts honor `PROPTEST_CASES` (raises explicit `with_cases` values,
+//! never lowers them) and `PROPTEST_SEED` reseeds the whole run.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic xoshiro256** RNG driving all generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    pub fn seed_from_u64(seed: u64) -> Self {
+        fn splitmix(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        let mut sm = seed;
+        TestRng {
+            s: [splitmix(&mut sm), splitmix(&mut sm), splitmix(&mut sm), splitmix(&mut sm)],
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform usize in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// FNV-1a of a test path — the per-test base seed.
+fn fnv1a64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Builds the deterministic RNG for one named test, honoring `PROPTEST_SEED`.
+pub fn rng_for_test(test_path: &str) -> (TestRng, u64) {
+    let base = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0x5eed_0000_0000_0000);
+    let seed = base ^ fnv1a64(test_path);
+    (TestRng::seed_from_u64(seed), seed)
+}
+
+// ---------------------------------------------------------------------------
+// Config
+// ---------------------------------------------------------------------------
+
+/// Run configuration (subset: case count).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok())
+}
+
+impl ProptestConfig {
+    /// Explicit case count; `PROPTEST_CASES` can raise (but not lower) it so
+    /// nightly jobs can deepen every suite at once.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases: env_cases().map_or(cases, |e| e.max(cases)) }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: env_cases().unwrap_or(64) }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy core
+// ---------------------------------------------------------------------------
+
+/// A reproducible generator of values of one type.
+///
+/// Unlike upstream there is no value tree / shrinking: a strategy is a pure
+/// function of the RNG stream.
+pub trait Strategy: Clone + 'static {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        let s = self;
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| f(s.generate(rng))))
+    }
+
+    /// Builds recursive values: `recurse` receives a strategy for the
+    /// current level and returns the next level; each level is a coin flip
+    /// between recursing and the leaf, to `depth` levels.
+    fn prop_recursive<B, F>(self, depth: u32, _desired_size: u32, _expected_branch: u32, recurse: F) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        B: Strategy<Value = Self::Value>,
+        F: Fn(BoxedStrategy<Self::Value>) -> B + 'static,
+    {
+        let leaf = self.clone().boxed();
+        let mut cur = self.boxed();
+        for _ in 0..depth.max(1) {
+            let expanded = recurse(cur).boxed();
+            cur = union(vec![leaf.clone(), expanded]).boxed();
+        }
+        cur
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+    {
+        let s = self;
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| s.generate(rng)))
+    }
+}
+
+/// A type-erased [`Strategy`].
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Uniform choice among equally-weighted boxed alternatives
+/// (the engine behind [`prop_oneof!`]).
+pub fn union<T: 'static>(arms: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    BoxedStrategy(Rc::new(move |rng: &mut TestRng| {
+        let i = rng.below(arms.len());
+        arms[i].generate(rng)
+    }))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies
+// ---------------------------------------------------------------------------
+
+/// Strategy that always yields a clone of its value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let r = (rng.next_u64() as u128) % span;
+                (self.start as i128 + r as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let r = (rng.next_u64() as u128) % span;
+                (lo as i128 + r as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+// ---- string patterns ------------------------------------------------------
+
+/// `&str` strategies support the character-class pattern subset the test
+/// suites use: `[class]{lo,hi}` (e.g. `"[a-zA-Z0-9 _#é]{0,12}"`), where the
+/// class lists literal characters and `a-z` ranges. A bare literal string
+/// with no class generates itself.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    if chars.first() != Some(&'[') {
+        return pattern.to_string(); // literal
+    }
+    let close = chars
+        .iter()
+        .position(|&c| c == ']')
+        .unwrap_or_else(|| panic!("unsupported pattern {pattern:?}: missing ']'"));
+    // expand the class into a choice alphabet
+    let mut alphabet: Vec<char> = Vec::new();
+    let class = &chars[1..close];
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i] as u32, class[i + 2] as u32);
+            assert!(lo <= hi, "bad class range in {pattern:?}");
+            for c in lo..=hi {
+                if let Some(c) = char::from_u32(c) {
+                    alphabet.push(c);
+                }
+            }
+            i += 3;
+        } else {
+            alphabet.push(class[i]);
+            i += 1;
+        }
+    }
+    assert!(!alphabet.is_empty(), "empty class in {pattern:?}");
+    // parse the {lo,hi} repetition (default: exactly one)
+    let rest: String = chars[close + 1..].iter().collect();
+    let (lo, hi) = parse_repetition(&rest, pattern);
+    let n = lo + rng.below(hi - lo + 1);
+    (0..n).map(|_| alphabet[rng.below(alphabet.len())]).collect()
+}
+
+fn parse_repetition(rest: &str, pattern: &str) -> (usize, usize) {
+    if rest.is_empty() {
+        return (1, 1);
+    }
+    let inner = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unsupported pattern {pattern:?}: trailing {rest:?}"));
+    match inner.split_once(',') {
+        Some((lo, hi)) => (
+            lo.trim().parse().unwrap_or_else(|_| panic!("bad repetition in {pattern:?}")),
+            hi.trim().parse().unwrap_or_else(|_| panic!("bad repetition in {pattern:?}")),
+        ),
+        None => {
+            let n = inner.trim().parse().unwrap_or_else(|_| panic!("bad repetition in {pattern:?}"));
+            (n, n)
+        }
+    }
+}
+
+// ---- tuples ---------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+// ---- any ------------------------------------------------------------------
+
+/// Types with a canonical "whole domain" strategy.
+pub trait Arbitrary: Sized + 'static {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T`.
+#[derive(Debug)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // finite doubles over a wide range
+        let m = rng.unit_f64() * 2.0 - 1.0;
+        let e = (rng.next_u64() % 613) as i32 - 306;
+        m * 10f64.powi(e)
+    }
+}
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut TestRng) -> [u8; N] {
+        let mut out = [0u8; N];
+        for chunk in out.chunks_mut(8) {
+            let bytes = rng.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        out
+    }
+}
+
+// ---- collections ----------------------------------------------------------
+
+/// Size specifications accepted by the collection strategies.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // inclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { lo: r.start, hi: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange { lo: *r.start(), hi: *r.end() }
+    }
+}
+
+pub mod collection {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    /// `Vec` of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S::Value: 'static,
+    {
+        let size = size.into();
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| {
+            let n = size.lo + rng.below(size.hi - size.lo + 1);
+            (0..n).map(|_| element.generate(rng)).collect()
+        }))
+    }
+
+    /// `BTreeSet` with a size in `size` (element collisions are retried a
+    /// bounded number of times, so the lower bound is best-effort when the
+    /// element domain is small).
+    pub fn btree_set<S: Strategy>(
+        element: S,
+        size: impl Into<SizeRange>,
+    ) -> BoxedStrategy<BTreeSet<S::Value>>
+    where
+        S::Value: Ord + 'static,
+    {
+        let size = size.into();
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| {
+            let target = size.lo + rng.below(size.hi - size.lo + 1);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target * 20 + 100 {
+                out.insert(element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Chooses uniformly among the listed strategies (all must share one value
+/// type). Weighted arms (`w => strat`) are accepted and the weight ignored.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $arm:expr),+ $(,)?) => {
+        $crate::union(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+    ($($arm:expr),+ $(,)?) => {
+        $crate::union(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_ne!($left, $right, $($fmt)*) };
+}
+
+/// The test-harness macro: declares `#[test]` functions whose arguments are
+/// drawn from strategies, re-running each body `config.cases` times with a
+/// deterministic per-test RNG.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { (<$crate::ProptestConfig as ::std::default::Default>::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $( $pat:pat in $strat:expr ),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let test_path = concat!(module_path!(), "::", stringify!($name));
+                let (mut rng, seed) = $crate::rng_for_test(test_path);
+                for case in 0..config.cases {
+                    // Pre-generate inputs so a panicking body cannot skew
+                    // the stream of later cases relative to a passing run.
+                    $( let $pat = $crate::Strategy::generate(&($strat), &mut rng); )+
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| { $body }));
+                    if let Err(payload) = result {
+                        eprintln!(
+                            "proptest shim: {} failed at case {}/{} (seed {:#x}); \
+                             the run is deterministic — rerun to reproduce",
+                            test_path, case + 1, config.cases, seed
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Prelude
+// ---------------------------------------------------------------------------
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestRng,
+    };
+
+    /// Upstream-style `prop::` namespace.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn determinism_same_name_same_stream() {
+        let (mut a, sa) = crate::rng_for_test("x::y");
+        let (mut b, sb) = crate::rng_for_test("x::y");
+        assert_eq!(sa, sb);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let (mut c, sc) = crate::rng_for_test("x::z");
+        assert_ne!(sa, sc);
+        let _ = c.next_u64();
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let (mut rng, _) = crate::rng_for_test("ranges");
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(-5i64..5), &mut rng);
+            assert!((-5..5).contains(&v));
+            let f = Strategy::generate(&(0.25f64..0.75), &mut rng);
+            assert!((0.25..0.75).contains(&f));
+            let u = Strategy::generate(&(3u8..=7), &mut rng);
+            assert!((3..=7).contains(&u));
+        }
+    }
+
+    #[test]
+    fn pattern_strategy_obeys_class_and_len() {
+        let (mut rng, _) = crate::rng_for_test("pattern");
+        for _ in 0..500 {
+            let s = Strategy::generate(&"[a-c9é]{2,5}", &mut rng);
+            assert!((2..=5).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| matches!(c, 'a'..='c' | '9' | 'é')), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn collections_and_tuples() {
+        let (mut rng, _) = crate::rng_for_test("coll");
+        for _ in 0..200 {
+            let v = Strategy::generate(&prop::collection::vec((0u8..4, -2i64..2), 1..6), &mut rng);
+            assert!((1..=5).contains(&v.len()));
+            let s = Strategy::generate(&prop::collection::btree_set(0i64..100, 5..10), &mut rng);
+            assert!(s.len() >= 5 && s.len() <= 9);
+            let exact = Strategy::generate(&prop::collection::vec(0i32..9, 7), &mut rng);
+            assert_eq!(exact.len(), 7);
+        }
+    }
+
+    #[test]
+    fn oneof_and_recursive_terminate() {
+        #[derive(Clone, Debug)]
+        enum T {
+            Leaf(i64),
+            Node(Vec<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf(v) => {
+                    assert!((0..20).contains(v), "leaf out of strategy range: {v}");
+                    1
+                }
+                T::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = prop_oneof![
+            (0i64..10).prop_map(T::Leaf),
+            (10i64..20).prop_map(T::Leaf),
+        ]
+        .prop_recursive(3, 8, 2, |inner| {
+            prop::collection::vec(inner, 0..3).prop_map(T::Node)
+        });
+        let (mut rng, _) = crate::rng_for_test("rec");
+        for _ in 0..300 {
+            let t = Strategy::generate(&strat, &mut rng);
+            assert!(depth(&t) <= 5, "{t:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_end_to_end(mut xs in prop::collection::vec(-100i64..100, 0..20),
+                            k in 1i64..5) {
+            xs.sort_unstable();
+            prop_assert!(xs.windows(2).all(|w| w[0] <= w[1]));
+            let scaled: Vec<i64> = xs.iter().map(|x| x * k).collect();
+            prop_assert_eq!(scaled.len(), xs.len(), "k = {}", k);
+        }
+    }
+}

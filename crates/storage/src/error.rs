@@ -20,6 +20,11 @@ pub enum StorageError {
     Adm(asterix_adm::AdmError),
     /// Misuse of the API (e.g. unsorted bulk-load input).
     Invalid(String),
+    /// A deterministic injected fault (crash point, short write, failed
+    /// fsync) from [`crate::faults::FaultInjector`]. Never produced in
+    /// production configurations; test harnesses match on it to tell a
+    /// scheduled crash from a real failure.
+    Injected(String),
 }
 
 impl fmt::Display for StorageError {
@@ -33,6 +38,7 @@ impl fmt::Display for StorageError {
             StorageError::NotFound(m) => write!(f, "not found: {m}"),
             StorageError::Adm(e) => write!(f, "data-model error in storage: {e}"),
             StorageError::Invalid(m) => write!(f, "invalid storage operation: {m}"),
+            StorageError::Injected(m) => write!(f, "injected fault: {m}"),
         }
     }
 }

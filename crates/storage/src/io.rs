@@ -8,6 +8,7 @@
 //! use in-place page writes.
 
 use crate::error::{Result, StorageError};
+use crate::faults::{FaultInjector, WritePlan};
 use crate::stats::IoStats;
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -41,18 +42,34 @@ pub struct FileManager {
     stats: Arc<IoStats>,
     next_id: AtomicU32,
     files: RwLock<HashMap<FileId, Arc<RwLock<OpenFile>>>>,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl FileManager {
     /// Opens (creating if needed) a device directory.
     pub fn new(dir: impl AsRef<Path>, stats: Arc<IoStats>) -> Result<Arc<Self>> {
+        FileManager::with_faults(dir, stats, None)
+    }
+
+    /// Opens a device directory whose physical I/O consults `faults`.
+    pub fn with_faults(
+        dir: impl AsRef<Path>,
+        stats: Arc<IoStats>,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> Result<Arc<Self>> {
         std::fs::create_dir_all(dir.as_ref())?;
         Ok(Arc::new(FileManager {
             dir: dir.as_ref().to_path_buf(),
             stats,
             next_id: AtomicU32::new(1),
             files: RwLock::new(HashMap::new()),
+            faults,
         }))
+    }
+
+    /// The fault injector wired into this manager, if any.
+    pub fn faults(&self) -> Option<&Arc<FaultInjector>> {
+        self.faults.as_ref()
     }
 
     /// The device directory.
@@ -75,6 +92,9 @@ impl FileManager {
 
     /// Creates a new, empty, writable page file with the given name.
     pub fn create(&self, name: &str) -> Result<FileId> {
+        if let Some(f) = &self.faults {
+            f.check_alive(name)?;
+        }
         let path = self.dir.join(name);
         let file = OpenOptions::new()
             .read(true)
@@ -87,6 +107,9 @@ impl FileManager {
 
     /// Opens an existing file read-only (e.g. a component found at recovery).
     pub fn open(&self, name: &str) -> Result<FileId> {
+        if let Some(f) = &self.faults {
+            f.check_alive(name)?;
+        }
         let path = self.dir.join(name);
         let file = OpenOptions::new().read(true).open(&path).map_err(|e| {
             if e.kind() == std::io::ErrorKind::NotFound {
@@ -131,6 +154,11 @@ impl FileManager {
         }
         let mut buf = vec![0u8; PAGE_SIZE];
         guard.file.read_exact_at(&mut buf, page_no * PAGE_SIZE as u64)?;
+        if let Some(f) = &self.faults {
+            // crash point / silent bit corruption; on crash the data read is
+            // discarded, as if the process died before consuming it
+            f.on_read(&format!("{}:{page_no}", crate::faults::target_name(&guard.path)), &mut buf)?;
+        }
         self.stats.count_physical_read(PAGE_SIZE as u64);
         Ok(buf)
     }
@@ -152,6 +180,19 @@ impl FileManager {
                 guard.path.display()
             )));
         }
+        if let Some(f) = &self.faults {
+            let target = format!("{}:{page_no}", crate::faults::target_name(&guard.path));
+            match f.on_write(&target, PAGE_SIZE)? {
+                WritePlan::Full => {}
+                WritePlan::Torn { kept } | WritePlan::Short { kept } => {
+                    // persist only a prefix of the page — a torn page write
+                    if kept > 0 {
+                        guard.file.write_all_at(&data[..kept], page_no * PAGE_SIZE as u64)?;
+                    }
+                    return Err(f.write_failed(&target));
+                }
+            }
+        }
         // Writes past the current end extend the file (sparse holes read as
         // zeros); needed because a buffer cache may write back dirty pages
         // out of allocation order.
@@ -172,12 +213,18 @@ impl FileManager {
     pub fn sync(&self, id: FileId) -> Result<()> {
         let handle = self.handle(id)?;
         let guard = handle.read();
+        if let Some(f) = &self.faults {
+            f.on_sync(&crate::faults::target_name(&guard.path))?;
+        }
         guard.file.sync_data()?;
         Ok(())
     }
 
     /// Closes and deletes a file (e.g. merged-away LSM components).
     pub fn delete(&self, id: FileId) -> Result<()> {
+        if let Some(f) = &self.faults {
+            f.check_alive("delete")?;
+        }
         let handle = self
             .files
             .write()
@@ -192,6 +239,9 @@ impl FileManager {
     /// Pages written through it are counted when [`PageFileWriter::finish`]
     /// flushes.
     pub fn bulk_writer(self: &Arc<Self>, name: &str) -> Result<PageFileWriter> {
+        if let Some(f) = &self.faults {
+            f.check_alive(name)?;
+        }
         let path = self.dir.join(name);
         let file = OpenOptions::new()
             .read(true)
@@ -246,6 +296,19 @@ impl PageFileWriter {
             .writer
             .as_mut()
             .ok_or_else(|| StorageError::Invalid("writer already finished".into()))?;
+        if let Some(f) = self.manager.faults.clone() {
+            let target = format!("{}:{}", crate::faults::target_name(&self.path), self.pages);
+            match f.on_write(&target, PAGE_SIZE)? {
+                WritePlan::Full => {}
+                WritePlan::Torn { kept } | WritePlan::Short { kept } => {
+                    // flush what was buffered, then persist only a prefix of
+                    // this page — the bulk file ends mid-page
+                    w.write_all(&data[..kept])?;
+                    w.flush()?;
+                    return Err(f.write_failed(&target));
+                }
+            }
+        }
         w.write_all(data)?;
         self.manager.stats.count_physical_write(PAGE_SIZE as u64);
         let no = self.pages;
@@ -266,6 +329,9 @@ impl PageFileWriter {
             .ok_or_else(|| StorageError::Invalid("writer already finished".into()))?;
         w.flush()?;
         let file = w.into_inner().map_err(|e| StorageError::Io(e.into_error()))?;
+        if let Some(f) = &self.manager.faults {
+            f.on_sync(&crate::faults::target_name(&self.path))?;
+        }
         file.sync_data()?;
         Ok(self.manager.register(file, self.path.clone(), self.pages, false))
     }

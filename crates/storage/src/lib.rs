@@ -23,7 +23,10 @@
 //! * a **write-ahead log** with recovery ([`wal`]) for the record-level
 //!   transaction story (Section III, item 9);
 //! * optional **storage compression** of LSM component values
-//!   ([`compress`]) — §VII's "recent examples include storage compression".
+//!   ([`compress`]) — §VII's "recent examples include storage compression";
+//! * a deterministic, seedable **fault-injection layer** ([`faults`]) wired
+//!   into the I/O and WAL paths, driving the crash-recovery test harness
+//!   (see DESIGN.md, "Fault injection & recovery guarantees").
 //!
 //! All reads of immutable component files flow through the buffer cache, so
 //! experiments can measure *physical* I/O under a configurable memory budget —
@@ -34,6 +37,7 @@ pub mod btree;
 pub mod cache;
 pub mod compress;
 pub mod error;
+pub mod faults;
 pub mod inverted;
 pub mod io;
 pub mod linear_hash;
@@ -48,5 +52,6 @@ pub mod wal;
 
 pub use cache::BufferCache;
 pub use error::{Result, StorageError};
+pub use faults::{FaultConfig, FaultEvent, FaultInjector};
 pub use io::{FileId, FileManager, PAGE_SIZE};
 pub use stats::IoStats;

@@ -9,9 +9,12 @@
 //! discarded at the first checksum mismatch.
 
 use crate::error::{Result, StorageError};
+use crate::faults::{FaultInjector, WritePlan};
 use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Write};
+use std::io::Read;
+use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Log sequence number: byte offset of the record in the log file.
 pub type Lsn = u64;
@@ -116,22 +119,55 @@ fn fnv1a(data: &[u8]) -> u32 {
 }
 
 /// Appender over a log file.
+///
+/// Records are staged in an internal buffer and persisted by [`WalWriter::sync`]
+/// with one positioned write followed by an fsync — both of which are
+/// failpoints when a [`FaultInjector`] is wired in, so crashes can land
+/// between, or in the middle of, either step.
 pub struct WalWriter {
-    writer: BufWriter<File>,
+    file: File,
     path: PathBuf,
-    next_lsn: Lsn,
+    /// Records appended but not yet flushed.
+    buf: Vec<u8>,
+    /// Bytes of valid log on disk; the flush offset.
+    persisted: u64,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl WalWriter {
     /// Opens (creating or appending to) the log at `path`.
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        WalWriter::open_with_faults(path, None)
+    }
+
+    /// Opens the log with an optional fault injector on its write paths.
+    ///
+    /// A torn or corrupt tail left by a crash is truncated here: appending
+    /// after garbage would strand every later record behind the scan stop,
+    /// silently losing committed transactions on the *next* recovery.
+    pub fn open_with_faults(
+        path: impl AsRef<Path>,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
-        let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        let next_lsn = file.metadata()?.len();
-        Ok(WalWriter { writer: BufWriter::new(file), path, next_lsn })
+        // truncate(false): an existing log must survive reopen — recovery
+        // truncates only the invalid tail below, via set_len
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let file_len = file.metadata()?.len();
+        let persisted = valid_prefix_len(&path)?;
+        if persisted < file_len {
+            file.set_len(persisted)?;
+            file.sync_data()?;
+        }
+        Ok(WalWriter { file, path, buf: Vec::new(), persisted, faults })
     }
 
     /// The log file path.
@@ -141,41 +177,61 @@ impl WalWriter {
 
     /// Appends a record (buffered); returns its LSN.
     pub fn append(&mut self, record: &WalRecord) -> Result<Lsn> {
-        let lsn = self.next_lsn;
+        if let Some(f) = &self.faults {
+            f.check_alive("wal append")?;
+        }
+        let lsn = self.next_lsn();
         let payload = record.encode();
         let crc = fnv1a(&payload);
-        self.writer.write_all(&(payload.len() as u32).to_le_bytes())?;
-        self.writer.write_all(&crc.to_le_bytes())?;
-        self.writer.write_all(&payload)?;
-        self.next_lsn += 8 + payload.len() as u64;
+        self.buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&crc.to_le_bytes());
+        self.buf.extend_from_slice(&payload);
         Ok(lsn)
     }
 
     /// Flushes buffered records and forces them to stable storage — the
     /// commit-time durability point.
+    ///
+    /// On an injected short write the buffer is kept and `sync` may be
+    /// retried: the flush rewrites the same byte range at the same offset,
+    /// so a partial prefix on disk is simply overwritten.
     pub fn sync(&mut self) -> Result<()> {
-        self.writer.flush()?;
-        self.writer.get_ref().sync_data()?;
+        if !self.buf.is_empty() {
+            if let Some(f) = self.faults.clone() {
+                let target = format!("{}:flush", crate::faults::target_name(&self.path));
+                match f.on_write(&target, self.buf.len())? {
+                    WritePlan::Full => {}
+                    WritePlan::Torn { kept } | WritePlan::Short { kept } => {
+                        // a torn flush: only a prefix of the buffered bytes
+                        // reaches the file, possibly cutting mid-record
+                        if kept > 0 {
+                            self.file.write_all_at(&self.buf[..kept], self.persisted)?;
+                        }
+                        return Err(f.write_failed(&target));
+                    }
+                }
+            }
+            self.file.write_all_at(&self.buf, self.persisted)?;
+            self.persisted += self.buf.len() as u64;
+            self.buf.clear();
+        }
+        if let Some(f) = self.faults.clone() {
+            f.on_sync(&format!("{}:fsync", crate::faults::target_name(&self.path)))?;
+        }
+        self.file.sync_data()?;
         Ok(())
     }
 
     /// LSN the next record will receive.
     pub fn next_lsn(&self) -> Lsn {
-        self.next_lsn
+        self.persisted + self.buf.len() as u64
     }
 }
 
-/// Reads all intact records from a log file; stops silently at the first
-/// torn/corrupt record (the crash tail).
-pub fn read_log(path: impl AsRef<Path>) -> Result<Vec<(Lsn, WalRecord)>> {
+/// Scans a log image, returning intact records and the byte length of the
+/// valid prefix (everything after it is a torn/corrupt crash tail).
+fn scan_log(buf: &[u8]) -> (Vec<(Lsn, WalRecord)>, u64) {
     let mut out = Vec::new();
-    let mut file = match File::open(path.as_ref()) {
-        Ok(f) => f,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
-        Err(e) => return Err(e.into()),
-    };
-    let mut buf = Vec::new();
-    file.read_to_end(&mut buf)?;
     let mut pos = 0usize;
     while pos + 8 <= buf.len() {
         let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
@@ -193,7 +249,29 @@ pub fn read_log(path: impl AsRef<Path>) -> Result<Vec<(Lsn, WalRecord)>> {
         }
         pos += 8 + len;
     }
-    Ok(out)
+    (out, pos as u64)
+}
+
+fn read_file_or_empty(path: &Path) -> Result<Vec<u8>> {
+    let mut file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e.into()),
+    };
+    let mut buf = Vec::new();
+    file.read_to_end(&mut buf)?;
+    Ok(buf)
+}
+
+/// Reads all intact records from a log file; stops silently at the first
+/// torn/corrupt record (the crash tail).
+pub fn read_log(path: impl AsRef<Path>) -> Result<Vec<(Lsn, WalRecord)>> {
+    Ok(scan_log(&read_file_or_empty(path.as_ref())?).0)
+}
+
+/// Byte length of the valid record prefix of a log file (0 if missing).
+pub fn valid_prefix_len(path: impl AsRef<Path>) -> Result<u64> {
+    Ok(scan_log(&read_file_or_empty(path.as_ref())?).1)
 }
 
 /// Truncates the log (after a checkpoint has made all components durable).
@@ -319,6 +397,57 @@ mod tests {
         }
         let recs = read_log(&path).unwrap();
         assert_eq!(recs.len(), 2, "torn tail ignored");
+    }
+
+    #[test]
+    fn reopen_truncates_torn_tail_so_new_appends_stay_readable() {
+        let dir = TempDir::new();
+        let path = dir.path().join("wal.log");
+        {
+            let mut w = WalWriter::open(&path).unwrap();
+            w.append(&upd(1, b"a", b"1")).unwrap();
+            w.append(&WalRecord::Commit { txn_id: 1 }).unwrap();
+            w.sync().unwrap();
+        }
+        // crash tail: a record header promising more bytes than exist
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            use std::io::Write;
+            f.write_all(&64u32.to_le_bytes()).unwrap();
+            f.write_all(&0u32.to_le_bytes()).unwrap();
+            f.write_all(b"partial").unwrap();
+        }
+        let valid = valid_prefix_len(&path).unwrap();
+        assert!(valid < std::fs::metadata(&path).unwrap().len());
+        // reopening must truncate the tail, so post-crash appends land
+        // directly after the valid prefix and stay replayable
+        {
+            let mut w = WalWriter::open(&path).unwrap();
+            assert_eq!(w.next_lsn(), valid);
+            w.append(&upd(2, b"b", b"2")).unwrap();
+            w.append(&WalRecord::Commit { txn_id: 2 }).unwrap();
+            w.sync().unwrap();
+        }
+        let recs = read_log(&path).unwrap();
+        assert_eq!(recs.len(), 4, "records after the crash point must be readable");
+        let ops = committed_operations(&recs);
+        assert_eq!(ops.len(), 2);
+    }
+
+    #[test]
+    fn sync_is_idempotent_and_incremental() {
+        let dir = TempDir::new();
+        let path = dir.path().join("wal.log");
+        let mut w = WalWriter::open(&path).unwrap();
+        w.append(&upd(1, b"a", b"1")).unwrap();
+        w.sync().unwrap();
+        let len1 = std::fs::metadata(&path).unwrap().len();
+        w.sync().unwrap(); // no new records: no growth
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), len1);
+        w.append(&WalRecord::Commit { txn_id: 1 }).unwrap();
+        w.sync().unwrap();
+        assert!(std::fs::metadata(&path).unwrap().len() > len1);
+        assert_eq!(read_log(&path).unwrap().len(), 2);
     }
 
     #[test]
