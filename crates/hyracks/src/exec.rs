@@ -15,7 +15,7 @@ use crate::job::{
 use crate::ops;
 use asterix_adm::compare::hash64_slice;
 use asterix_adm::Value;
-use crossbeam::channel::{bounded, Receiver, Select, Sender};
+use crossbeam::channel::{bounded, Receiver, Select, Sender, TryRecvError};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering as AtomicOrdering;
@@ -31,36 +31,85 @@ const CHANNEL_CAP: usize = 8;
 /// Streaming iterator over one input port (any-order across producers).
 pub struct TupleStream {
     receivers: Vec<Receiver<Frame>>,
-    open: Vec<bool>,
+    /// Indices of still-connected receivers; shrinks only on disconnect
+    /// instead of being rebuilt from scratch on every refill.
+    live: Vec<usize>,
+    /// Rotating fairness cursor into `live`.
+    cursor: usize,
     buffer: VecDeque<Tuple>,
 }
 
 impl TupleStream {
     fn new(receivers: Vec<Receiver<Frame>>) -> Self {
-        let open = vec![true; receivers.len()];
-        TupleStream { receivers, open, buffer: VecDeque::new() }
+        let live = (0..receivers.len()).collect();
+        TupleStream { receivers, live, cursor: 0, buffer: VecDeque::new() }
     }
 
     fn refill(&mut self) -> bool {
         loop {
-            let live: Vec<usize> = (0..self.receivers.len()).filter(|i| self.open[*i]).collect();
-            if live.is_empty() {
+            if self.live.is_empty() {
                 return false;
             }
+            // Fast path: one non-blocking round-robin sweep over the live
+            // receivers. In steady state a queued frame is found here and
+            // no `Select` is ever constructed.
+            let n = self.live.len();
+            let mut got = false;
+            let mut any_closed = false;
+            for k in 0..n {
+                let slot = (self.cursor + k) % n;
+                let idx = self.live[slot];
+                match self.receivers[idx].try_recv() {
+                    Ok(frame) => {
+                        self.cursor = (slot + 1) % n;
+                        if !frame.is_empty() {
+                            self.buffer.extend(frame);
+                            got = true;
+                            break;
+                        }
+                    }
+                    Err(TryRecvError::Disconnected) => {
+                        self.live[slot] = usize::MAX;
+                        any_closed = true;
+                    }
+                    Err(TryRecvError::Empty) => {}
+                }
+            }
+            if any_closed {
+                self.live.retain(|&i| i != usize::MAX);
+                self.cursor = 0;
+            }
+            if got {
+                return true;
+            }
+            if self.live.is_empty() {
+                return false;
+            }
+            if any_closed {
+                continue; // membership changed; re-sweep before blocking
+            }
+            // Slow path: every live channel was empty. `Select` borrows the
+            // receivers, so it cannot live in the struct; it is built only
+            // here, when a blocking wait is genuinely required.
             let mut sel = Select::new();
-            for &i in &live {
+            for &i in &self.live {
                 sel.recv(&self.receivers[i]);
             }
             let op = sel.select();
-            let idx = live[op.index()];
+            let slot = op.index();
+            let idx = self.live[slot];
             match op.recv(&self.receivers[idx]) {
                 Ok(frame) => {
+                    self.cursor = (slot + 1) % self.live.len();
                     if !frame.is_empty() {
                         self.buffer.extend(frame);
                         return true;
                     }
                 }
-                Err(_) => self.open[idx] = false,
+                Err(_) => {
+                    self.live.remove(slot);
+                    self.cursor = 0;
+                }
             }
         }
     }
