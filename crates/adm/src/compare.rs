@@ -232,8 +232,15 @@ pub fn hash64(v: &Value) -> u64 {
 
 /// Hash of a composite key (multiple values) for multi-column partitioning.
 pub fn hash64_slice(vs: &[Value]) -> u64 {
+    hash64_iter(vs.iter(), vs.len())
+}
+
+/// Hash of a composite key given by reference, without materializing it.
+/// Produces exactly the same hash as [`hash64_slice`] over the collected
+/// values, so partition routing stays consistent across both paths.
+pub fn hash64_iter<'a>(vs: impl Iterator<Item = &'a Value>, len: usize) -> u64 {
     let mut h = std::collections::hash_map::DefaultHasher::new();
-    vs.len().hash(&mut h);
+    len.hash(&mut h);
     for v in vs {
         adm_hash(v, &mut h);
     }
@@ -266,6 +273,23 @@ impl Hash for OrdValue {
 mod tests {
     use super::*;
     use crate::spatial::Point;
+
+    #[test]
+    fn hash64_iter_matches_hash64_slice() {
+        let row = [
+            Value::Int(42),
+            Value::from("key"),
+            Value::Double(2.0),
+            Value::Null,
+        ];
+        let cols = [0usize, 2, 1];
+        let key: Vec<Value> = cols.iter().map(|c| row[*c].clone()).collect();
+        assert_eq!(
+            hash64_slice(&key),
+            hash64_iter(cols.iter().map(|c| &row[*c]), cols.len()),
+            "by-reference hashing must route identically to materialized keys"
+        );
+    }
 
     #[test]
     fn cross_type_order_follows_tags() {

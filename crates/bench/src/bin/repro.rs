@@ -5,14 +5,32 @@
 //! repro --quick      # small sizes (seconds instead of minutes)
 //! repro e2 e7        # selected experiments
 //! repro --markdown   # emit Markdown tables (for EXPERIMENTS.md)
+//! repro hotpath      # hot-path bench suite -> BENCH_hotpath.json
+//! repro hotpath --out FILE   # write the JSON somewhere else
 //! ```
 
-use asterix_bench::experiments;
+use asterix_bench::{experiments, hotpath};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
     let markdown = args.iter().any(|a| a == "--markdown" || a == "-m");
+    if args.iter().any(|a| a == "hotpath") {
+        let out = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_hotpath.json".into());
+        let json = hotpath::run(quick);
+        std::fs::write(&out, &json).unwrap_or_else(|e| {
+            eprintln!("cannot write {out}: {e}");
+            std::process::exit(1);
+        });
+        print!("{json}");
+        eprintln!("hot-path baseline written to {out}");
+        return;
+    }
     let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with('-')).collect();
 
     let reports = if ids.is_empty() {

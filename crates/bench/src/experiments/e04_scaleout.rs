@@ -52,6 +52,9 @@ pub fn run(quick: bool) -> ExpReport {
             .unwrap();
         }
         txn.commit().unwrap();
+        // Flush memory components so the scans below go through the striped
+        // buffer cache (otherwise the per-shard counters stay at zero).
+        db.flush_all().unwrap();
         let counts = db.partition_counts("D").unwrap();
         let max = *counts.iter().max().unwrap() as f64;
         let avg = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
@@ -83,6 +86,27 @@ pub fn run(quick: bool) -> ExpReport {
             ms(t_agg),
             ms(t_join),
         ]);
+        // Per-shard cache counters across the cluster's nodes: evidence that
+        // the striped cache spreads hot-path traffic instead of funneling it
+        // through one lock.
+        let snaps: Vec<_> = db
+            .cluster()
+            .nodes
+            .iter()
+            .flat_map(|node| node.cache.shard_snapshots())
+            .collect();
+        let hits: u64 = snaps.iter().map(|s| s.hits).sum();
+        let misses: u64 = snaps.iter().map(|s| s.misses).sum();
+        let readaheads: u64 = snaps.iter().map(|s| s.readaheads).sum();
+        let busiest = snaps.iter().map(|s| s.hits + s.misses).max().unwrap_or(0);
+        let total = hits + misses;
+        report.note(format!(
+            "P={p} cache shards: {} across {} node(s) — {hits} hits / {misses} misses / \
+             {readaheads} readahead pages; busiest shard carried {:.0}% of accesses",
+            snaps.len(),
+            p,
+            if total > 0 { 100.0 * busiest as f64 / total as f64 } else { 0.0 },
+        ));
     }
     report.note(
         "balance ≈ 1.0 at every P: hash partitioning spreads storage evenly — \

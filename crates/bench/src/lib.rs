@@ -7,6 +7,7 @@
 //! `benches/` micro-benchmark the same code paths.
 
 pub mod experiments;
+pub mod hotpath;
 pub mod report;
 
 pub use report::ExpReport;

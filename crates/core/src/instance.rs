@@ -51,6 +51,10 @@ pub struct InstanceConfig {
     pub partitions: usize,
     /// Buffer-cache frames per node (Figure 2's buffer cache).
     pub cache_pages_per_node: usize,
+    /// Buffer-cache lock stripes per node; 0 = auto (`min(8, capacity)`).
+    pub cache_shards: usize,
+    /// Pages per sequential readahead batch on LSM scans (0/1 disables).
+    pub cache_readahead_pages: usize,
     /// LSM tuning.
     pub storage: StorageConfig,
     /// Working-memory budget per memory-intensive operator instance.
@@ -71,6 +75,8 @@ impl Default for InstanceConfig {
             nodes: 2,
             partitions: 2,
             cache_pages_per_node: 1024,
+            cache_shards: 0,
+            cache_readahead_pages: asterix_storage::cache::DEFAULT_READAHEAD,
             storage: StorageConfig::default(),
             op_memory: 32 << 20,
             sorted_index_fetch: true,
@@ -142,10 +148,14 @@ impl Instance {
             }
         };
         std::fs::create_dir_all(&root)?;
-        let cluster = Cluster::open_with_faults(
+        let cluster = Cluster::open_with_opts(
             &root,
             config.nodes,
-            config.cache_pages_per_node,
+            asterix_storage::cache::CacheOptions {
+                capacity: config.cache_pages_per_node,
+                shards: config.cache_shards,
+                readahead_pages: config.cache_readahead_pages,
+            },
             config.faults.clone(),
         )?;
         let ctx = RuntimeCtx::new(root.join("spill"))

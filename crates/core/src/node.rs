@@ -7,7 +7,7 @@
 //! architecture (see DESIGN.md, substitutions table).
 
 use crate::error::Result;
-use asterix_storage::cache::BufferCache;
+use asterix_storage::cache::{BufferCache, CacheOptions};
 use asterix_storage::faults::FaultInjector;
 use asterix_storage::io::FileManager;
 use asterix_storage::stats::IoStats;
@@ -39,6 +39,16 @@ impl Node {
         cache_pages: usize,
         faults: Option<Arc<FaultInjector>>,
     ) -> Result<Arc<Node>> {
+        Node::open_with_opts(id, dir, CacheOptions::with_capacity(cache_pages), faults)
+    }
+
+    /// Opens a node with explicit buffer-cache shard/readahead options.
+    pub fn open_with_opts(
+        id: usize,
+        dir: impl AsRef<Path>,
+        cache_opts: CacheOptions,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> Result<Arc<Node>> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
         // Discard non-durable LSM component files before anything reads
@@ -49,7 +59,7 @@ impl Node {
         discard_orphan_components(&dir)?;
         let stats = IoStats::new();
         let fm = FileManager::with_faults(&dir, stats, faults.clone())?;
-        let cache = BufferCache::new(fm, cache_pages);
+        let cache = BufferCache::with_options(fm, cache_opts);
         let wal = WalWriter::open_with_faults(dir.join("node.wal"), faults)?;
         Ok(Arc::new(Node { id, dir, cache, wal: Mutex::new(wal) }))
     }
@@ -99,10 +109,20 @@ impl Cluster {
         cache_pages_per_node: usize,
         faults: Option<Arc<FaultInjector>>,
     ) -> Result<Cluster> {
+        Cluster::open_with_opts(root, n, CacheOptions::with_capacity(cache_pages_per_node), faults)
+    }
+
+    /// Opens a cluster with explicit per-node buffer-cache options.
+    pub fn open_with_opts(
+        root: impl AsRef<Path>,
+        n: usize,
+        cache_opts: CacheOptions,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> Result<Cluster> {
         let mut nodes = Vec::with_capacity(n.max(1));
         for i in 0..n.max(1) {
             let dir = root.as_ref().join(format!("node{i}"));
-            nodes.push(Node::open_with_faults(i, dir, cache_pages_per_node, faults.clone())?);
+            nodes.push(Node::open_with_opts(i, dir, cache_opts, faults.clone())?);
         }
         Ok(Cluster { nodes })
     }

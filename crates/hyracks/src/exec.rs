@@ -13,7 +13,7 @@ use crate::job::{
     cmp_tuples, ConnStrategy, JobSpec, OpKind, SortKey,
 };
 use crate::ops;
-use asterix_adm::compare::hash64_slice;
+use asterix_adm::compare::hash64_iter;
 use asterix_adm::Value;
 use crossbeam::channel::{bounded, Receiver, Select, Sender, TryRecvError};
 use parking_lot::Mutex;
@@ -36,13 +36,24 @@ pub struct TupleStream {
     live: Vec<usize>,
     /// Rotating fairness cursor into `live`.
     cursor: usize,
-    buffer: VecDeque<Tuple>,
+    /// Buffered tuples with their cached byte sizes (carried from the
+    /// producer's frame so pass-through operators never re-size them).
+    buffer: VecDeque<(Tuple, u32)>,
 }
 
 impl TupleStream {
     fn new(receivers: Vec<Receiver<Frame>>) -> Self {
         let live = (0..receivers.len()).collect();
         TupleStream { receivers, live, cursor: 0, buffer: VecDeque::new() }
+    }
+
+    /// Next tuple with its cached size (the fast path for operators that
+    /// forward tuples unchanged).
+    fn next_sized(&mut self) -> Option<(Tuple, u32)> {
+        if self.buffer.is_empty() && !self.refill() {
+            return None;
+        }
+        self.buffer.pop_front()
     }
 
     fn refill(&mut self) -> bool {
@@ -63,7 +74,7 @@ impl TupleStream {
                     Ok(frame) => {
                         self.cursor = (slot + 1) % n;
                         if !frame.is_empty() {
-                            self.buffer.extend(frame);
+                            self.buffer.extend(frame.into_sized());
                             got = true;
                             break;
                         }
@@ -102,7 +113,7 @@ impl TupleStream {
                 Ok(frame) => {
                     self.cursor = (slot + 1) % self.live.len();
                     if !frame.is_empty() {
-                        self.buffer.extend(frame);
+                        self.buffer.extend(frame.into_sized());
                         return true;
                     }
                 }
@@ -122,7 +133,7 @@ impl Iterator for TupleStream {
         if self.buffer.is_empty() && !self.refill() {
             return None;
         }
-        self.buffer.pop_front().map(Ok)
+        self.buffer.pop_front().map(|(t, _)| Ok(t))
     }
 }
 
@@ -185,6 +196,14 @@ impl OutputRouter {
     /// Pushes one tuple; returns `false` when every consumer is gone (the
     /// worker should stop producing).
     pub fn push(&mut self, t: Tuple) -> Result<bool> {
+        let size = Frame::tuple_size(&t);
+        self.push_sized(t, size)
+    }
+
+    /// Pushes a tuple whose byte size the caller already knows (carried
+    /// from an upstream frame), so routing never re-walks the values. Key
+    /// columns are hashed by reference — no key materialization.
+    pub fn push_sized(&mut self, t: Tuple, size: usize) -> Result<bool> {
         self.stats.stats.tuples_moved.fetch_add(1, AtomicOrdering::Relaxed);
         if !matches!(self.strategy, ConnStrategy::OneToOne) {
             self.stats
@@ -193,27 +212,33 @@ impl OutputRouter {
                 .fetch_add(1, AtomicOrdering::Relaxed);
         }
         match &self.strategy {
-            ConnStrategy::OneToOne => self.buffer_to(self.my_partition, t),
-            ConnStrategy::Gather | ConnStrategy::MergeSorted(_) => self.buffer_to(0, t),
+            ConnStrategy::OneToOne => self.buffer_to(self.my_partition, t, size),
+            ConnStrategy::Gather | ConnStrategy::MergeSorted(_) => self.buffer_to(0, t, size),
             ConnStrategy::Hash(cols) => {
-                let key: Vec<Value> = cols.iter().map(|c| t[*c].clone()).collect();
-                let dst = (hash64_slice(&key) % self.senders.len() as u64) as usize;
-                self.buffer_to(dst, t)
+                let h = hash64_iter(cols.iter().map(|c| &t[*c]), cols.len());
+                let dst = (h % self.senders.len() as u64) as usize;
+                self.buffer_to(dst, t, size)
             }
             ConnStrategy::Broadcast => {
+                // Clone for all destinations but the last, which takes the
+                // tuple by move.
                 let mut any_alive = false;
-                for d in 0..self.senders.len() {
-                    if self.buffer_to(d, t.clone())? {
+                let last = self.senders.len() - 1;
+                for d in 0..last {
+                    if self.buffer_to(d, t.clone(), size)? {
                         any_alive = true;
                     }
+                }
+                if self.buffer_to(last, t, size)? {
+                    any_alive = true;
                 }
                 Ok(any_alive)
             }
         }
     }
 
-    fn buffer_to(&mut self, dst: usize, t: Tuple) -> Result<bool> {
-        if self.buffers[dst].push(t) {
+    fn buffer_to(&mut self, dst: usize, t: Tuple, size: usize) -> Result<bool> {
+        if self.buffers[dst].push_sized(t, size) {
             return self.flush(dst);
         }
         Ok(true)
@@ -386,6 +411,35 @@ fn run_worker(
     out.finish()
 }
 
+/// Drives a pass-through operator over one port, carrying each tuple's
+/// cached byte size from the input frame to the output frame so unchanged
+/// tuples are never re-sized.
+fn for_each_sized(
+    port: PortReader,
+    f: &mut dyn FnMut(Tuple, usize) -> Result<bool>,
+) -> Result<bool> {
+    match port {
+        PortReader::Any(mut s) => {
+            while let Some((t, size)) = s.next_sized() {
+                if !f(t, size as usize)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        PortReader::Merge(m) => {
+            for t in m {
+                let t = t?;
+                let size = Frame::tuple_size(&t);
+                if !f(t, size)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+    }
+}
+
 /// Runs the operator body; returns Ok(..) on success (early stop included).
 fn run_op_body(
     kind: &OpKind,
@@ -405,16 +459,13 @@ fn run_op_body(
             }
             Ok(true)
         }
-        OpKind::Filter(pred) => {
-            let input = ports.remove(0).into_iter();
-            for t in input {
-                let t = t?;
-                if pred(&t)? && !out.push(t)? {
-                    return Ok(false);
-                }
+        OpKind::Filter(pred) => for_each_sized(ports.remove(0), &mut |t, size| {
+            if pred(&t)? {
+                out.push_sized(t, size)
+            } else {
+                Ok(true)
             }
-            Ok(true)
-        }
+        }),
         OpKind::Assign(exprs) => {
             let input = ports.remove(0).into_iter();
             for t in input {
@@ -469,26 +520,21 @@ fn run_op_body(
             Ok(true)
         }
         OpKind::Limit { offset, count } => {
-            let input = ports.remove(0).into_iter();
             let mut skipped = 0usize;
             let mut emitted = 0usize;
-            for t in input {
-                let t = t?;
+            for_each_sized(ports.remove(0), &mut |t, size| {
                 if skipped < *offset {
                     skipped += 1;
-                    continue;
+                    return Ok(true);
                 }
                 if let Some(c) = count {
                     if emitted >= *c {
-                        break;
+                        return Ok(false); // quota met: stop consuming
                     }
                 }
                 emitted += 1;
-                if !out.push(t)? {
-                    return Ok(false);
-                }
-            }
-            Ok(true)
+                out.push_sized(t, size)
+            })
         }
         OpKind::Sort { keys, memory } => {
             let input = ports.remove(0).into_iter();
@@ -585,14 +631,12 @@ fn run_op_body(
             Ok(ok)
         }
         OpKind::UnionAll => {
-            let second = ports.remove(1).into_iter();
-            let first = ports.remove(0).into_iter();
-            for t in first.chain(second) {
-                if !out.push(t?)? {
-                    return Ok(false);
-                }
+            let second = ports.remove(1);
+            let first = ports.remove(0);
+            if !for_each_sized(first, &mut |t, size| out.push_sized(t, size))? {
+                return Ok(false);
             }
-            Ok(true)
+            for_each_sized(second, &mut |t, size| out.push_sized(t, size))
         }
     }
 }

@@ -12,7 +12,7 @@ use crate::frame::{Frame, Tuple};
 use crate::job::{cmp_tuples, AggSpec, SortKey};
 use crate::ops::sort::external_sort;
 use crate::ops::AggState;
-use asterix_adm::compare::{hash64_slice, OrdValue};
+use asterix_adm::compare::{adm_eq, hash64_iter};
 use asterix_adm::Value;
 use std::collections::HashMap;
 use std::sync::atomic::Ordering as AtomicOrdering;
@@ -21,13 +21,21 @@ use std::sync::Arc;
 const GRACE_PARTITIONS: usize = 8;
 const MAX_DEPTH: usize = 3;
 
-fn key_of(t: &Tuple, cols: &[usize]) -> Vec<OrdValue> {
-    cols.iter().map(|c| OrdValue(t[*c].clone())).collect()
+/// Hash of the key columns of `t`, by reference — identical to hashing the
+/// materialized key, so spill partition assignment matches the old
+/// key-materializing code path.
+fn hash_key(t: &Tuple, cols: &[usize]) -> u64 {
+    hash64_iter(cols.iter().map(|c| &t[*c]), cols.len())
 }
 
-fn raw_key(k: &[OrdValue]) -> Vec<Value> {
-    k.iter().map(|v| v.0.clone()).collect()
+/// Compares a materialized group key against the key columns of a tuple.
+fn key_matches(key: &[Value], t: &Tuple, cols: &[usize]) -> bool {
+    key.len() == cols.len() && key.iter().zip(cols).all(|(k, c)| adm_eq(k, &t[*c]))
 }
+
+/// One hash bucket: groups whose keys collide on the 64-bit hash, each with
+/// its materialized key and per-aggregate running state.
+type GroupBucket = Vec<(Vec<Value>, Vec<AggState>)>;
 
 /// Hash group-by: emits one tuple per group — key columns then one column
 /// per aggregate.
@@ -54,30 +62,35 @@ fn group_level(
     depth: usize,
     seed: u64,
 ) -> Result<bool> {
-    let mut table: HashMap<Vec<OrdValue>, Vec<AggState>> = HashMap::new();
+    // Two-level hash-first table: buckets keyed by the 64-bit key hash, the
+    // materialized key built once per *group* (on first insert) rather than
+    // once per input tuple.
+    let mut table: HashMap<u64, GroupBucket> = HashMap::new();
     let mut bytes = 0usize;
     let mut spills: Option<Vec<crate::ctx::RunWriter>> = None;
-    let part_of = |k: &[OrdValue]| {
-        let raw = raw_key(k);
-        ((hash64_slice(&raw).rotate_left(29)) ^ seed) as usize % GRACE_PARTITIONS
-    };
+    let part_of = |h: u64| ((h.rotate_left(29)) ^ seed) as usize % GRACE_PARTITIONS;
     for item in input {
         let t = item?;
-        let k = key_of(&t, key_cols);
-        if let Some(states) = table.get_mut(&k) {
-            for s in states {
-                s.update(&t);
+        let h = hash_key(&t, key_cols);
+        if let Some(bucket) = table.get_mut(&h) {
+            if let Some((_, states)) =
+                bucket.iter_mut().find(|(k, _)| key_matches(k, &t, key_cols))
+            {
+                for s in states {
+                    s.update(&t);
+                }
+                continue;
             }
-            continue;
         }
         let can_admit = bytes < memory || depth >= MAX_DEPTH;
         if can_admit {
-            bytes += 64 + raw_key(&k).iter().map(Value::heap_size).sum::<usize>() + 64 * aggs.len();
+            let k: Vec<Value> = key_cols.iter().map(|c| t[*c].clone()).collect();
+            bytes += 64 + k.iter().map(Value::heap_size).sum::<usize>() + 64 * aggs.len();
             let mut states: Vec<AggState> = aggs.iter().map(|a| AggState::new(*a)).collect();
             for s in &mut states {
                 s.update(&t);
             }
-            table.insert(k, states);
+            table.entry(h).or_default().push((k, states));
         } else {
             // spill tuples of non-resident groups
             let writers = match &mut spills {
@@ -92,15 +105,17 @@ fn group_level(
                     spills.as_mut().unwrap()
                 }
             };
-            writers[part_of(&k)].write(&t)?;
+            writers[part_of(h)].write(&t)?;
         }
     }
     // emit resident groups
-    for (k, states) in table {
-        let mut out = raw_key(&k);
-        out.extend(states.iter().map(AggState::finish));
-        if !emit(out)? {
-            return Ok(false);
+    for bucket in table.into_values() {
+        for (k, states) in bucket {
+            let mut out = k;
+            out.extend(states.iter().map(AggState::finish));
+            if !emit(out)? {
+                return Ok(false);
+            }
         }
     }
     // recurse into spilled partitions
@@ -212,21 +227,27 @@ fn distinct_level(
     depth: usize,
     seed: u64,
 ) -> Result<bool> {
-    let mut seen: HashMap<Vec<OrdValue>, Tuple> = HashMap::new();
+    // Representatives stored directly; duplicates detected by hashing and
+    // comparing the key columns in place — no per-tuple key materialization.
+    let mut seen: HashMap<u64, Vec<Tuple>> = HashMap::new();
     let mut bytes = 0usize;
     let mut spills: Option<Vec<crate::ctx::RunWriter>> = None;
+    let is_dup = |s: &Tuple, t: &Tuple| match cols {
+        Some(cs) => cs.iter().all(|c| adm_eq(&s[*c], &t[*c])),
+        None => s.len() == t.len() && s.iter().zip(t.iter()).all(|(a, b)| adm_eq(a, b)),
+    };
     for item in input {
         let t = item?;
-        let k: Vec<OrdValue> = match cols {
-            Some(cs) => key_of(&t, cs),
-            None => t.iter().cloned().map(OrdValue).collect(),
+        let h = match cols {
+            Some(cs) => hash_key(&t, cs),
+            None => hash64_iter(t.iter(), t.len()),
         };
-        if seen.contains_key(&k) {
+        if seen.get(&h).is_some_and(|b| b.iter().any(|s| is_dup(s, &t))) {
             continue;
         }
         if bytes < memory || depth >= MAX_DEPTH {
             bytes += Frame::tuple_size(&t) + 32;
-            seen.insert(k, t);
+            seen.entry(h).or_default().push(t);
         } else {
             let writers = match &mut spills {
                 Some(w) => w,
@@ -239,14 +260,15 @@ fn distinct_level(
                     spills.as_mut().unwrap()
                 }
             };
-            let raw = raw_key(&k);
-            let p = ((hash64_slice(&raw)) ^ seed) as usize % GRACE_PARTITIONS;
+            let p = (h ^ seed) as usize % GRACE_PARTITIONS;
             writers[p].write(&t)?;
         }
     }
-    for (_, t) in seen {
-        if !emit(t)? {
-            return Ok(false);
+    for bucket in seen.into_values() {
+        for t in bucket {
+            if !emit(t)? {
+                return Ok(false);
+            }
         }
     }
     if let Some(writers) = spills {

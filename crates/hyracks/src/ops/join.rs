@@ -10,7 +10,7 @@ use crate::ctx::{RunHandle, RuntimeCtx};
 use crate::error::Result;
 use crate::frame::{Frame, Tuple};
 use crate::job::JoinKind;
-use asterix_adm::compare::{adm_eq, hash64_slice};
+use asterix_adm::compare::{adm_eq, hash64_iter};
 use asterix_adm::Value;
 use std::collections::HashMap;
 use std::sync::atomic::Ordering as AtomicOrdering;
@@ -32,18 +32,22 @@ pub struct HashJoinCfg {
     pub memory: usize,
 }
 
-fn key_of(t: &Tuple, cols: &[usize]) -> Vec<Value> {
-    cols.iter().map(|c| t[*c].clone()).collect()
+/// Hash of the key columns of `t`, by reference — identical to hashing the
+/// materialized key (both route through [`hash64_iter`]), so grace partition
+/// assignment is unchanged from the key-materializing implementation.
+fn hash_key(t: &Tuple, cols: &[usize]) -> u64 {
+    hash64_iter(cols.iter().map(|c| &t[*c]), cols.len())
 }
 
-fn keys_join_eq(a: &[Value], b: &[Value]) -> bool {
-    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| adm_eq(x, y))
+fn keys_join_eq(a: &Tuple, a_cols: &[usize], b: &Tuple, b_cols: &[usize]) -> bool {
+    a_cols.len() == b_cols.len()
+        && a_cols.iter().zip(b_cols).all(|(x, y)| adm_eq(&a[*x], &b[*y]))
 }
 
-/// True when the key contains NULL/MISSING — SQL join semantics: unknown
-/// keys match nothing.
-fn key_has_unknown(k: &[Value]) -> bool {
-    k.iter().any(Value::is_unknown)
+/// True when the key columns contain NULL/MISSING — SQL join semantics:
+/// unknown keys match nothing.
+fn key_has_unknown(t: &Tuple, cols: &[usize]) -> bool {
+    cols.iter().any(|c| t[*c].is_unknown())
 }
 
 /// Runs the join, calling `emit` for each output tuple (left columns then
@@ -69,8 +73,10 @@ fn join_level(
     depth: usize,
     seed: u64,
 ) -> Result<bool> {
-    // Try to build in memory within the budget.
-    let mut table: HashMap<u64, Vec<(Vec<Value>, Tuple)>> = HashMap::new();
+    // Try to build in memory within the budget. Buckets store build tuples
+    // directly: key columns are hashed and compared in place, so no per-row
+    // key vector is ever materialized.
+    let mut table: HashMap<u64, Vec<Tuple>> = HashMap::new();
     let mut build_bytes = 0usize;
     let mut build = build.peekable();
     let mut overflow = false;
@@ -78,9 +84,8 @@ fn join_level(
     while let Some(item) = build.next() {
         let t = item?;
         build_bytes += Frame::tuple_size(&t);
-        let k = key_of(&t, &cfg.right_keys);
-        if !key_has_unknown(&k) {
-            table.entry(hash64_slice(&k)).or_default().push((k, t));
+        if !key_has_unknown(&t, &cfg.right_keys) {
+            table.entry(hash_key(&t, &cfg.right_keys)).or_default().push(t);
         }
         if build_bytes > cfg.memory && depth < MAX_DEPTH {
             overflow = true;
@@ -98,20 +103,19 @@ fn join_level(
     ctx.stats.joins_spilled.fetch_add(1, AtomicOrdering::Relaxed);
     // Grace mode: partition both sides by a salted hash of the join key.
     let salt = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(depth as u64);
-    let part_of = |k: &[Value]| (hash64_slice(k).rotate_left(17) ^ salt) as usize % GRACE_PARTITIONS;
+    let part_of = |h: u64| (h.rotate_left(17) ^ salt) as usize % GRACE_PARTITIONS;
     let mut build_parts: Vec<crate::ctx::RunWriter> = (0..GRACE_PARTITIONS)
         .map(|_| ctx.new_run())
         .collect::<Result<_>>()?;
     // respill what we had in the table + the overflow tail
-    for bucket in table.into_values() {
-        for (k, t) in bucket {
-            build_parts[part_of(&k)].write(&t)?;
+    for (h, bucket) in table {
+        for t in bucket {
+            build_parts[part_of(h)].write(&t)?;
         }
     }
     for t in overflowed_rows {
-        let k = key_of(&t, &cfg.right_keys);
-        if !key_has_unknown(&k) {
-            build_parts[part_of(&k)].write(&t)?;
+        if !key_has_unknown(&t, &cfg.right_keys) {
+            build_parts[part_of(hash_key(&t, &cfg.right_keys))].write(&t)?;
         }
     }
     let build_handles: Vec<RunHandle> = build_parts
@@ -123,8 +127,7 @@ fn join_level(
         .collect::<Result<_>>()?;
     for t in probe {
         let t = t?;
-        let k = key_of(&t, &cfg.left_keys);
-        if key_has_unknown(&k) {
+        if key_has_unknown(&t, &cfg.left_keys) {
             // unknown keys match nothing; for outer joins they still surface
             if cfg.kind == JoinKind::LeftOuter {
                 let mut out = t;
@@ -135,7 +138,7 @@ fn join_level(
             }
             continue;
         }
-        probe_parts[part_of(&k)].write(&t)?;
+        probe_parts[part_of(hash_key(&t, &cfg.left_keys))].write(&t)?;
     }
     let probe_handles: Vec<RunHandle> = probe_parts
         .into_iter()
@@ -161,29 +164,44 @@ fn join_level(
 
 fn probe_table(
     probe: impl Iterator<Item = Result<Tuple>>,
-    table: &HashMap<u64, Vec<(Vec<Value>, Tuple)>>,
+    table: &HashMap<u64, Vec<Tuple>>,
     cfg: &HashJoinCfg,
     emit: &mut dyn FnMut(Tuple) -> Result<bool>,
 ) -> Result<bool> {
     for t in probe {
         let t = t?;
-        let k = key_of(&t, &cfg.left_keys);
-        let mut matched = false;
-        if !key_has_unknown(&k) {
-            if let Some(bucket) = table.get(&hash64_slice(&k)) {
-                for (bk, bt) in bucket {
-                    if keys_join_eq(&k, bk) {
-                        matched = true;
-                        let mut out = t.clone();
+        if !key_has_unknown(&t, &cfg.left_keys) {
+            if let Some(bucket) = table.get(&hash_key(&t, &cfg.left_keys)) {
+                // Find the final match up front so the probe row can be
+                // *moved* into its last output tuple — the common 1-match
+                // case then emits without cloning the probe side at all.
+                let last = bucket
+                    .iter()
+                    .rposition(|bt| keys_join_eq(&t, &cfg.left_keys, bt, &cfg.right_keys));
+                if let Some(last) = last {
+                    for bt in bucket[..last]
+                        .iter()
+                        .filter(|bt| keys_join_eq(&t, &cfg.left_keys, bt, &cfg.right_keys))
+                    {
+                        let mut out = Vec::with_capacity(t.len() + bt.len());
+                        out.extend(t.iter().cloned());
                         out.extend(bt.iter().cloned());
                         if !emit(out)? {
                             return Ok(false);
                         }
                     }
+                    let bt = &bucket[last];
+                    let mut out = t;
+                    out.reserve(bt.len());
+                    out.extend(bt.iter().cloned());
+                    if !emit(out)? {
+                        return Ok(false);
+                    }
+                    continue;
                 }
             }
         }
-        if !matched && cfg.kind == JoinKind::LeftOuter {
+        if cfg.kind == JoinKind::LeftOuter {
             let mut out = t;
             out.extend(std::iter::repeat_n(Value::Missing, cfg.right_arity));
             if !emit(out)? {

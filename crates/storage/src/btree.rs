@@ -552,7 +552,9 @@ impl Iterator for BTreeRangeIter {
                         return None;
                     }
                     Some(next) => {
-                        match tree.cache.get(tree.file, next) {
+                        // Leaves are packed sequentially at the front of the
+                        // file, so next-leaf fetches are the readahead path.
+                        match tree.cache.get_sequential(tree.file, next) {
                             Ok(p) => {
                                 // Leaves are packed first in the file, so the
                                 // last leaf's next-pointer lands on a non-leaf

@@ -1,9 +1,21 @@
 //! The node-level buffer cache (paper Figure 2).
 //!
 //! A fixed budget of [`PAGE_SIZE`] frames shared by all dataset partitions on
-//! a node, with CLOCK (second-chance) eviction. Pages are returned as
+//! a node, split into N lock-striped *shards* (key-hashed) so concurrent
+//! scanners do not serialize on one global lock. Each shard owns a slice of
+//! the frame budget, its own CLOCK (second-chance) ring, and its own
+//! hit/miss/eviction/readahead counters. Pages are returned as
 //! `Arc<Vec<u8>>`, so a reader holding a page is never invalidated by
 //! eviction — eviction merely drops the cache's reference.
+//!
+//! Hits take only a shard *read* lock: the CLOCK reference bit is an
+//! `AtomicBool`, so the hot path is a shared lock plus one relaxed store.
+//! Installs, evictions, and flushes take the shard write lock.
+//!
+//! Sequential scans go through [`BufferCache::get_sequential`], which turns
+//! a miss into one batched physical read of the next `readahead_pages`
+//! contiguous pages (LSM component leaves are packed sequentially, so the
+//! following leaf fetches hit).
 //!
 //! Most cached files (LSM components) are immutable, so eviction is free.
 //! Mutable structures (linear hashing) write through [`BufferCache::put`],
@@ -12,47 +24,118 @@
 
 use crate::error::Result;
 use crate::io::{FileId, FileManager, PAGE_SIZE};
-use crate::stats::IoStats;
-use parking_lot::Mutex;
+use crate::stats::{CacheShardSnapshot, IoStats};
+use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-#[derive(Clone)]
+/// Default number of lock stripes (clamped to the frame budget).
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Default pages fetched per sequential readahead batch.
+pub const DEFAULT_READAHEAD: usize = 8;
+
+/// Construction options for [`BufferCache::with_options`].
+#[derive(Debug, Clone, Copy)]
+pub struct CacheOptions {
+    /// Frame budget in pages (0 disables caching entirely).
+    pub capacity: usize,
+    /// Number of lock-striped shards; 0 picks `min(capacity, DEFAULT_SHARDS)`.
+    pub shards: usize,
+    /// Pages per sequential readahead batch; 0 or 1 disables readahead.
+    pub readahead_pages: usize,
+}
+
+impl CacheOptions {
+    /// Options with the given capacity and default sharding/readahead.
+    pub fn with_capacity(capacity: usize) -> Self {
+        CacheOptions { capacity, shards: 0, readahead_pages: DEFAULT_READAHEAD }
+    }
+}
+
 struct Frame {
     data: Arc<Vec<u8>>,
     dirty: bool,
-    referenced: bool,
+    /// CLOCK reference bit; atomic so hits can set it under a read lock.
+    referenced: AtomicBool,
 }
 
-struct CacheInner {
+struct ShardInner {
     frames: HashMap<(FileId, u64), Frame>,
     /// CLOCK ring of resident page keys plus the rotating hand.
     ring: Vec<(FileId, u64)>,
     hand: usize,
 }
 
-/// A CLOCK buffer cache over one [`FileManager`].
-pub struct BufferCache {
-    manager: Arc<FileManager>,
-    stats: Arc<IoStats>,
+struct Shard {
+    /// This shard's slice of the frame budget.
     capacity: usize,
-    inner: Mutex<CacheInner>,
+    inner: RwLock<ShardInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    readaheads: AtomicU64,
 }
 
-impl BufferCache {
-    /// Creates a cache of `capacity` frames (each [`PAGE_SIZE`] bytes) over
-    /// `manager`. A capacity of 0 disables caching (every read is physical).
-    pub fn new(manager: Arc<FileManager>, capacity: usize) -> Arc<Self> {
-        let stats = Arc::clone(manager.stats());
-        Arc::new(BufferCache {
-            manager,
-            stats,
+impl Shard {
+    fn new(capacity: usize) -> Shard {
+        Shard {
             capacity,
-            inner: Mutex::new(CacheInner {
+            inner: RwLock::new(ShardInner {
                 frames: HashMap::with_capacity(capacity),
                 ring: Vec::with_capacity(capacity),
                 hand: 0,
             }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            readaheads: AtomicU64::new(0),
+        }
+    }
+
+    /// Hit path: shared lock, relaxed reference-bit store.
+    fn lookup(&self, key: &(FileId, u64)) -> Option<Arc<Vec<u8>>> {
+        let inner = self.inner.read();
+        let frame = inner.frames.get(key)?;
+        frame.referenced.store(true, Ordering::Relaxed);
+        Some(Arc::clone(&frame.data))
+    }
+}
+
+/// A lock-striped CLOCK buffer cache over one [`FileManager`].
+pub struct BufferCache {
+    manager: Arc<FileManager>,
+    stats: Arc<IoStats>,
+    capacity: usize,
+    readahead_pages: usize,
+    shards: Vec<Shard>,
+}
+
+impl BufferCache {
+    /// Creates a cache of `capacity` frames (each [`PAGE_SIZE`] bytes) over
+    /// `manager`, with default sharding and readahead. A capacity of 0
+    /// disables caching (every read is physical).
+    pub fn new(manager: Arc<FileManager>, capacity: usize) -> Arc<Self> {
+        Self::with_options(manager, CacheOptions::with_capacity(capacity))
+    }
+
+    /// Creates a cache with explicit shard/readahead configuration.
+    pub fn with_options(manager: Arc<FileManager>, opts: CacheOptions) -> Arc<Self> {
+        let stats = Arc::clone(manager.stats());
+        let capacity = opts.capacity;
+        let n = if opts.shards > 0 { opts.shards } else { DEFAULT_SHARDS };
+        let n = n.min(capacity.max(1)).max(1);
+        // Split the budget; early shards absorb the remainder so the per-
+        // shard capacities sum exactly to `capacity`.
+        let (base, rem) = (capacity / n, capacity % n);
+        let shards = (0..n).map(|i| Shard::new(base + usize::from(i < rem))).collect();
+        Arc::new(BufferCache {
+            manager,
+            stats,
+            capacity,
+            readahead_pages: opts.readahead_pages,
+            shards,
         })
     }
 
@@ -71,6 +154,19 @@ impl BufferCache {
         self.capacity
     }
 
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for(&self, key: &(FileId, u64)) -> &Shard {
+        // Odd-constant multiplicative mix: consecutive pages of one file
+        // land on distinct shards, different files are decorrelated.
+        let h = (key.0 .0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ key.1.wrapping_mul(0xD1B5_4A32_D192_ED03);
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
     /// Reads a page through the cache.
     pub fn get(&self, file: FileId, page_no: u64) -> Result<Arc<Vec<u8>>> {
         if self.capacity == 0 {
@@ -78,19 +174,59 @@ impl BufferCache {
             return Ok(Arc::new(self.manager.read_page(file, page_no)?));
         }
         let key = (file, page_no);
-        {
-            let mut inner = self.inner.lock();
-            if let Some(frame) = inner.frames.get_mut(&key) {
-                frame.referenced = true;
-                self.stats.count_cache_hit();
-                return Ok(Arc::clone(&frame.data));
-            }
+        let shard = self.shard_for(&key);
+        if let Some(data) = shard.lookup(&key) {
+            shard.hits.fetch_add(1, Ordering::Relaxed);
+            self.stats.count_cache_hit();
+            return Ok(data);
         }
-        // Miss: do the physical read outside the lock, then install.
+        // Miss: do the physical read outside any lock, then install.
+        shard.misses.fetch_add(1, Ordering::Relaxed);
         self.stats.count_cache_miss();
         let data = Arc::new(self.manager.read_page(file, page_no)?);
         self.install(key, Arc::clone(&data), false)?;
         Ok(data)
+    }
+
+    /// Reads a page on a *sequential* scan path. A hit behaves like
+    /// [`BufferCache::get`]; a miss fetches a batch of up to
+    /// `readahead_pages` contiguous pages (clamped to the file end and the
+    /// frame budget) in one physical operation and installs them all, so
+    /// the scan's subsequent page fetches hit.
+    pub fn get_sequential(&self, file: FileId, page_no: u64) -> Result<Arc<Vec<u8>>> {
+        if self.capacity == 0 || self.readahead_pages <= 1 {
+            return self.get(file, page_no);
+        }
+        let key = (file, page_no);
+        let shard = self.shard_for(&key);
+        if let Some(data) = shard.lookup(&key) {
+            shard.hits.fetch_add(1, Ordering::Relaxed);
+            self.stats.count_cache_hit();
+            return Ok(data);
+        }
+        shard.misses.fetch_add(1, Ordering::Relaxed);
+        self.stats.count_cache_miss();
+        let pages = self.manager.page_count(file)?;
+        let n = self
+            .readahead_pages
+            .min(pages.saturating_sub(page_no) as usize)
+            .min(self.capacity)
+            .max(1);
+        let mut batch = self.manager.read_pages(file, page_no, n)?;
+        // Install back-to-front so the demanded page's Arc is handed out.
+        let mut first = None;
+        for (i, buf) in batch.drain(..).enumerate() {
+            let k = (file, page_no + i as u64);
+            let data = Arc::new(buf);
+            if i == 0 {
+                first = Some(Arc::clone(&data));
+            } else {
+                self.shard_for(&k).readaheads.fetch_add(1, Ordering::Relaxed);
+                self.stats.count_readahead();
+            }
+            self.install(k, data, false)?;
+        }
+        Ok(first.expect("batch contains the demanded page"))
     }
 
     /// Writes a page through the cache (marks the frame dirty; the physical
@@ -104,28 +240,24 @@ impl BufferCache {
     }
 
     fn install(&self, key: (FileId, u64), data: Arc<Vec<u8>>, dirty: bool) -> Result<()> {
+        let shard = self.shard_for(&key);
         // Collect evicted dirty pages and write them back outside the lock.
         type Writeback = ((FileId, u64), Arc<Vec<u8>>);
         let mut writebacks: Vec<Writeback> = Vec::new();
         {
-            let mut inner = self.inner.lock();
+            let mut inner = shard.inner.write();
             if let Some(frame) = inner.frames.get_mut(&key) {
                 frame.data = data;
                 frame.dirty = frame.dirty || dirty;
-                frame.referenced = true;
+                frame.referenced.store(true, Ordering::Relaxed);
             } else {
-                while inner.frames.len() >= self.capacity && !inner.ring.is_empty() {
+                while inner.frames.len() >= shard.capacity && !inner.ring.is_empty() {
                     // CLOCK sweep: clear reference bits until a victim appears.
                     let idx = inner.hand % inner.ring.len();
                     let victim_key = inner.ring[idx];
                     let evict = {
-                        let frame = inner.frames.get_mut(&victim_key).expect("ring in sync");
-                        if frame.referenced {
-                            frame.referenced = false;
-                            false
-                        } else {
-                            true
-                        }
+                        let frame = inner.frames.get(&victim_key).expect("ring in sync");
+                        !frame.referenced.swap(false, Ordering::Relaxed)
                     };
                     if evict {
                         let frame = inner.frames.remove(&victim_key).unwrap();
@@ -133,6 +265,7 @@ impl BufferCache {
                         if idx >= inner.ring.len() {
                             inner.hand = 0;
                         }
+                        shard.evictions.fetch_add(1, Ordering::Relaxed);
                         self.stats.count_eviction();
                         if frame.dirty {
                             writebacks.push((victim_key, frame.data));
@@ -141,7 +274,9 @@ impl BufferCache {
                         inner.hand = (idx + 1) % inner.ring.len().max(1);
                     }
                 }
-                inner.frames.insert(key, Frame { data, dirty, referenced: true });
+                inner
+                    .frames
+                    .insert(key, Frame { data, dirty, referenced: AtomicBool::new(true) });
                 inner.ring.push(key);
             }
         }
@@ -153,20 +288,22 @@ impl BufferCache {
 
     /// Writes back all dirty frames of `file` (without evicting them).
     pub fn flush_file(&self, file: FileId) -> Result<()> {
-        let dirty: Vec<(u64, Arc<Vec<u8>>)> = {
-            let mut inner = self.inner.lock();
-            inner
-                .frames
-                .iter_mut()
-                .filter(|((fid, _), f)| *fid == file && f.dirty)
-                .map(|((_, page), f)| {
-                    f.dirty = false;
-                    (*page, Arc::clone(&f.data))
-                })
-                .collect()
-        };
-        for (page, data) in dirty {
-            self.manager.write_page(file, page, &data)?;
+        for shard in &self.shards {
+            let dirty: Vec<(u64, Arc<Vec<u8>>)> = {
+                let mut inner = shard.inner.write();
+                inner
+                    .frames
+                    .iter_mut()
+                    .filter(|((fid, _), f)| *fid == file && f.dirty)
+                    .map(|((_, page), f)| {
+                        f.dirty = false;
+                        (*page, Arc::clone(&f.data))
+                    })
+                    .collect()
+            };
+            for (page, data) in dirty {
+                self.manager.write_page(file, page, &data)?;
+            }
         }
         self.manager.sync(file)?;
         Ok(())
@@ -175,15 +312,32 @@ impl BufferCache {
     /// Drops all frames of `file` (used when a component is deleted after a
     /// merge). Dirty frames of a dropped file are discarded by design.
     pub fn evict_file(&self, file: FileId) {
-        let mut inner = self.inner.lock();
-        inner.frames.retain(|(fid, _), _| *fid != file);
-        inner.ring.retain(|(fid, _)| *fid != file);
-        inner.hand = 0;
+        for shard in &self.shards {
+            let mut inner = shard.inner.write();
+            inner.frames.retain(|(fid, _), _| *fid != file);
+            inner.ring.retain(|(fid, _)| *fid != file);
+            inner.hand = 0;
+        }
     }
 
     /// Number of frames currently resident.
     pub fn resident(&self) -> usize {
-        self.inner.lock().frames.len()
+        self.shards.iter().map(|s| s.inner.read().frames.len()).sum()
+    }
+
+    /// Per-shard counter snapshot (hit/miss/eviction/readahead, residency).
+    pub fn shard_snapshots(&self) -> Vec<CacheShardSnapshot> {
+        self.shards
+            .iter()
+            .map(|s| CacheShardSnapshot {
+                capacity: s.capacity,
+                resident: s.inner.read().frames.len(),
+                hits: s.hits.load(Ordering::Relaxed),
+                misses: s.misses.load(Ordering::Relaxed),
+                evictions: s.evictions.load(Ordering::Relaxed),
+                readaheads: s.readaheads.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 }
 
@@ -196,6 +350,13 @@ mod tests {
         let dir = TempDir::new();
         let fm = FileManager::new(dir.path(), IoStats::new()).unwrap();
         let cache = BufferCache::new(Arc::clone(&fm), capacity);
+        (cache, fm, dir)
+    }
+
+    fn setup_with(opts: CacheOptions) -> (Arc<BufferCache>, Arc<FileManager>, TempDir) {
+        let dir = TempDir::new();
+        let fm = FileManager::new(dir.path(), IoStats::new()).unwrap();
+        let cache = BufferCache::with_options(Arc::clone(&fm), opts);
         (cache, fm, dir)
     }
 
@@ -238,7 +399,10 @@ mod tests {
 
     #[test]
     fn clock_keeps_hot_page() {
-        let (cache, fm, _d) = setup(2);
+        // One shard with room for two pages: the CLOCK second chance must
+        // keep the re-referenced page over the one-touch scan pages.
+        let (cache, fm, _d) =
+            setup_with(CacheOptions { capacity: 2, shards: 1, readahead_pages: 0 });
         let id = make_file(&fm, 4);
         cache.get(id, 0).unwrap();
         for p in 1..4 {
@@ -252,7 +416,10 @@ mod tests {
 
     #[test]
     fn dirty_writeback_on_eviction_and_flush() {
-        let (cache, fm, _d) = setup(2);
+        // One shard so eviction pressure deterministically reaches the
+        // dirty frame regardless of how keys hash across stripes.
+        let (cache, fm, _d) =
+            setup_with(CacheOptions { capacity: 2, shards: 1, readahead_pages: 0 });
         let id = make_file(&fm, 1);
         // make the file writable again for the test: create a fresh one
         let id2 = fm.create("mut.pf").unwrap();
@@ -297,5 +464,65 @@ mod tests {
         assert_eq!(cache.resident(), 3);
         cache.evict_file(id);
         assert_eq!(cache.resident(), 0);
+    }
+
+    #[test]
+    fn sharding_splits_budget_exactly() {
+        let (cache, _fm, _d) = setup(10);
+        assert_eq!(cache.shard_count(), DEFAULT_SHARDS);
+        let caps: usize = cache.shard_snapshots().iter().map(|s| s.capacity).sum();
+        assert_eq!(caps, 10, "per-shard capacities sum to the budget");
+        // tiny budgets clamp the stripe count
+        let (small, _fm2, _d2) = setup(2);
+        assert_eq!(small.shard_count(), 2);
+    }
+
+    #[test]
+    fn per_shard_counters_account_for_all_traffic() {
+        let (cache, fm, _d) = setup(16);
+        let id = make_file(&fm, 8);
+        for p in 0..8 {
+            cache.get(id, p).unwrap();
+        }
+        for p in 0..8 {
+            cache.get(id, p).unwrap();
+        }
+        let snaps = cache.shard_snapshots();
+        let hits: u64 = snaps.iter().map(|s| s.hits).sum();
+        let misses: u64 = snaps.iter().map(|s| s.misses).sum();
+        assert_eq!(hits, fm.stats().cache_hits(), "shard hit counters match global");
+        assert_eq!(misses, fm.stats().cache_misses(), "shard miss counters match global");
+        assert_eq!(hits, 8);
+        assert_eq!(misses, 8);
+    }
+
+    #[test]
+    fn sequential_readahead_batches_misses() {
+        let (cache, fm, _d) =
+            setup_with(CacheOptions { capacity: 64, shards: 4, readahead_pages: 4 });
+        let id = make_file(&fm, 8);
+        fm.stats().reset();
+        for p in 0..8 {
+            cache.get_sequential(id, p).unwrap();
+        }
+        // Two batches of 4: two demand misses, six readahead pages, all
+        // later fetches hit.
+        assert_eq!(fm.stats().cache_misses(), 2);
+        assert_eq!(fm.stats().cache_hits(), 6);
+        assert_eq!(fm.stats().readaheads(), 6);
+        assert_eq!(fm.stats().physical_reads(), 8, "every page read exactly once");
+        let ra: u64 = cache.shard_snapshots().iter().map(|s| s.readaheads).sum();
+        assert_eq!(ra, 6, "per-shard readahead counters match global");
+    }
+
+    #[test]
+    fn readahead_clamps_at_file_end() {
+        let (cache, fm, _d) =
+            setup_with(CacheOptions { capacity: 64, shards: 2, readahead_pages: 16 });
+        let id = make_file(&fm, 3);
+        fm.stats().reset();
+        let page = cache.get_sequential(id, 2).unwrap();
+        assert_eq!(page[0], 2);
+        assert_eq!(fm.stats().physical_reads(), 1, "no read past the last page");
     }
 }

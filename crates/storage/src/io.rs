@@ -163,6 +163,38 @@ impl FileManager {
         Ok(buf)
     }
 
+    /// Reads `n` contiguous physical pages starting at `start` in one
+    /// operation (sequential readahead). Fault checks and stats apply per
+    /// page, in page order, exactly as `n` single-page reads would.
+    pub fn read_pages(&self, id: FileId, start: u64, n: usize) -> Result<Vec<Vec<u8>>> {
+        let handle = self.handle(id)?;
+        let guard = handle.read();
+        let n = n.max(1);
+        if start + n as u64 > guard.pages {
+            return Err(StorageError::Corrupt(format!(
+                "batched read of pages {start}..{} past end ({} pages) in {}",
+                start + n as u64,
+                guard.pages,
+                guard.path.display()
+            )));
+        }
+        let mut buf = vec![0u8; n * PAGE_SIZE];
+        guard.file.read_exact_at(&mut buf, start * PAGE_SIZE as u64)?;
+        let mut out = Vec::with_capacity(n);
+        for (i, chunk) in buf.chunks_exact(PAGE_SIZE).enumerate() {
+            let mut page = chunk.to_vec();
+            if let Some(f) = &self.faults {
+                f.on_read(
+                    &format!("{}:{}", crate::faults::target_name(&guard.path), start + i as u64),
+                    &mut page,
+                )?;
+            }
+            self.stats.count_physical_read(PAGE_SIZE as u64);
+            out.push(page);
+        }
+        Ok(out)
+    }
+
     /// Writes one physical page in place, extending the file if `page_no`
     /// is the next page.
     pub fn write_page(&self, id: FileId, page_no: u64, data: &[u8]) -> Result<()> {

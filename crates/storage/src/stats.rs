@@ -16,6 +16,7 @@ pub struct IoStats {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     evictions: AtomicU64,
+    readaheads: AtomicU64,
     bytes_written: AtomicU64,
     bytes_read: AtomicU64,
 }
@@ -48,6 +49,10 @@ impl IoStats {
         self.evictions.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn count_readahead(&self) {
+        self.readaheads.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Number of physical page reads performed.
     pub fn physical_reads(&self) -> u64 {
         self.physical_reads.load(Ordering::Relaxed)
@@ -73,6 +78,11 @@ impl IoStats {
         self.evictions.load(Ordering::Relaxed)
     }
 
+    /// Pages brought in by sequential readahead (beyond the demanded page).
+    pub fn readaheads(&self) -> u64 {
+        self.readaheads.load(Ordering::Relaxed)
+    }
+
     /// Total bytes physically written (write-amplification numerator).
     pub fn bytes_written(&self) -> u64 {
         self.bytes_written.load(Ordering::Relaxed)
@@ -90,6 +100,7 @@ impl IoStats {
         self.cache_hits.store(0, Ordering::Relaxed);
         self.cache_misses.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
+        self.readaheads.store(0, Ordering::Relaxed);
         self.bytes_written.store(0, Ordering::Relaxed);
         self.bytes_read.store(0, Ordering::Relaxed);
     }
@@ -102,6 +113,7 @@ impl IoStats {
             cache_hits: self.cache_hits(),
             cache_misses: self.cache_misses(),
             evictions: self.evictions(),
+            readaheads: self.readaheads(),
             bytes_written: self.bytes_written(),
             bytes_read: self.bytes_read(),
         }
@@ -116,8 +128,22 @@ pub struct IoSnapshot {
     pub cache_hits: u64,
     pub cache_misses: u64,
     pub evictions: u64,
+    pub readaheads: u64,
     pub bytes_written: u64,
     pub bytes_read: u64,
+}
+
+/// A point-in-time copy of one buffer-cache shard's counters (returned by
+/// `BufferCache::shard_snapshots`). Per-shard hit/miss skew is how lock
+/// contention and hash imbalance are diagnosed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheShardSnapshot {
+    pub capacity: usize,
+    pub resident: usize,
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub readaheads: u64,
 }
 
 impl std::ops::Sub for IoSnapshot {
@@ -129,6 +155,7 @@ impl std::ops::Sub for IoSnapshot {
             cache_hits: self.cache_hits - rhs.cache_hits,
             cache_misses: self.cache_misses - rhs.cache_misses,
             evictions: self.evictions - rhs.evictions,
+            readaheads: self.readaheads - rhs.readaheads,
             bytes_written: self.bytes_written - rhs.bytes_written,
             bytes_read: self.bytes_read - rhs.bytes_read,
         }
