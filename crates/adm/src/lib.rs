@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # ADM — the Asterix Data Model
 //!
 //! ADM is AsterixDB's NoSQL-style data model: JSON extended with object-database

@@ -603,7 +603,11 @@ fn apply_strict(f: Func, vals: &[Value]) -> Result<Value> {
                 Le => total_cmp(a, b) != Ordering::Greater,
                 Gt => total_cmp(a, b) == Ordering::Greater,
                 Ge => total_cmp(a, b) != Ordering::Less,
-                _ => unreachable!(),
+                _ => {
+                    return Err(AlgebricksError::Plan(
+                        "non-comparison function in comparison evaluation".into(),
+                    ))
+                }
             };
             Value::Bool(r)
         }
@@ -821,7 +825,9 @@ fn apply_strict(f: Func, vals: &[Value]) -> Result<Value> {
         // handled earlier
         And | Or | IsNull | IsMissing | IsUnknown | IfMissing | IfNull | IfMissingOrNull
         | ObjectConstructor | ArrayConstructor | MultisetConstructor | CurrentDatetime => {
-            unreachable!("lazy function reached strict path")
+            return Err(AlgebricksError::Plan(
+                "lazy function reached the strict evaluation path".into(),
+            ))
         }
     })
 }
@@ -909,13 +915,17 @@ fn coll_aggregate(f: Func, v: &Value) -> Result<Value> {
             .iter()
             .min_by(|a, b| total_cmp(a, b))
             .map(|v| (*v).clone())
-            .unwrap(),
+            .unwrap_or(Value::Null),
         Func::CollMax => known
             .iter()
             .max_by(|a, b| total_cmp(a, b))
             .map(|v| (*v).clone())
-            .unwrap(),
-        _ => unreachable!(),
+            .unwrap_or(Value::Null),
+        _ => {
+            return Err(AlgebricksError::Plan(
+                "non-collection function in collection aggregate".into(),
+            ))
+        }
     })
 }
 

@@ -101,7 +101,7 @@ pub fn execute(
     Ok(result
         .tuples
         .into_iter()
-        .map(|mut t| if t.len() == 1 { t.pop().unwrap() } else { Value::Array(t) })
+        .map(|mut t| if t.len() == 1 { t.pop().unwrap_or(Value::Null) } else { Value::Array(t) })
         .collect())
 }
 

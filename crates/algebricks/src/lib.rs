@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # Algebricks — the data-model-agnostic algebraic query compiler
 //!
 //! A Rust reproduction of AsterixDB's Algebricks layer (paper Section III,

@@ -105,10 +105,13 @@ pub fn conjoin(cs: Vec<Expr>) -> Expr {
         .into_iter()
         .filter(|c| *c != Expr::Const(Value::Bool(true)))
         .collect();
-    match cs.len() {
-        0 => Expr::Const(Value::Bool(true)),
-        1 => cs.pop().unwrap(),
-        _ => Expr::Call(Func::And, cs),
+    match cs.pop() {
+        None => Expr::Const(Value::Bool(true)),
+        Some(last) if cs.is_empty() => last,
+        Some(last) => {
+            cs.push(last);
+            Expr::Call(Func::And, cs)
+        }
     }
 }
 
@@ -334,7 +337,7 @@ fn introduce_index_paths(op: LogicalOp) -> (LogicalOp, bool) {
                         continue;
                     };
                     let _ = field_side;
-                    let v = const_value(const_side).unwrap();
+                    let Some(v) = const_value(const_side) else { continue };
                     match f {
                         Func::Eq => {
                             lo = Some((v.clone(), true));
@@ -472,7 +475,9 @@ fn eliminate_dead_assigns(root: &mut LogicalOp) -> bool {
                                 **input = *deeper;
                                 true
                             } else {
-                                unreachable!()
+                                // not an Assign after all: restore untouched
+                                **input = inner;
+                                false
                             }
                         } else {
                             false

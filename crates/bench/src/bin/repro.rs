@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `repro` — regenerates every experiment table of EXPERIMENTS.md.
 //!
 //! ```text

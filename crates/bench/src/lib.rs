@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # asterix-bench — the reproduction harness
 //!
 //! One module per experiment in DESIGN.md's experiment index (E1–E13), each

@@ -36,7 +36,8 @@ const PATHS: &[&str] = &["/home", "/feed", "/profile", "/msg", "/search", "/sett
 
 /// Epoch ms of 2012-01-01, the generators' time origin.
 pub fn epoch_2012() -> i64 {
-    temporal::parse_datetime("2012-01-01T00:00:00").unwrap()
+    // fallback is the same constant the parse yields: 2012-01-01 in epoch ms
+    temporal::parse_datetime("2012-01-01T00:00:00").unwrap_or(1_325_376_000_000)
 }
 
 impl DataGen {

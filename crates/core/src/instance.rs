@@ -28,6 +28,7 @@ use asterix_hyracks::RuntimeCtx;
 use asterix_sqlpp::ast::{DmlStmt, Query, Stmt};
 use asterix_sqlpp::translate::{translate_query, CatalogView};
 use asterix_storage::wal::{committed_operations, read_log, WalRecord};
+use asterix_storage::lock_order::OrderedRwLock;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -109,7 +110,7 @@ struct Inner {
     config: InstanceConfig,
     root: PathBuf,
     temp_guard: bool,
-    catalog: RwLock<Catalog>,
+    catalog: OrderedRwLock<Catalog>,
     cluster: Cluster,
     datasets: RwLock<HashMap<String, Arc<DatasetRuntime>>>,
     txns: TxnManager,
@@ -141,8 +142,8 @@ impl Instance {
                     std::process::id(),
                     std::time::SystemTime::now()
                         .duration_since(std::time::UNIX_EPOCH)
-                        .unwrap()
-                        .as_nanos()
+                        .map(|d| d.as_nanos())
+                        .unwrap_or_default()
                 ));
                 (p, true)
             }
@@ -164,7 +165,7 @@ impl Instance {
             config,
             root,
             temp_guard,
-            catalog: RwLock::new(Catalog::new()),
+            catalog: OrderedRwLock::new("catalog", Catalog::new()),
             cluster,
             datasets: RwLock::new(HashMap::new()),
             txns: TxnManager::default(),
@@ -269,14 +270,14 @@ impl Instance {
             for (_, dataset, partition, is_delete, key, value) in
                 committed_operations(&records)
             {
-                let datasets = self.inner.datasets.read();
+                let datasets = self.inner.datasets.read(); // xlint: lock(datasets_map)
                 let Some(rt) = datasets.get(&dataset) else { continue };
                 let Some(part) = rt.partitions.get(partition as usize) else { continue };
                 if is_delete {
-                    part.write().delete(&key)?;
+                    part.write().delete(&key)?; // xlint: lock(lsm_component)
                 } else {
                     let record = decode(&value).map_err(CoreError::Adm)?;
-                    part.write().upsert(&record)?;
+                    part.write().upsert(&record)?; // xlint: lock(lsm_component)
                 }
             }
         }
@@ -336,18 +337,17 @@ impl Instance {
         let msg = self.inner.catalog.write().apply_ddl(ddl)?;
         match ddl {
             D::CreateDataset { name, .. } => {
-                let def = self
-                    .inner
-                    .catalog
-                    .read()
-                    .dataset(name)
-                    .cloned()
-                    .expect("just created");
+                let def =
+                    self.inner.catalog.read().dataset(name).cloned().ok_or_else(|| {
+                        CoreError::Catalog(format!("dataset {name:?} missing after create"))
+                    })?;
                 let record_type = self.inner.catalog.read().types.get(&def.type_name).cloned();
                 let mut partitions = Vec::with_capacity(self.inner.config.partitions);
                 for p in 0..self.inner.config.partitions.max(1) {
                     let node = Arc::clone(self.inner.cluster.node_for_partition(p));
-                    partitions.push(Arc::new(RwLock::new(DatasetPartition::create_typed(
+                    partitions.push(Arc::new(OrderedRwLock::new(
+                        "lsm_component",
+                        DatasetPartition::create_typed(
                         &def,
                         record_type.clone(),
                         p as u32,
@@ -361,24 +361,19 @@ impl Instance {
                     .insert(name.clone(), Arc::new(DatasetRuntime { def, partitions }));
             }
             D::CreateIndex { dataset, name, .. } => {
-                let def = self
-                    .inner
-                    .catalog
-                    .read()
-                    .dataset(dataset)
-                    .cloned()
-                    .expect("just updated");
-                let idx = def
-                    .indexes
-                    .iter()
-                    .find(|i| i.name == *name)
-                    .cloned()
-                    .expect("just created");
+                let def =
+                    self.inner.catalog.read().dataset(dataset).cloned().ok_or_else(|| {
+                        CoreError::Catalog(format!("dataset {dataset:?} missing after index create"))
+                    })?;
+                let idx =
+                    def.indexes.iter().find(|i| i.name == *name).cloned().ok_or_else(|| {
+                        CoreError::Catalog(format!("index {name:?} missing after create"))
+                    })?;
                 // rebuild the runtime with the extra index (backfilled)
-                let mut datasets = self.inner.datasets.write();
+                let mut datasets = self.inner.datasets.write(); // xlint: lock(datasets_map)
                 if let Some(rt) = datasets.get(dataset) {
                     for part in &rt.partitions {
-                        part.write().add_index(&idx, &self.inner.config.storage)?;
+                        part.write().add_index(&idx, &self.inner.config.storage)?; // xlint: lock(lsm_component)
                     }
                     // refresh the def carried by the runtime
                     let new_rt = Arc::new(DatasetRuntime {
@@ -484,7 +479,7 @@ impl Instance {
                 }
                 let cfg = crate::external::ExternalConfig::from_properties(properties)?;
                 let (ty, registry) = {
-                    let cat = self.inner.catalog.read();
+                    let cat = self.inner.catalog.read(); // xlint: lock(catalog)
                     let def = cat
                         .dataset(dataset)
                         .ok_or_else(|| CoreError::Catalog(format!("unknown dataset {dataset:?}")))?;
@@ -591,13 +586,13 @@ impl Instance {
     /// casting to the dataset type) — E10's storage metric.
     pub fn record_encoded_len(&self, dataset: &str, record: &Value) -> Result<usize> {
         let rt = self.dataset_runtime(dataset)?;
-        let cat = self.inner.catalog.read();
+        let cat = self.inner.catalog.read(); // xlint: lock(catalog)
         let record = match cat.types.get(&rt.def.type_name) {
             Some(t) => asterix_adm::validate::cast_object(record, t, &cat.types)
                 .map_err(CoreError::Adm)?,
             None => record.clone(),
         };
-        let len = rt.partitions[0].read().encoded_len(&record)?;
+        let len = rt.partitions[0].read().encoded_len(&record)?; // xlint: lock(lsm_component)
         Ok(len)
     }
 
@@ -743,7 +738,7 @@ impl<'a> Txn<'a> {
         let inner = &self.instance.inner;
         let rt = self.instance.dataset_runtime(dataset)?;
         let (ty, registry) = {
-            let cat = inner.catalog.read();
+            let cat = inner.catalog.read(); // xlint: lock(catalog)
             match cat.types.get(&rt.def.type_name) {
                 Some(t) => (Some(t.clone()), cat.types.clone()),
                 None => (None, cat.types.clone()),
@@ -760,7 +755,7 @@ impl<'a> Txn<'a> {
         inner.txns.locks.lock(self.id, dataset, &pk)?;
         let part = &rt.partitions[p as usize];
         {
-            let mut guard = part.write();
+            let mut guard = part.write(); // xlint: lock(lsm_component)
             if !is_upsert && guard.get(&pk)?.is_some() {
                 return Err(CoreError::Constraint(format!(
                     "insert: a record with this key already exists in {dataset}"
@@ -769,7 +764,7 @@ impl<'a> Txn<'a> {
             // WAL first
             {
                 let node = guard.node();
-                let mut wal = node.wal.lock();
+                let mut wal = node.wal.lock(); // xlint: lock(wal)
                 wal.append(&WalRecord::Update {
                     txn_id: self.id,
                     dataset: dataset.to_string(),
@@ -798,10 +793,10 @@ impl<'a> Txn<'a> {
         let p = partition_of(pk, rt.partitions.len());
         inner.txns.locks.lock(self.id, dataset, pk)?;
         let part = &rt.partitions[p as usize];
-        let mut guard = part.write();
+        let mut guard = part.write(); // xlint: lock(lsm_component)
         {
             let node = guard.node();
-            let mut wal = node.wal.lock();
+            let mut wal = node.wal.lock(); // xlint: lock(wal)
             wal.append(&WalRecord::Update {
                 txn_id: self.id,
                 dataset: dataset.to_string(),
@@ -836,7 +831,7 @@ impl<'a> Txn<'a> {
         touched.dedup();
         for n in touched {
             let node = &inner.cluster.nodes[n];
-            let mut wal = node.wal.lock();
+            let mut wal = node.wal.lock(); // xlint: lock(wal)
             wal.append(&WalRecord::Commit { txn_id: self.id })
                 .map_err(CoreError::Storage)?;
             wal.sync().map_err(CoreError::Storage)?;
@@ -864,7 +859,7 @@ impl<'a> Txn<'a> {
             let res = (|| -> Result<()> {
                 let rt = self.instance.dataset_runtime(&u.dataset)?;
                 let part = &rt.partitions[u.partition as usize];
-                let mut guard = part.write();
+                let mut guard = part.write(); // xlint: lock(lsm_component)
                 match &u.before {
                     Some(rec) => {
                         guard.upsert(rec)?;
@@ -880,7 +875,7 @@ impl<'a> Txn<'a> {
             }
         }
         for node in &inner.cluster.nodes {
-            let mut wal = node.wal.lock();
+            let mut wal = node.wal.lock(); // xlint: lock(wal)
             if let Err(e) = wal.append(&WalRecord::Abort { txn_id: self.id }) {
                 first_err.get_or_insert(CoreError::Storage(e));
             }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # asterix-core — the Big Data Management System
 //!
 //! The glue that turns the layered stack (paper Figure 4) into the system of

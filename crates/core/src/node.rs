@@ -12,7 +12,7 @@ use asterix_storage::faults::FaultInjector;
 use asterix_storage::io::FileManager;
 use asterix_storage::stats::IoStats;
 use asterix_storage::wal::WalWriter;
-use parking_lot::Mutex;
+use asterix_storage::lock_order::OrderedMutex;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -21,7 +21,7 @@ pub struct Node {
     pub id: usize,
     pub dir: PathBuf,
     pub cache: Arc<BufferCache>,
-    pub wal: Mutex<WalWriter>,
+    pub wal: OrderedMutex<WalWriter>,
 }
 
 impl Node {
@@ -61,7 +61,7 @@ impl Node {
         let fm = FileManager::with_faults(&dir, stats, faults.clone())?;
         let cache = BufferCache::with_options(fm, cache_opts);
         let wal = WalWriter::open_with_faults(dir.join("node.wal"), faults)?;
-        Ok(Arc::new(Node { id, dir, cache, wal: Mutex::new(wal) }))
+        Ok(Arc::new(Node { id, dir, cache, wal: OrderedMutex::new("wal", wal) }))
     }
 
     /// The node's I/O statistics.
@@ -192,6 +192,31 @@ mod tests {
         assert!(!dir.join("ds_c0.btree").exists(), "orphan component kept");
         assert!(!dir.join("ds_c1.rtree").exists(), "orphan component kept");
         assert!(n.wal_path().exists(), "WAL must survive reopen");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn panicked_wal_holder_does_not_wedge_the_node() {
+        let root = tmp();
+        let n = Node::open(0, root.join("node0"), 4).unwrap();
+        let n2 = Arc::clone(&n);
+        let _ = std::thread::spawn(move || {
+            let _wal = n2.wal.lock(); // xlint: lock(wal)
+            panic!("holder dies with the WAL guard live");
+        })
+        .join();
+        // With a std::sync::Mutex the WAL would now be poisoned and every
+        // later lock().unwrap() would panic, wedging commit/rollback. The
+        // parking_lot-style shim releases on unwind instead.
+        {
+            let mut wal = n.wal.lock(); // xlint: lock(wal)
+            wal.append(&asterix_storage::wal::WalRecord::Commit { txn_id: 1 }).unwrap();
+            wal.sync().unwrap();
+        }
+        // and reopening the same node directory still succeeds
+        drop(n);
+        let n = Node::open(0, root.join("node0"), 4).unwrap();
+        assert!(n.wal_path().exists());
         let _ = std::fs::remove_dir_all(&root);
     }
 

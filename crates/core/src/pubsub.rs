@@ -92,12 +92,12 @@ impl Broker {
 
     /// Subscribes to a channel.
     pub fn subscribe(&self, name: &str) -> Result<Receiver<ChannelUpdate>> {
-        let channels = self.channels.read();
+        let channels = self.channels.read(); // xlint: lock(pubsub_channels)
         let ch = channels
             .get(name)
             .ok_or_else(|| CoreError::Catalog(format!("unknown channel {name:?}")))?;
         let (tx, rx) = unbounded();
-        ch.subscribers.write().push(tx);
+        ch.subscribers.write().push(tx); // xlint: lock(pubsub_subscribers)
         Ok(rx)
     }
 

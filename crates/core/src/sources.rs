@@ -12,13 +12,13 @@ use asterix_algebricks::error::{AlgebricksError, Result as AlgResult};
 use asterix_algebricks::source::{DataSource, IndexInfo, IndexRange};
 use asterix_algebricks::source::IndexKind as AlgIndexKind;
 use asterix_hyracks::job::{FnSource, SourceFactory};
-use parking_lot::RwLock;
+use asterix_storage::lock_order::OrderedRwLock;
 use std::sync::Arc;
 
 /// The runtime handle on one dataset: its definition plus its partitions.
 pub struct DatasetRuntime {
     pub def: DatasetDef,
-    pub partitions: Vec<Arc<RwLock<DatasetPartition>>>,
+    pub partitions: Vec<Arc<OrderedRwLock<DatasetPartition>>>,
 }
 
 impl DatasetRuntime {
@@ -26,7 +26,7 @@ impl DatasetRuntime {
     pub fn count(&self) -> CoreResult<usize> {
         let mut n = 0;
         for p in &self.partitions {
-            n += p.read().count()?;
+            n += p.read().count()?; // xlint: lock(lsm_component)
         }
         Ok(n)
     }
@@ -34,7 +34,7 @@ impl DatasetRuntime {
     /// Flushes every partition's memory components.
     pub fn flush(&self) -> CoreResult<()> {
         for p in &self.partitions {
-            p.write().flush()?;
+            p.write().flush()?; // xlint: lock(lsm_component)
         }
         Ok(())
     }
@@ -56,14 +56,14 @@ impl DatasetSource {
 }
 
 fn records_factory(
-    partitions: Vec<Arc<RwLock<DatasetPartition>>>,
+    partitions: Vec<Arc<OrderedRwLock<DatasetPartition>>>,
     f: impl Fn(&DatasetPartition) -> CoreResult<Vec<Value>> + Send + Sync + 'static,
 ) -> Arc<dyn SourceFactory> {
     Arc::new(FnSource(move |p: usize| {
         let part = partitions
             .get(p)
             .ok_or_else(|| asterix_hyracks::HyracksError::Eval(format!("no partition {p}")))?;
-        let records = f(&part.read())
+        let records = f(&part.read()) // xlint: lock(lsm_component)
             .map_err(|e| asterix_hyracks::HyracksError::Eval(e.to_string()))?;
         Ok(Box::new(records.into_iter().map(|r| Ok(vec![r])))
             as Box<dyn Iterator<Item = asterix_hyracks::Result<asterix_hyracks::Tuple>> + Send>)
@@ -188,7 +188,8 @@ mod tests {
         let mut partitions = Vec::new();
         for p in 0..n_parts {
             let node = Node::open(p, root.join(format!("n{p}")), 64).unwrap();
-            partitions.push(Arc::new(RwLock::new(
+            partitions.push(Arc::new(OrderedRwLock::new(
+                "lsm_component",
                 DatasetPartition::create(&def, p as u32, node, &StorageConfig::default()).unwrap(),
             )));
         }

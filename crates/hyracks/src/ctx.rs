@@ -80,8 +80,8 @@ impl RuntimeCtx {
         let n = std::process::id();
         let t = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
-            .unwrap()
-            .as_nanos();
+            .map(|d| d.as_nanos())
+            .unwrap_or_default();
         RuntimeCtx::new(std::env::temp_dir().join(format!("hyracks-spill-{n}-{t}")))
     }
 
@@ -184,8 +184,15 @@ impl Iterator for RunReader {
         if let Err(e) = self.reader.read_exact(&mut buf) {
             return Some(Err(e.into()));
         }
+        if buf.len() < 4 {
+            return Some(Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "spill-run frame shorter than its tuple-count header",
+            )
+            .into()));
+        }
         let mut dec = Decoder::new(&buf[4..]);
-        let n = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+        let n = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
         let mut tuple: Tuple = Vec::with_capacity(n);
         for _ in 0..n {
             match dec.value() {

@@ -311,11 +311,20 @@ pub fn run_job(spec: JobSpec, ctx: Arc<RuntimeCtx>) -> Result<JobResult> {
                     .iter()
                     .enumerate()
                     .find(|(_, c)| c.dst == op_id && c.dst_port == port)
-                    .expect("validated");
-                let col: Vec<Receiver<Frame>> = matrices[ci].receivers[p]
-                    .iter_mut()
-                    .map(|r| r.take().expect("receiver taken once"))
-                    .collect();
+                    .ok_or_else(|| {
+                        HyracksError::InvalidJob(format!(
+                            "no connector feeds op {op_id} port {port}"
+                        ))
+                    })?;
+                let mut col: Vec<Receiver<Frame>> =
+                    Vec::with_capacity(matrices[ci].receivers[p].len());
+                for r in matrices[ci].receivers[p].iter_mut() {
+                    col.push(r.take().ok_or_else(|| {
+                        HyracksError::InvalidJob(format!(
+                            "receiver for connector {ci} partition {p} wired twice"
+                        ))
+                    })?);
+                }
                 let reader = match &conn.strategy {
                     ConnStrategy::MergeSorted(keys) => {
                         let streams: Vec<RecvStream> = col
@@ -405,7 +414,11 @@ fn run_worker(
         results.lock().extend(local);
         return Ok(());
     }
-    let mut out = out.expect("non-sink operators have an output");
+    let Some(mut out) = out else {
+        return Err(HyracksError::InvalidJob(
+            "non-sink operator has no outgoing connector".into(),
+        ));
+    };
     let stopped = run_op_body(kind, partition, ports, &mut out, &ctx)?;
     let _ = stopped;
     out.finish()
@@ -449,7 +462,9 @@ fn run_op_body(
     ctx: &Arc<RuntimeCtx>,
 ) -> Result<bool> {
     match kind {
-        OpKind::ResultSink => unreachable!("handled by caller"),
+        OpKind::ResultSink => Err(HyracksError::InvalidJob(
+            "ResultSink reached the operator body; it is handled by the caller".into(),
+        )),
         OpKind::Source(factory) => {
             let iter = factory.open(partition)?;
             for t in iter {

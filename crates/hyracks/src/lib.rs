@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # Hyracks — the partitioned-parallel dataflow runtime
 //!
 //! A Rust reproduction of the Hyracks data-parallel platform (paper Section

@@ -93,17 +93,18 @@ fn group_level(
             table.entry(h).or_default().push((k, states));
         } else {
             // spill tuples of non-resident groups
-            let writers = match &mut spills {
-                Some(w) => w,
-                None => {
-                    ctx.stats.groups_spilled.fetch_add(1, AtomicOrdering::Relaxed);
-                    spills = Some(
-                        (0..GRACE_PARTITIONS)
-                            .map(|_| ctx.new_run())
-                            .collect::<Result<_>>()?,
-                    );
-                    spills.as_mut().unwrap()
-                }
+            if spills.is_none() {
+                ctx.stats.groups_spilled.fetch_add(1, AtomicOrdering::Relaxed);
+                spills = Some(
+                    (0..GRACE_PARTITIONS)
+                        .map(|_| ctx.new_run())
+                        .collect::<Result<_>>()?,
+                );
+            }
+            let Some(writers) = spills.as_mut() else {
+                return Err(crate::error::HyracksError::Eval(
+                    "spill partitions missing after init".into(),
+                ));
             };
             writers[part_of(h)].write(&t)?;
         }
@@ -249,16 +250,17 @@ fn distinct_level(
             bytes += Frame::tuple_size(&t) + 32;
             seen.entry(h).or_default().push(t);
         } else {
-            let writers = match &mut spills {
-                Some(w) => w,
-                None => {
-                    spills = Some(
-                        (0..GRACE_PARTITIONS)
-                            .map(|_| ctx.new_run())
-                            .collect::<Result<_>>()?,
-                    );
-                    spills.as_mut().unwrap()
-                }
+            if spills.is_none() {
+                spills = Some(
+                    (0..GRACE_PARTITIONS)
+                        .map(|_| ctx.new_run())
+                        .collect::<Result<_>>()?,
+                );
+            }
+            let Some(writers) = spills.as_mut() else {
+                return Err(crate::error::HyracksError::Eval(
+                    "spill partitions missing after init".into(),
+                ));
             };
             let p = (h ^ seed) as usize % GRACE_PARTITIONS;
             writers[p].write(&t)?;

@@ -220,11 +220,13 @@ pub fn top_k(
         kept.push(t);
         if kept.len() > k {
             // remove the largest
-            let (worst_idx, _) = kept
+            // kept is non-empty here (len > k >= 0), so max_by finds one
+            let worst_idx = kept
                 .iter()
                 .enumerate()
                 .max_by(|(_, a), (_, b)| cmp_tuples(a, b, keys))
-                .unwrap();
+                .map(|(i, _)| i)
+                .unwrap_or_default();
             kept.swap_remove(worst_idx);
         }
     }

@@ -90,7 +90,7 @@ impl BloomFilter {
         }
         let bits = buf[12..12 + n_words * 8]
             .chunks_exact(8)
-            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .map(|c| crate::le::u64_at(c, 0))
             .collect();
         Some(BloomFilter { bits, n_bits, n_hashes })
     }

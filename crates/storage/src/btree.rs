@@ -21,6 +21,7 @@ use crate::bloom::BloomFilter;
 use crate::cache::BufferCache;
 use crate::error::{Result, StorageError};
 use crate::io::{FileId, PageFileWriter, PAGE_SIZE};
+use crate::le;
 use asterix_adm::binary::compare_keys;
 use std::cmp::Ordering;
 use std::ops::Bound;
@@ -103,47 +104,47 @@ impl<'a> PageView<'a> {
     }
 
     pub(crate) fn len(&self) -> usize {
-        u16::from_le_bytes(self.page[1..3].try_into().unwrap()) as usize
+        le::u16_at(self.page, 1) as usize
     }
 
     pub(crate) fn next_leaf(&self) -> Option<u64> {
-        let v = u64::from_le_bytes(self.page[3..11].try_into().unwrap());
+        let v = le::u64_at(self.page, 3);
         (v != NO_NEXT).then_some(v)
     }
 
-    pub(crate) fn entry(&self, i: usize) -> (&'a [u8], &'a [u8]) {
-        let off =
-            u16::from_le_bytes(self.page[PAGE_HEADER + 2 * i..PAGE_HEADER + 2 * i + 2].try_into().unwrap())
-                as usize;
-        let klen = u16::from_le_bytes(self.page[off..off + 2].try_into().unwrap()) as usize;
-        let key = &self.page[off + 2..off + 2 + klen];
+    /// Entry `i`. The offset table and the lengths inside it come off disk,
+    /// so a corrupt page surfaces as `StorageError::Corrupt`, not a panic.
+    pub(crate) fn entry(&self, i: usize) -> Result<(&'a [u8], &'a [u8])> {
+        let off = le::try_u16_at(self.page, PAGE_HEADER + 2 * i)? as usize;
+        let klen = le::try_u16_at(self.page, off)? as usize;
+        let key = le::try_bytes_at(self.page, off + 2, klen)?;
         let voff = off + 2 + klen;
-        let vlen = u16::from_le_bytes(self.page[voff..voff + 2].try_into().unwrap()) as usize;
-        (key, &self.page[voff + 2..voff + 2 + vlen])
+        let vlen = le::try_u16_at(self.page, voff)? as usize;
+        Ok((key, le::try_bytes_at(self.page, voff + 2, vlen)?))
     }
 
     /// Index of the first entry with key >= target (lower bound).
-    pub(crate) fn lower_bound(&self, target: &[u8]) -> usize {
+    pub(crate) fn lower_bound(&self, target: &[u8]) -> Result<usize> {
         let (mut lo, mut hi) = (0usize, self.len());
         while lo < hi {
             let mid = (lo + hi) / 2;
-            if compare_keys(self.entry(mid).0, target) == Ordering::Less {
+            if compare_keys(self.entry(mid)?.0, target) == Ordering::Less {
                 lo = mid + 1;
             } else {
                 hi = mid;
             }
         }
-        lo
+        Ok(lo)
     }
 
     /// Index of the child to descend into for `target` (internal pages):
     /// the rightmost entry with key <= target, clamped to 0.
-    fn child_index(&self, target: &[u8]) -> usize {
-        let lb = self.lower_bound(target);
-        if lb < self.len() && compare_keys(self.entry(lb).0, target) == Ordering::Equal {
-            lb
+    fn child_index(&self, target: &[u8]) -> Result<usize> {
+        let lb = self.lower_bound(target)?;
+        if lb < self.len() && compare_keys(self.entry(lb)?.0, target) == Ordering::Equal {
+            Ok(lb)
         } else {
-            lb.saturating_sub(1)
+            Ok(lb.saturating_sub(1))
         }
     }
 }
@@ -250,7 +251,12 @@ impl BTreeBuilder {
                 if !pb.fits(&key, child_bytes.len()) {
                     let emitted = pb.emit(NO_NEXT);
                     self.writer.append(&emitted)?;
-                    upper.push((first_of_page.take().unwrap(), next_page_no));
+                    let first = first_of_page.take().ok_or_else(|| {
+                        StorageError::Invalid(
+                            "internal page emitted without a first key".into(),
+                        )
+                    })?;
+                    upper.push((first, next_page_no));
                     next_page_no += 1;
                     pb = PageBuilder::new(false);
                 }
@@ -262,7 +268,12 @@ impl BTreeBuilder {
             if !pb.is_empty() {
                 let emitted = pb.emit(NO_NEXT);
                 self.writer.append(&emitted)?;
-                upper.push((first_of_page.take().unwrap(), next_page_no));
+                let first = first_of_page.take().ok_or_else(|| {
+                    StorageError::Invalid(
+                        "internal page emitted without a first key".into(),
+                    )
+                })?;
+                upper.push((first, next_page_no));
                 next_page_no += 1;
             }
             level = upper;
@@ -360,26 +371,22 @@ impl DiskBTree {
             return Err(StorageError::Corrupt("empty btree file".into()));
         }
         let trailer = cache.manager().read_page(file, n_pages - 1)?;
-        let mut r = 0usize;
-        let take = |n: usize, r: &mut usize| {
-            let s = &trailer[*r..*r + n];
-            *r += n;
-            s.to_vec()
-        };
-        let magic = u32::from_le_bytes(take(4, &mut r).try_into().unwrap());
+        let magic = le::try_u32_at(&trailer, 0)?;
         if magic != MAGIC {
             return Err(StorageError::Corrupt("bad btree magic".into()));
         }
-        let root_page = u64::from_le_bytes(take(8, &mut r).try_into().unwrap());
-        let entry_count = u64::from_le_bytes(take(8, &mut r).try_into().unwrap());
-        let _n_leaves = u64::from_le_bytes(take(8, &mut r).try_into().unwrap());
-        let bloom_start = u64::from_le_bytes(take(8, &mut r).try_into().unwrap());
-        let bloom_pages = u32::from_le_bytes(take(4, &mut r).try_into().unwrap());
-        let bloom_len = u32::from_le_bytes(take(4, &mut r).try_into().unwrap()) as usize;
-        let min_len = u32::from_le_bytes(take(4, &mut r).try_into().unwrap()) as usize;
-        let min_key = take(min_len, &mut r);
-        let max_len = u32::from_le_bytes(take(4, &mut r).try_into().unwrap()) as usize;
-        let max_key = take(max_len, &mut r);
+        let root_page = le::try_u64_at(&trailer, 4)?;
+        let entry_count = le::try_u64_at(&trailer, 12)?;
+        let _n_leaves = le::try_u64_at(&trailer, 20)?;
+        let bloom_start = le::try_u64_at(&trailer, 28)?;
+        let bloom_pages = le::try_u32_at(&trailer, 36)?;
+        let bloom_len = le::try_u32_at(&trailer, 40)? as usize;
+        let min_len = le::try_u32_at(&trailer, 44)? as usize;
+        let min_key = le::try_bytes_at(&trailer, 48, min_len)?.to_vec();
+        let mut r = 48 + min_len;
+        let max_len = le::try_u32_at(&trailer, r)? as usize;
+        r += 4;
+        let max_key = le::try_bytes_at(&trailer, r, max_len)?.to_vec();
         let bloom = if bloom_pages > 0 {
             let mut bytes = Vec::with_capacity(bloom_len);
             for p in 0..bloom_pages as u64 {
@@ -435,8 +442,8 @@ impl DiskBTree {
             if view.is_leaf() {
                 return Ok((page, page_no));
             }
-            let idx = view.child_index(key);
-            let (_, child) = view.entry(idx);
+            let idx = view.child_index(key)?;
+            let (_, child) = view.entry(idx)?;
             page_no = u64::from_le_bytes(child.try_into().map_err(|_| {
                 StorageError::Corrupt("internal entry is not a child pointer".into())
             })?);
@@ -455,9 +462,9 @@ impl DiskBTree {
         }
         let (page, _) = self.leaf_for(key)?;
         let view = PageView::new(&page);
-        let idx = view.lower_bound(key);
+        let idx = view.lower_bound(key)?;
         if idx < view.len() {
-            let (k, v) = view.entry(idx);
+            let (k, v) = view.entry(idx)?;
             if compare_keys(k, key) == Ordering::Equal {
                 return Ok(Some(v.to_vec()));
             }
@@ -485,17 +492,21 @@ impl DiskBTree {
                     if view.is_leaf() {
                         break (page, page_no, 0usize);
                     }
-                    let (_, child) = view.entry(0);
-                    page_no = u64::from_le_bytes(child.try_into().unwrap());
+                    let (_, child) = view.entry(0)?;
+                    page_no = u64::from_le_bytes(child.try_into().map_err(|_| {
+                        StorageError::Corrupt(
+                            "internal entry is not a child pointer".into(),
+                        )
+                    })?);
                 }
             }
             Bound::Included(k) | Bound::Excluded(k) => {
                 let (page, page_no) = self.leaf_for(k)?;
                 let view = PageView::new(&page);
-                let mut idx = view.lower_bound(k);
+                let mut idx = view.lower_bound(k)?;
                 if matches!(lo, Bound::Excluded(_))
                     && idx < view.len()
-                    && compare_keys(view.entry(idx).0, k) == Ordering::Equal
+                    && compare_keys(view.entry(idx)?.0, k) == Ordering::Equal
                 {
                     idx += 1;
                 }
@@ -576,7 +587,13 @@ impl Iterator for BTreeRangeIter {
                     }
                 }
             }
-            let (k, v) = view.entry(self.idx);
+            let (k, v) = match view.entry(self.idx) {
+                Ok(e) => e,
+                Err(e) => {
+                    self.page = None;
+                    return Some(Err(e));
+                }
+            };
             // upper bound check
             let in_range = match &self.hi {
                 Bound::Unbounded => true,

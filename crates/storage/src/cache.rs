@@ -22,10 +22,10 @@
 //! which marks frames dirty; dirty frames are written back on eviction or
 //! [`BufferCache::flush_file`] — the classic steal/no-force discipline.
 
-use crate::error::Result;
+use crate::error::{Result, StorageError};
 use crate::io::{FileId, FileManager, PAGE_SIZE};
+use crate::lock_order::OrderedRwLock;
 use crate::stats::{CacheShardSnapshot, IoStats};
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -71,7 +71,7 @@ struct ShardInner {
 struct Shard {
     /// This shard's slice of the frame budget.
     capacity: usize,
-    inner: RwLock<ShardInner>,
+    inner: OrderedRwLock<ShardInner>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -82,11 +82,14 @@ impl Shard {
     fn new(capacity: usize) -> Shard {
         Shard {
             capacity,
-            inner: RwLock::new(ShardInner {
-                frames: HashMap::with_capacity(capacity),
-                ring: Vec::with_capacity(capacity),
-                hand: 0,
-            }),
+            inner: OrderedRwLock::new(
+                "cache_shard",
+                ShardInner {
+                    frames: HashMap::with_capacity(capacity),
+                    ring: Vec::with_capacity(capacity),
+                    hand: 0,
+                },
+            ),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -96,7 +99,7 @@ impl Shard {
 
     /// Hit path: shared lock, relaxed reference-bit store.
     fn lookup(&self, key: &(FileId, u64)) -> Option<Arc<Vec<u8>>> {
-        let inner = self.inner.read();
+        let inner = self.inner.read(); // xlint: lock(cache_shard)
         let frame = inner.frames.get(key)?;
         frame.referenced.store(true, Ordering::Relaxed);
         Some(Arc::clone(&frame.data))
@@ -226,7 +229,12 @@ impl BufferCache {
             }
             self.install(k, data, false)?;
         }
-        Ok(first.expect("batch contains the demanded page"))
+        first.ok_or_else(|| {
+            StorageError::Corrupt(format!(
+                "readahead batch for file {:?} page {page_no} came back empty",
+                file
+            ))
+        })
     }
 
     /// Writes a page through the cache (marks the frame dirty; the physical
@@ -245,7 +253,7 @@ impl BufferCache {
         type Writeback = ((FileId, u64), Arc<Vec<u8>>);
         let mut writebacks: Vec<Writeback> = Vec::new();
         {
-            let mut inner = shard.inner.write();
+            let mut inner = shard.inner.write(); // xlint: lock(cache_shard)
             if let Some(frame) = inner.frames.get_mut(&key) {
                 frame.data = data;
                 frame.dirty = frame.dirty || dirty;
@@ -255,20 +263,29 @@ impl BufferCache {
                     // CLOCK sweep: clear reference bits until a victim appears.
                     let idx = inner.hand % inner.ring.len();
                     let victim_key = inner.ring[idx];
-                    let evict = {
-                        let frame = inner.frames.get(&victim_key).expect("ring in sync");
-                        !frame.referenced.swap(false, Ordering::Relaxed)
+                    let referenced = match inner.frames.get(&victim_key) {
+                        Some(frame) => frame.referenced.swap(false, Ordering::Relaxed),
+                        None => {
+                            // Ring slot with no backing frame: self-heal by
+                            // dropping the stale slot and continuing the sweep.
+                            inner.ring.swap_remove(idx);
+                            if idx >= inner.ring.len() {
+                                inner.hand = 0;
+                            }
+                            continue;
+                        }
                     };
-                    if evict {
-                        let frame = inner.frames.remove(&victim_key).unwrap();
+                    if !referenced {
+                        if let Some(frame) = inner.frames.remove(&victim_key) {
+                            shard.evictions.fetch_add(1, Ordering::Relaxed);
+                            self.stats.count_eviction();
+                            if frame.dirty {
+                                writebacks.push((victim_key, frame.data));
+                            }
+                        }
                         inner.ring.swap_remove(idx);
                         if idx >= inner.ring.len() {
                             inner.hand = 0;
-                        }
-                        shard.evictions.fetch_add(1, Ordering::Relaxed);
-                        self.stats.count_eviction();
-                        if frame.dirty {
-                            writebacks.push((victim_key, frame.data));
                         }
                     } else {
                         inner.hand = (idx + 1) % inner.ring.len().max(1);
@@ -290,7 +307,7 @@ impl BufferCache {
     pub fn flush_file(&self, file: FileId) -> Result<()> {
         for shard in &self.shards {
             let dirty: Vec<(u64, Arc<Vec<u8>>)> = {
-                let mut inner = shard.inner.write();
+                let mut inner = shard.inner.write(); // xlint: lock(cache_shard)
                 inner
                     .frames
                     .iter_mut()
@@ -309,15 +326,52 @@ impl BufferCache {
         Ok(())
     }
 
-    /// Drops all frames of `file` (used when a component is deleted after a
-    /// merge). Dirty frames of a dropped file are discarded by design.
+    /// Drops all frames of `file`. Dirty frames of a dropped file are
+    /// discarded by design. Concurrent readers may still hold page `Arc`s —
+    /// eviction merely drops the cache's reference (see the module docs).
     pub fn evict_file(&self, file: FileId) {
         for shard in &self.shards {
-            let mut inner = shard.inner.write();
+            let mut inner = shard.inner.write(); // xlint: lock(cache_shard)
             inner.frames.retain(|(fid, _), _| *fid != file);
             inner.ring.retain(|(fid, _)| *fid != file);
             inner.hand = 0;
         }
+    }
+
+    /// Like [`BufferCache::evict_file`], but marks a *component close*: the
+    /// file is being retired for good (LSM merge/retirement), so no reader
+    /// may still hold any of its pages. In debug builds a page whose `Arc`
+    /// strong count exceeds the cache's own reference is a pin leak and
+    /// panics; release builds behave exactly like `evict_file`.
+    pub fn close_file(&self, file: FileId) {
+        for shard in &self.shards {
+            let mut inner = shard.inner.write(); // xlint: lock(cache_shard)
+            #[cfg(debug_assertions)]
+            assert_no_pins(
+                inner.frames.iter().filter(|((fid, _), _)| *fid == file),
+                "component close (close_file)",
+            );
+            inner.frames.retain(|(fid, _), _| *fid != file);
+            inner.ring.retain(|(fid, _)| *fid != file);
+            inner.hand = 0;
+        }
+    }
+
+    /// Pages currently pinned outside the cache (`Arc` strong count above
+    /// the cache's own reference), with their pin counts. Debug/diagnostic.
+    pub fn outstanding_pins(&self) -> Vec<((FileId, u64), usize)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let inner = shard.inner.read(); // xlint: lock(cache_shard)
+            for (key, frame) in inner.frames.iter() {
+                let pins = Arc::strong_count(&frame.data).saturating_sub(1);
+                if pins > 0 {
+                    out.push((*key, pins));
+                }
+            }
+        }
+        out.sort();
+        out
     }
 
     /// Number of frames currently resident.
@@ -338,6 +392,43 @@ impl BufferCache {
                 readaheads: s.readaheads.load(Ordering::Relaxed),
             })
             .collect()
+    }
+}
+
+/// Debug-build pin-leak check: every resident frame's `Arc` must be held by
+/// the cache alone. Skipped while unwinding so a test failure does not turn
+/// into a double panic (abort).
+#[cfg(debug_assertions)]
+fn assert_no_pins<'a>(
+    frames: impl Iterator<Item = (&'a (FileId, u64), &'a Frame)>,
+    when: &str,
+) {
+    if std::thread::panicking() {
+        return;
+    }
+    let leaked: Vec<String> = frames
+        .filter(|(_, f)| Arc::strong_count(&f.data) > 1)
+        .map(|(k, f)| {
+            format!("file {:?} page {} ({} pins)", k.0, k.1, Arc::strong_count(&f.data) - 1)
+        })
+        .collect();
+    assert!(
+        leaked.is_empty(),
+        "buffer pin leak at {when}: {} page(s) still pinned outside the cache: [{}]",
+        leaked.len(),
+        leaked.join(", ")
+    );
+}
+
+/// Cache-drop end of the pin-leak protocol: when the cache itself is torn
+/// down, no page may still be referenced outside it (debug builds).
+impl Drop for BufferCache {
+    fn drop(&mut self) {
+        #[cfg(debug_assertions)]
+        for shard in &self.shards {
+            let inner = shard.inner.read(); // xlint: lock(cache_shard)
+            assert_no_pins(inner.frames.iter(), "cache drop");
+        }
     }
 }
 
@@ -513,6 +604,47 @@ mod tests {
         assert_eq!(fm.stats().physical_reads(), 8, "every page read exactly once");
         let ra: u64 = cache.shard_snapshots().iter().map(|s| s.readaheads).sum();
         assert_eq!(ra, 6, "per-shard readahead counters match global");
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "pin tracking is debug-only")]
+    fn pin_leak_trips_on_component_close() {
+        let r = std::panic::catch_unwind(|| {
+            let (cache, fm, _d) = setup(4);
+            let id = make_file(&fm, 2);
+            let _pinned = cache.get(id, 0).unwrap();
+            cache.close_file(id); // page 0 still pinned -> leak
+        });
+        let err = r.expect_err("leaked pin must trip the close-time assert");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        assert!(msg.contains("buffer pin leak"), "{msg}");
+        assert!(msg.contains("component close"), "{msg}");
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "pin tracking is debug-only")]
+    fn pin_leak_trips_on_cache_drop() {
+        let (cache, fm, _d) = setup(4);
+        let id = make_file(&fm, 1);
+        let pinned = cache.get(id, 0).unwrap();
+        assert_eq!(cache.outstanding_pins(), vec![((id, 0), 1)]);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || drop(cache)));
+        assert!(r.is_err(), "dropping the cache with a pinned page must panic");
+        drop(pinned);
+    }
+
+    #[test]
+    fn released_pins_do_not_trip() {
+        let (cache, fm, _d) = setup(4);
+        let id = make_file(&fm, 2);
+        {
+            let _page = cache.get(id, 0).unwrap();
+        }
+        assert!(cache.outstanding_pins().is_empty());
+        cache.close_file(id); // no outstanding pins: fine
     }
 
     #[test]

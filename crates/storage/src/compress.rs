@@ -114,7 +114,7 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, String> {
             if data.len() < 5 {
                 return Err("truncated compressed header".into());
             }
-            let orig_len = u32::from_le_bytes(data[1..5].try_into().unwrap()) as usize;
+            let orig_len = crate::le::u32_at(data, 1) as usize;
             let mut out = Vec::with_capacity(orig_len);
             let mut i = 5usize;
             while out.len() < orig_len {
@@ -131,8 +131,7 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, String> {
                         if i + 3 > data.len() {
                             return Err("truncated back-reference".into());
                         }
-                        let offset =
-                            u16::from_le_bytes(data[i..i + 2].try_into().unwrap()) as usize;
+                        let offset = crate::le::u16_at(data, i) as usize;
                         let len = data[i + 2] as usize + MIN_MATCH - 1;
                         i += 3;
                         if offset == 0 || offset > out.len() {

@@ -25,6 +25,15 @@ pub enum StorageError {
     /// production configurations; test harnesses match on it to tell a
     /// scheduled crash from a real failure.
     Injected(String),
+    /// Truncating a torn/corrupt WAL tail at reopen failed. Carries the log
+    /// path and both offsets so the operator knows exactly which file to
+    /// repair and where the valid prefix ends.
+    WalTruncate {
+        path: std::path::PathBuf,
+        valid_len: u64,
+        file_len: u64,
+        source: std::io::Error,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -39,6 +48,12 @@ impl fmt::Display for StorageError {
             StorageError::Adm(e) => write!(f, "data-model error in storage: {e}"),
             StorageError::Invalid(m) => write!(f, "invalid storage operation: {m}"),
             StorageError::Injected(m) => write!(f, "injected fault: {m}"),
+            StorageError::WalTruncate { path, valid_len, file_len, source } => write!(
+                f,
+                "failed to truncate torn WAL tail of {} at offset {valid_len} \
+                 (file length {file_len}): {source}",
+                path.display()
+            ),
         }
     }
 }
@@ -48,6 +63,7 @@ impl std::error::Error for StorageError {
         match self {
             StorageError::Io(e) => Some(e),
             StorageError::Adm(e) => Some(e),
+            StorageError::WalTruncate { source, .. } => Some(source),
             _ => None,
         }
     }

@@ -255,6 +255,20 @@ impl FaultInjector {
         Ok(())
     }
 
+    /// Failpoint for truncating a torn WAL tail at reopen. Counts as one
+    /// I/O operation, so a scheduled crash can land between discovering the
+    /// torn tail and removing it — the window where a real crash would leave
+    /// the tail in place for the *next* recovery to deal with.
+    pub fn on_truncate(&self, target: &str) -> Result<()> {
+        let op = self.next_op(target)?;
+        if self.is_crash_point(op) {
+            self.crashed.store(true, Ordering::SeqCst);
+            self.record(FaultEvent::Crash { op, target: target.to_string() });
+            return Err(self.injected(target, "injected crash during truncate"));
+        }
+        Ok(())
+    }
+
     /// Failpoint for an fsync. Both the crash point and a probabilistic
     /// fsync failure land here; either way the injector is crashed after.
     pub fn on_sync(&self, target: &str) -> Result<()> {

@@ -295,10 +295,9 @@ impl FileManager {
             .read()
             .iter()
             .map(|(id, f)| {
-                (
-                    f.read().path.file_name().unwrap().to_string_lossy().into_owned(),
-                    *id,
-                )
+                let f = f.read();
+                let name = f.path.file_name().unwrap_or(f.path.as_os_str());
+                (name.to_string_lossy().into_owned(), *id)
             })
             .collect()
     }

@@ -1,0 +1,111 @@
+//! Panic-free little-endian slice decoding.
+//!
+//! The on-disk formats in this crate (B+ tree pages, R-tree pages, WAL
+//! frames, bloom filters, compressed blocks) are decoded from byte slices
+//! whose lengths are usually guaranteed by construction (pages are always
+//! [`crate::io::PAGE_SIZE`]). The xlint panic-path rule (L1) still bans
+//! `try_into().unwrap()` there: a corrupt offset must not panic while the
+//! reader holds a buffer-cache shard lock. Two flavors are provided:
+//!
+//! * `u16_at`/`u32_at`/`u64_at` — *defaulting* reads for structurally
+//!   bounded offsets: out-of-range reads yield 0, which downstream code
+//!   treats as an empty/terminated structure. Use only where the offset is
+//!   derived from a compile-time layout over a fixed-size page.
+//! * `try_u16_at`/`try_u32_at`/`try_u64_at`/`try_bytes_at` — checked reads
+//!   for *data-dependent* offsets (entry tables, key lengths), returning
+//!   [`StorageError::Corrupt`] so the error propagates as `Err`.
+
+use crate::error::{Result, StorageError};
+
+macro_rules! defaulting {
+    ($name:ident, $ty:ty, $n:literal) => {
+        /// Defaulting read: 0 when the slice is too short. For offsets that
+        /// are in bounds by page-layout construction.
+        #[inline]
+        pub fn $name(b: &[u8], off: usize) -> $ty {
+            match b.get(off..off + $n) {
+                Some(s) => {
+                    let mut a = [0u8; $n];
+                    a.copy_from_slice(s);
+                    <$ty>::from_le_bytes(a)
+                }
+                None => 0,
+            }
+        }
+    };
+}
+
+macro_rules! checked {
+    ($name:ident, $ty:ty, $n:literal) => {
+        /// Checked read: `StorageError::Corrupt` when the slice is too
+        /// short. For data-dependent offsets read off disk.
+        #[inline]
+        pub fn $name(b: &[u8], off: usize) -> Result<$ty> {
+            match b.get(off..off + $n) {
+                Some(s) => {
+                    let mut a = [0u8; $n];
+                    a.copy_from_slice(s);
+                    Ok(<$ty>::from_le_bytes(a))
+                }
+                None => Err(StorageError::Corrupt(format!(
+                    concat!("truncated ", stringify!($ty), " at offset {} (len {})"),
+                    off,
+                    b.len()
+                ))),
+            }
+        }
+    };
+}
+
+defaulting!(u16_at, u16, 2);
+defaulting!(u32_at, u32, 4);
+defaulting!(u64_at, u64, 8);
+checked!(try_u16_at, u16, 2);
+checked!(try_u32_at, u32, 4);
+checked!(try_u64_at, u64, 8);
+
+/// Defaulting little-endian f64 read (0.0 when the slice is too short).
+#[inline]
+pub fn f64_at(b: &[u8], off: usize) -> f64 {
+    f64::from_bits(u64_at(b, off))
+}
+
+/// Checked little-endian f64 read.
+#[inline]
+pub fn try_f64_at(b: &[u8], off: usize) -> Result<f64> {
+    Ok(f64::from_bits(try_u64_at(b, off)?))
+}
+
+/// Checked sub-slice: `StorageError::Corrupt` when `off + len` overruns.
+#[inline]
+pub fn try_bytes_at(b: &[u8], off: usize, len: usize) -> Result<&[u8]> {
+    b.get(off..off + len).ok_or_else(|| {
+        StorageError::Corrupt(format!(
+            "truncated byte range {off}..{} (len {})",
+            off + len,
+            b.len()
+        ))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaulting_reads() {
+        let b = [0x34, 0x12, 0xff];
+        assert_eq!(u16_at(&b, 0), 0x1234);
+        assert_eq!(u16_at(&b, 2), 0, "short read defaults to 0");
+        assert_eq!(u64_at(&b, 0), 0);
+    }
+
+    #[test]
+    fn checked_reads() {
+        let b = 0xDEAD_BEEFu32.to_le_bytes();
+        assert_eq!(try_u32_at(&b, 0).unwrap(), 0xDEAD_BEEF);
+        assert!(matches!(try_u32_at(&b, 1), Err(StorageError::Corrupt(_))));
+        assert_eq!(try_bytes_at(&b, 1, 3).unwrap(), &b[1..4]);
+        assert!(try_bytes_at(&b, 2, 3).is_err());
+    }
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # Storage — partitioned, LSM-based native storage and indexing
 //!
 //! This crate implements the storage half of the AsterixDB architecture
@@ -40,7 +41,9 @@ pub mod error;
 pub mod faults;
 pub mod inverted;
 pub mod io;
+pub mod le;
 pub mod linear_hash;
+pub mod lock_order;
 pub mod lsm;
 pub mod lsm_rtree;
 pub mod rtree;

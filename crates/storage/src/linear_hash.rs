@@ -40,21 +40,21 @@ impl BucketPage {
     }
 
     fn parse(page: &[u8]) -> Result<Self> {
-        let n = u16::from_le_bytes(page[0..2].try_into().unwrap()) as usize;
-        let next = u64::from_le_bytes(page[2..10].try_into().unwrap());
+        let n = crate::le::u16_at(page, 0) as usize;
+        let next = crate::le::u64_at(page, 2);
         let mut entries = Vec::with_capacity(n);
         let mut r = HEADER;
         for _ in 0..n {
             if r + 4 > page.len() {
                 return Err(StorageError::Corrupt("truncated hash bucket".into()));
             }
-            let klen = u16::from_le_bytes(page[r..r + 2].try_into().unwrap()) as usize;
+            let klen = crate::le::try_u16_at(page, r)? as usize;
             r += 2;
-            let key = page[r..r + klen].to_vec();
+            let key = crate::le::try_bytes_at(page, r, klen)?.to_vec();
             r += klen;
-            let vlen = u16::from_le_bytes(page[r..r + 2].try_into().unwrap()) as usize;
+            let vlen = crate::le::try_u16_at(page, r)? as usize;
             r += 2;
-            let val = page[r..r + vlen].to_vec();
+            let val = crate::le::try_bytes_at(page, r, vlen)?.to_vec();
             r += vlen;
             entries.push((key, val));
         }

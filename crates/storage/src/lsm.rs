@@ -420,7 +420,12 @@ impl LsmTree {
                     None => continue,
                     Some(Err(_)) => {
                         // surface the error
-                        return Err(it.next().unwrap().unwrap_err());
+                        return Err(match it.next() {
+                            Some(Err(e)) => e,
+                            _ => StorageError::Corrupt(
+                                "merge iterator lost its error head".into(),
+                            ),
+                        });
                     }
                     Some(Ok((k, _))) => k.clone(),
                 };
@@ -437,7 +442,12 @@ impl LsmTree {
             }
             let Some((winner_rank, winner_key)) = best else { break };
             // consume the winner's entry and any duplicates in older comps
-            let (_, raw) = iters[winner_rank].next().unwrap()?;
+            let Some(winner) = iters[winner_rank].next() else {
+                return Err(StorageError::Corrupt(
+                    "merge winner iterator emptied between peek and next".into(),
+                ));
+            };
+            let (_, raw) = winner?;
             for (rank, it) in iters.iter_mut().enumerate() {
                 if rank == winner_rank {
                     continue;
@@ -461,7 +471,7 @@ impl LsmTree {
         // retire merged components
         let removed: Vec<DiskComponent> = self.disk.drain(..n).collect();
         for comp in removed {
-            self.cache.evict_file(comp.tree.file());
+            self.cache.close_file(comp.tree.file());
             self.cache.manager().delete(comp.tree.file())?;
         }
         self.disk.insert(0, DiskComponent { tree, size_bytes });
@@ -522,7 +532,14 @@ impl LsmTree {
             for (rank, it) in iters.iter_mut().enumerate() {
                 let head = match it.peek() {
                     None => continue,
-                    Some(Err(_)) => return Err(it.next().unwrap().unwrap_err()),
+                    Some(Err(_)) => {
+                        return Err(match it.next() {
+                            Some(Err(e)) => e,
+                            _ => StorageError::Corrupt(
+                                "range iterator lost its error head".into(),
+                            ),
+                        })
+                    }
                     Some(Ok((k, _))) => k.clone(),
                 };
                 best = match best.take() {
@@ -537,7 +554,12 @@ impl LsmTree {
                 };
             }
             let Some((winner_rank, winner_key)) = best else { break };
-            let (_, entry) = iters[winner_rank].next().unwrap()?;
+            let Some(winner) = iters[winner_rank].next() else {
+                return Err(StorageError::Corrupt(
+                    "range winner iterator emptied between peek and next".into(),
+                ));
+            };
+            let (_, entry) = winner?;
             for (rank, it) in iters.iter_mut().enumerate() {
                 if rank == winner_rank {
                     continue;

@@ -225,10 +225,10 @@ impl LsmRTree {
         };
         let removed: Vec<RTreeComponent> = self.disk.drain(..n).collect();
         for comp in removed {
-            self.cache.evict_file(comp.rtree.file());
+            self.cache.close_file(comp.rtree.file());
             self.cache.manager().delete(comp.rtree.file())?;
             if let Some(t) = comp.tombstones {
-                self.cache.evict_file(t.file());
+                self.cache.close_file(t.file());
                 self.cache.manager().delete(t.file())?;
             }
         }

@@ -327,7 +327,7 @@ fn write_rect(out: &mut Vec<u8>, r: &Rectangle) {
 }
 
 fn read_rect(buf: &[u8]) -> Rectangle {
-    let f = |i: usize| f64::from_le_bytes(buf[i..i + 8].try_into().unwrap());
+    let f = |i: usize| crate::le::f64_at(buf, i);
     Rectangle {
         min: Point::new(f(0), f(8)),
         max: Point::new(f(16), f(24)),
@@ -519,12 +519,12 @@ impl DiskRTree {
             return Err(StorageError::Corrupt("empty rtree file".into()));
         }
         let trailer = cache.manager().read_page(file, n_pages - 1)?;
-        let magic = u32::from_le_bytes(trailer[0..4].try_into().unwrap());
+        let magic = crate::le::try_u32_at(&trailer, 0)?;
         if magic != MAGIC {
             return Err(StorageError::Corrupt("bad rtree magic".into()));
         }
-        let root_page = u64::from_le_bytes(trailer[4..12].try_into().unwrap());
-        let entry_count = u64::from_le_bytes(trailer[12..20].try_into().unwrap());
+        let root_page = crate::le::try_u64_at(&trailer, 4)?;
+        let entry_count = crate::le::try_u64_at(&trailer, 12)?;
         Ok(DiskRTree { cache, file, root_page, entry_count, data_pages: n_pages - 1 })
     }
 
@@ -566,25 +566,25 @@ impl DiskRTree {
     ) -> Result<()> {
         let page = self.cache.get(self.file, page_no)?;
         let is_leaf = page[0] == 1;
-        let n = u16::from_le_bytes(page[1..3].try_into().unwrap()) as usize;
+        let n = crate::le::u16_at(&page, 1) as usize;
         let mut r = 3usize;
         if is_leaf {
             for _ in 0..n {
-                let as_point = page[r] == 1;
+                let as_point = crate::le::try_bytes_at(&page, r, 1)?[0] == 1;
                 r += 1;
                 let mbr = if as_point {
-                    let x = f64::from_le_bytes(page[r..r + 8].try_into().unwrap());
-                    let y = f64::from_le_bytes(page[r + 8..r + 16].try_into().unwrap());
+                    let x = crate::le::try_f64_at(&page, r)?;
+                    let y = crate::le::try_f64_at(&page, r + 8)?;
                     r += 16;
                     Point::new(x, y).to_mbr()
                 } else {
-                    let rect = read_rect(&page[r..r + 32]);
+                    let rect = read_rect(crate::le::try_bytes_at(&page, r, 32)?);
                     r += 32;
                     rect
                 };
-                let klen = u16::from_le_bytes(page[r..r + 2].try_into().unwrap()) as usize;
+                let klen = crate::le::try_u16_at(&page, r)? as usize;
                 r += 2;
-                let key = page[r..r + klen].to_vec();
+                let key = crate::le::try_bytes_at(&page, r, klen)?.to_vec();
                 r += klen;
                 if mbr.intersects(query) {
                     out.push(SpatialEntry { mbr, key });
@@ -592,9 +592,9 @@ impl DiskRTree {
             }
         } else {
             for _ in 0..n {
-                let mbr = read_rect(&page[r..r + 32]);
+                let mbr = read_rect(crate::le::try_bytes_at(&page, r, 32)?);
                 r += 32;
-                let child = u64::from_le_bytes(page[r..r + 8].try_into().unwrap());
+                let child = crate::le::try_u64_at(&page, r)?;
                 r += 8;
                 if mbr.intersects(query) {
                     self.search_page(child, query, out)?;

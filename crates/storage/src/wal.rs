@@ -10,6 +10,7 @@
 
 use crate::error::{Result, StorageError};
 use crate::faults::{FaultInjector, WritePlan};
+use crate::le;
 use std::fs::{File, OpenOptions};
 use std::io::Read;
 use std::os::unix::fs::FileExt;
@@ -81,28 +82,34 @@ impl WalRecord {
             *r += n;
             Ok(s)
         };
+        let take_u32 = |r: &mut usize| -> Result<u32> {
+            let v = le::try_u32_at(buf, *r)?;
+            *r += 4;
+            Ok(v)
+        };
+        let take_u64 = |r: &mut usize| -> Result<u64> {
+            let v = le::try_u64_at(buf, *r)?;
+            *r += 8;
+            Ok(v)
+        };
         let tag = take(1, &mut r)?[0];
         match tag {
             1 => {
-                let txn_id = u64::from_le_bytes(take(8, &mut r)?.try_into().unwrap());
-                let dlen = u32::from_le_bytes(take(4, &mut r)?.try_into().unwrap()) as usize;
+                let txn_id = take_u64(&mut r)?;
+                let dlen = take_u32(&mut r)? as usize;
                 let dataset = std::str::from_utf8(take(dlen, &mut r)?)
                     .map_err(|_| corrupt())?
                     .to_owned();
-                let partition = u32::from_le_bytes(take(4, &mut r)?.try_into().unwrap());
+                let partition = take_u32(&mut r)?;
                 let is_delete = take(1, &mut r)?[0] != 0;
-                let klen = u32::from_le_bytes(take(4, &mut r)?.try_into().unwrap()) as usize;
+                let klen = take_u32(&mut r)? as usize;
                 let key = take(klen, &mut r)?.to_vec();
-                let vlen = u32::from_le_bytes(take(4, &mut r)?.try_into().unwrap()) as usize;
+                let vlen = take_u32(&mut r)? as usize;
                 let value = take(vlen, &mut r)?.to_vec();
                 Ok(WalRecord::Update { txn_id, dataset, partition, is_delete, key, value })
             }
-            2 => Ok(WalRecord::Commit {
-                txn_id: u64::from_le_bytes(take(8, &mut r)?.try_into().unwrap()),
-            }),
-            3 => Ok(WalRecord::Abort {
-                txn_id: u64::from_le_bytes(take(8, &mut r)?.try_into().unwrap()),
-            }),
+            2 => Ok(WalRecord::Commit { txn_id: take_u64(&mut r)? }),
+            3 => Ok(WalRecord::Abort { txn_id: take_u64(&mut r)? }),
             4 => Ok(WalRecord::Checkpoint),
             _ => Err(corrupt()),
         }
@@ -164,8 +171,20 @@ impl WalWriter {
         let file_len = file.metadata()?.len();
         let persisted = valid_prefix_len(&path)?;
         if persisted < file_len {
-            file.set_len(persisted)?;
-            file.sync_data()?;
+            if let Some(f) = &faults {
+                f.on_truncate(&format!(
+                    "{}:truncate",
+                    crate::faults::target_name(&path)
+                ))?;
+            }
+            let wrap = |source: std::io::Error| StorageError::WalTruncate {
+                path: path.clone(),
+                valid_len: persisted,
+                file_len,
+                source,
+            };
+            file.set_len(persisted).map_err(wrap)?;
+            file.sync_data().map_err(wrap)?;
         }
         Ok(WalWriter { file, path, buf: Vec::new(), persisted, faults })
     }
@@ -234,8 +253,8 @@ fn scan_log(buf: &[u8]) -> (Vec<(Lsn, WalRecord)>, u64) {
     let mut out = Vec::new();
     let mut pos = 0usize;
     while pos + 8 <= buf.len() {
-        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
-        let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
+        let len = le::u32_at(buf, pos) as usize;
+        let crc = le::u32_at(buf, pos + 4);
         if pos + 8 + len > buf.len() {
             break; // torn tail
         }
@@ -432,6 +451,60 @@ mod tests {
         assert_eq!(recs.len(), 4, "records after the crash point must be readable");
         let ops = committed_operations(&recs);
         assert_eq!(ops.len(), 2);
+    }
+
+    #[test]
+    fn truncate_failpoint_fires_before_tail_removal() {
+        let dir = TempDir::new();
+        let path = dir.path().join("wal.log");
+        {
+            let mut w = WalWriter::open(&path).unwrap();
+            w.append(&upd(1, b"a", b"1")).unwrap();
+            w.append(&WalRecord::Commit { txn_id: 1 }).unwrap();
+            w.sync().unwrap();
+        }
+        // crash tail
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&64u32.to_le_bytes()).unwrap();
+            f.write_all(b"partial").unwrap();
+        }
+        let tail_len = std::fs::metadata(&path).unwrap().len();
+        // a crash scheduled on the very first I/O op lands on the truncate
+        // failpoint: reopen fails and the torn tail must still be on disk
+        let inj = crate::faults::FaultInjector::crash_after(1, 0);
+        let err = match WalWriter::open_with_faults(&path, Some(inj.clone())) {
+            Err(e) => e,
+            Ok(_) => panic!("expected injected crash on truncate"),
+        };
+        assert!(matches!(err, StorageError::Injected(_)), "{err}");
+        assert!(inj.crashed());
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            tail_len,
+            "crash before truncate leaves the tail for the next recovery"
+        );
+        // the next recovery (no faults) then truncates and reopens cleanly
+        let w = WalWriter::open(&path).unwrap();
+        assert_eq!(w.next_lsn(), std::fs::metadata(&path).unwrap().len());
+        assert_eq!(read_log(&path).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn truncate_error_carries_path_and_offsets() {
+        let err = StorageError::WalTruncate {
+            path: PathBuf::from("/data/node0/txn.wal"),
+            valid_len: 4096,
+            file_len: 4103,
+            source: std::io::Error::other("disk says no"),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("/data/node0/txn.wal"), "{msg}");
+        assert!(msg.contains("offset 4096"), "{msg}");
+        assert!(msg.contains("file length 4103"), "{msg}");
+        assert!(msg.contains("disk says no"), "{msg}");
+        assert!(std::error::Error::source(&err).is_some(), "source preserved");
     }
 
     #[test]

@@ -1,0 +1,31 @@
+// Fixture: every L1 panic-path token in non-test code, plus one suppression
+// and one #[cfg(test)] block that must NOT be flagged.
+use std::collections::HashMap;
+
+pub fn lookup(m: &HashMap<u32, String>) -> String {
+    m.get(&1).unwrap().clone()
+}
+
+pub fn must(v: Option<u32>) -> u32 {
+    v.expect("fixture")
+}
+
+pub fn boom() {
+    panic!("fixture");
+}
+
+pub fn never() -> u32 {
+    unreachable!()
+}
+
+pub fn allowed(v: Option<u32>) -> u32 {
+    v.unwrap() // xlint: allow(panic, "fixture suppression")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let _ = Some(1u32).unwrap();
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: clean error propagation — no panic-path tokens outside tests.
+pub fn lookup(v: Option<u32>) -> Result<u32, String> {
+    v.ok_or_else(|| "missing".to_string())
+}
+
+pub fn chained(v: Option<u32>) -> Result<u32, String> {
+    Ok(lookup(v)? + 1)
+}

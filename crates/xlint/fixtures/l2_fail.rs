@@ -1,0 +1,4 @@
+// Fixture: a crate root missing #![forbid(unsafe_code)].
+pub mod something;
+
+pub fn entry() {}

@@ -1,0 +1,5 @@
+#![forbid(unsafe_code)]
+// Fixture: a crate root carrying the mandatory forbid attribute.
+pub mod something;
+
+pub fn entry() {}

@@ -1,0 +1,9 @@
+// Fixture: annotated nested acquisition AGAINST the declared order
+// (cache_shard is rank 3, catalog is rank 0).
+use parking_lot::RwLock;
+
+pub fn inverted(shard: &RwLock<u32>, cat: &RwLock<u32>) -> u32 {
+    let s = shard.read(); // xlint: lock(cache_shard)
+    let c = cat.read(); // xlint: lock(catalog)
+    *s + *c
+}

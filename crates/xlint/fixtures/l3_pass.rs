@@ -1,0 +1,9 @@
+// Fixture: annotated nested acquisition in declared order
+// (catalog rank 0 before wal rank 4).
+use parking_lot::{Mutex, RwLock};
+
+pub fn ordered(cat: &RwLock<u32>, wal: &Mutex<u32>) -> u32 {
+    let c = cat.read(); // xlint: lock(catalog)
+    let w = wal.lock(); // xlint: lock(wal)
+    *c + *w
+}

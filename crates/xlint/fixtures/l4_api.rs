@@ -1,0 +1,4 @@
+// Fixture: a storage-crate pub API returning Result.
+pub fn frobnicate() -> Result<u32, String> {
+    Ok(7)
+}

@@ -1,0 +1,8 @@
+// Fixture: cross-crate caller unwrapping a storage Result API.
+pub fn caller(store: &impl Frob) -> u32 {
+    store.frobnicate().unwrap()
+}
+
+pub trait Frob {
+    fn frobnicate(&self) -> Result<u32, String>;
+}

@@ -1,0 +1,8 @@
+// Fixture: cross-crate caller propagating a storage Result API.
+pub fn caller(store: &impl Frob) -> Result<u32, String> {
+    store.frobnicate()
+}
+
+pub trait Frob {
+    fn frobnicate(&self) -> Result<u32, String>;
+}

@@ -1,0 +1,85 @@
+//! The committed suppression baseline (`xlint-baseline.json`).
+//!
+//! A deliberately tiny flat-JSON format — `{"rule": count, …}` — parsed and
+//! written by hand so the lint binary stays dependency-free. CI fails when
+//! the live suppression count for any rule exceeds the committed one, so new
+//! `// xlint: allow(...)` lines require a conscious baseline update.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+#[derive(Debug, Default)]
+pub struct Baseline {
+    pub suppressions: BTreeMap<String, usize>,
+}
+
+impl Baseline {
+    pub fn read(path: &Path) -> std::io::Result<Baseline> {
+        let text = std::fs::read_to_string(path)?;
+        parse(&text).ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("malformed baseline file {}", path.display()),
+            )
+        })
+    }
+
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        let mut out = String::from("{\n");
+        let n = self.suppressions.len();
+        for (i, (rule, count)) in self.suppressions.iter().enumerate() {
+            out.push_str(&format!(
+                "  \"{rule}\": {count}{}\n",
+                if i + 1 < n { "," } else { "" }
+            ));
+        }
+        out.push_str("}\n");
+        std::fs::write(path, out)
+    }
+}
+
+/// Parses `{"name": 1, "other": 2}`. Whitespace-tolerant; anything else is
+/// `None`.
+fn parse(text: &str) -> Option<Baseline> {
+    let t = text.trim();
+    let inner = t.strip_prefix('{')?.strip_suffix('}')?;
+    let mut map = BTreeMap::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (k, v) = part.split_once(':')?;
+        let key = k.trim().strip_prefix('"')?.strip_suffix('"')?.to_string();
+        let val: usize = v.trim().parse().ok()?;
+        map.insert(key, val);
+    }
+    Some(Baseline { suppressions: map })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut b = Baseline::default();
+        b.suppressions.insert("panic".into(), 7);
+        b.suppressions.insert("lock_order".into(), 2);
+        let dir = std::env::temp_dir().join(format!("xlint-baseline-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("b.json");
+        b.write(&p).unwrap();
+        let back = Baseline::read(&p).unwrap();
+        assert_eq!(back.suppressions.get("panic"), Some(&7));
+        assert_eq!(back.suppressions.get("lock_order"), Some(&2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("not json").is_none());
+        assert!(parse("{\"a\": x}").is_none());
+        assert!(parse("{}").is_some());
+    }
+}

@@ -1,0 +1,136 @@
+//! Self-tests running every rule against the seeded fixture files in
+//! `fixtures/`. Each rule has at least one failing and one passing fixture;
+//! the workspace scan never reaches them because [`crate::rules::discover`]
+//! marks any path with a `fixtures` component as test code.
+
+use crate::rules::{check, Rule, SourceFile};
+use std::path::PathBuf;
+
+fn fixture(name: &str, crate_name: &str, is_crate_root: bool) -> SourceFile {
+    let disk = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name);
+    SourceFile {
+        path: PathBuf::from(format!("fixtures/{name}")),
+        crate_name: crate_name.to_string(),
+        file_is_test: false,
+        is_crate_root,
+        is_shim: false,
+        text: std::fs::read_to_string(&disk)
+            .unwrap_or_else(|e| panic!("fixture {disk:?}: {e}")),
+    }
+}
+
+fn rule_count(rep: &crate::rules::Report, rule: Rule) -> usize {
+    rep.violations.iter().filter(|v| v.rule == rule).count()
+}
+
+#[test]
+fn l1_fixture_flags_every_panic_token() {
+    let rep = check(&[fixture("l1_fail.rs", "storage", false)]);
+    assert_eq!(rule_count(&rep, Rule::PanicPath), 4, "{:#?}", rep.violations);
+    let lines: Vec<usize> =
+        rep.violations.iter().filter(|v| v.rule == Rule::PanicPath).map(|v| v.line).collect();
+    // one violation per token: unwrap, expect, panic!, unreachable!
+    assert_eq!(lines.len(), 4);
+    assert_eq!(rep.suppressions.len(), 1, "the allow() line is a suppression");
+    assert_eq!(rep.suppressions[0].reason, "fixture suppression");
+    // the #[cfg(test)] unwrap near the end of the file must not be flagged
+    let max_flagged = lines.iter().max().copied().unwrap_or(0);
+    assert!(max_flagged < 25, "cfg(test) unwrap leaked into violations: {lines:?}");
+}
+
+#[test]
+fn l1_fixture_pass_is_clean() {
+    let rep = check(&[fixture("l1_pass.rs", "storage", false)]);
+    assert!(rep.violations.is_empty(), "{:#?}", rep.violations);
+    assert!(rep.suppressions.is_empty());
+}
+
+#[test]
+fn l1_only_applies_to_declared_crates() {
+    // the same panicky file inside a non-L1 crate (sqlpp) is not flagged
+    let rep = check(&[fixture("l1_fail.rs", "sqlpp", false)]);
+    assert_eq!(rule_count(&rep, Rule::PanicPath), 0, "{:#?}", rep.violations);
+}
+
+#[test]
+fn l2_fixture_missing_forbid_is_flagged() {
+    let rep = check(&[fixture("l2_fail.rs", "storage", true)]);
+    assert_eq!(rule_count(&rep, Rule::UnsafeForbid), 1, "{:#?}", rep.violations);
+}
+
+#[test]
+fn l2_fixture_with_forbid_passes() {
+    let rep = check(&[fixture("l2_pass.rs", "storage", true)]);
+    assert_eq!(rule_count(&rep, Rule::UnsafeForbid), 0, "{:#?}", rep.violations);
+}
+
+#[test]
+fn l2_ignores_non_root_files() {
+    let rep = check(&[fixture("l2_fail.rs", "storage", false)]);
+    assert_eq!(rule_count(&rep, Rule::UnsafeForbid), 0, "{:#?}", rep.violations);
+}
+
+#[test]
+fn l3_fixture_inversion_creates_cycle() {
+    let rep = check(&[fixture("l3_fail.rs", "sqlpp", false)]);
+    assert!(
+        rule_count(&rep, Rule::LockOrder) >= 1,
+        "cache_shard -> catalog contradicts the declared order: {:#?}",
+        rep.violations
+    );
+}
+
+#[test]
+fn l3_fixture_declared_order_passes() {
+    let rep = check(&[fixture("l3_pass.rs", "sqlpp", false)]);
+    assert_eq!(rule_count(&rep, Rule::LockOrder), 0, "{:#?}", rep.violations);
+    assert!(
+        rep.lock_edges.contains_key(&("catalog".to_string(), "wal".to_string())),
+        "edge recorded: {:?}",
+        rep.lock_edges
+    );
+}
+
+#[test]
+fn l3_fixture_unannotated_nesting_is_flagged() {
+    let rep = check(&[fixture("l3_unannotated.rs", "sqlpp", false)]);
+    assert_eq!(rule_count(&rep, Rule::LockOrder), 1, "{:#?}", rep.violations);
+}
+
+#[test]
+fn l4_fixture_cross_crate_unwrap_is_flagged() {
+    let rep = check(&[
+        fixture("l4_api.rs", "storage", false),
+        fixture("l4_fail.rs", "sqlpp", false),
+    ]);
+    assert_eq!(rule_count(&rep, Rule::CrossUnwrap), 1, "{:#?}", rep.violations);
+}
+
+#[test]
+fn l4_fixture_propagating_caller_passes() {
+    let rep = check(&[
+        fixture("l4_api.rs", "storage", false),
+        fixture("l4_pass.rs", "sqlpp", false),
+    ]);
+    assert_eq!(rule_count(&rep, Rule::CrossUnwrap), 0, "{:#?}", rep.violations);
+}
+
+#[test]
+fn l4_same_crate_calls_are_exempt() {
+    let rep = check(&[
+        fixture("l4_api.rs", "storage", false),
+        fixture("l4_fail.rs", "storage", false),
+    ]);
+    assert_eq!(rule_count(&rep, Rule::CrossUnwrap), 0, "{:#?}", rep.violations);
+}
+
+#[test]
+fn workspace_discovery_marks_fixtures_as_test_code() {
+    // walking the xlint crate itself: fixtures/ must come back test-flagged
+    let files = crate::rules::discover(&PathBuf::from(env!("CARGO_MANIFEST_DIR")))
+        .expect("discover");
+    let fixture_files: Vec<_> =
+        files.iter().filter(|f| f.path.to_string_lossy().contains("fixtures")).collect();
+    assert!(!fixture_files.is_empty());
+    assert!(fixture_files.iter().all(|f| f.file_is_test));
+}

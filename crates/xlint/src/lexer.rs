@@ -1,0 +1,469 @@
+//! A small hand-written Rust surface scanner.
+//!
+//! This is not a real Rust lexer: it knows exactly enough of the token
+//! grammar to answer two questions reliably — *"is this byte inside a
+//! comment or a literal?"* and *"is this line inside `#[cfg(test)]`
+//! code?"* — so that the rule passes in [`crate::rules`] can do plain
+//! substring matching on the remaining code without being fooled by
+//! `"call .unwrap() here"` inside a string or a doc comment.
+//!
+//! Handled: line comments, nested block comments, string literals,
+//! raw strings (`r"…"`, `r#"…"#`, any number of hashes), byte strings,
+//! char literals vs. lifetimes, and escapes. Comment text is captured
+//! per line so `// xlint: …` directives survive masking.
+
+/// One source line after masking.
+#[derive(Debug)]
+pub struct Line {
+    /// Code with comments stripped and literal interiors blanked to spaces.
+    /// Byte offsets match the original line (quotes are preserved).
+    pub code: String,
+    /// Text of every comment that starts on this line (without `//`/`/*`).
+    pub comments: Vec<String>,
+    /// True if the line is inside a `#[cfg(test)]`-gated block.
+    pub in_test: bool,
+}
+
+/// A whole file after masking, split into lines.
+#[derive(Debug)]
+pub struct MaskedFile {
+    pub lines: Vec<Line>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Normal,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    ByteStr,
+    Char,
+}
+
+/// Masks `src`: comments and literal interiors become spaces in the code
+/// channel; comment text is captured separately.
+pub fn mask(src: &str) -> MaskedFile {
+    let b = src.as_bytes();
+    let mut code = String::with_capacity(src.len());
+    // (line_index, text) for every comment, in order.
+    let mut comments: Vec<(usize, String)> = Vec::new();
+    let mut cur_comment = String::new();
+    let mut comment_start_line = 0usize;
+    let mut line = 0usize;
+    let mut st = State::Normal;
+    let mut i = 0usize;
+
+    while i < b.len() {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+        }
+        match st {
+            State::Normal => {
+                if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    st = State::LineComment;
+                    comment_start_line = line;
+                    cur_comment.clear();
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    st = State::BlockComment(1);
+                    comment_start_line = line;
+                    cur_comment.clear();
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == b'"' {
+                    st = State::Str;
+                    code.push('"');
+                    i += 1;
+                    continue;
+                }
+                if c == b'r' && prev_nonident(b, i) {
+                    // Possible raw string r"…" or r#"…"#.
+                    let mut j = i + 1;
+                    let mut hashes = 0u32;
+                    while j < b.len() && b[j] == b'#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if j < b.len() && b[j] == b'"' {
+                        for _ in i..=j {
+                            code.push(' ');
+                        }
+                        code.pop();
+                        code.push('"');
+                        st = State::RawStr(hashes);
+                        i = j + 1;
+                        continue;
+                    }
+                }
+                if c == b'b' && prev_nonident(b, i) && i + 1 < b.len() {
+                    if b[i + 1] == b'"' {
+                        code.push(' ');
+                        code.push('"');
+                        st = State::ByteStr;
+                        i += 2;
+                        continue;
+                    }
+                    if b[i + 1] == b'\'' {
+                        // Byte char literal b'x' / b'\n'.
+                        code.push(' ');
+                        code.push('\'');
+                        st = State::Char;
+                        i += 2;
+                        continue;
+                    }
+                }
+                if c == b'\'' {
+                    // Char literal vs. lifetime. A lifetime is 'ident not
+                    // followed by a closing quote; a char literal always
+                    // closes within a few bytes.
+                    if is_char_literal(b, i) {
+                        code.push('\'');
+                        st = State::Char;
+                        i += 1;
+                        continue;
+                    }
+                    // Lifetime: keep as-is.
+                    code.push('\'');
+                    i += 1;
+                    continue;
+                }
+                code.push(c as char);
+                i += 1;
+            }
+            State::LineComment => {
+                if c == b'\n' {
+                    comments.push((comment_start_line, cur_comment.clone()));
+                    st = State::Normal;
+                    code.push('\n');
+                } else {
+                    cur_comment.push(c as char);
+                    code.push(' ');
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    st = State::BlockComment(depth + 1);
+                    cur_comment.push_str("/*");
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    if depth == 1 {
+                        comments.push((comment_start_line, cur_comment.clone()));
+                        st = State::Normal;
+                    } else {
+                        st = State::BlockComment(depth - 1);
+                        cur_comment.push_str("*/");
+                    }
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == b'\n' {
+                    code.push('\n');
+                } else {
+                    cur_comment.push(c as char);
+                    code.push(' ');
+                }
+                i += 1;
+            }
+            State::Str | State::ByteStr => {
+                if c == b'\\' && i + 1 < b.len() {
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == b'"' {
+                    code.push('"');
+                    st = State::Normal;
+                } else if c == b'\n' {
+                    code.push('\n');
+                } else {
+                    code.push(' ');
+                }
+                i += 1;
+            }
+            State::RawStr(hashes) => {
+                if c == b'"' {
+                    // Closing needs `"` followed by `hashes` hash marks.
+                    let mut j = i + 1;
+                    let mut n = 0u32;
+                    while j < b.len() && b[j] == b'#' && n < hashes {
+                        n += 1;
+                        j += 1;
+                    }
+                    if n == hashes {
+                        code.push('"');
+                        for _ in 0..hashes {
+                            code.push(' ');
+                        }
+                        st = State::Normal;
+                        i = j;
+                        continue;
+                    }
+                }
+                if c == b'\n' {
+                    code.push('\n');
+                } else {
+                    code.push(' ');
+                }
+                i += 1;
+            }
+            State::Char => {
+                if c == b'\\' && i + 1 < b.len() {
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == b'\'' {
+                    code.push('\'');
+                    st = State::Normal;
+                } else if c == b'\n' {
+                    code.push('\n');
+                    st = State::Normal; // malformed; recover
+                } else {
+                    code.push(' ');
+                }
+                i += 1;
+            }
+        }
+    }
+    if st == State::LineComment {
+        comments.push((comment_start_line, cur_comment.clone()));
+    }
+
+    let test_ranges = test_line_ranges(&code);
+    let mut lines: Vec<Line> = code
+        .lines()
+        .enumerate()
+        .map(|(idx, l)| Line {
+            code: l.to_string(),
+            comments: Vec::new(),
+            in_test: test_ranges.iter().any(|r| r.contains(&idx)),
+        })
+        .collect();
+    for (li, text) in comments {
+        if let Some(l) = lines.get_mut(li) {
+            l.comments.push(text);
+        }
+    }
+    MaskedFile { lines }
+}
+
+/// True when the byte before `i` cannot be part of an identifier, so an
+/// `r`/`b` at `i` starts a literal prefix rather than ending an ident.
+fn prev_nonident(b: &[u8], i: usize) -> bool {
+    if i == 0 {
+        return true;
+    }
+    let p = b[i - 1];
+    !(p.is_ascii_alphanumeric() || p == b'_')
+}
+
+/// Distinguishes `'a'` (char literal) from `'a` (lifetime) at position `i`
+/// (which holds the opening quote).
+fn is_char_literal(b: &[u8], i: usize) -> bool {
+    // Escape: definitely a char literal.
+    if i + 1 < b.len() && b[i + 1] == b'\\' {
+        return true;
+    }
+    // 'x' — a quote two ahead closes it.
+    if i + 2 < b.len() && b[i + 2] == b'\'' {
+        // 'a' is a char literal; but '' (empty) can't occur and 'a'b is
+        // nonsense, so this is safe.
+        return true;
+    }
+    // Multi-byte UTF-8 char literal: quote within 5 bytes and the first
+    // content byte is not an identifier start (lifetimes are ASCII idents).
+    if i + 1 < b.len() && !(b[i + 1].is_ascii_alphanumeric() || b[i + 1] == b'_') {
+        return true;
+    }
+    false
+}
+
+/// Line ranges (0-based, inclusive of every line the block touches) covered
+/// by `#[cfg(test)]`-gated braces in masked code.
+fn test_line_ranges(code: &str) -> Vec<std::ops::RangeInclusive<usize>> {
+    let b = code.as_bytes();
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        if b[i] == b'#' && i + 1 < b.len() && b[i + 1] == b'[' {
+            let (attr_end, attr_text) = scan_attr(b, i + 1);
+            if attr_is_test_cfg(&attr_text) {
+                // Skip any further attributes, then find the block.
+                let mut j = attr_end;
+                loop {
+                    while j < b.len() && (b[j] as char).is_whitespace() {
+                        j += 1;
+                    }
+                    if j + 1 < b.len() && b[j] == b'#' && b[j + 1] == b'[' {
+                        let (e, _) = scan_attr(b, j + 1);
+                        j = e;
+                        continue;
+                    }
+                    break;
+                }
+                // Find the first `{` or `;` — `;` means a declaration like
+                // `mod tests;` with no inline body.
+                let mut k = j;
+                while k < b.len() && b[k] != b'{' && b[k] != b';' {
+                    k += 1;
+                }
+                if k < b.len() && b[k] == b'{' {
+                    let close = matching_brace(b, k);
+                    let start_line = line_of(b, i);
+                    let end_line = line_of(b, close.min(b.len().saturating_sub(1)));
+                    ranges.push(start_line..=end_line);
+                    i = close + 1;
+                    continue;
+                }
+                i = k + 1;
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// Scans `#[ … ]` starting with `b[open] == b'['`; returns (index past the
+/// closing `]`, attribute text).
+fn scan_attr(b: &[u8], open: usize) -> (usize, String) {
+    let mut depth = 0i32;
+    let mut j = open;
+    let mut text = String::new();
+    while j < b.len() {
+        match b[j] {
+            b'[' => depth += 1,
+            b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return (j + 1, text);
+                }
+            }
+            c => text.push(c as char),
+        }
+        j += 1;
+    }
+    (j, text)
+}
+
+/// True for `cfg(test)` and `cfg(all(test, …))`-style attributes.
+fn attr_is_test_cfg(attr: &str) -> bool {
+    let t = attr.trim();
+    if !t.starts_with("cfg") {
+        return false;
+    }
+    // Word-boundary search for `test` inside the cfg predicate.
+    let bytes = t.as_bytes();
+    let mut i = 0usize;
+    while let Some(p) = t[i..].find("test") {
+        let s = i + p;
+        let before_ok = s == 0 || !(bytes[s - 1].is_ascii_alphanumeric() || bytes[s - 1] == b'_');
+        let e = s + 4;
+        let after_ok = e >= bytes.len() || !(bytes[e].is_ascii_alphanumeric() || bytes[e] == b'_');
+        if before_ok && after_ok {
+            return true;
+        }
+        i = s + 1;
+    }
+    false
+}
+
+/// Index just past the brace matching `b[open] == b'{'` (or `b.len()`).
+fn matching_brace(b: &[u8], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < b.len() {
+        match b[j] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    b.len()
+}
+
+fn line_of(b: &[u8], pos: usize) -> usize {
+    b[..pos.min(b.len())].iter().filter(|&&c| c == b'\n').count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_strings_and_comments() {
+        let src = "let x = \"call .unwrap() here\"; // .expect( too\nx.unwrap();\n";
+        let m = mask(src);
+        assert!(!m.lines[0].code.contains(".unwrap()"));
+        assert!(!m.lines[0].code.contains(".expect("));
+        assert_eq!(m.lines[0].comments.len(), 1);
+        assert!(m.lines[1].code.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn masks_raw_strings_and_chars() {
+        let src = "let r = r#\"panic!(\"x\")\"#; let c = '\\''; let lt: &'static str = \"\";\n";
+        let m = mask(src);
+        assert!(!m.lines[0].code.contains("panic!"));
+        assert!(m.lines[0].code.contains("&'static str"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ let y = 1;\n";
+        let m = mask(src);
+        assert!(m.lines[0].code.contains("let y = 1;"));
+        assert!(!m.lines[0].code.contains("outer"));
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_marked() {
+        let src = "fn prod() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn prod2() {}\n";
+        let m = mask(src);
+        assert!(!m.lines[0].in_test);
+        assert!(m.lines[2].in_test);
+        assert!(m.lines[3].in_test);
+        assert!(!m.lines[5].in_test);
+    }
+
+    #[test]
+    fn cfg_all_test_counts() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod t { }\nfn f() {}\n";
+        let m = mask(src);
+        assert!(m.lines[1].in_test);
+        assert!(!m.lines[2].in_test);
+    }
+
+    #[test]
+    fn lifetime_not_swallowed() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }\n";
+        let m = mask(src);
+        assert!(m.lines[0].code.contains("fn f<'a>(x: &'a str)"));
+    }
+}

@@ -1,0 +1,144 @@
+#![forbid(unsafe_code)]
+//! `xlint` — workspace-wide correctness lints for asterix-rs.
+//!
+//! A self-contained static-analysis pass (no dependencies, hand-rolled like
+//! the `crates/shims/` pattern) enforcing the project rules documented in
+//! DESIGN.md "Correctness tooling":
+//!
+//! * **L1** (`panic`) — no `.unwrap()` / `.expect(` / `panic!` /
+//!   `unreachable!` in non-test code of `storage`/`core`/`hyracks`/
+//!   `algebricks`. Suppress per line with `// xlint: allow(panic, "why")`.
+//! * **L2** (`unsafe`) — `#![forbid(unsafe_code)]` in every non-shim crate
+//!   root.
+//! * **L3** (`lock_order`) — static lock-acquisition graph from
+//!   `// xlint: lock(<name>)` annotations plus heuristic nested
+//!   `.lock()`/`.read()`/`.write()` detection; inversions against the
+//!   declared order and cycles fail.
+//! * **L4** (`cross_unwrap`) — `Result`-returning `pub fn`s of
+//!   `crates/storage` and `crates/core` must not be `.unwrap()`ed from
+//!   another crate.
+//!
+//! Usage: `cargo run -p xlint -- [--root DIR] [--deny-all]
+//! [--baseline FILE] [--write-baseline FILE]`
+
+mod baseline;
+#[cfg(test)]
+mod fixture_tests;
+mod lexer;
+mod rules;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut deny_all = false;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => root = PathBuf::from(args.next().unwrap_or_else(|| ".".into())),
+            "--deny-all" => deny_all = true,
+            "--baseline" => baseline_path = args.next().map(PathBuf::from),
+            "--write-baseline" => write_baseline = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!(
+                    "xlint: asterix-rs workspace lints (L1 panic-path, L2 unsafe, \
+                     L3 lock-order, L4 cross-crate unwrap)\n\n\
+                     options:\n  --root DIR             workspace root (default .)\n  \
+                     --deny-all             exit nonzero on any violation\n  \
+                     --baseline FILE        fail if suppression counts grew vs FILE\n  \
+                     --write-baseline FILE  record current suppression counts"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("xlint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let files = match rules::discover(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("xlint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if files.is_empty() {
+        eprintln!("xlint: no .rs files under {}", root.display());
+        return ExitCode::from(2);
+    }
+    let rep = rules::check(&files);
+
+    println!("xlint: checked {} files, {} lines", rep.files_checked, rep.lines_checked);
+
+    if !rep.lock_edges.is_empty() {
+        println!("\nstatic lock-acquisition edges (held -> acquired):");
+        for ((h, n), (p, l)) in &rep.lock_edges {
+            println!("  {h} -> {n}    [{}:{l}]", p.display());
+        }
+    }
+
+    let counts = rep.suppression_counts();
+    if !rep.suppressions.is_empty() {
+        println!("\nsuppressions: {} total", rep.suppressions.len());
+        for (rule, n) in &counts {
+            println!("  allow({rule}): {n}");
+        }
+        for s in &rep.suppressions {
+            println!("  {}:{}: allow({}) — \"{}\"", s.path.display(), s.line, s.rule_name, s.reason);
+        }
+    }
+
+    if !rep.violations.is_empty() {
+        println!("\nviolations: {}", rep.violations.len());
+        for v in &rep.violations {
+            println!("  [{}] {}:{}: {}", v.rule.name(), v.path.display(), v.line, v.message);
+        }
+    }
+
+    if let Some(p) = write_baseline {
+        let b = baseline::Baseline { suppressions: counts.clone() };
+        if let Err(e) = b.write(&p) {
+            eprintln!("xlint: cannot write baseline {}: {e}", p.display());
+            return ExitCode::from(2);
+        }
+        println!("\nbaseline written to {}", p.display());
+    }
+
+    let mut failed = false;
+    if let Some(p) = baseline_path {
+        match baseline::Baseline::read(&p) {
+            Ok(base) => {
+                for (rule, n) in &counts {
+                    let allowed = base.suppressions.get(rule).copied().unwrap_or(0);
+                    if *n > allowed {
+                        println!(
+                            "\nbaseline: allow({rule}) count grew: {n} > {allowed} \
+                             (update {} deliberately if this is intended)",
+                            p.display()
+                        );
+                        failed = true;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("xlint: cannot read baseline {}: {e}", p.display());
+                failed = true;
+            }
+        }
+    }
+
+    if deny_all && !rep.violations.is_empty() {
+        failed = true;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("\nxlint: OK");
+        ExitCode::SUCCESS
+    }
+}

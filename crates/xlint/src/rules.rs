@@ -1,0 +1,744 @@
+//! The four lint rules (L1–L4), the suppression/annotation directives, and
+//! the declared lock order.
+//!
+//! Rules operate on [`crate::lexer::MaskedFile`]s, so substring matches
+//! cannot be fooled by comments or string literals. See DESIGN.md
+//! "Correctness tooling" for the rule catalogue and suppression syntax.
+
+use crate::lexer::{mask, MaskedFile};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+/// The canonical lock order. Acquiring left-to-right is legal; any edge that
+/// goes right-to-left is an inversion. Must match
+/// `asterix_storage::lock_order::LEVELS`.
+pub const LOCK_ORDER: [&str; 5] =
+    ["catalog", "lock_manager", "lsm_component", "cache_shard", "wal"];
+
+/// Crates whose non-test code falls under the L1 panic-path rule.
+pub const L1_CRATES: [&str; 4] = ["storage", "core", "hyracks", "algebricks"];
+
+/// Crates exempt from the L4 caller scan: dev harnesses where abort-on-error
+/// is the desired behavior.
+pub const L4_EXEMPT_CALLERS: [&str; 2] = ["bench", "xlint"];
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// `.unwrap()` / `.expect(` / `panic!` / `unreachable!` in non-test code.
+    PanicPath,
+    /// Missing `#![forbid(unsafe_code)]` in a non-shim crate root.
+    UnsafeForbid,
+    /// Lock-order inversion, cycle, or un-annotated nested lock.
+    LockOrder,
+    /// Cross-crate bare `.unwrap()` on a `Result`-returning storage/core API.
+    CrossUnwrap,
+}
+
+impl Rule {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Rule::PanicPath => "panic",
+            Rule::UnsafeForbid => "unsafe",
+            Rule::LockOrder => "lock_order",
+            Rule::CrossUnwrap => "cross_unwrap",
+        }
+    }
+}
+
+#[derive(Debug)]
+pub struct Violation {
+    pub rule: Rule,
+    pub path: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    pub message: String,
+}
+
+#[derive(Debug)]
+pub struct Suppression {
+    pub rule_name: String,
+    pub path: PathBuf,
+    pub line: usize,
+    pub reason: String,
+}
+
+/// Result of a full workspace scan.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub violations: Vec<Violation>,
+    pub suppressions: Vec<Suppression>,
+    /// Observed static lock edges `held -> acquired` with one witness site.
+    pub lock_edges: BTreeMap<(String, String), (PathBuf, usize)>,
+    pub files_checked: usize,
+    pub lines_checked: usize,
+}
+
+impl Report {
+    /// Suppression counts per rule name, sorted.
+    pub fn suppression_counts(&self) -> BTreeMap<String, usize> {
+        let mut m = BTreeMap::new();
+        for s in &self.suppressions {
+            *m.entry(s.rule_name.clone()).or_insert(0) += 1;
+        }
+        m
+    }
+}
+
+/// A workspace file queued for scanning.
+pub struct SourceFile {
+    /// Path as reported in diagnostics (workspace-relative when possible).
+    pub path: PathBuf,
+    /// Crate short name (`storage`, `core`, …, `<root>` for the root crate).
+    pub crate_name: String,
+    /// Whole file is test/dev code (`tests/`, `benches/`, `examples/` dirs).
+    pub file_is_test: bool,
+    /// This file is a crate root (`lib.rs`, `main.rs`, `bin/*.rs`).
+    pub is_crate_root: bool,
+    /// The crate lives under `crates/shims/`.
+    pub is_shim: bool,
+    pub text: String,
+}
+
+/// Discovers every `.rs` file under `root` that belongs to the workspace.
+pub fn discover(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<_> = std::fs::read_dir(&dir)?.collect::<Result<_, _>>()?;
+        entries.sort_by_key(|e| e.path());
+        for e in entries {
+            let p = e.path();
+            let name = e.file_name().to_string_lossy().into_owned();
+            if e.file_type()?.is_dir() {
+                if name == "target" || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(p);
+                continue;
+            }
+            if !name.ends_with(".rs") {
+                continue;
+            }
+            let rel = p.strip_prefix(root).unwrap_or(&p).to_path_buf();
+            let rel_str = rel.to_string_lossy().replace('\\', "/");
+            let is_shim = rel_str.starts_with("crates/shims/");
+            let crate_name = if let Some(rest) = rel_str.strip_prefix("crates/shims/") {
+                rest.split('/').next().unwrap_or("").to_string()
+            } else if let Some(rest) = rel_str.strip_prefix("crates/") {
+                rest.split('/').next().unwrap_or("").to_string()
+            } else {
+                "<root>".to_string()
+            };
+            let comps: Vec<&str> = rel_str.split('/').collect();
+            let file_is_test = comps.iter().any(|c| {
+                *c == "tests" || *c == "benches" || *c == "examples" || *c == "fixtures"
+            });
+            let src_pos = comps.iter().position(|c| *c == "src");
+            let is_crate_root = match src_pos {
+                Some(i) => {
+                    let tail = &comps[i + 1..];
+                    tail == ["lib.rs"]
+                        || tail == ["main.rs"]
+                        || (tail.len() == 2 && tail[0] == "bin")
+                }
+                None => false,
+            };
+            let text = std::fs::read_to_string(&p)?;
+            out.push(SourceFile {
+                path: rel,
+                crate_name,
+                file_is_test,
+                is_crate_root,
+                is_shim,
+                text,
+            });
+        }
+    }
+    out.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(out)
+}
+
+/// Runs all rules over `files` and returns the combined report.
+pub fn check(files: &[SourceFile]) -> Report {
+    let mut rep = Report::default();
+    let masked: Vec<MaskedFile> = files.iter().map(|f| mask(&f.text)).collect();
+    rep.files_checked = files.len();
+    rep.lines_checked = masked.iter().map(|m| m.lines.len()).sum();
+
+    // Pass 1: collect pub fns returning Result in storage + core (for L4).
+    let mut api: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for (f, m) in files.iter().zip(&masked) {
+        if f.is_shim || f.file_is_test {
+            continue;
+        }
+        if f.crate_name == "storage" || f.crate_name == "core" {
+            for name in result_pub_fns(m) {
+                api.entry(name).or_default().insert(f.crate_name.clone());
+            }
+        }
+    }
+
+    for (f, m) in files.iter().zip(&masked) {
+        if f.is_shim {
+            continue;
+        }
+        check_l2(f, m, &mut rep);
+        if f.file_is_test {
+            continue;
+        }
+        if L1_CRATES.contains(&f.crate_name.as_str()) {
+            check_l1(f, m, &mut rep);
+        }
+        check_l3(f, m, &mut rep);
+        check_l4(f, m, &api, &mut rep);
+    }
+    check_lock_graph(&mut rep);
+    rep
+}
+
+/// Parses `// xlint: allow(<rule>, "<reason>")` from a line's comments.
+fn allow_directive(comments: &[String]) -> Option<(String, String)> {
+    comments.iter().find_map(|c| {
+        let t = c.trim();
+        let rest = t.strip_prefix("xlint:")?.trim_start();
+        let rest = rest.strip_prefix("allow(")?;
+        let close = rest.rfind(')')?;
+        let inner = &rest[..close];
+        let (rule, reason) = match inner.split_once(',') {
+            Some((r, why)) => (r.trim(), why.trim().trim_matches('"').to_string()),
+            None => (inner.trim(), String::new()),
+        };
+        Some((rule.to_string(), reason))
+    })
+}
+
+/// Parses `// xlint: lock(<name>)` from a line's comments.
+fn lock_annotation(comments: &[String]) -> Option<String> {
+    for c in comments {
+        let t = c.trim();
+        if let Some(rest) = t.strip_prefix("xlint:") {
+            let rest = rest.trim_start();
+            if let Some(rest) = rest.strip_prefix("lock(") {
+                if let Some(close) = rest.find(')') {
+                    return Some(rest[..close].trim().to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Records a violation unless the line carries a matching allow directive;
+/// suppressions are recorded either way (they are counted and reported).
+fn push_checked(
+    rep: &mut Report,
+    rule: Rule,
+    f: &SourceFile,
+    line_idx: usize,
+    comments: &[String],
+    message: String,
+) {
+    if let Some((name, reason)) = allow_directive(comments) {
+        if name == rule.name() {
+            rep.suppressions.push(Suppression {
+                rule_name: name,
+                path: f.path.clone(),
+                line: line_idx + 1,
+                reason,
+            });
+            return;
+        }
+    }
+    rep.violations.push(Violation { rule, path: f.path.clone(), line: line_idx + 1, message });
+}
+
+// ---------------------------------------------------------------- L1
+
+const PANIC_TOKENS: [&str; 4] = [".unwrap()", ".expect(", "panic!", "unreachable!"];
+
+fn check_l1(f: &SourceFile, m: &MaskedFile, rep: &mut Report) {
+    for (i, l) in m.lines.iter().enumerate() {
+        if l.in_test {
+            continue;
+        }
+        for tok in PANIC_TOKENS {
+            if let Some(pos) = l.code.find(tok) {
+                // `panic!`/`unreachable!` must not be the tail of a longer
+                // path like `core::panic!` — preceding `:` is still the
+                // macro; only ident chars rule it out.
+                if tok.ends_with('!') && pos > 0 {
+                    let prev = l.code.as_bytes()[pos - 1];
+                    if prev.is_ascii_alphanumeric() || prev == b'_' || prev == b'.' {
+                        continue;
+                    }
+                }
+                push_checked(
+                    rep,
+                    Rule::PanicPath,
+                    f,
+                    i,
+                    &l.comments,
+                    format!("`{tok}` in non-test code of crate `{}`", f.crate_name),
+                );
+                break; // one finding per line is enough
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- L2
+
+fn check_l2(f: &SourceFile, m: &MaskedFile, rep: &mut Report) {
+    if !f.is_crate_root || f.file_is_test {
+        return;
+    }
+    let found = m.lines.iter().any(|l| l.code.contains("#![forbid(unsafe_code)]"));
+    if !found {
+        rep.violations.push(Violation {
+            rule: Rule::UnsafeForbid,
+            path: f.path.clone(),
+            line: 1,
+            message: format!(
+                "crate root of `{}` is missing `#![forbid(unsafe_code)]`",
+                f.crate_name
+            ),
+        });
+    }
+}
+
+// ---------------------------------------------------------------- L3
+
+/// A lock-acquisition site found in one function.
+struct HeldLock {
+    depth: i32,
+    name: Option<String>,
+}
+
+fn check_l3(f: &SourceFile, m: &MaskedFile, rep: &mut Report) {
+    // Functions are tracked as (start_depth, held-locks). Closures are not
+    // treated as boundaries: a lock taken in a closure body textually inside
+    // a function that holds a lock is still a nested acquisition to a
+    // first-order approximation.
+    let mut fns: Vec<(i32, Vec<HeldLock>)> = Vec::new();
+    let mut depth: i32 = 0;
+    let mut pending_fn = false;
+
+    for (i, l) in m.lines.iter().enumerate() {
+        if l.in_test {
+            continue;
+        }
+        let code = &l.code;
+        let annotation = lock_annotation(&l.comments);
+        // A guard is *held* past this statement only for the plain binding
+        // shape `let g = <expr>.lock();` (ditto .read()/.write()). A lock
+        // call mid-chain (`let n = m.read().len();`) yields a temporary
+        // guard that dies at the statement end, and temporaries are treated
+        // as instantaneous acquisitions.
+        let trimmed = code.trim();
+        let is_let = trimmed.starts_with("let ")
+            && (trimmed.ends_with(".lock();")
+                || trimmed.ends_with(".read();")
+                || trimmed.ends_with(".write();"));
+        let sites = lock_sites(code);
+
+        // Process braces, sites, and `fn` keywords in textual order.
+        let fn_pos = fn_decl_pos(code);
+        let mut site_iter = sites.into_iter().peekable();
+        for (ci, ch) in code.char_indices() {
+            if Some(ci) == fn_pos {
+                pending_fn = true;
+            }
+            while let Some(&(pos, _)) = site_iter.peek() {
+                if pos <= ci {
+                    let (_, _kind) = site_iter.next().unwrap_or((0, ""));
+                    handle_site(
+                        f,
+                        i,
+                        depth,
+                        is_let,
+                        annotation.clone(),
+                        &l.comments,
+                        &mut fns,
+                        rep,
+                    );
+                } else {
+                    break;
+                }
+            }
+            match ch {
+                '{' => {
+                    depth += 1;
+                    if pending_fn {
+                        fns.push((depth, Vec::new()));
+                        pending_fn = false;
+                    }
+                }
+                '}' => {
+                    // Release guards bound in the closing block.
+                    if let Some((_, held)) = fns.last_mut() {
+                        held.retain(|h| h.depth < depth);
+                    }
+                    if let Some(&(start, _)) = fns.last() {
+                        if depth == start {
+                            fns.pop();
+                        }
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+        }
+        // Trailing sites after the last char index processed.
+        for _ in site_iter {
+            handle_site(f, i, depth, is_let, annotation.clone(), &l.comments, &mut fns, rep);
+        }
+        // A `fn` whose body brace is on a later line.
+        if let Some(p) = fn_pos {
+            if !code[p..].contains('{') {
+                pending_fn = true;
+            }
+        }
+    }
+}
+
+/// Byte positions of `.lock()`, `.read()`, `.write()` (empty-parens only)
+/// in a masked line.
+fn lock_sites(code: &str) -> Vec<(usize, &'static str)> {
+    let mut out = Vec::new();
+    for pat in [".lock()", ".read()", ".write()"] {
+        let mut start = 0usize;
+        while let Some(p) = code[start..].find(pat) {
+            out.push((start + p, pat));
+            start += p + pat.len();
+        }
+    }
+    out.sort_by_key(|&(p, _)| p);
+    out
+}
+
+/// Byte position of a `fn` keyword on the masked line (so the next `{`
+/// opens a function body), or `None`.
+fn fn_decl_pos(code: &str) -> Option<usize> {
+    let mut start = 0usize;
+    while let Some(p) = code[start..].find("fn ") {
+        let abs = start + p;
+        let before_ok = abs == 0 || {
+            let c = code.as_bytes()[abs - 1];
+            !(c.is_ascii_alphanumeric() || c == b'_')
+        };
+        if before_ok {
+            return Some(abs);
+        }
+        start = abs + 3;
+    }
+    None
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_site(
+    f: &SourceFile,
+    line_idx: usize,
+    depth: i32,
+    is_let: bool,
+    annotation: Option<String>,
+    comments: &[String],
+    fns: &mut [(i32, Vec<HeldLock>)],
+    rep: &mut Report,
+) {
+    let rank = |n: &str| LOCK_ORDER.iter().position(|l| *l == n);
+    let Some((_, held)) = fns.last_mut() else {
+        return; // lock outside any fn (const/static init) — ignore
+    };
+
+    if let Some(top) = held.last() {
+        match (&top.name, &annotation) {
+            (Some(h), Some(n)) => {
+                match (rank(h), rank(n)) {
+                    (Some(rh), Some(rn)) if rn < rh => {
+                        push_checked(
+                            rep,
+                            Rule::LockOrder,
+                            f,
+                            line_idx,
+                            comments,
+                            format!(
+                                "lock-order inversion: acquiring `{n}` while holding `{h}` \
+                                 (declared order: {})",
+                                LOCK_ORDER.join(" -> ")
+                            ),
+                        );
+                    }
+                    _ => {}
+                }
+                // Record the edge for the global cycle check (unknown names
+                // participate in cycle detection too).
+                rep.lock_edges
+                    .entry((h.clone(), n.clone()))
+                    .or_insert_with(|| (f.path.clone(), line_idx + 1));
+            }
+            _ => {
+                // A nested acquisition where either side is unnamed cannot be
+                // checked — require an annotation or an explicit suppression.
+                push_checked(
+                    rep,
+                    Rule::LockOrder,
+                    f,
+                    line_idx,
+                    comments,
+                    "nested lock acquisition without `// xlint: lock(<name>)` annotations \
+                     on both sites"
+                        .to_string(),
+                );
+            }
+        }
+    }
+    if is_let {
+        held.push(HeldLock { depth, name: annotation });
+    }
+}
+
+/// DFS over observed edges plus the declared-order chain; any cycle among
+/// named levels is a violation.
+fn check_lock_graph(rep: &mut Report) {
+    let mut nodes: BTreeSet<String> = LOCK_ORDER.iter().map(|s| s.to_string()).collect();
+    for (h, n) in rep.lock_edges.keys() {
+        nodes.insert(h.clone());
+        nodes.insert(n.clone());
+    }
+    let mut edges: BTreeSet<(String, String)> =
+        rep.lock_edges.keys().cloned().collect();
+    for w in LOCK_ORDER.windows(2) {
+        edges.insert((w[0].to_string(), w[1].to_string()));
+    }
+    // Iterative DFS cycle detection (colors: 0 white, 1 grey, 2 black).
+    let idx: BTreeMap<&str, usize> =
+        nodes.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+    let mut color = vec![0u8; nodes.len()];
+    let node_list: Vec<&String> = nodes.iter().collect();
+    let adj: Vec<Vec<usize>> = node_list
+        .iter()
+        .map(|n| {
+            edges
+                .iter()
+                .filter(|(a, _)| a == *n)
+                .filter_map(|(_, b)| idx.get(b.as_str()).copied())
+                .collect()
+        })
+        .collect();
+    for start in 0..node_list.len() {
+        if color[start] != 0 {
+            continue;
+        }
+        let mut stack = vec![(start, 0usize)];
+        color[start] = 1;
+        while let Some(&mut (u, ref mut ei)) = stack.last_mut() {
+            if *ei < adj[u].len() {
+                let v = adj[u][*ei];
+                *ei += 1;
+                if color[v] == 1 {
+                    let cycle: Vec<&str> =
+                        stack.iter().map(|&(n, _)| node_list[n].as_str()).collect();
+                    rep.violations.push(Violation {
+                        rule: Rule::LockOrder,
+                        path: PathBuf::from("<workspace>"),
+                        line: 0,
+                        message: format!(
+                            "cycle in the lock-acquisition graph: {} -> {}",
+                            cycle.join(" -> "),
+                            node_list[v]
+                        ),
+                    });
+                    return;
+                }
+                if color[v] == 0 {
+                    color[v] = 1;
+                    stack.push((v, 0));
+                }
+            } else {
+                color[u] = 2;
+                stack.pop();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- L4
+
+/// Names of `pub fn`s returning `Result` in a masked file. Signatures may
+/// span lines; scanning stops at the body `{` or a `;`.
+fn result_pub_fns(m: &MaskedFile) -> Vec<String> {
+    let mut joined = String::new();
+    for l in &m.lines {
+        if l.in_test {
+            joined.push('\n');
+            continue;
+        }
+        joined.push_str(&l.code);
+        joined.push('\n');
+    }
+    let mut out = Vec::new();
+    let b = joined.as_bytes();
+    let mut start = 0usize;
+    while let Some(p) = joined[start..].find("pub fn ") {
+        let abs = start + p;
+        let name_start = abs + "pub fn ".len();
+        let name_end = joined[name_start..]
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+            .map(|e| name_start + e)
+            .unwrap_or(b.len());
+        let name = joined[name_start..name_end].to_string();
+        // Signature runs until the body brace or a trait-decl semicolon.
+        let sig_end = joined[name_end..]
+            .find(['{', ';'])
+            .map(|e| name_end + e)
+            .unwrap_or(b.len());
+        let sig = &joined[name_end..sig_end];
+        if let Some(arrow) = sig.find("->") {
+            let returns_result =
+                sig[arrow..].contains("Result<") || sig[arrow..].trim_end().ends_with("Result");
+            if returns_result && !name.is_empty() {
+                out.push(name);
+            }
+        }
+        start = sig_end.max(abs + 1);
+    }
+    out
+}
+
+fn check_l4(
+    f: &SourceFile,
+    m: &MaskedFile,
+    api: &BTreeMap<String, BTreeSet<String>>,
+    rep: &mut Report,
+) {
+    if L4_EXEMPT_CALLERS.contains(&f.crate_name.as_str()) {
+        return;
+    }
+    for (i, l) in m.lines.iter().enumerate() {
+        if l.in_test || !l.code.contains(".unwrap()") {
+            continue;
+        }
+        for (name, defined_in) in api {
+            // Cross-crate only: calls inside a defining crate are that
+            // crate's own business (and covered by L1 there anyway).
+            if defined_in.contains(&f.crate_name) {
+                continue;
+            }
+            let pat = format!(".{name}(");
+            if let Some(pos) = l.code.find(&pat) {
+                if l.code[pos..].contains(".unwrap()") {
+                    push_checked(
+                        rep,
+                        Rule::CrossUnwrap,
+                        f,
+                        i,
+                        &l.comments,
+                        format!(
+                            "bare `.unwrap()` on `{name}(…)` — a Result-returning \
+                             pub fn of crate `{}` — called from crate `{}`",
+                            defined_in.iter().cloned().collect::<Vec<_>>().join("/"),
+                            f.crate_name
+                        ),
+                    );
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(crate_name: &str, rel: &str, text: &str) -> SourceFile {
+        SourceFile {
+            path: PathBuf::from(rel),
+            crate_name: crate_name.to_string(),
+            file_is_test: false,
+            is_crate_root: rel.ends_with("lib.rs") || rel.ends_with("main.rs"),
+            is_shim: false,
+            text: text.to_string(),
+        }
+    }
+
+    #[test]
+    fn l1_flags_and_suppresses() {
+        let src = "#![forbid(unsafe_code)]\nfn f(x: Option<u8>) { x.unwrap(); }\nfn g(x: Option<u8>) { x.unwrap(); } // xlint: allow(panic, \"test\")\n";
+        let rep = check(&[file("storage", "crates/storage/src/lib.rs", src)]);
+        assert_eq!(rep.violations.iter().filter(|v| v.rule == Rule::PanicPath).count(), 1);
+        assert_eq!(rep.suppressions.len(), 1);
+    }
+
+    #[test]
+    fn l2_requires_forbid() {
+        let rep = check(&[file("storage", "crates/storage/src/lib.rs", "fn f() {}\n")]);
+        assert!(rep.violations.iter().any(|v| v.rule == Rule::UnsafeForbid));
+    }
+
+    #[test]
+    fn l3_detects_inversion() {
+        let src = "#![forbid(unsafe_code)]\nfn f(a: &L, b: &L) {\n    let g1 = a.lock(); // xlint: lock(cache_shard)\n    let g2 = b.lock(); // xlint: lock(catalog)\n}\n";
+        let rep = check(&[file("storage", "crates/storage/src/lib.rs", src)]);
+        assert!(
+            rep.violations
+                .iter()
+                .any(|v| v.rule == Rule::LockOrder && v.message.contains("inversion")),
+            "{:?}",
+            rep.violations
+        );
+    }
+
+    #[test]
+    fn l3_ok_in_declared_order() {
+        let src = "#![forbid(unsafe_code)]\nfn f(a: &L, b: &L) {\n    let g1 = a.lock(); // xlint: lock(catalog)\n    let g2 = b.lock(); // xlint: lock(wal)\n}\n";
+        let rep = check(&[file("storage", "crates/storage/src/lib.rs", src)]);
+        assert!(
+            !rep.violations.iter().any(|v| v.rule == Rule::LockOrder),
+            "{:?}",
+            rep.violations
+        );
+        assert!(rep
+            .lock_edges
+            .contains_key(&("catalog".to_string(), "wal".to_string())));
+    }
+
+    #[test]
+    fn l3_unannotated_nesting_flagged() {
+        let src = "#![forbid(unsafe_code)]\nfn f(a: &L, b: &L) {\n    let g1 = a.lock(); // xlint: lock(catalog)\n    let g2 = b.lock();\n}\n";
+        let rep = check(&[file("storage", "crates/storage/src/lib.rs", src)]);
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| v.rule == Rule::LockOrder && v.message.contains("annotation")));
+    }
+
+    #[test]
+    fn l3_guard_released_at_block_end() {
+        let src = "#![forbid(unsafe_code)]\nfn f(a: &L, b: &L) {\n    {\n        let g1 = a.lock(); // xlint: lock(wal)\n    }\n    let g2 = b.lock(); // xlint: lock(catalog)\n}\n";
+        let rep = check(&[file("storage", "crates/storage/src/lib.rs", src)]);
+        assert!(
+            !rep.violations.iter().any(|v| v.rule == Rule::LockOrder),
+            "{:?}",
+            rep.violations
+        );
+    }
+
+    #[test]
+    fn l4_cross_crate_unwrap() {
+        let def = "#![forbid(unsafe_code)]\npub fn put(x: u8) -> Result<u8, ()> { Ok(x) }\n";
+        let call = "#![forbid(unsafe_code)]\nfn f(s: &S) { s.put(1).unwrap(); }\n";
+        let rep = check(&[
+            file("storage", "crates/storage/src/lib.rs", def),
+            file("sqlpp", "crates/sqlpp/src/lib.rs", call),
+        ]);
+        assert!(rep.violations.iter().any(|v| v.rule == Rule::CrossUnwrap), "{:?}", rep.violations);
+    }
+
+    #[test]
+    fn l4_same_crate_exempt() {
+        let def = "#![forbid(unsafe_code)]\npub fn put(x: u8) -> Result<u8, ()> { Ok(x) }\nfn f(s: &S) { s.put(1).unwrap(); } // xlint: allow(panic, \"demo\")\n";
+        let rep = check(&[file("storage", "crates/storage/src/lib.rs", def)]);
+        assert!(!rep.violations.iter().any(|v| v.rule == Rule::CrossUnwrap));
+    }
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # asterix-rs
 //!
 //! An umbrella crate re-exporting the full `asterix-rs` stack — a Rust
