@@ -96,13 +96,24 @@ pub fn execute(
     cfg: &JobGenConfig,
     ctx: Arc<asterix_hyracks::RuntimeCtx>,
 ) -> Result<Vec<Value>> {
+    Ok(execute_profiled(plan, cfg, ctx)?.0)
+}
+
+/// Like [`execute`], but also returns the per-operator profile tree the
+/// executor assembled for this job.
+pub fn execute_profiled(
+    plan: &Plan,
+    cfg: &JobGenConfig,
+    ctx: Arc<asterix_hyracks::RuntimeCtx>,
+) -> Result<(Vec<Value>, asterix_obs::JobProfile)> {
     let spec = compile(plan, cfg)?;
     let result = asterix_hyracks::exec::run_job(spec, ctx)?;
-    Ok(result
+    let rows = result
         .tuples
         .into_iter()
         .map(|mut t| if t.len() == 1 { t.pop().unwrap_or(Value::Null) } else { Value::Array(t) })
-        .collect())
+        .collect();
+    Ok((rows, result.profile))
 }
 
 struct Built {

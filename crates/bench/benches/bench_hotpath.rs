@@ -81,7 +81,7 @@ fn exchange_repartition(c: &mut Criterion) {
                 Value::Int(i as i64),
                 Value::from(format!("payload-{i:08}-{}", "x".repeat(24))),
             ];
-            if f.push(t) {
+            if f.push(t).unwrap_or(false) {
                 frames.push(f.take());
             }
         }
@@ -97,7 +97,7 @@ fn exchange_repartition(c: &mut Criterion) {
             let mut dests: Vec<Frame> = (0..4).map(|_| Frame::new()).collect();
             for frame in build() {
                 for (i, (t, size)) in frame.into_sized().enumerate() {
-                    if dests[i % 4].push_sized(t, size as usize) {
+                    if dests[i % 4].push_sized(t, size as usize).unwrap_or(false) {
                         black_box(dests[i % 4].take());
                     }
                 }
@@ -109,7 +109,7 @@ fn exchange_repartition(c: &mut Criterion) {
             let mut dests: Vec<Frame> = (0..4).map(|_| Frame::new()).collect();
             for frame in build() {
                 for (i, t) in frame.into_tuples().into_iter().enumerate() {
-                    if dests[i % 4].push(t) {
+                    if dests[i % 4].push(t).unwrap_or(false) {
                         black_box(dests[i % 4].take());
                     }
                 }

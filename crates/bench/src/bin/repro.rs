@@ -8,14 +8,41 @@
 //! repro --markdown   # emit Markdown tables (for EXPERIMENTS.md)
 //! repro hotpath      # hot-path bench suite -> BENCH_hotpath.json
 //! repro hotpath --out FILE   # write the JSON somewhere else
+//! repro profile e01  # per-operator query profile (text tree to stdout)
+//! repro profile e01 --out profile.json   # also write the JSON document
 //! ```
 
-use asterix_bench::{experiments, hotpath};
+use asterix_bench::{experiments, hotpath, profile};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
     let markdown = args.iter().any(|a| a == "--markdown" || a == "-m");
+    if args.first().map(String::as_str) == Some("profile") {
+        let exp = args
+            .iter()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .cloned()
+            .unwrap_or_else(|| "e01".into());
+        let Some(run) = profile::run(&exp, quick) else {
+            eprintln!("unknown profile target {exp:?} (supported: e01)");
+            std::process::exit(2);
+        };
+        println!("{}", run.text);
+        if let Some(out) =
+            args.iter().position(|a| a == "--out").and_then(|i| args.get(i + 1))
+        {
+            std::fs::write(out, &run.json).unwrap_or_else(|e| {
+                eprintln!("cannot write {out}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("profile JSON written to {out}");
+        } else {
+            println!("{}", run.json);
+        }
+        return;
+    }
     if args.iter().any(|a| a == "hotpath") {
         let out = args
             .iter()

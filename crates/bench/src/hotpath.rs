@@ -313,7 +313,7 @@ fn preload_channels(
             for fi in 0..frames_per_sender {
                 let mut f = Frame::new();
                 for ti in 0..tuples_per_frame {
-                    f.push(vec![Value::Int((s * frames_per_sender + fi + ti) as i64)]);
+                    let _ = f.push(vec![Value::Int((s * frames_per_sender + fi + ti) as i64)]);
                 }
                 tx.send(f).unwrap();
             }
@@ -451,7 +451,7 @@ fn exchange_tuples(n: usize) -> Vec<Frame> {
             Value::Array((0..6).map(|k| Value::Int((i + k) as i64)).collect()),
             Value::Double(i as f64 * 0.5),
         ];
-        if f.push(t) {
+        if f.push(t).unwrap_or(false) {
             frames.push(f.take());
         }
     }
@@ -477,7 +477,7 @@ fn exchange_microbench(quick: bool) -> ExchangeSection {
                 for frame in source {
                     for (i, t) in frame.into_tuples().into_iter().enumerate() {
                         stat_bytes += Frame::tuple_size(&t) as u64;
-                        let full = dests[i % destinations].push(t);
+                        let full = dests[i % destinations].push(t).unwrap_or(false);
                         if full {
                             std::hint::black_box(dests[i % destinations].take());
                         }
@@ -500,7 +500,8 @@ fn exchange_microbench(quick: bool) -> ExchangeSection {
                 for frame in source {
                     for (i, (t, size)) in frame.into_sized().enumerate() {
                         stat_bytes += size as u64;
-                        let full = dests[i % destinations].push_sized(t, size as usize);
+                        let full =
+                            dests[i % destinations].push_sized(t, size as usize).unwrap_or(false);
                         if full {
                             std::hint::black_box(dests[i % destinations].take());
                         }

@@ -9,6 +9,7 @@
 
 pub mod experiments;
 pub mod hotpath;
+pub mod profile;
 pub mod report;
 
 pub use report::ExpReport;

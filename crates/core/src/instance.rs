@@ -117,6 +117,8 @@ struct Inner {
     ctx: Arc<RuntimeCtx>,
     vargen: Mutex<VarGen>,
     ddl_log: Mutex<Vec<String>>,
+    /// Profile tree of the most recently completed query job.
+    last_profile: Mutex<Option<asterix_obs::JobProfile>>,
 }
 
 /// An AsterixDB instance. Cloning yields another handle on the same
@@ -172,6 +174,7 @@ impl Instance {
             ctx,
             vargen: Mutex::new(VarGen::new()),
             ddl_log: Mutex::new(Vec::new()),
+            last_profile: Mutex::new(None),
         });
         let instance = Instance { inner };
         instance.recover()?;
@@ -521,8 +524,27 @@ impl Instance {
             group_memory: self.inner.config.op_memory,
             local_aggregation: self.inner.config.local_aggregation,
         };
-        let rows = jobgen::execute(&plan, &cfg, Arc::clone(&self.inner.ctx))?;
+        let (rows, profile) =
+            jobgen::execute_profiled(&plan, &cfg, Arc::clone(&self.inner.ctx))?;
+        *self.inner.last_profile.lock() = Some(profile);
         Ok(rows)
+    }
+
+    /// Per-operator profile tree of the most recently completed query
+    /// (EXPLAIN PROFILE-style), or `None` before the first query. DML that
+    /// runs an internal query (e.g. DELETE's victim scan) updates it too.
+    pub fn last_profile(&self) -> Option<asterix_obs::JobProfile> {
+        self.inner.last_profile.lock().clone()
+    }
+
+    /// Cluster-wide metrics snapshot: the dataflow runtime's registry plus
+    /// every node's storage registry merged under a `node<N>.` prefix.
+    pub fn metrics_snapshot(&self) -> asterix_obs::MetricsSnapshot {
+        let mut merged = self.inner.ctx.registry().snapshot();
+        for (i, node) in self.inner.cluster.nodes.iter().enumerate() {
+            merged.merge_prefixed(&format!("node{i}."), &node.stats().registry().snapshot());
+        }
+        merged
     }
 
     /// Compiles a query and returns its optimized logical plan text

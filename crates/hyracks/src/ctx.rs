@@ -2,12 +2,14 @@
 //! dataflow statistics (paper Figure 2's "working memory" slice).
 
 use crate::error::Result;
+use asterix_obs::{Clock, Counter, MetricsRegistry, MonotonicClock};
+use std::cell::Cell;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crate::frame::Tuple;
+use crate::frame::{u32_len, Tuple};
 use asterix_adm::binary::{encode_into, Decoder};
 use asterix_adm::Value;
 
@@ -15,30 +17,48 @@ use asterix_adm::Value;
 pub const DEFAULT_OP_MEMORY: usize = 32 << 20;
 
 /// Counters describing how hard a job leaned on disk (experiment E5).
+///
+/// A thin facade over [`MetricsRegistry`] counters (named under
+/// `hyracks.dataflow.*`), kept so existing call sites — and the
+/// [`DataflowStats::snapshot`] API — survive the registry migration.
 #[derive(Debug, Default)]
 pub struct DataflowStats {
-    pub spill_runs: AtomicU64,
-    pub spilled_bytes: AtomicU64,
-    pub merge_passes: AtomicU64,
-    pub joins_spilled: AtomicU64,
-    pub groups_spilled: AtomicU64,
-    pub tuples_moved: AtomicU64,
+    pub spill_runs: Counter,
+    pub spilled_bytes: Counter,
+    pub merge_passes: Counter,
+    pub joins_spilled: Counter,
+    pub groups_spilled: Counter,
+    pub tuples_moved: Counter,
     /// Tuples crossing repartitioning connectors (hash/broadcast/gather) —
     /// the network traffic a real cluster would pay.
-    pub tuples_exchanged: AtomicU64,
+    pub tuples_exchanged: Counter,
 }
 
 impl DataflowStats {
+    /// Facade over counters registered in `registry` under
+    /// `hyracks.dataflow.*`.
+    pub fn with_registry(registry: &MetricsRegistry) -> DataflowStats {
+        DataflowStats {
+            spill_runs: registry.counter("hyracks.dataflow.spill_runs"),
+            spilled_bytes: registry.counter("hyracks.dataflow.spilled_bytes"),
+            merge_passes: registry.counter("hyracks.dataflow.merge_passes"),
+            joins_spilled: registry.counter("hyracks.dataflow.joins_spilled"),
+            groups_spilled: registry.counter("hyracks.dataflow.groups_spilled"),
+            tuples_moved: registry.counter("hyracks.dataflow.tuples_moved"),
+            tuples_exchanged: registry.counter("hyracks.dataflow.tuples_exchanged"),
+        }
+    }
+
     /// Readable snapshot.
     pub fn snapshot(&self) -> DataflowSnapshot {
         DataflowSnapshot {
-            spill_runs: self.spill_runs.load(Ordering::Relaxed),
-            spilled_bytes: self.spilled_bytes.load(Ordering::Relaxed),
-            merge_passes: self.merge_passes.load(Ordering::Relaxed),
-            joins_spilled: self.joins_spilled.load(Ordering::Relaxed),
-            groups_spilled: self.groups_spilled.load(Ordering::Relaxed),
-            tuples_moved: self.tuples_moved.load(Ordering::Relaxed),
-            tuples_exchanged: self.tuples_exchanged.load(Ordering::Relaxed),
+            spill_runs: self.spill_runs.get(),
+            spilled_bytes: self.spilled_bytes.get(),
+            merge_passes: self.merge_passes.get(),
+            joins_spilled: self.joins_spilled.get(),
+            groups_spilled: self.groups_spilled.get(),
+            tuples_moved: self.tuples_moved.get(),
+            tuples_exchanged: self.tuples_exchanged.get(),
         }
     }
 }
@@ -55,34 +75,95 @@ pub struct DataflowSnapshot {
     pub tuples_exchanged: u64,
 }
 
+impl std::ops::Sub for DataflowSnapshot {
+    type Output = DataflowSnapshot;
+
+    /// Per-phase delta. Saturating: a counter reset between snapshots
+    /// yields 0, never a wrapped ~2^64 delta.
+    fn sub(self, rhs: DataflowSnapshot) -> DataflowSnapshot {
+        DataflowSnapshot {
+            spill_runs: self.spill_runs.saturating_sub(rhs.spill_runs),
+            spilled_bytes: self.spilled_bytes.saturating_sub(rhs.spilled_bytes),
+            merge_passes: self.merge_passes.saturating_sub(rhs.merge_passes),
+            joins_spilled: self.joins_spilled.saturating_sub(rhs.joins_spilled),
+            groups_spilled: self.groups_spilled.saturating_sub(rhs.groups_spilled),
+            tuples_moved: self.tuples_moved.saturating_sub(rhs.tuples_moved),
+            tuples_exchanged: self.tuples_exchanged.saturating_sub(rhs.tuples_exchanged),
+        }
+    }
+}
+
+// Per-worker spill accounting. Each operator-partition runs on its own
+// thread, so a thread-local cell attributes spill activity to the worker
+// that caused it without widening every ops::* signature. The executor
+// drains the cells via [`take_worker_spill`] when a worker finishes.
+thread_local! {
+    static WORKER_SPILL_RUNS: Cell<u64> = const { Cell::new(0) };
+    static WORKER_SPILLED_BYTES: Cell<u64> = const { Cell::new(0) };
+    static WORKER_GRACE_FANOUT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Records grace/hybrid recursion fanout (partitions created when an
+/// operator fell back to spilling) for the current worker thread.
+pub(crate) fn note_grace_fanout(partitions: u64) {
+    WORKER_GRACE_FANOUT.with(|c| c.set(c.get() + partitions));
+}
+
+/// Drains the current thread's spill accounting:
+/// `(spill_runs, spilled_bytes, grace_fanout)`.
+pub(crate) fn take_worker_spill() -> (u64, u64, u64) {
+    (
+        WORKER_SPILL_RUNS.with(|c| c.replace(0)),
+        WORKER_SPILLED_BYTES.with(|c| c.replace(0)),
+        WORKER_GRACE_FANOUT.with(|c| c.replace(0)),
+    )
+}
+
 /// Shared runtime context for a node's dataflow workers.
 pub struct RuntimeCtx {
     spill_dir: PathBuf,
     next_spill: AtomicU64,
     /// Dataflow statistics, cumulative for the context's lifetime.
     pub stats: DataflowStats,
+    /// Monotonic clock used for all runtime timing (injectable so the
+    /// deterministic test harness can control time).
+    pub clock: Arc<dyn Clock>,
+    registry: Arc<MetricsRegistry>,
 }
 
 impl RuntimeCtx {
     /// Creates a context spilling under `spill_dir` (created if missing).
     pub fn new(spill_dir: impl Into<PathBuf>) -> Result<Arc<Self>> {
+        RuntimeCtx::with_clock(spill_dir, MonotonicClock::shared())
+    }
+
+    /// Creates a context with an explicit clock (deterministic tests).
+    pub fn with_clock(spill_dir: impl Into<PathBuf>, clock: Arc<dyn Clock>) -> Result<Arc<Self>> {
         let spill_dir = spill_dir.into();
         std::fs::create_dir_all(&spill_dir)?;
-        Ok(Arc::new(RuntimeCtx {
-            spill_dir,
-            next_spill: AtomicU64::new(0),
-            stats: DataflowStats::default(),
-        }))
+        let registry = MetricsRegistry::shared();
+        let stats = DataflowStats::with_registry(&registry);
+        Ok(Arc::new(RuntimeCtx { spill_dir, next_spill: AtomicU64::new(0), stats, clock, registry }))
     }
 
     /// A context spilling under the system temp directory.
     pub fn temp() -> Result<Arc<Self>> {
+        RuntimeCtx::temp_with_clock(MonotonicClock::shared())
+    }
+
+    /// Temp-dir context with an explicit clock (deterministic tests).
+    pub fn temp_with_clock(clock: Arc<dyn Clock>) -> Result<Arc<Self>> {
         let n = std::process::id();
         let t = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_nanos())
             .unwrap_or_default();
-        RuntimeCtx::new(std::env::temp_dir().join(format!("hyracks-spill-{n}-{t}")))
+        RuntimeCtx::with_clock(std::env::temp_dir().join(format!("hyracks-spill-{n}-{t}")), clock)
+    }
+
+    /// The registry backing this context's dataflow counters.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
     }
 
     /// Opens a fresh spill-run writer.
@@ -90,7 +171,8 @@ impl RuntimeCtx {
         let id = self.next_spill.fetch_add(1, Ordering::Relaxed);
         let path = self.spill_dir.join(format!("run-{id}.spill"));
         let file = std::fs::File::create(&path)?;
-        self.stats.spill_runs.fetch_add(1, Ordering::Relaxed);
+        self.stats.spill_runs.inc();
+        WORKER_SPILL_RUNS.with(|c| c.set(c.get() + 1));
         Ok(RunWriter {
             writer: BufWriter::with_capacity(1 << 16, file),
             path,
@@ -99,7 +181,8 @@ impl RuntimeCtx {
     }
 
     fn count_spilled(&self, bytes: u64) {
-        self.stats.spilled_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.stats.spilled_bytes.add(bytes);
+        WORKER_SPILLED_BYTES.with(|c| c.set(c.get() + bytes));
     }
 }
 
@@ -120,11 +203,13 @@ impl RunWriter {
     /// Appends one tuple.
     pub fn write(&mut self, tuple: &Tuple) -> Result<()> {
         let mut buf = Vec::with_capacity(64);
-        buf.extend_from_slice(&(tuple.len() as u32).to_le_bytes());
+        let arity = u32_len("spill-run tuple arity", tuple.len())?;
+        buf.extend_from_slice(&arity.to_le_bytes());
         for v in tuple {
             encode_into(v, &mut buf);
         }
-        self.writer.write_all(&(buf.len() as u32).to_le_bytes())?;
+        let frame_len = u32_len("spill-run frame", buf.len())?;
+        self.writer.write_all(&frame_len.to_le_bytes())?;
         self.writer.write_all(&buf)?;
         self.bytes += 4 + buf.len() as u64;
         Ok(())
@@ -255,5 +340,39 @@ mod tests {
         let ctx = RuntimeCtx::temp().unwrap();
         let run = spill_batch(&ctx, &[]).unwrap();
         assert_eq!(run.read().unwrap().count(), 0);
+    }
+
+    #[test]
+    fn dataflow_snapshot_delta_saturates() {
+        let newer = DataflowSnapshot { spill_runs: 5, spilled_bytes: 100, ..Default::default() };
+        let older = DataflowSnapshot { spill_runs: 2, spilled_bytes: 300, ..Default::default() };
+        let d = newer - older;
+        assert_eq!(d.spill_runs, 3);
+        // A reset (or mid-phase re-open) between snapshots must clamp to 0,
+        // not wrap around to ~2^64.
+        assert_eq!(d.spilled_bytes, 0);
+    }
+
+    #[test]
+    fn dataflow_stats_are_visible_through_the_registry() {
+        let ctx = RuntimeCtx::temp().unwrap();
+        let before = ctx.registry().snapshot();
+        let _run = spill_batch(&ctx, &[vec![Value::Int(1)]]).unwrap();
+        let delta = ctx.registry().snapshot().delta(&before);
+        assert_eq!(delta.counter("hyracks.dataflow.spill_runs"), Some(1));
+        assert!(delta.counter("hyracks.dataflow.spilled_bytes").unwrap() > 0);
+    }
+
+    #[test]
+    fn worker_spill_cells_attribute_to_the_current_thread() {
+        let ctx = RuntimeCtx::temp().unwrap();
+        let _ = take_worker_spill(); // clear residue from other tests
+        let _run = spill_batch(&ctx, &[vec![Value::Int(1)]]).unwrap();
+        note_grace_fanout(8);
+        let (runs, bytes, fanout) = take_worker_spill();
+        assert_eq!(runs, 1);
+        assert!(bytes > 0);
+        assert_eq!(fanout, 8);
+        assert_eq!(take_worker_spill(), (0, 0, 0), "drained");
     }
 }

@@ -18,6 +18,13 @@ pub enum HyracksError {
     Adm(asterix_adm::AdmError),
     /// A worker thread panicked.
     WorkerPanic(String),
+    /// A length did not fit the `u32` framing fields used by frames and
+    /// spill runs (see [`crate::frame::u32_len`]).
+    SizeOverflow {
+        /// What was being measured (`"tuple size"`, `"spill-run frame"`, …).
+        what: &'static str,
+        len: usize,
+    },
     /// Filesystem error on spill files.
     Io(std::io::Error),
 }
@@ -30,6 +37,9 @@ impl fmt::Display for HyracksError {
             HyracksError::Storage(e) => write!(f, "storage error in dataflow: {e}"),
             HyracksError::Adm(e) => write!(f, "data-model error in dataflow: {e}"),
             HyracksError::WorkerPanic(m) => write!(f, "worker panicked: {m}"),
+            HyracksError::SizeOverflow { what, len } => {
+                write!(f, "size overflow: {what} of {len} does not fit a u32 framing field")
+            }
             HyracksError::Io(e) => write!(f, "spill I/O error: {e}"),
         }
     }

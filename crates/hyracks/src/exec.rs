@@ -15,14 +15,42 @@ use crate::job::{
 use crate::ops;
 use asterix_adm::compare::hash64_iter;
 use asterix_adm::Value;
+use asterix_obs::{Clock, JobProfile, OpMetrics, OperatorProfile};
 use crossbeam::channel::{bounded, Receiver, Select, Sender, TryRecvError};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
-use std::sync::atomic::Ordering as AtomicOrdering;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 
 /// Frames buffered per channel before producers block.
 const CHANNEL_CAP: usize = 8;
+
+/// Input-side metrics cell, shared between a worker and its port readers
+/// (readers are moved into boxed iterators, so the worker keeps a handle).
+/// Updated once per received *frame* — never per tuple — so the relaxed
+/// atomics cost nothing measurable on the hot path.
+#[derive(Default)]
+struct InCell {
+    tuples: AtomicU64,
+    frames: AtomicU64,
+    bytes: AtomicU64,
+    /// Time blocked waiting on empty inbound channels.
+    wait_ns: AtomicU64,
+}
+
+impl InCell {
+    #[inline]
+    fn note_frame(&self, f: &Frame) {
+        self.frames.fetch_add(1, AtomicOrdering::Relaxed);
+        self.tuples.fetch_add(f.len() as u64, AtomicOrdering::Relaxed);
+        self.bytes.fetch_add(f.bytes() as u64, AtomicOrdering::Relaxed);
+    }
+
+    #[inline]
+    fn note_wait(&self, ns: u64) {
+        self.wait_ns.fetch_add(ns, AtomicOrdering::Relaxed);
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Input side
@@ -39,12 +67,14 @@ pub struct TupleStream {
     /// Buffered tuples with their cached byte sizes (carried from the
     /// producer's frame so pass-through operators never re-size them).
     buffer: VecDeque<(Tuple, u32)>,
+    cell: Arc<InCell>,
+    clock: Arc<dyn Clock>,
 }
 
 impl TupleStream {
-    fn new(receivers: Vec<Receiver<Frame>>) -> Self {
+    fn new(receivers: Vec<Receiver<Frame>>, cell: Arc<InCell>, clock: Arc<dyn Clock>) -> Self {
         let live = (0..receivers.len()).collect();
-        TupleStream { receivers, live, cursor: 0, buffer: VecDeque::new() }
+        TupleStream { receivers, live, cursor: 0, buffer: VecDeque::new(), cell, clock }
     }
 
     /// Next tuple with its cached size (the fast path for operators that
@@ -73,6 +103,7 @@ impl TupleStream {
                 match self.receivers[idx].try_recv() {
                     Ok(frame) => {
                         self.cursor = (slot + 1) % n;
+                        self.cell.note_frame(&frame);
                         if !frame.is_empty() {
                             self.buffer.extend(frame.into_sized());
                             got = true;
@@ -101,7 +132,11 @@ impl TupleStream {
             }
             // Slow path: every live channel was empty. `Select` borrows the
             // receivers, so it cannot live in the struct; it is built only
-            // here, when a blocking wait is genuinely required.
+            // here, when a blocking wait is genuinely required. The wait is
+            // timed here and only here: the fast path above never blocks,
+            // so queue-wait attribution costs two clock reads per stall,
+            // not two per frame.
+            let wait_start = self.clock.now_ns();
             let mut sel = Select::new();
             for &i in &self.live {
                 sel.recv(&self.receivers[i]);
@@ -109,9 +144,12 @@ impl TupleStream {
             let op = sel.select();
             let slot = op.index();
             let idx = self.live[slot];
-            match op.recv(&self.receivers[idx]) {
+            let received = op.recv(&self.receivers[idx]);
+            self.cell.note_wait(self.clock.now_ns().saturating_sub(wait_start));
+            match received {
                 Ok(frame) => {
                     self.cursor = (slot + 1) % self.live.len();
+                    self.cell.note_frame(&frame);
                     if !frame.is_empty() {
                         self.buffer.extend(frame.into_sized());
                         return true;
@@ -141,6 +179,8 @@ impl Iterator for TupleStream {
 struct RecvStream {
     receiver: Receiver<Frame>,
     buffer: VecDeque<Tuple>,
+    cell: Arc<InCell>,
+    clock: Arc<dyn Clock>,
 }
 
 impl Iterator for RecvStream {
@@ -151,8 +191,16 @@ impl Iterator for RecvStream {
             if let Some(t) = self.buffer.pop_front() {
                 return Some(Ok(t));
             }
-            match self.receiver.recv() {
-                Ok(frame) => self.buffer.extend(frame),
+            // A merge leg blocks whenever its producer is behind; charge
+            // the whole recv as queue wait (per frame, not per tuple).
+            let wait_start = self.clock.now_ns();
+            let received = self.receiver.recv();
+            self.cell.note_wait(self.clock.now_ns().saturating_sub(wait_start));
+            match received {
+                Ok(frame) => {
+                    self.cell.note_frame(&frame);
+                    self.buffer.extend(frame);
+                }
                 Err(_) => return None,
             }
         }
@@ -177,6 +225,17 @@ impl PortReader {
 // Output side
 // ---------------------------------------------------------------------------
 
+/// Output metrics owned exclusively by one worker: plain integers, merged
+/// into the job profile once at worker end.
+#[derive(Debug, Default)]
+struct OutMetrics {
+    tuples: u64,
+    frames: u64,
+    bytes: u64,
+    /// Frames shipped to each destination partition of the outbound edge.
+    frames_to: Vec<u64>,
+}
+
 /// Routes a worker's output tuples to consumer partitions per the connector
 /// strategy.
 pub struct OutputRouter {
@@ -185,12 +244,14 @@ pub struct OutputRouter {
     buffers: Vec<Frame>,
     my_partition: usize,
     stats: Arc<RuntimeCtx>,
+    metrics: OutMetrics,
 }
 
 impl OutputRouter {
     fn new(strategy: ConnStrategy, senders: Vec<Sender<Frame>>, my_partition: usize, ctx: Arc<RuntimeCtx>) -> Self {
         let buffers = senders.iter().map(|_| Frame::new()).collect();
-        OutputRouter { strategy, senders, buffers, my_partition, stats: ctx }
+        let metrics = OutMetrics { frames_to: vec![0; senders.len()], ..OutMetrics::default() };
+        OutputRouter { strategy, senders, buffers, my_partition, stats: ctx, metrics }
     }
 
     /// Pushes one tuple; returns `false` when every consumer is gone (the
@@ -204,13 +265,12 @@ impl OutputRouter {
     /// from an upstream frame), so routing never re-walks the values. Key
     /// columns are hashed by reference — no key materialization.
     pub fn push_sized(&mut self, t: Tuple, size: usize) -> Result<bool> {
-        self.stats.stats.tuples_moved.fetch_add(1, AtomicOrdering::Relaxed);
+        self.stats.stats.tuples_moved.inc();
         if !matches!(self.strategy, ConnStrategy::OneToOne) {
-            self.stats
-                .stats
-                .tuples_exchanged
-                .fetch_add(1, AtomicOrdering::Relaxed);
+            self.stats.stats.tuples_exchanged.inc();
         }
+        self.metrics.tuples += 1;
+        self.metrics.bytes += size as u64;
         match &self.strategy {
             ConnStrategy::OneToOne => self.buffer_to(self.my_partition, t, size),
             ConnStrategy::Gather | ConnStrategy::MergeSorted(_) => self.buffer_to(0, t, size),
@@ -238,7 +298,7 @@ impl OutputRouter {
     }
 
     fn buffer_to(&mut self, dst: usize, t: Tuple, size: usize) -> Result<bool> {
-        if self.buffers[dst].push_sized(t, size) {
+        if self.buffers[dst].push_sized(t, size)? {
             return self.flush(dst);
         }
         Ok(true)
@@ -249,15 +309,20 @@ impl OutputRouter {
             return Ok(true);
         }
         let frame = self.buffers[dst].take();
+        self.metrics.frames += 1;
+        if let Some(n) = self.metrics.frames_to.get_mut(dst) {
+            *n += 1;
+        }
         Ok(self.senders[dst].send(frame).is_ok())
     }
 
-    /// Flushes all buffers and closes the output.
-    pub fn finish(mut self) -> Result<()> {
+    /// Flushes all buffers and closes the output, yielding the output-side
+    /// metrics accumulated by this worker.
+    fn finish(mut self) -> Result<OutMetrics> {
         for d in 0..self.senders.len() {
-            let _ = self.flush(d);
+            let _ = self.flush(d)?;
         }
-        Ok(())
+        Ok(std::mem::take(&mut self.metrics))
     }
 }
 
@@ -265,15 +330,18 @@ impl OutputRouter {
 // Executor
 // ---------------------------------------------------------------------------
 
-/// Result of a job: the tuples gathered by the result sink.
+/// Result of a job: the tuples gathered by the result sink, plus the
+/// per-operator profile assembled from every worker's metrics.
 #[derive(Debug)]
 pub struct JobResult {
     pub tuples: Vec<Tuple>,
+    pub profile: JobProfile,
 }
 
 /// Executes a validated job to completion.
 pub fn run_job(spec: JobSpec, ctx: Arc<RuntimeCtx>) -> Result<JobResult> {
     spec.validate()?;
+    let job_start = ctx.clock.now_ns();
     let spec = Arc::new(spec);
     // channel matrix per connector: [src_partition][dst_partition]
     struct Matrix {
@@ -299,9 +367,18 @@ pub fn run_job(spec: JobSpec, ctx: Arc<RuntimeCtx>) -> Result<JobResult> {
         matrices.push(Matrix { senders, receivers });
     }
     let results: Arc<Mutex<Vec<Tuple>>> = Arc::new(Mutex::new(Vec::new()));
+    // One OpMetrics slot per operator-partition, filled by each worker as
+    // it finishes (workers own plain counters; this mutex is touched once
+    // per worker lifetime).
+    let metrics: Arc<Mutex<Vec<Vec<OpMetrics>>>> = Arc::new(Mutex::new(
+        spec.ops.iter().map(|op| vec![OpMetrics::default(); op.partitions]).collect(),
+    ));
     let mut handles = Vec::new();
     for (op_id, op) in spec.ops.iter().enumerate() {
         for p in 0..op.partitions {
+            // Input-side counters for this worker, shared with its port
+            // readers (both ports of a binary op feed the same cell).
+            let in_cell = Arc::new(InCell::default());
             // input ports
             let arity = op.kind.arity();
             let mut ports: Vec<PortReader> = Vec::with_capacity(arity);
@@ -329,14 +406,23 @@ pub fn run_job(spec: JobSpec, ctx: Arc<RuntimeCtx>) -> Result<JobResult> {
                     ConnStrategy::MergeSorted(keys) => {
                         let streams: Vec<RecvStream> = col
                             .into_iter()
-                            .map(|receiver| RecvStream { receiver, buffer: VecDeque::new() })
+                            .map(|receiver| RecvStream {
+                                receiver,
+                                buffer: VecDeque::new(),
+                                cell: Arc::clone(&in_cell),
+                                clock: Arc::clone(&ctx.clock),
+                            })
                             .collect();
                         PortReader::Merge(Box::new(ops::sort::KWayMerge::new(
                             streams,
                             keys.clone(),
                         )))
                     }
-                    _ => PortReader::Any(TupleStream::new(col)),
+                    _ => PortReader::Any(TupleStream::new(
+                        col,
+                        Arc::clone(&in_cell),
+                        Arc::clone(&ctx.clock),
+                    )),
                 };
                 ports.push(reader);
             }
@@ -357,11 +443,37 @@ pub fn run_job(spec: JobSpec, ctx: Arc<RuntimeCtx>) -> Result<JobResult> {
             let spec2 = Arc::clone(&spec);
             let ctx2 = Arc::clone(&ctx);
             let results2 = Arc::clone(&results);
+            let metrics2 = Arc::clone(&metrics);
             let label = format!("{}#{p}", op.label);
             let handle = std::thread::Builder::new()
                 .name(label.clone())
                 .spawn(move || -> Result<()> {
-                    run_worker(&spec2.ops[op_id].kind, p, ports, out, ctx2, results2)
+                    let started = ctx2.clock.now_ns();
+                    let _ = crate::ctx::take_worker_spill(); // fresh thread, but be explicit
+                    let out_m = run_worker(&spec2.ops[op_id].kind, p, ports, out, &ctx2, &results2)?;
+                    let ended = ctx2.clock.now_ns();
+                    let (spill_runs, spilled_bytes, grace_fanout) = crate::ctx::take_worker_spill();
+                    let wait = in_cell.wait_ns.load(AtomicOrdering::Relaxed);
+                    let m = OpMetrics {
+                        tuples_in: in_cell.tuples.load(AtomicOrdering::Relaxed),
+                        tuples_out: out_m.tuples,
+                        frames_in: in_cell.frames.load(AtomicOrdering::Relaxed),
+                        frames_out: out_m.frames,
+                        bytes_in: in_cell.bytes.load(AtomicOrdering::Relaxed),
+                        bytes_out: out_m.bytes,
+                        queue_wait_ns: wait,
+                        compute_ns: ended.saturating_sub(started).saturating_sub(wait),
+                        spill_runs,
+                        spilled_bytes,
+                        grace_fanout,
+                        frames_routed: out_m.frames_to,
+                    };
+                    if let Some(slot) =
+                        metrics2.lock().get_mut(op_id).and_then(|row| row.get_mut(p))
+                    {
+                        *slot = m;
+                    }
+                    Ok(())
                 })
                 .map_err(HyracksError::Io)?;
             handles.push((label, handle));
@@ -394,7 +506,48 @@ pub fn run_job(spec: JobSpec, ctx: Arc<RuntimeCtx>) -> Result<JobResult> {
         return Err(e);
     }
     let tuples = std::mem::take(&mut *results.lock());
-    Ok(JobResult { tuples })
+    let elapsed_ns = ctx.clock.now_ns().saturating_sub(job_start);
+    let per_op = std::mem::take(&mut *metrics.lock());
+    let profile = assemble_profile(&spec, per_op, elapsed_ns);
+    Ok(JobResult { tuples, profile })
+}
+
+/// Builds the operator profile tree rooted at the result sink. Job specs
+/// are trees (`validate` enforces a single consumer per operator), so each
+/// operator's metrics are taken exactly once.
+fn assemble_profile(spec: &JobSpec, per_op: Vec<Vec<OpMetrics>>, elapsed_ns: u64) -> JobProfile {
+    let root_id = (0..spec.ops.len())
+        .find(|&i| !spec.connectors.iter().any(|c| c.src == i))
+        .unwrap_or(0);
+    let mut per_op: Vec<Option<Vec<OpMetrics>>> = per_op.into_iter().map(Some).collect();
+    let root = profile_node(spec, root_id, &mut per_op);
+    JobProfile { elapsed_ns, root }
+}
+
+fn profile_node(
+    spec: &JobSpec,
+    op_id: usize,
+    per_op: &mut Vec<Option<Vec<OpMetrics>>>,
+) -> OperatorProfile {
+    let mut feeds: Vec<(usize, usize)> = spec
+        .connectors
+        .iter()
+        .filter(|c| c.dst == op_id)
+        .map(|c| (c.dst_port, c.src))
+        .collect();
+    feeds.sort_unstable();
+    let out_strategy = spec
+        .connectors
+        .iter()
+        .find(|c| c.src == op_id)
+        .map(|c| c.strategy.name().to_string());
+    OperatorProfile {
+        name: spec.ops[op_id].kind.name().to_string(),
+        label: spec.ops[op_id].label.clone(),
+        out_strategy,
+        partitions: per_op.get_mut(op_id).and_then(Option::take).unwrap_or_default(),
+        inputs: feeds.into_iter().map(|(_, src)| profile_node(spec, src, per_op)).collect(),
+    }
 }
 
 fn run_worker(
@@ -402,24 +555,26 @@ fn run_worker(
     partition: usize,
     mut ports: Vec<PortReader>,
     out: Option<OutputRouter>,
-    ctx: Arc<RuntimeCtx>,
-    results: Arc<Mutex<Vec<Tuple>>>,
-) -> Result<()> {
+    ctx: &Arc<RuntimeCtx>,
+    results: &Arc<Mutex<Vec<Tuple>>>,
+) -> Result<OutMetrics> {
     if let OpKind::ResultSink = kind {
         let input = ports.remove(0).into_iter();
         let mut local = Vec::new();
         for t in input {
             local.push(t?);
         }
+        let delivered = local.len() as u64;
         results.lock().extend(local);
-        return Ok(());
+        // The sink's "output" is the result set it delivers to the caller.
+        return Ok(OutMetrics { tuples: delivered, ..OutMetrics::default() });
     }
     let Some(mut out) = out else {
         return Err(HyracksError::InvalidJob(
             "non-sink operator has no outgoing connector".into(),
         ));
     };
-    let stopped = run_op_body(kind, partition, ports, &mut out, &ctx)?;
+    let stopped = run_op_body(kind, partition, ports, &mut out, ctx)?;
     let _ = stopped;
     out.finish()
 }

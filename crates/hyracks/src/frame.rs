@@ -11,10 +11,20 @@
 //! byte size alongside each tuple; pass-through paths carry it via
 //! [`Frame::push_sized`] and [`Frame::into_sized`] instead of re-walking.
 
+use crate::error::{HyracksError, Result};
 use asterix_adm::Value;
 
 /// One dataflow tuple: a flat row of values.
 pub type Tuple = Vec<Value>;
+
+/// Checked narrowing for the `u32` length fields used by frame size caches
+/// and spill-run framing. Every `as u32` on a length must go through here:
+/// a silent truncation would corrupt byte accounting (frames) or desync the
+/// run format (spills) long after the cast.
+#[inline]
+pub fn u32_len(what: &'static str, n: usize) -> Result<u32> {
+    u32::try_from(n).map_err(|_| HyracksError::SizeOverflow { what, len: n })
+}
 
 /// Target frame payload size in bytes.
 pub const FRAME_BUDGET: usize = 64 * 1024;
@@ -47,19 +57,25 @@ impl Frame {
     }
 
     /// Adds a tuple; returns `true` when the frame is full and should be
-    /// shipped.
-    pub fn push(&mut self, t: Tuple) -> bool {
+    /// shipped. Errors if the tuple's size cannot be cached in the frame's
+    /// `u32` size column.
+    #[inline]
+    pub fn push(&mut self, t: Tuple) -> Result<bool> {
         let size = Self::tuple_size(&t);
         self.push_sized(t, size)
     }
 
     /// Adds a tuple whose size the caller already knows (e.g. carried from
-    /// an upstream frame), skipping the per-value walk.
-    pub fn push_sized(&mut self, t: Tuple, size: usize) -> bool {
+    /// an upstream frame), skipping the per-value walk. The size is
+    /// validated before any state changes, so a rejected push leaves the
+    /// frame untouched.
+    #[inline]
+    pub fn push_sized(&mut self, t: Tuple, size: usize) -> Result<bool> {
+        let size32 = u32_len("tuple size", size)?;
         self.bytes += size;
-        self.sizes.push(size as u32);
+        self.sizes.push(size32);
         self.tuples.push(t);
-        self.bytes >= FRAME_BUDGET
+        Ok(self.bytes >= FRAME_BUDGET)
     }
 
     /// Number of tuples.
@@ -100,10 +116,15 @@ impl Frame {
 }
 
 impl FromIterator<Tuple> for Frame {
+    /// Test/bench convenience. Collection stops at the first tuple whose
+    /// size exceeds the `u32` cache (use [`Frame::push`] directly when that
+    /// case must be surfaced as an error).
     fn from_iter<T: IntoIterator<Item = Tuple>>(iter: T) -> Self {
         let mut f = Frame::new();
         for t in iter {
-            f.push(t);
+            if f.push(t).is_err() {
+                break;
+            }
         }
         f
     }
@@ -125,17 +146,17 @@ mod tests {
     fn push_reports_full_at_budget() {
         let mut f = Frame::new();
         let big = vec![Value::String("x".repeat(FRAME_BUDGET / 4))];
-        assert!(!f.push(big.clone()));
-        assert!(!f.push(big.clone()));
-        assert!(!f.push(big.clone()));
-        assert!(f.push(big), "fourth large tuple crosses the budget");
+        assert!(!f.push(big.clone()).unwrap());
+        assert!(!f.push(big.clone()).unwrap());
+        assert!(!f.push(big.clone()).unwrap());
+        assert!(f.push(big).unwrap(), "fourth large tuple crosses the budget");
         assert_eq!(f.len(), 4);
     }
 
     #[test]
     fn take_resets() {
         let mut f = Frame::new();
-        f.push(vec![Value::Int(1)]);
+        f.push(vec![Value::Int(1)]).unwrap();
         let taken = f.take();
         assert_eq!(taken.len(), 1);
         assert!(f.is_empty());
@@ -153,17 +174,50 @@ mod tests {
     #[test]
     fn sized_roundtrip_preserves_accounting() {
         let mut a = Frame::new();
-        a.push(vec![Value::from("hello"), Value::Int(1)]);
-        a.push(vec![Value::Int(2)]);
+        a.push(vec![Value::from("hello"), Value::Int(1)]).unwrap();
+        a.push(vec![Value::Int(2)]).unwrap();
         let total = a.bytes();
         // Re-buffer into a second frame through the sized path: byte
         // accounting must match without re-walking any Value.
         let mut b = Frame::with_capacity(a.len());
         for (t, size) in a.into_sized() {
             assert_eq!(size as usize, Frame::tuple_size(&t));
-            b.push_sized(t, size as usize);
+            b.push_sized(t, size as usize).unwrap();
         }
         assert_eq!(b.bytes(), total);
         assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn u32_len_boundary() {
+        assert_eq!(u32_len("x", 0).unwrap(), 0);
+        assert_eq!(u32_len("x", u32::MAX as usize).unwrap(), u32::MAX);
+        let err = u32_len("tuple size", u32::MAX as usize + 1).unwrap_err();
+        assert!(
+            err.to_string().contains("size overflow: tuple size"),
+            "typed error with context: {err}"
+        );
+    }
+
+    #[test]
+    fn oversized_push_is_rejected_without_corrupting_the_frame() {
+        let mut f = Frame::new();
+        f.push(vec![Value::Int(1)]).unwrap();
+        let before = f.bytes();
+        // A declared size that used to truncate (`as u32`) to ~0 and poison
+        // the frame's byte accounting must now be a typed error that leaves
+        // the frame exactly as it was.
+        let huge = u32::MAX as usize + 17;
+        assert!(f.push_sized(vec![Value::Int(2)], huge).is_err());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.bytes(), before);
+        let sizes: Vec<u32> = {
+            let mut b = Frame::new();
+            for (t, s) in f.into_sized() {
+                b.push_sized(t, s as usize).unwrap();
+            }
+            b.into_sized().map(|(_, s)| s).collect()
+        };
+        assert_eq!(sizes.len(), 1, "size cache stayed index-parallel");
     }
 }

@@ -200,6 +200,19 @@ pub enum ConnStrategy {
     MergeSorted(Vec<SortKey>),
 }
 
+impl ConnStrategy {
+    /// Short display name used by profiles and EXPLAIN output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ConnStrategy::OneToOne => "one-to-one",
+            ConnStrategy::Hash(_) => "hash",
+            ConnStrategy::Broadcast => "broadcast",
+            ConnStrategy::Gather => "gather",
+            ConnStrategy::MergeSorted(_) => "merge-sorted",
+        }
+    }
+}
+
 /// A directed edge between operators.
 pub struct Connector {
     pub src: OpId,

@@ -29,5 +29,5 @@ pub mod ops;
 
 pub use ctx::RuntimeCtx;
 pub use error::{HyracksError, Result};
-pub use frame::{Frame, Tuple};
+pub use frame::{u32_len, Frame, Tuple};
 pub use job::{ConnStrategy, JobSpec, OpId, OpKind};

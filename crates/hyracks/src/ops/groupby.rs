@@ -15,7 +15,6 @@ use crate::ops::AggState;
 use asterix_adm::compare::{adm_eq, hash64_iter};
 use asterix_adm::Value;
 use std::collections::HashMap;
-use std::sync::atomic::Ordering as AtomicOrdering;
 use std::sync::Arc;
 
 const GRACE_PARTITIONS: usize = 8;
@@ -94,7 +93,8 @@ fn group_level(
         } else {
             // spill tuples of non-resident groups
             if spills.is_none() {
-                ctx.stats.groups_spilled.fetch_add(1, AtomicOrdering::Relaxed);
+                ctx.stats.groups_spilled.inc();
+                crate::ctx::note_grace_fanout(GRACE_PARTITIONS as u64);
                 spills = Some(
                     (0..GRACE_PARTITIONS)
                         .map(|_| ctx.new_run())
@@ -251,6 +251,7 @@ fn distinct_level(
             seen.entry(h).or_default().push(t);
         } else {
             if spills.is_none() {
+                crate::ctx::note_grace_fanout(GRACE_PARTITIONS as u64);
                 spills = Some(
                     (0..GRACE_PARTITIONS)
                         .map(|_| ctx.new_run())

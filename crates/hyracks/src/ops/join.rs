@@ -13,7 +13,6 @@ use crate::job::JoinKind;
 use asterix_adm::compare::{adm_eq, hash64_iter};
 use asterix_adm::Value;
 use std::collections::HashMap;
-use std::sync::atomic::Ordering as AtomicOrdering;
 use std::sync::Arc;
 
 /// Number of grace partitions per spill level.
@@ -100,7 +99,8 @@ fn join_level(
         // stream the probe side against the in-memory table
         return probe_table(probe, &table, cfg, emit);
     }
-    ctx.stats.joins_spilled.fetch_add(1, AtomicOrdering::Relaxed);
+    ctx.stats.joins_spilled.inc();
+    crate::ctx::note_grace_fanout(GRACE_PARTITIONS as u64);
     // Grace mode: partition both sides by a salted hash of the join key.
     let salt = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(depth as u64);
     let part_of = |h: u64| (h.rotate_left(17) ^ salt) as usize % GRACE_PARTITIONS;

@@ -14,7 +14,6 @@ use crate::frame::{Frame, Tuple};
 use crate::job::{cmp_tuples, SortKey};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::sync::atomic::Ordering as AtomicOrdering;
 use std::sync::Arc;
 
 /// Maximum runs merged in one pass.
@@ -54,7 +53,7 @@ pub fn external_sort(
     drop(buffer);
     // multi-pass merge down to <= MERGE_FAN_IN runs
     while runs.len() > MERGE_FAN_IN {
-        ctx.stats.merge_passes.fetch_add(1, AtomicOrdering::Relaxed);
+        ctx.stats.merge_passes.inc();
         let mut next: Vec<RunHandle> = Vec::new();
         for chunk in runs.chunks(MERGE_FAN_IN) {
             let merged = merge_runs(chunk, &keys)?;
@@ -66,7 +65,7 @@ pub fn external_sort(
         }
         runs = next;
     }
-    ctx.stats.merge_passes.fetch_add(1, AtomicOrdering::Relaxed);
+    ctx.stats.merge_passes.inc();
     // final merge is streaming; keep the run handles alive inside the iterator
     let keys2 = keys.clone();
     let iter = OwnedMerge::new(runs, keys2)?;

@@ -1,0 +1,33 @@
+//! Unified observability layer (see DESIGN.md "Observability").
+//!
+//! Three pieces, all dependency-free:
+//!
+//! * [`registry`] — a [`MetricsRegistry`] of named counters, gauges, and
+//!   fixed-bucket histograms with a snapshot/delta API. The ad-hoc stats
+//!   structs elsewhere in the workspace (`IoStats`, `DataflowStats`, …) are
+//!   thin facades over handles from a registry, so every subsystem's
+//!   counters can be read — and diffed across a phase — through one door.
+//! * [`clock`] — time as an injected dependency. Production code uses
+//!   [`MonotonicClock`]; tests and the fault harness use [`ManualClock`]
+//!   for deterministic timings.
+//! * [`profile`] — per-query profile trees: one node per operator, each
+//!   annotated with per-partition [`OpMetrics`] (tuples/frames/bytes
+//!   in+out, queue-wait vs. compute time, spill activity, per-destination
+//!   exchange routing), rendered as `EXPLAIN PROFILE`-style text or JSON.
+//!
+//! The [`json`] module is a minimal JSON document builder used by the
+//! snapshot and profile renderers (no serde in this workspace).
+
+#![forbid(unsafe_code)]
+
+pub mod clock;
+pub mod json;
+pub mod profile;
+pub mod registry;
+
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use json::Json;
+pub use profile::{JobProfile, OpMetrics, OperatorProfile};
+pub use registry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, MetricsRegistry, MetricsSnapshot,
+};

@@ -1,0 +1,307 @@
+//! Per-query profile trees.
+//!
+//! The dataflow runtime records one [`OpMetrics`] per operator-partition;
+//! after job completion they are assembled into an [`OperatorProfile`]
+//! tree mirroring the job's operator DAG (a tree, since every operator
+//! feeds exactly one consumer). [`JobProfile`] is the per-job root with
+//! text (`EXPLAIN PROFILE`-style) and JSON renderings.
+
+use crate::json::Json;
+use std::fmt::Write as _;
+
+/// Version stamp for the JSON profile schema emitted by [`JobProfile::to_json`].
+pub const PROFILE_SCHEMA_VERSION: u64 = 1;
+
+/// Everything measured for one operator-partition. Plain fields: each
+/// worker owns its struct exclusively while running; merging happens once
+/// at job end.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OpMetrics {
+    pub tuples_in: u64,
+    pub tuples_out: u64,
+    pub frames_in: u64,
+    pub frames_out: u64,
+    pub bytes_in: u64,
+    pub bytes_out: u64,
+    /// Time blocked waiting on inbound exchange queues.
+    pub queue_wait_ns: u64,
+    /// Worker wall-clock minus queue wait.
+    pub compute_ns: u64,
+    /// Spill runs written by this partition (sort runs, grace partitions).
+    pub spill_runs: u64,
+    pub spilled_bytes: u64,
+    /// Grace/hybrid recursion fanout: partitions created when an operator
+    /// fell back to spilling.
+    pub grace_fanout: u64,
+    /// Frames routed to each destination partition on the outbound
+    /// exchange edge (empty for the sink).
+    pub frames_routed: Vec<u64>,
+}
+
+impl OpMetrics {
+    /// Element-wise accumulation (used to fold partitions into totals).
+    pub fn merge(&mut self, other: &OpMetrics) {
+        self.tuples_in += other.tuples_in;
+        self.tuples_out += other.tuples_out;
+        self.frames_in += other.frames_in;
+        self.frames_out += other.frames_out;
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+        self.queue_wait_ns += other.queue_wait_ns;
+        self.compute_ns += other.compute_ns;
+        self.spill_runs += other.spill_runs;
+        self.spilled_bytes += other.spilled_bytes;
+        self.grace_fanout += other.grace_fanout;
+        if self.frames_routed.len() < other.frames_routed.len() {
+            self.frames_routed.resize(other.frames_routed.len(), 0);
+        }
+        for (dst, n) in other.frames_routed.iter().enumerate() {
+            if let Some(slot) = self.frames_routed.get_mut(dst) {
+                *slot += n;
+            }
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("tuples_in".into(), Json::U64(self.tuples_in)),
+            ("tuples_out".into(), Json::U64(self.tuples_out)),
+            ("frames_in".into(), Json::U64(self.frames_in)),
+            ("frames_out".into(), Json::U64(self.frames_out)),
+            ("bytes_in".into(), Json::U64(self.bytes_in)),
+            ("bytes_out".into(), Json::U64(self.bytes_out)),
+            ("queue_wait_ns".into(), Json::U64(self.queue_wait_ns)),
+            ("compute_ns".into(), Json::U64(self.compute_ns)),
+            ("spill_runs".into(), Json::U64(self.spill_runs)),
+            ("spilled_bytes".into(), Json::U64(self.spilled_bytes)),
+            ("grace_fanout".into(), Json::U64(self.grace_fanout)),
+            (
+                "frames_routed".into(),
+                Json::Arr(self.frames_routed.iter().map(|n| Json::U64(*n)).collect()),
+            ),
+        ])
+    }
+}
+
+/// One operator node in the profile tree.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OperatorProfile {
+    /// Operator kind (`"HashJoin"`, `"GroupBy"`, …).
+    pub name: String,
+    /// The job-spec label (`"scan:GleambookUsers"`, `"group-global"`, …).
+    pub label: String,
+    /// Strategy of the outbound connector, if any (`"hash"`, `"one-to-one"`).
+    pub out_strategy: Option<String>,
+    /// Per-partition metrics, indexed by partition number.
+    pub partitions: Vec<OpMetrics>,
+    /// Producing operators, in input-port order.
+    pub inputs: Vec<OperatorProfile>,
+}
+
+impl OperatorProfile {
+    /// All partitions folded together.
+    pub fn totals(&self) -> OpMetrics {
+        let mut t = OpMetrics::default();
+        for p in &self.partitions {
+            t.merge(p);
+        }
+        t
+    }
+
+    /// Output skew: max over partitions of `tuples_out` divided by the
+    /// mean. 1.0 means perfectly balanced; 0 tuples everywhere also
+    /// reports 1.0 (no skew to speak of).
+    pub fn skew(&self) -> f64 {
+        let n = self.partitions.len() as f64;
+        if n == 0.0 {
+            return 1.0;
+        }
+        let total: u64 = self.partitions.iter().map(|p| p.tuples_out).sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let max = self.partitions.iter().map(|p| p.tuples_out).max().unwrap_or(0);
+        max as f64 / (total as f64 / n)
+    }
+
+    /// Depth-first search for the first node whose label matches.
+    pub fn find(&self, label: &str) -> Option<&OperatorProfile> {
+        if self.label == label {
+            return Some(self);
+        }
+        self.inputs.iter().find_map(|i| i.find(label))
+    }
+
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("name".into(), Json::str(&self.name)),
+            ("label".into(), Json::str(&self.label)),
+            ("partitions".into(), Json::U64(self.partitions.len() as u64)),
+            ("skew".into(), Json::F64(self.skew())),
+            ("totals".into(), self.totals().to_json()),
+            (
+                "per_partition".into(),
+                Json::Arr(self.partitions.iter().map(|p| p.to_json()).collect()),
+            ),
+        ];
+        if let Some(s) = &self.out_strategy {
+            fields.push(("out_strategy".into(), Json::str(s)));
+        }
+        fields.push((
+            "inputs".into(),
+            Json::Arr(self.inputs.iter().map(|i| i.to_json()).collect()),
+        ));
+        Json::Obj(fields)
+    }
+
+    fn render_into(&self, out: &mut String, prefix: &str, last: bool, root: bool) {
+        let t = self.totals();
+        let branch = if root {
+            String::new()
+        } else {
+            format!("{prefix}{}", if last { "└─ " } else { "├─ " })
+        };
+        let _ = write!(out, "{branch}{} \"{}\" ×{}", self.name, self.label, self.partitions.len());
+        if let Some(s) = &self.out_strategy {
+            let _ = write!(out, " ⇒{s}");
+        }
+        let _ = write!(
+            out,
+            " | in {}t/{}f | out {}t/{}f | wait {} compute {}",
+            t.tuples_in,
+            t.frames_in,
+            t.tuples_out,
+            t.frames_out,
+            fmt_ns(t.queue_wait_ns),
+            fmt_ns(t.compute_ns),
+        );
+        if self.partitions.len() > 1 {
+            let _ = write!(out, " | skew {:.2}", self.skew());
+        }
+        if t.spill_runs > 0 {
+            let _ = write!(
+                out,
+                " | spills {} ({}B, fanout {})",
+                t.spill_runs, t.spilled_bytes, t.grace_fanout
+            );
+        }
+        out.push('\n');
+        let child_prefix = if root {
+            String::new()
+        } else {
+            format!("{prefix}{}", if last { "   " } else { "│  " })
+        };
+        let n = self.inputs.len();
+        for (i, input) in self.inputs.iter().enumerate() {
+            input.render_into(out, &child_prefix, i + 1 == n, false);
+        }
+    }
+}
+
+/// Root of a per-job profile.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct JobProfile {
+    /// Wall-clock for the whole job, by the runtime's injected clock.
+    pub elapsed_ns: u64,
+    pub root: OperatorProfile,
+}
+
+impl JobProfile {
+    /// `EXPLAIN PROFILE`-style text tree.
+    pub fn render_text(&self) -> String {
+        let mut out = format!("job profile · elapsed {}\n", fmt_ns(self.elapsed_ns));
+        self.root.render_into(&mut out, "", true, true);
+        out
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema_version".into(), Json::U64(PROFILE_SCHEMA_VERSION)),
+            ("elapsed_ns".into(), Json::U64(self.elapsed_ns)),
+            ("operators".into(), self.root.to_json()),
+        ])
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn part(tuples_in: u64, tuples_out: u64) -> OpMetrics {
+        OpMetrics { tuples_in, tuples_out, ..OpMetrics::default() }
+    }
+
+    fn sample() -> JobProfile {
+        JobProfile {
+            elapsed_ns: 2_500_000,
+            root: OperatorProfile {
+                name: "ResultSink".into(),
+                label: "sink".into(),
+                out_strategy: None,
+                partitions: vec![part(5, 5)],
+                inputs: vec![OperatorProfile {
+                    name: "GroupBy".into(),
+                    label: "group-global".into(),
+                    out_strategy: Some("gather".into()),
+                    partitions: vec![part(30, 4), part(10, 1)],
+                    inputs: vec![],
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn totals_and_skew() {
+        let p = sample();
+        let g = p.root.find("group-global").cloned().unwrap_or_default();
+        let t = g.totals();
+        assert_eq!(t.tuples_in, 40);
+        assert_eq!(t.tuples_out, 5);
+        // max 4 over mean 2.5 = 1.6
+        assert!((g.skew() - 1.6).abs() < 1e-9);
+        assert!((p.root.skew() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_folds_frames_routed_elementwise() {
+        let mut a = OpMetrics { frames_routed: vec![1, 2], ..OpMetrics::default() };
+        let b = OpMetrics { frames_routed: vec![10, 20, 30], ..OpMetrics::default() };
+        a.merge(&b);
+        assert_eq!(a.frames_routed, vec![11, 22, 30]);
+    }
+
+    #[test]
+    fn text_render_draws_the_tree() {
+        let s = sample().render_text();
+        assert!(s.contains("ResultSink \"sink\" ×1"), "{s}");
+        assert!(s.contains("└─ GroupBy \"group-global\" ×2 ⇒gather"), "{s}");
+        assert!(s.contains("skew 1.60"), "{s}");
+    }
+
+    #[test]
+    fn json_render_carries_schema_version_and_tree() {
+        let j = sample().to_json().render();
+        assert!(j.contains(r#""schema_version":1"#), "{j}");
+        assert!(j.contains(r#""label":"group-global""#), "{j}");
+        assert!(j.contains(r#""tuples_in":40"#), "{j}");
+    }
+
+    #[test]
+    fn empty_profile_reports_unit_skew() {
+        let p = OperatorProfile::default();
+        assert!((p.skew() - 1.0).abs() < 1e-9);
+        assert_eq!(p.totals(), OpMetrics::default());
+    }
+}

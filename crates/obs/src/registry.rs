@@ -1,0 +1,475 @@
+//! Named metrics with a snapshot/delta API.
+//!
+//! A [`MetricsRegistry`] hands out cheap cloneable handles
+//! ([`Counter`], [`Gauge`], [`Histogram`]) keyed by a dotted name
+//! (`"storage.io.physical_reads"`). Handles update relaxed atomics — the
+//! registry lock is touched only at registration and snapshot time, never
+//! on the hot path. [`MetricsSnapshot::delta`] diffs two snapshots with
+//! saturating arithmetic so a reset between snapshots can never wrap a
+//! phase delta around to ~2^64.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Monotonically increasing event count. `reset` is for facade
+/// compatibility (phase boundaries in tests); deltas across a reset
+/// saturate to zero rather than wrapping.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A value that can move both ways (resident pages, live partitions).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Fixed-bucket histogram: `bounds[i]` is the inclusive upper edge of
+/// bucket `i`; one implicit overflow bucket catches the rest. Recording is
+/// a linear scan over a handful of bounds plus two relaxed adds.
+#[derive(Clone)]
+pub struct Histogram {
+    core: Arc<HistCore>,
+}
+
+struct HistCore {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>, // bounds.len() + 1 (overflow)
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// Default bucket edges: powers of four from 1 up — a decent spread for
+/// both byte sizes and nanosecond latencies.
+pub const DEFAULT_BOUNDS: [u64; 12] =
+    [1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304];
+
+impl Histogram {
+    pub fn new(bounds: &[u64]) -> Histogram {
+        let mut sorted: Vec<u64> = bounds.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let buckets = (0..sorted.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            core: Arc::new(HistCore {
+                bounds: sorted,
+                buckets,
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let c = &self.core;
+        let idx = c.bounds.iter().position(|&b| v <= b).unwrap_or(c.bounds.len());
+        // idx is bounded by bounds.len(), and buckets has bounds.len()+1
+        // slots, so get() can only miss if HistCore was built wrong.
+        if let Some(slot) = c.buckets.get(idx) {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let c = &self.core;
+        HistogramSnapshot {
+            bounds: c.bounds.clone(),
+            buckets: c.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: c.count.load(Ordering::Relaxed),
+            sum: c.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of a histogram.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    pub bounds: Vec<u64>,
+    /// One count per bound plus a final overflow bucket.
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean recorded value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    fn saturating_delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        if self.bounds != earlier.bounds {
+            // Re-registered with different edges: the earlier snapshot is
+            // not comparable, return the later one as the delta.
+            return self.clone();
+        }
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&earlier.buckets)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+        }
+    }
+}
+
+enum Slot {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+    /// Snapshot-time read of a counter owned by the instrumented code
+    /// itself (an inline atomic field) — the registry never sits on the
+    /// update path, so hot loops pay zero extra indirection.
+    Observed(Box<dyn Fn() -> u64 + Send + Sync>),
+}
+
+/// One value out of a [`MetricsSnapshot`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(i64),
+    Histogram(HistogramSnapshot),
+}
+
+/// Registry of named metrics. Cheap to clone handles out of; the internal
+/// map is only locked on registration and snapshot.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    slots: Mutex<BTreeMap<String, Slot>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+        f.debug_struct("MetricsRegistry").field("metrics", &slots.len()).finish()
+    }
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    pub fn shared() -> Arc<MetricsRegistry> {
+        Arc::new(MetricsRegistry::new())
+    }
+
+    /// Get-or-register the counter `name`. If `name` is already registered
+    /// as a different kind, a detached (unregistered) counter is returned —
+    /// callers own their namespaces, so a kind clash is a programming error
+    /// surfaced by the absent name in snapshots rather than a panic.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+        match slots.entry(name.to_string()).or_insert_with(|| Slot::Counter(Counter::new())) {
+            Slot::Counter(c) => c.clone(),
+            _ => Counter::new(),
+        }
+    }
+
+    /// Get-or-register the gauge `name` (same clash policy as `counter`).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+        match slots.entry(name.to_string()).or_insert_with(|| Slot::Gauge(Gauge::new())) {
+            Slot::Gauge(g) => g.clone(),
+            _ => Gauge::new(),
+        }
+    }
+
+    /// Registers a counter whose value is *read* from `read` at snapshot
+    /// time instead of living in the registry. For hot paths that already
+    /// maintain their own inline atomics: updates stay a plain `fetch_add`
+    /// on the owner's field, and the registry only calls `read` when a
+    /// snapshot is taken. If `name` is already registered the new source is
+    /// dropped (same ownership policy as `counter`).
+    pub fn observed_counter(&self, name: &str, read: impl Fn() -> u64 + Send + Sync + 'static) {
+        let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+        slots.entry(name.to_string()).or_insert_with(|| Slot::Observed(Box::new(read)));
+    }
+
+    /// Get-or-register a histogram with the given bucket bounds (bounds are
+    /// fixed at first registration; same clash policy as `counter`).
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+        match slots.entry(name.to_string()).or_insert_with(|| Slot::Histogram(Histogram::new(bounds)))
+        {
+            Slot::Histogram(h) => h.clone(),
+            _ => Histogram::new(bounds),
+        }
+    }
+
+    /// Point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+        let values = slots
+            .iter()
+            .map(|(name, slot)| {
+                let v = match slot {
+                    Slot::Counter(c) => MetricValue::Counter(c.get()),
+                    Slot::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Slot::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                    Slot::Observed(read) => MetricValue::Counter(read()),
+                };
+                (name.clone(), v)
+            })
+            .collect();
+        MetricsSnapshot { values }
+    }
+}
+
+/// Point-in-time copy of a whole registry, keyed by metric name.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub values: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.values.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        match self.values.get(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram snapshot by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.values.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Per-phase delta `self - earlier`. Counter and histogram math
+    /// saturates at zero (a reset between snapshots yields 0, not a wrap);
+    /// gauges report their later value's change, which may be negative.
+    /// Metrics absent from `earlier` pass through unchanged.
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let values = self
+            .values
+            .iter()
+            .map(|(name, late)| {
+                let v = match (late, earlier.values.get(name)) {
+                    (MetricValue::Counter(a), Some(MetricValue::Counter(b))) => {
+                        MetricValue::Counter(a.saturating_sub(*b))
+                    }
+                    (MetricValue::Gauge(a), Some(MetricValue::Gauge(b))) => {
+                        MetricValue::Gauge(a.wrapping_sub(*b))
+                    }
+                    (MetricValue::Histogram(a), Some(MetricValue::Histogram(b))) => {
+                        MetricValue::Histogram(a.saturating_delta(b))
+                    }
+                    (late, _) => late.clone(),
+                };
+                (name.clone(), v)
+            })
+            .collect();
+        MetricsSnapshot { values }
+    }
+
+    /// Merges `other` into `self` with every key prefixed by `prefix`
+    /// (cluster-wide views: per-node registries merged under `node0.` …).
+    pub fn merge_prefixed(&mut self, prefix: &str, other: &MetricsSnapshot) {
+        for (name, v) in &other.values {
+            self.values.insert(format!("{prefix}{name}"), v.clone());
+        }
+    }
+
+    pub fn to_json(&self) -> Json {
+        let fields = self
+            .values
+            .iter()
+            .map(|(name, v)| {
+                let jv = match v {
+                    MetricValue::Counter(c) => Json::U64(*c),
+                    MetricValue::Gauge(g) => Json::I64(*g),
+                    MetricValue::Histogram(h) => Json::Obj(vec![
+                        ("count".into(), Json::U64(h.count)),
+                        ("sum".into(), Json::U64(h.sum)),
+                        (
+                            "bounds".into(),
+                            Json::Arr(h.bounds.iter().map(|b| Json::U64(*b)).collect()),
+                        ),
+                        (
+                            "buckets".into(),
+                            Json::Arr(h.buckets.iter().map(|b| Json::U64(*b)).collect()),
+                        ),
+                    ]),
+                };
+                (name.clone(), jv)
+            })
+            .collect();
+        Json::Obj(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_round_trip_through_snapshots() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("a.hits");
+        let g = reg.gauge("a.resident");
+        c.add(3);
+        c.inc();
+        g.set(10);
+        g.add(-4);
+        let s = reg.snapshot();
+        assert_eq!(s.counter("a.hits"), Some(4));
+        assert_eq!(s.gauge("a.resident"), Some(6));
+        // A second handle for the same name shares the value.
+        reg.counter("a.hits").inc();
+        assert_eq!(reg.snapshot().counter("a.hits"), Some(5));
+    }
+
+    #[test]
+    fn delta_saturates_across_reset() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("x");
+        c.add(100);
+        let before = reg.snapshot();
+        c.reset();
+        c.add(5);
+        let after = reg.snapshot();
+        // 5 - 100 must clamp to 0, not wrap to 2^64 - 95.
+        assert_eq!(after.delta(&before).counter("x"), Some(0));
+        let forward = reg.snapshot();
+        c.add(2);
+        assert_eq!(reg.snapshot().delta(&forward).counter("x"), Some(2));
+    }
+
+    #[test]
+    fn histogram_buckets_and_delta() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat", &[10, 100]);
+        h.record(5);
+        h.record(50);
+        h.record(5000);
+        let s1 = reg.snapshot();
+        let hs = s1.histogram("lat").cloned().unwrap_or_default();
+        assert_eq!(hs.buckets, vec![1, 1, 1]);
+        assert_eq!(hs.count, 3);
+        assert_eq!(hs.sum, 5055);
+        h.record(7);
+        let d = reg.snapshot().delta(&s1);
+        let hd = d.histogram("lat").cloned().unwrap_or_default();
+        assert_eq!(hd.buckets, vec![1, 0, 0]);
+        assert_eq!(hd.count, 1);
+        assert!((hd.mean() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kind_clash_returns_detached_handle() {
+        let reg = MetricsRegistry::new();
+        let _c = reg.counter("name");
+        let g = reg.gauge("name"); // wrong kind: detached
+        g.set(42);
+        assert_eq!(reg.snapshot().counter("name"), Some(0));
+        assert_eq!(reg.snapshot().gauge("name"), None);
+    }
+
+    #[test]
+    fn observed_counter_reads_an_external_atomic() {
+        use std::sync::atomic::AtomicU64;
+        let reg = MetricsRegistry::new();
+        let cell = Arc::new(AtomicU64::new(0));
+        let src = Arc::clone(&cell);
+        reg.observed_counter("ext.hits", move || src.load(Ordering::Relaxed));
+        cell.fetch_add(7, Ordering::Relaxed);
+        let s1 = reg.snapshot();
+        assert_eq!(s1.counter("ext.hits"), Some(7));
+        cell.fetch_add(2, Ordering::Relaxed);
+        // Deltas work the same as registry-owned counters.
+        assert_eq!(reg.snapshot().delta(&s1).counter("ext.hits"), Some(2));
+        // The name is owned: a handle request for it comes back detached.
+        reg.counter("ext.hits").add(100);
+        assert_eq!(reg.snapshot().counter("ext.hits"), Some(9));
+    }
+
+    #[test]
+    fn merge_prefixed_builds_cluster_views() {
+        let a = MetricsRegistry::new();
+        a.counter("io.reads").add(2);
+        let b = MetricsRegistry::new();
+        b.counter("io.reads").add(7);
+        let mut merged = MetricsSnapshot::default();
+        merged.merge_prefixed("node0.", &a.snapshot());
+        merged.merge_prefixed("node1.", &b.snapshot());
+        assert_eq!(merged.counter("node0.io.reads"), Some(2));
+        assert_eq!(merged.counter("node1.io.reads"), Some(7));
+    }
+
+    #[test]
+    fn snapshot_json_is_stable() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b").add(1);
+        reg.gauge("a").set(-2);
+        let j = reg.snapshot().to_json().render();
+        assert_eq!(j, r#"{"a":-2,"b":1}"#);
+    }
+}

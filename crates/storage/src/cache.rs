@@ -183,12 +183,24 @@ impl BufferCache {
             self.stats.count_cache_hit();
             return Ok(data);
         }
-        // Miss: do the physical read outside any lock, then install.
-        shard.misses.fetch_add(1, Ordering::Relaxed);
-        self.stats.count_cache_miss();
+        // Miss: do the physical read outside any lock, then install. The
+        // miss is counted by whoever actually inserts the frame — a racing
+        // shard-mate may install the same page between our shared-lock probe
+        // and the exclusive-lock insert, and counting on the probe side
+        // would book that one access as two misses.
         let data = Arc::new(self.manager.read_page(file, page_no)?);
-        self.install(key, Arc::clone(&data), false)?;
-        Ok(data)
+        if self.install(key, Arc::clone(&data), false)? {
+            shard.misses.fetch_add(1, Ordering::Relaxed);
+            self.stats.count_cache_miss();
+            Ok(data)
+        } else {
+            // Lost the install race: the insert side owns the miss, this
+            // access is a hit on the now-resident frame. Return the cached
+            // page (it may carry writes newer than our disk read).
+            shard.hits.fetch_add(1, Ordering::Relaxed);
+            self.stats.count_cache_hit();
+            Ok(shard.lookup(&key).unwrap_or(data))
+        }
     }
 
     /// Reads a page on a *sequential* scan path. A hit behaves like
@@ -207,8 +219,6 @@ impl BufferCache {
             self.stats.count_cache_hit();
             return Ok(data);
         }
-        shard.misses.fetch_add(1, Ordering::Relaxed);
-        self.stats.count_cache_miss();
         let pages = self.manager.page_count(file)?;
         let n = self
             .readahead_pages
@@ -216,18 +226,30 @@ impl BufferCache {
             .min(self.capacity)
             .max(1);
         let mut batch = self.manager.read_pages(file, page_no, n)?;
-        // Install back-to-front so the demanded page's Arc is handed out.
         let mut first = None;
         for (i, buf) in batch.drain(..).enumerate() {
             let k = (file, page_no + i as u64);
             let data = Arc::new(buf);
+            let inserted = self.install(k, Arc::clone(&data), false)?;
             if i == 0 {
-                first = Some(Arc::clone(&data));
-            } else {
+                // Insert-side-wins accounting, as in `get`: a racing
+                // shard-mate that installed the demanded page first owns
+                // the miss, and its frame (possibly newer) is handed out.
+                if inserted {
+                    shard.misses.fetch_add(1, Ordering::Relaxed);
+                    self.stats.count_cache_miss();
+                    first = Some(data);
+                } else {
+                    shard.hits.fetch_add(1, Ordering::Relaxed);
+                    self.stats.count_cache_hit();
+                    first = Some(shard.lookup(&k).unwrap_or(data));
+                }
+            } else if inserted {
+                // Only pages this call actually brought into the cache
+                // count as readahead; already-resident ones are no-ops.
                 self.shard_for(&k).readaheads.fetch_add(1, Ordering::Relaxed);
                 self.stats.count_readahead();
             }
-            self.install(k, data, false)?;
         }
         first.ok_or_else(|| {
             StorageError::Corrupt(format!(
@@ -244,21 +266,31 @@ impl BufferCache {
         if self.capacity == 0 {
             return self.manager.write_page(file, page_no, &data);
         }
-        self.install((file, page_no), Arc::new(data), true)
+        self.install((file, page_no), Arc::new(data), true)?;
+        Ok(())
     }
 
-    fn install(&self, key: (FileId, u64), data: Arc<Vec<u8>>, dirty: bool) -> Result<()> {
+    /// Installs a frame, returning `true` when the key was newly inserted
+    /// and `false` when a frame was already resident. For a read-path
+    /// install (`dirty == false`) an existing frame is left untouched —
+    /// its data may carry writes newer than the caller's disk read.
+    fn install(&self, key: (FileId, u64), data: Arc<Vec<u8>>, dirty: bool) -> Result<bool> {
         let shard = self.shard_for(&key);
+        let inserted;
         // Collect evicted dirty pages and write them back outside the lock.
         type Writeback = ((FileId, u64), Arc<Vec<u8>>);
         let mut writebacks: Vec<Writeback> = Vec::new();
         {
             let mut inner = shard.inner.write(); // xlint: lock(cache_shard)
             if let Some(frame) = inner.frames.get_mut(&key) {
-                frame.data = data;
-                frame.dirty = frame.dirty || dirty;
+                if dirty {
+                    frame.data = data;
+                    frame.dirty = true;
+                }
                 frame.referenced.store(true, Ordering::Relaxed);
+                inserted = false;
             } else {
+                inserted = true;
                 while inner.frames.len() >= shard.capacity && !inner.ring.is_empty() {
                     // CLOCK sweep: clear reference bits until a victim appears.
                     let idx = inner.hand % inner.ring.len();
@@ -300,7 +332,7 @@ impl BufferCache {
         for ((fid, page), data) in writebacks {
             self.manager.write_page(fid, page, &data)?;
         }
-        Ok(())
+        Ok(inserted)
     }
 
     /// Writes back all dirty frames of `file` (without evicting them).

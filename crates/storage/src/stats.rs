@@ -4,13 +4,28 @@
 //! the sorted-PK-fetch trick of §V-B) are phrased in terms of *physical I/O
 //! under a modest memory allocation*. These counters make that measurable:
 //! every physical page read/write and every buffer-cache hit is counted.
+//!
+//! [`IoStats`] now also surfaces through the shared observability registry
+//! ([`asterix_obs::MetricsRegistry`]): the counters stay plain inline
+//! atomics (the buffer-cache hit path is tight enough that even one extra
+//! pointer chase per hit shows up on `repro hotpath`), and each field is
+//! registered as an *observed* `storage.io.*` counter that the registry
+//! reads only at snapshot time. Node-level metric snapshots see storage
+//! I/O without any storage-specific glue, while every existing
+//! `count_*`/`snapshot`/`reset` call site compiles unchanged.
 
+use asterix_obs::MetricsRegistry;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 /// Shared, thread-safe I/O counters. Cheap to clone (an `Arc` handle).
-#[derive(Debug, Default)]
+///
+/// Each field is mirrored into the registry returned by
+/// [`IoStats::registry`] as an observed counter; reading through either
+/// view sees the same atomics.
+#[derive(Debug)]
 pub struct IoStats {
+    registry: Arc<MetricsRegistry>,
     physical_reads: AtomicU64,
     physical_writes: AtomicU64,
     cache_hits: AtomicU64,
@@ -22,9 +37,47 @@ pub struct IoStats {
 }
 
 impl IoStats {
-    /// Creates a fresh zeroed counter set behind an `Arc`.
+    /// Creates a fresh zeroed counter set behind an `Arc`, registered in a
+    /// private registry (reachable via [`IoStats::registry`]).
     pub fn new() -> Arc<Self> {
-        Arc::new(IoStats::default())
+        Self::with_registry(&Arc::new(MetricsRegistry::new()))
+    }
+
+    /// Creates a counter set surfaced in `registry` under `storage.io.*`
+    /// names. The registry holds only weak snapshot-time readers, so it
+    /// never extends the stats' lifetime, and hot-path updates never touch
+    /// it.
+    pub fn with_registry(registry: &Arc<MetricsRegistry>) -> Arc<Self> {
+        let stats = Arc::new(IoStats {
+            registry: Arc::clone(registry),
+            physical_reads: AtomicU64::new(0),
+            physical_writes: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            readaheads: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+        });
+        let observe = |name: &str, read: fn(&IoStats) -> u64| {
+            let weak: Weak<IoStats> = Arc::downgrade(&stats);
+            registry.observed_counter(name, move || weak.upgrade().map_or(0, |s| read(&s)));
+        };
+        observe("storage.io.physical_reads", IoStats::physical_reads);
+        observe("storage.io.physical_writes", IoStats::physical_writes);
+        observe("storage.io.cache_hits", IoStats::cache_hits);
+        observe("storage.io.cache_misses", IoStats::cache_misses);
+        observe("storage.io.evictions", IoStats::evictions);
+        observe("storage.io.readaheads", IoStats::readaheads);
+        observe("storage.io.bytes_written", IoStats::bytes_written);
+        observe("storage.io.bytes_read", IoStats::bytes_read);
+        stats
+    }
+
+    /// The registry these counters are observed by (for node-level
+    /// snapshots).
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
     }
 
     pub(crate) fn count_physical_read(&self, bytes: u64) {
@@ -37,10 +90,12 @@ impl IoStats {
         self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
     }
 
+    #[inline]
     pub(crate) fn count_cache_hit(&self) {
         self.cache_hits.fetch_add(1, Ordering::Relaxed);
     }
 
+    #[inline]
     pub(crate) fn count_cache_miss(&self) {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
@@ -146,18 +201,63 @@ pub struct CacheShardSnapshot {
     pub readaheads: u64,
 }
 
+/// Checks snapshot monotonicity in debug builds: subtracting a *later*
+/// snapshot from an earlier one is always a caller bug (e.g. a `reset()`
+/// slipped between the two), and the saturated zero would silently hide it.
+macro_rules! delta_field {
+    ($what:literal, $newer:expr, $older:expr) => {{
+        debug_assert!(
+            $newer >= $older,
+            concat!(
+                "non-monotonic snapshot delta for ",
+                $what,
+                ": newer={} < older={} (reset between snapshots?)"
+            ),
+            $newer,
+            $older,
+        );
+        $newer.saturating_sub($older)
+    }};
+}
+
 impl std::ops::Sub for IoSnapshot {
     type Output = IoSnapshot;
+
+    /// Per-phase delta. Saturates at zero instead of wrapping when the
+    /// subtrahend is newer (counters only ever grow between snapshots, so a
+    /// wrapped delta of ~2^64 was pure garbage); debug builds assert
+    /// monotonicity instead of hiding the misuse.
     fn sub(self, rhs: IoSnapshot) -> IoSnapshot {
         IoSnapshot {
-            physical_reads: self.physical_reads - rhs.physical_reads,
-            physical_writes: self.physical_writes - rhs.physical_writes,
-            cache_hits: self.cache_hits - rhs.cache_hits,
-            cache_misses: self.cache_misses - rhs.cache_misses,
-            evictions: self.evictions - rhs.evictions,
-            readaheads: self.readaheads - rhs.readaheads,
-            bytes_written: self.bytes_written - rhs.bytes_written,
-            bytes_read: self.bytes_read - rhs.bytes_read,
+            physical_reads: delta_field!("physical_reads", self.physical_reads, rhs.physical_reads),
+            physical_writes: delta_field!(
+                "physical_writes",
+                self.physical_writes,
+                rhs.physical_writes
+            ),
+            cache_hits: delta_field!("cache_hits", self.cache_hits, rhs.cache_hits),
+            cache_misses: delta_field!("cache_misses", self.cache_misses, rhs.cache_misses),
+            evictions: delta_field!("evictions", self.evictions, rhs.evictions),
+            readaheads: delta_field!("readaheads", self.readaheads, rhs.readaheads),
+            bytes_written: delta_field!("bytes_written", self.bytes_written, rhs.bytes_written),
+            bytes_read: delta_field!("bytes_read", self.bytes_read, rhs.bytes_read),
+        }
+    }
+}
+
+impl std::ops::Sub for CacheShardSnapshot {
+    type Output = CacheShardSnapshot;
+
+    /// Delta of the monotonic counters; `capacity`/`resident` are levels, not
+    /// counters, so the newer (left-hand) values are carried through as-is.
+    fn sub(self, rhs: CacheShardSnapshot) -> CacheShardSnapshot {
+        CacheShardSnapshot {
+            capacity: self.capacity,
+            resident: self.resident,
+            hits: delta_field!("shard hits", self.hits, rhs.hits),
+            misses: delta_field!("shard misses", self.misses, rhs.misses),
+            evictions: delta_field!("shard evictions", self.evictions, rhs.evictions),
+            readaheads: delta_field!("shard readaheads", self.readaheads, rhs.readaheads),
         }
     }
 }
@@ -195,5 +295,58 @@ mod tests {
         let delta = s.snapshot() - before;
         assert_eq!(delta.physical_reads, 2);
         assert_eq!(delta.bytes_read, 200);
+    }
+
+    #[test]
+    fn counters_surface_through_the_registry() {
+        let s = IoStats::new();
+        s.count_physical_read(4096);
+        s.count_cache_hit();
+        let snap = s.registry().snapshot();
+        assert_eq!(snap.counter("storage.io.physical_reads"), Some(1));
+        assert_eq!(snap.counter("storage.io.bytes_read"), Some(4096));
+        assert_eq!(snap.counter("storage.io.cache_hits"), Some(1));
+        assert_eq!(snap.counter("storage.io.cache_misses"), Some(0));
+    }
+
+    #[test]
+    fn shared_registry_is_the_same_counters() {
+        let reg = Arc::new(asterix_obs::MetricsRegistry::new());
+        let s = IoStats::with_registry(&reg);
+        s.count_physical_write(512);
+        assert_eq!(reg.snapshot().counter("storage.io.physical_writes"), Some(1));
+        assert_eq!(reg.snapshot().counter("storage.io.bytes_written"), Some(512));
+    }
+
+    // In release builds the delta saturates at zero instead of wrapping to
+    // ~2^64; in debug builds the same misuse trips the monotonicity assert.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn reversed_delta_saturates_in_release() {
+        let newer = IoSnapshot { physical_reads: 5, ..IoSnapshot::default() };
+        let older = IoSnapshot { physical_reads: 9, ..IoSnapshot::default() };
+        let delta = newer - older;
+        assert_eq!(delta.physical_reads, 0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn reversed_delta_asserts_in_debug() {
+        let newer = IoSnapshot { physical_reads: 5, ..IoSnapshot::default() };
+        let older = IoSnapshot { physical_reads: 9, ..IoSnapshot::default() };
+        let panicked = std::panic::catch_unwind(|| newer - older).is_err();
+        assert!(panicked, "debug delta of reversed snapshots must assert");
+    }
+
+    #[test]
+    fn shard_snapshot_delta_keeps_levels() {
+        let older = CacheShardSnapshot { capacity: 64, resident: 10, hits: 5, ..Default::default() };
+        let newer =
+            CacheShardSnapshot { capacity: 64, resident: 32, hits: 25, misses: 4, ..Default::default() };
+        let delta = newer - older;
+        assert_eq!(delta.hits, 20);
+        assert_eq!(delta.misses, 4);
+        assert_eq!(delta.capacity, 64);
+        assert_eq!(delta.resident, 32);
     }
 }

@@ -218,6 +218,54 @@ fn dirty_page_written_back_exactly_once() {
 }
 
 #[test]
+fn racing_cold_misses_count_once() {
+    // Two threads fault the same cold pages simultaneously (barrier-aligned
+    // so both probe before either installs). Insert-side-wins accounting
+    // means a page's miss is counted exactly once — by whichever thread won
+    // the install — so with no eviction pressure total misses must equal
+    // the number of distinct pages, never more. Probe-side counting would
+    // book the same cold page as two misses whenever the race hits.
+    let dir = TempDir::new();
+    let fm = FileManager::new(&dir.0, IoStats::new()).unwrap();
+    let cache = BufferCache::with_options(
+        Arc::clone(&fm),
+        CacheOptions { capacity: 64, shards: 4, readahead_pages: 0 },
+    );
+    let pages = 8u64;
+    let rounds = 200u64;
+    let id = make_file(&fm, "race.pf", pages);
+    let barrier = Arc::new(std::sync::Barrier::new(2));
+    let mut handles = Vec::new();
+    for _ in 0..2 {
+        let cache = Arc::clone(&cache);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..rounds {
+                for p in 0..pages {
+                    barrier.wait();
+                    let page = cache.get(id, p).unwrap();
+                    assert_eq!(page_no_of(&page), p);
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snaps = cache.shard_snapshots();
+    let hits: u64 = snaps.iter().map(|s| s.hits).sum();
+    let misses: u64 = snaps.iter().map(|s| s.misses).sum();
+    assert_eq!(hits + misses, 2 * rounds * pages, "every access counted exactly once");
+    assert_eq!(misses, pages, "each cold page is one miss no matter who races it in");
+    assert_eq!(hits, fm.stats().cache_hits(), "shard counters match global");
+    assert_eq!(misses, fm.stats().cache_misses());
+    assert!(
+        fm.stats().physical_reads() >= misses,
+        "race losers may read physically without owning the miss"
+    );
+}
+
+#[test]
 fn readahead_respects_capacity_pressure() {
     let dir = TempDir::new();
     let fm = FileManager::new(&dir.0, IoStats::new()).unwrap();

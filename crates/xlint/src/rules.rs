@@ -16,7 +16,7 @@ pub const LOCK_ORDER: [&str; 5] =
     ["catalog", "lock_manager", "lsm_component", "cache_shard", "wal"];
 
 /// Crates whose non-test code falls under the L1 panic-path rule.
-pub const L1_CRATES: [&str; 4] = ["storage", "core", "hyracks", "algebricks"];
+pub const L1_CRATES: [&str; 5] = ["storage", "core", "hyracks", "algebricks", "obs"];
 
 /// Crates exempt from the L4 caller scan: dev harnesses where abort-on-error
 /// is the desired behavior.
