@@ -106,8 +106,20 @@ pub fn execute_profiled(
     cfg: &JobGenConfig,
     ctx: Arc<asterix_hyracks::RuntimeCtx>,
 ) -> Result<(Vec<Value>, asterix_obs::JobProfile)> {
+    execute_profiled_with(plan, cfg, ctx, asterix_hyracks::JobOptions::default())
+}
+
+/// Like [`execute_profiled`], with explicit job lifecycle options (shared
+/// cancellation token, deadline). Each call compiles the plan afresh so a
+/// retrying caller gets an independent job per attempt.
+pub fn execute_profiled_with(
+    plan: &Plan,
+    cfg: &JobGenConfig,
+    ctx: Arc<asterix_hyracks::RuntimeCtx>,
+    opts: asterix_hyracks::JobOptions,
+) -> Result<(Vec<Value>, asterix_obs::JobProfile)> {
     let spec = compile(plan, cfg)?;
-    let result = asterix_hyracks::exec::run_job(spec, ctx)?;
+    let result = asterix_hyracks::exec::run_job_with(spec, ctx, opts)?;
     let rows = result
         .tuples
         .into_iter()

@@ -10,14 +10,30 @@
 //! repro hotpath --out FILE   # write the JSON somewhere else
 //! repro profile e01  # per-operator query profile (text tree to stdout)
 //! repro profile e01 --out profile.json   # also write the JSON document
+//! repro chaos        # replayable fault-injection suite (default seed 42)
+//! repro chaos --seed 7   # same suite under a pinned seed
 //! ```
 
-use asterix_bench::{experiments, hotpath, profile};
+use asterix_bench::{chaos, experiments, hotpath, profile};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
     let markdown = args.iter().any(|a| a == "--markdown" || a == "-m");
+    if args.first().map(String::as_str) == Some("chaos") {
+        let seed = args
+            .iter()
+            .position(|a| a == "--seed")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(42u64);
+        let (report, ok) = chaos::run(seed);
+        print!("{report}");
+        if !ok {
+            std::process::exit(1);
+        }
+        return;
+    }
     if args.first().map(String::as_str) == Some("profile") {
         let exp = args
             .iter()

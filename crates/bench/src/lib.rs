@@ -7,6 +7,7 @@
 //! prints the tables recorded in EXPERIMENTS.md; the Criterion benches in
 //! `benches/` micro-benchmark the same code paths.
 
+pub mod chaos;
 pub mod experiments;
 pub mod hotpath;
 pub mod profile;

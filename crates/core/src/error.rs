@@ -24,10 +24,35 @@ pub enum CoreError {
     Adm(asterix_adm::AdmError),
     /// Transaction conflicts / aborts.
     Txn(String),
+    /// A cluster node is down (transient: the query may succeed on retry
+    /// once the node restarts or the retry policy restarts it).
+    NodeDown(usize),
     /// Filesystem problems.
     Io(std::io::Error),
     /// Unsupported operation.
     Unsupported(String),
+}
+
+impl CoreError {
+    /// True for failures a job-level retry can plausibly cure: a node that
+    /// was down (and may be restarted), an injected chaos fault, or a
+    /// partition that died mid-stream. Deterministic failures — cancelled
+    /// jobs, expired deadlines, plan/type errors, constraint violations —
+    /// are fatal: retrying would fail identically or override the caller.
+    pub fn is_transient(&self) -> bool {
+        use asterix_hyracks::HyracksError as He;
+        fn transient_hyracks(e: &He) -> bool {
+            matches!(e, He::NodeDown(_) | He::InjectedFault(_) | He::UpstreamFailure(_))
+        }
+        match self {
+            CoreError::NodeDown(_) => true,
+            CoreError::Hyracks(e) => transient_hyracks(e),
+            CoreError::Algebricks(asterix_algebricks::AlgebricksError::Runtime(e)) => {
+                transient_hyracks(e)
+            }
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -41,6 +66,7 @@ impl fmt::Display for CoreError {
             CoreError::Sqlpp(e) => write!(f, "{e}"),
             CoreError::Adm(e) => write!(f, "{e}"),
             CoreError::Txn(m) => write!(f, "transaction error: {m}"),
+            CoreError::NodeDown(id) => write!(f, "node {id} is down"),
             CoreError::Io(e) => write!(f, "I/O error: {e}"),
             CoreError::Unsupported(m) => write!(f, "unsupported: {m}"),
         }

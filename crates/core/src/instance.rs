@@ -24,7 +24,7 @@ use asterix_algebricks::jobgen::{self, JobGenConfig};
 use asterix_algebricks::plan::VarGen;
 use asterix_algebricks::rules::optimize;
 use asterix_algebricks::source::DataSource;
-use asterix_hyracks::RuntimeCtx;
+use asterix_hyracks::{DataflowFaults, JobOptions, RuntimeCtx};
 use asterix_sqlpp::ast::{DmlStmt, Query, Stmt};
 use asterix_sqlpp::translate::{translate_query, CatalogView};
 use asterix_storage::wal::{committed_operations, read_log, WalRecord};
@@ -33,12 +33,38 @@ use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Query language selector (paper §IV-A: SQL++ deprecated AQL, both remain).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Language {
     Sqlpp,
     Aql,
+}
+
+/// Retry policy for queries that fail with a *transient* error — a node
+/// down, an injected chaos fault, a partition dying mid-stream (see
+/// [`CoreError::is_transient`]). Deterministic failures (cancellation,
+/// deadline, plan errors) are never retried.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per query, including the first (1 = no retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles on each further retry.
+    pub backoff: Duration,
+    /// Restart dead cluster nodes before retrying, modelling a failed
+    /// machine rejoining the cluster between attempts.
+    pub restart_dead_nodes: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: Duration::from_millis(10),
+            restart_dead_nodes: false,
+        }
+    }
 }
 
 /// Instance configuration.
@@ -67,6 +93,15 @@ pub struct InstanceConfig {
     /// Deterministic fault injector threaded through every node's I/O and
     /// WAL paths (crash-recovery testing; `None` in production).
     pub faults: Option<Arc<asterix_storage::faults::FaultInjector>>,
+    /// Retry policy for transiently failing queries.
+    pub retry: RetryPolicy,
+    /// Default wall-clock deadline applied to every query job (`None` =
+    /// unbounded; [`Instance::query_with_deadline`] overrides per query).
+    pub query_deadline: Option<Duration>,
+    /// Deterministic dataflow chaos injector: every query job on this
+    /// instance runs under its seeded fault schedules (`None` in
+    /// production).
+    pub dataflow_faults: Option<Arc<DataflowFaults>>,
 }
 
 impl Default for InstanceConfig {
@@ -83,6 +118,9 @@ impl Default for InstanceConfig {
             sorted_index_fetch: true,
             local_aggregation: true,
             faults: None,
+            retry: RetryPolicy::default(),
+            query_deadline: None,
+            dataflow_faults: None,
         }
     }
 }
@@ -161,8 +199,12 @@ impl Instance {
             },
             config.faults.clone(),
         )?;
-        let ctx = RuntimeCtx::new(root.join("spill"))
-            .map_err(CoreError::Hyracks)?;
+        let ctx = RuntimeCtx::with_clock_and_faults(
+            root.join("spill"),
+            asterix_obs::MonotonicClock::shared(),
+            config.dataflow_faults.clone(),
+        )
+        .map_err(CoreError::Hyracks)?;
         let inner = Arc::new(Inner {
             config,
             root,
@@ -324,6 +366,40 @@ impl Instance {
             Some(ExecResult::Rows(rows)) => Ok(rows),
             _ => Err(CoreError::Unsupported("statement was not a query".into())),
         }
+    }
+
+    /// Runs one SQL++ query under an explicit wall-clock deadline
+    /// (overriding the instance default). An expired deadline surfaces as
+    /// the typed, non-retried
+    /// [`HyracksError::DeadlineExceeded`](asterix_hyracks::HyracksError).
+    pub fn query_with_deadline(&self, text: &str, deadline: Duration) -> Result<Vec<Value>> {
+        let stmts = asterix_sqlpp::parse_sqlpp(text).map_err(CoreError::Sqlpp)?;
+        let Some(Stmt::Query(q)) = stmts.into_iter().next_back() else {
+            return Err(CoreError::Unsupported("statement was not a query".into()));
+        };
+        self.run_query_deadline(&q, Some(deadline))
+    }
+
+    /// Cancels the query job currently executing on this instance, if any.
+    /// Every worker of the job observes the shared token and unwinds; the
+    /// query call returns the typed
+    /// [`HyracksError::Cancelled`](asterix_hyracks::HyracksError) carrying
+    /// `reason`. Returns true when a live job was actually tripped.
+    pub fn cancel_job(&self, reason: &str) -> bool {
+        self.inner.ctx.cancel_current_job(reason)
+    }
+
+    /// Kills cluster node `id` (simulated machine failure — durable state
+    /// stays on disk). In-flight and future scans against its partitions
+    /// fail with the typed transient `NodeDown` until [`Instance::restart_node`]
+    /// (or the retry policy) brings it back.
+    pub fn kill_node(&self, id: usize) -> bool {
+        self.inner.cluster.kill_node(id)
+    }
+
+    /// Restarts a killed node. Returns true when a dead node came back.
+    pub fn restart_node(&self, id: usize) -> bool {
+        self.inner.cluster.restart_node(id)
     }
 
     /// Convenience: runs one AQL query, returning its rows.
@@ -509,8 +585,16 @@ impl Instance {
             .ok_or_else(|| CoreError::Constraint("expression produced no value".into()))
     }
 
-    /// Runs one translated query.
+    /// Runs one translated query under the instance's default deadline.
     fn run_query(&self, q: &Query) -> Result<Vec<Value>> {
+        self.run_query_deadline(q, self.inner.config.query_deadline)
+    }
+
+    /// Runs one translated query: translate/optimize once, then execute with
+    /// the configured [`RetryPolicy`] — transient failures (node down,
+    /// injected faults, partitions dying mid-stream) re-run the job with
+    /// exponential backoff; deterministic failures surface immediately.
+    fn run_query_deadline(&self, q: &Query, deadline: Option<Duration>) -> Result<Vec<Value>> {
         let view = self.catalog_view();
         let mut plan = {
             let mut vg = self.inner.vargen.lock();
@@ -524,10 +608,46 @@ impl Instance {
             group_memory: self.inner.config.op_memory,
             local_aggregation: self.inner.config.local_aggregation,
         };
-        let (rows, profile) =
-            jobgen::execute_profiled(&plan, &cfg, Arc::clone(&self.inner.ctx))?;
-        *self.inner.last_profile.lock() = Some(profile);
-        Ok(rows)
+        let retry = &self.inner.config.retry;
+        let max_attempts = retry.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            // A fresh token per attempt: a cancelled or timed-out attempt
+            // must not poison its successor.
+            let opts = JobOptions { token: None, deadline };
+            let err = match jobgen::execute_profiled_with(
+                &plan,
+                &cfg,
+                Arc::clone(&self.inner.ctx),
+                opts,
+            ) {
+                Ok((rows, profile)) => {
+                    *self.inner.last_profile.lock() = Some(profile);
+                    return Ok(rows);
+                }
+                Err(e) => CoreError::from(e),
+            };
+            if attempt >= max_attempts || !err.is_transient() {
+                return Err(err);
+            }
+            self.inner.ctx.registry().counter("core.query.retries").inc();
+            if retry.restart_dead_nodes {
+                for id in self.inner.cluster.dead_nodes() {
+                    if self.inner.cluster.restart_node(id) {
+                        self.inner
+                            .ctx
+                            .registry()
+                            .counter("core.cluster.node_restarts")
+                            .inc();
+                    }
+                }
+            }
+            let backoff = retry.backoff.saturating_mul(1 << (attempt - 1).min(16));
+            if !backoff.is_zero() {
+                std::thread::sleep(backoff);
+            }
+        }
     }
 
     /// Per-operator profile tree of the most recently completed query
@@ -778,6 +898,7 @@ impl<'a> Txn<'a> {
         let part = &rt.partitions[p as usize];
         {
             let mut guard = part.write(); // xlint: lock(lsm_component)
+            guard.node().check_alive()?;
             if !is_upsert && guard.get(&pk)?.is_some() {
                 return Err(CoreError::Constraint(format!(
                     "insert: a record with this key already exists in {dataset}"
@@ -816,6 +937,7 @@ impl<'a> Txn<'a> {
         inner.txns.locks.lock(self.id, dataset, pk)?;
         let part = &rt.partitions[p as usize];
         let mut guard = part.write(); // xlint: lock(lsm_component)
+        guard.node().check_alive()?;
         {
             let node = guard.node();
             let mut wal = node.wal.lock(); // xlint: lock(wal)

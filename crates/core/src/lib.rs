@@ -44,4 +44,4 @@ pub mod sources;
 pub mod txn;
 
 pub use error::{CoreError, Result};
-pub use instance::{Instance, InstanceConfig, Language};
+pub use instance::{Instance, InstanceConfig, Language, RetryPolicy};

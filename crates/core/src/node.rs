@@ -6,7 +6,7 @@
 //! storage partitions, per-node caches, per-node logs — matches the paper's
 //! architecture (see DESIGN.md, substitutions table).
 
-use crate::error::Result;
+use crate::error::{CoreError, Result};
 use asterix_storage::cache::{BufferCache, CacheOptions};
 use asterix_storage::faults::FaultInjector;
 use asterix_storage::io::FileManager;
@@ -14,6 +14,7 @@ use asterix_storage::stats::IoStats;
 use asterix_storage::wal::WalWriter;
 use asterix_storage::lock_order::OrderedMutex;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// One storage node.
@@ -22,6 +23,10 @@ pub struct Node {
     pub dir: PathBuf,
     pub cache: Arc<BufferCache>,
     pub wal: OrderedMutex<WalWriter>,
+    /// Simulated liveness. A killed node keeps its on-disk state (directory,
+    /// WAL) but refuses all data access until [`Node::restart`] — the
+    /// in-process stand-in for a machine dropping out of the cluster.
+    alive: AtomicBool,
 }
 
 impl Node {
@@ -61,7 +66,41 @@ impl Node {
         let fm = FileManager::with_faults(&dir, stats, faults.clone())?;
         let cache = BufferCache::with_options(fm, cache_opts);
         let wal = WalWriter::open_with_faults(dir.join("node.wal"), faults)?;
-        Ok(Arc::new(Node { id, dir, cache, wal: OrderedMutex::new("wal", wal) }))
+        Ok(Arc::new(Node {
+            id,
+            dir,
+            cache,
+            wal: OrderedMutex::new("wal", wal),
+            alive: AtomicBool::new(true),
+        }))
+    }
+
+    /// Simulates the node dropping out of the cluster: durable state stays
+    /// on disk, but every access via [`Node::check_alive`] fails until
+    /// [`Node::restart`]. Returns true when the node was alive.
+    pub fn kill(&self) -> bool {
+        self.alive.swap(false, Ordering::SeqCst)
+    }
+
+    /// Brings a killed node back. Durable state was never lost (the WAL is
+    /// on disk); returns true when the node was actually down.
+    pub fn restart(&self) -> bool {
+        !self.alive.swap(true, Ordering::SeqCst)
+    }
+
+    /// True while the node accepts work.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::SeqCst)
+    }
+
+    /// Ok while alive; the typed transient [`CoreError::NodeDown`] otherwise.
+    /// Data paths (scans, writes) call this before touching node storage.
+    pub fn check_alive(&self) -> Result<()> {
+        if self.is_alive() {
+            Ok(())
+        } else {
+            Err(CoreError::NodeDown(self.id))
+        }
     }
 
     /// The node's I/O statistics.
@@ -147,6 +186,22 @@ impl Cluster {
         for n in &self.nodes {
             n.stats().reset();
         }
+    }
+
+    /// Kills node `id` (no-op on unknown ids). Returns true when a live
+    /// node went down.
+    pub fn kill_node(&self, id: usize) -> bool {
+        self.nodes.get(id).is_some_and(|n| n.kill())
+    }
+
+    /// Restarts node `id`. Returns true when a dead node came back.
+    pub fn restart_node(&self, id: usize) -> bool {
+        self.nodes.get(id).is_some_and(|n| n.restart())
+    }
+
+    /// Ids of nodes currently down.
+    pub fn dead_nodes(&self) -> Vec<usize> {
+        self.nodes.iter().filter(|n| !n.is_alive()).map(|n| n.id).collect()
     }
 }
 

@@ -63,8 +63,15 @@ fn records_factory(
         let part = partitions
             .get(p)
             .ok_or_else(|| asterix_hyracks::HyracksError::Eval(format!("no partition {p}")))?;
-        let records = f(&part.read()) // xlint: lock(lsm_component)
-            .map_err(|e| asterix_hyracks::HyracksError::Eval(e.to_string()))?;
+        let guard = part.read(); // xlint: lock(lsm_component)
+        // A scan against a killed node fails with the *typed* transient
+        // error (not a stringified Eval), so the instance retry policy can
+        // classify it and re-run the query once the node is back.
+        if !guard.node().is_alive() {
+            return Err(asterix_hyracks::HyracksError::NodeDown(guard.node().id));
+        }
+        let records =
+            f(&guard).map_err(|e| asterix_hyracks::HyracksError::Eval(e.to_string()))?;
         Ok(Box::new(records.into_iter().map(|r| Ok(vec![r])))
             as Box<dyn Iterator<Item = asterix_hyracks::Result<asterix_hyracks::Tuple>> + Send>)
     }))

@@ -10,15 +10,24 @@
 use crate::error::{CoreError, Result};
 use asterix_storage::lock_order;
 use parking_lot::{Condvar, Mutex};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// A primary-key write-lock manager with blocking acquisition and deadlock
-/// timeouts.
+/// Lock table guarded by the manager's mutex: record owners plus the set of
+/// transactions cancelled mid-flight (their next lock attempt must fail
+/// typed instead of blocking).
+#[derive(Default)]
+struct LockTable {
+    owners: HashMap<(String, Vec<u8>), u64>,
+    cancelled: HashSet<u64>,
+}
+
+/// A primary-key write-lock manager with blocking acquisition, deadlock
+/// timeouts, and transaction cancellation ([`LockManager::cancel_txn`]).
 pub struct LockManager {
-    locks: Mutex<HashMap<(String, Vec<u8>), u64>>,
+    locks: Mutex<LockTable>,
     cv: Condvar,
     timeout: Duration,
 }
@@ -32,26 +41,31 @@ impl Default for LockManager {
 impl LockManager {
     /// Creates a lock manager with the given acquisition timeout.
     pub fn new(timeout: Duration) -> Self {
-        LockManager { locks: Mutex::new(HashMap::new()), cv: Condvar::new(), timeout }
+        LockManager { locks: Mutex::new(LockTable::default()), cv: Condvar::new(), timeout }
     }
 
     /// Acquires the write lock on `(dataset, pk)` for `txn`. Re-entrant for
     /// the same transaction. Times out (as a deadlock break) with an error.
+    /// A transaction cancelled while waiting (or before arriving) gets the
+    /// typed cancellation error promptly — never its own timeout.
     pub fn lock(&self, txn: u64, dataset: &str, pk: &[u8]) -> Result<()> {
         let key = (dataset.to_string(), pk.to_vec());
         // Manual order token: the guard round-trips through the condvar, so
         // the OrderedMutex wrapper does not fit here.
         let _order = lock_order::acquire("lock_manager");
-        let mut map = self.locks.lock(); // xlint: lock(lock_manager)
+        let mut table = self.locks.lock(); // xlint: lock(lock_manager)
         loop {
-            match map.get(&key) {
+            if table.cancelled.contains(&txn) {
+                return Err(CoreError::Txn(format!("transaction {txn} was cancelled")));
+            }
+            match table.owners.get(&key) {
                 None => {
-                    map.insert(key, txn);
+                    table.owners.insert(key, txn);
                     return Ok(());
                 }
                 Some(owner) if *owner == txn => return Ok(()),
                 Some(_) => {
-                    if self.cv.wait_for(&mut map, self.timeout).timed_out() {
+                    if self.cv.wait_for(&mut table, self.timeout).timed_out() {
                         return Err(CoreError::Txn(format!(
                             "lock timeout on {dataset}:{pk:02x?} (possible deadlock)"
                         )));
@@ -61,18 +75,38 @@ impl LockManager {
         }
     }
 
-    /// Releases every lock held by `txn`.
+    /// Cancels a transaction: releases every lock it holds (so waiters
+    /// proceed promptly instead of running into their timeout) and marks it
+    /// so its own pending/future lock attempts fail with the typed
+    /// cancellation error. The marker is cleared by the transaction's final
+    /// [`LockManager::release_all`] (commit, abort, or drop-rollback).
+    /// Returns true when the transaction held or could still take locks.
+    pub fn cancel_txn(&self, txn: u64) -> bool {
+        let _order = lock_order::acquire("lock_manager");
+        let mut table = self.locks.lock(); // xlint: lock(lock_manager)
+        let held_any = {
+            let before = table.owners.len();
+            table.owners.retain(|_, owner| *owner != txn);
+            table.owners.len() != before
+        };
+        let fresh = table.cancelled.insert(txn);
+        self.cv.notify_all();
+        held_any || fresh
+    }
+
+    /// Releases every lock held by `txn` and clears any cancellation marker.
     pub fn release_all(&self, txn: u64) {
         let _order = lock_order::acquire("lock_manager");
-        let mut map = self.locks.lock(); // xlint: lock(lock_manager)
-        map.retain(|_, owner| *owner != txn);
+        let mut table = self.locks.lock(); // xlint: lock(lock_manager)
+        table.owners.retain(|_, owner| *owner != txn);
+        table.cancelled.remove(&txn);
         self.cv.notify_all();
     }
 
     /// Number of currently held locks (diagnostics).
     pub fn held(&self) -> usize {
         let _order = lock_order::acquire("lock_manager");
-        self.locks.lock().len() // xlint: lock(lock_manager)
+        self.locks.lock().owners.len() // xlint: lock(lock_manager)
     }
 }
 
@@ -258,6 +292,51 @@ mod tests {
         // std::sync::Mutex would hand back a PoisonError here; the
         // parking_lot shim releases on unwind and the next acquirer proceeds
         assert_eq!(*m.lock(), 7);
+    }
+
+    #[test]
+    fn cancelling_the_holder_releases_waiters_promptly() {
+        // the waiter's timeout is far longer than the test budget: if
+        // cancel_txn failed to release + notify, this would hang visibly
+        let lm = Arc::new(LockManager::new(Duration::from_secs(30)));
+        lm.lock(1, "ds", b"k").unwrap();
+        let lm2 = Arc::clone(&lm);
+        let waiter = thread::spawn(move || {
+            lm2.lock(2, "ds", b"k").unwrap();
+            lm2.release_all(2);
+        });
+        thread::sleep(Duration::from_millis(50));
+        assert!(lm.cancel_txn(1), "txn 1 held a lock");
+        waiter.join().unwrap();
+        assert_eq!(lm.held(), 0);
+        // the cancelled transaction cannot take new locks until released
+        let err = lm.lock(1, "ds", b"k2").unwrap_err();
+        assert!(err.to_string().contains("cancelled"), "{err}");
+        lm.release_all(1); // rollback path clears the marker
+        lm.lock(1, "ds", b"k2").unwrap();
+        lm.release_all(1);
+    }
+
+    #[test]
+    fn cancelled_waiter_gets_typed_error_not_a_hang() {
+        let lm = Arc::new(LockManager::new(Duration::from_secs(30)));
+        lm.lock(1, "ds", b"k").unwrap();
+        let lm2 = Arc::clone(&lm);
+        let waiter = thread::spawn(move || lm2.lock(2, "ds", b"k"));
+        thread::sleep(Duration::from_millis(50));
+        let start = std::time::Instant::now();
+        assert!(lm.cancel_txn(2), "txn 2 was not yet marked");
+        let err = waiter.join().unwrap().unwrap_err();
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "cancelled waiter must not sit out the lock timeout"
+        );
+        assert!(err.to_string().contains("cancelled"), "{err}");
+        // the holder is untouched
+        assert_eq!(lm.held(), 1);
+        lm.release_all(1);
+        lm.release_all(2);
+        assert_eq!(lm.held(), 0);
     }
 
     #[test]

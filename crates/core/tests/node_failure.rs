@@ -1,0 +1,135 @@
+//! Cluster fault tolerance: a query that loses a node mid-flight re-runs to
+//! success under the instance retry policy, or surfaces a typed transient
+//! error without one — never a hang, never a silently truncated result.
+
+use asterix_core::{Instance, InstanceConfig, RetryPolicy};
+use std::time::Duration;
+
+fn setup(retry: RetryPolicy) -> Instance {
+    let db = Instance::open(InstanceConfig {
+        nodes: 2,
+        partitions: 2,
+        retry,
+        ..Default::default()
+    })
+    .unwrap();
+    db.execute_sqlpp(
+        "CREATE TYPE T AS { id: int, v: int };
+         CREATE DATASET D(T) PRIMARY KEY id;",
+    )
+    .unwrap();
+    let mut txn = db.begin();
+    for i in 0..200 {
+        let rec = asterix_adm::parse::parse_value(&format!(r#"{{"id": {i}, "v": {}}}"#, i % 7))
+            .unwrap();
+        txn.write("D", &rec, true).unwrap();
+    }
+    txn.commit().unwrap();
+    db
+}
+
+#[test]
+fn killed_node_fails_queries_with_typed_transient_error() {
+    let db = setup(RetryPolicy::default()); // no retries
+    assert!(db.kill_node(0), "node 0 was alive");
+    let err = db.query("SELECT VALUE d.v FROM D d").unwrap_err();
+    assert!(err.is_transient(), "NodeDown must classify as transient: {err}");
+    assert!(err.to_string().contains("node 0 is down"), "{err}");
+    // an explicit restart brings the node (and its durable data) back
+    assert!(db.restart_node(0), "node 0 was down");
+    assert_eq!(db.query("SELECT VALUE d.v FROM D d").unwrap().len(), 200);
+}
+
+#[test]
+fn killed_node_rejects_writes_with_typed_transient_error() {
+    let db = setup(RetryPolicy::default());
+    assert!(db.kill_node(0));
+    let rec = asterix_adm::parse::parse_value(r#"{"id": 9999, "v": 1}"#).unwrap();
+    // one of the two partitions lives on node 0; find a key that maps there
+    // by trying both parities — at least one write must fail typed
+    let rec2 = asterix_adm::parse::parse_value(r#"{"id": 9998, "v": 1}"#).unwrap();
+    let results: Vec<_> = [rec, rec2]
+        .iter()
+        .map(|r| db.begin().write("D", r, true))
+        .collect();
+    let errs: Vec<_> = results.iter().filter_map(|r| r.as_ref().err()).collect();
+    assert!(!errs.is_empty(), "some write must land on the dead node");
+    for e in errs {
+        assert!(e.is_transient(), "{e}");
+        assert!(e.to_string().contains("is down"), "{e}");
+    }
+    db.restart_node(0);
+}
+
+#[test]
+fn retry_policy_recovers_a_query_after_node_kill() {
+    let db = setup(RetryPolicy {
+        max_attempts: 3,
+        backoff: Duration::from_millis(1),
+        restart_dead_nodes: true,
+    });
+    assert!(db.kill_node(0));
+    // first attempt hits the dead node; the policy restarts it and re-runs
+    let rows = db.query("SELECT VALUE d.v FROM D d").unwrap();
+    assert_eq!(rows.len(), 200, "retry must recover the full result");
+    let snap = db.metrics_snapshot();
+    assert!(
+        snap.counter("core.query.retries").unwrap_or(0) >= 1,
+        "recovery must be visible as a retry"
+    );
+    assert!(
+        snap.counter("core.cluster.node_restarts").unwrap_or(0) >= 1,
+        "the policy must have restarted the dead node"
+    );
+    assert!(db.cluster().dead_nodes().is_empty());
+}
+
+#[test]
+fn concurrent_node_kill_mid_query_still_recovers() {
+    let db = setup(RetryPolicy {
+        max_attempts: 5,
+        backoff: Duration::from_millis(1),
+        restart_dead_nodes: true,
+    });
+    let killer = {
+        let db = db.clone();
+        std::thread::spawn(move || {
+            // land the kill at an arbitrary point relative to the query
+            std::thread::sleep(Duration::from_millis(2));
+            db.kill_node(1)
+        })
+    };
+    // whatever the interleaving — kill before open (typed NodeDown, retried
+    // with restart) or kill after the scan materialized (clean finish) — the
+    // query must come back complete
+    for _ in 0..5 {
+        let rows = db.query("SELECT VALUE d.v FROM D d").unwrap();
+        assert_eq!(rows.len(), 200);
+    }
+    killer.join().unwrap();
+}
+
+#[test]
+fn expired_deadline_is_fatal_and_never_retried() {
+    let db = setup(RetryPolicy {
+        max_attempts: 3,
+        backoff: Duration::from_millis(1),
+        restart_dead_nodes: true,
+    });
+    let before = db.metrics_snapshot().counter("core.query.retries").unwrap_or(0);
+    let err = db
+        .query_with_deadline("SELECT VALUE d.v FROM D d", Duration::ZERO)
+        .unwrap_err();
+    assert!(!err.is_transient(), "deadline errors must not be retried: {err}");
+    assert!(err.to_string().contains("deadline"), "{err}");
+    let after = db.metrics_snapshot().counter("core.query.retries").unwrap_or(0);
+    assert_eq!(before, after, "a deadline failure must not consume retries");
+}
+
+#[test]
+fn cancel_job_without_a_running_job_is_a_noop() {
+    let db = setup(RetryPolicy::default());
+    assert!(!db.cancel_job("nothing to cancel"));
+    // and the instance still serves queries afterwards
+    assert_eq!(db.query("SELECT VALUE d.v FROM D d").unwrap().len(), 200);
+}

@@ -1,0 +1,243 @@
+//! Cooperative job cancellation and deadlines.
+//!
+//! A [`CancellationToken`] is shared by every worker of one job. Workers
+//! poll it at frame boundaries (and every ~1k tuples inside compute loops —
+//! never per tuple, keeping the hot path clean) and on blocking channel
+//! operations, so the first partition failure, an external
+//! `Instance::cancel_job`, or an expired deadline stops all siblings
+//! fail-fast instead of letting them run — or block on a full bounded
+//! channel — to completion.
+//!
+//! Cancellation is first-cause-wins: whichever of {explicit cancel, deadline
+//! expiry} trips the token first determines the typed error every worker
+//! returns ([`HyracksError::Cancelled`] or [`HyracksError::DeadlineExceeded`]).
+//! Deadlines are measured on the job's injected [`Clock`], so timeout tests
+//! run deterministically on a `ManualClock`.
+
+use crate::error::{HyracksError, Result};
+use asterix_obs::Clock;
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Token not tripped; workers keep running.
+const LIVE: u8 = 0;
+/// Explicitly cancelled (first failing partition, or an external caller).
+const CANCELLED: u8 = 1;
+/// The job deadline expired.
+const DEADLINE: u8 = 2;
+
+/// Sentinel for "no deadline set".
+const NO_DEADLINE: u64 = u64::MAX;
+
+struct Inner {
+    state: AtomicU8,
+    /// Absolute deadline in the job clock's nanoseconds; [`NO_DEADLINE`]
+    /// when none is set. Monotonically tightened: setting a later deadline
+    /// on a token that already has an earlier one is a no-op.
+    deadline_ns: AtomicU64,
+    /// Why the token was cancelled; written once under the lock by the
+    /// winning canceller.
+    reason: Mutex<String>,
+    /// Clock the deadline is measured on (set together with the deadline).
+    clock: OnceLock<Arc<dyn Clock>>,
+}
+
+/// Shared cancellation state of one running job. Cheap to clone (one `Arc`).
+#[derive(Clone)]
+pub struct CancellationToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancellationToken {
+    fn default() -> Self {
+        CancellationToken::new()
+    }
+}
+
+impl CancellationToken {
+    /// A live token with no deadline.
+    pub fn new() -> CancellationToken {
+        CancellationToken {
+            inner: Arc::new(Inner {
+                state: AtomicU8::new(LIVE),
+                deadline_ns: AtomicU64::new(NO_DEADLINE),
+                reason: Mutex::new(String::new()),
+                clock: OnceLock::new(),
+            }),
+        }
+    }
+
+    /// A token that trips once `clock` reaches `deadline_ns` (absolute, in
+    /// the clock's own origin).
+    pub fn with_deadline(clock: Arc<dyn Clock>, deadline_ns: u64) -> CancellationToken {
+        let t = CancellationToken::new();
+        t.set_deadline(clock, deadline_ns);
+        t
+    }
+
+    /// Arms (or tightens) the deadline. Later-than-current deadlines are
+    /// ignored so composed deadlines keep the strictest bound.
+    pub fn set_deadline(&self, clock: Arc<dyn Clock>, deadline_ns: u64) {
+        let _ = self.inner.clock.set(clock);
+        let mut cur = self.inner.deadline_ns.load(Ordering::Acquire);
+        while deadline_ns < cur {
+            match self.inner.deadline_ns.compare_exchange(
+                cur,
+                deadline_ns,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Cancels the token with `reason`. Returns true when this call was the
+    /// first cause (the token was still live).
+    pub fn cancel(&self, reason: &str) -> bool {
+        // Hold the reason lock across the state transition so a reader that
+        // observes CANCELLED blocks here until the reason is in place.
+        let mut r = self.inner.reason.lock();
+        if self
+            .inner
+            .state
+            .compare_exchange(LIVE, CANCELLED, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            *r = reason.to_string();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True once the token has tripped (cancel or deadline). Reads the
+    /// clock when a deadline is armed, so it also *trips* an expired
+    /// deadline as a side effect.
+    pub fn is_cancelled(&self) -> bool {
+        self.check().is_err()
+    }
+
+    /// Ok while the job should keep running; the typed cancellation error
+    /// otherwise. This is the single polling point workers call at frame
+    /// boundaries and inside strided compute loops.
+    pub fn check(&self) -> Result<()> {
+        match self.inner.state.load(Ordering::Acquire) {
+            CANCELLED => Err(HyracksError::Cancelled(self.inner.reason.lock().clone())),
+            DEADLINE => Err(self.deadline_error()),
+            _ => {
+                let d = self.inner.deadline_ns.load(Ordering::Acquire);
+                if d != NO_DEADLINE {
+                    if let Some(clock) = self.inner.clock.get() {
+                        if clock.now_ns() >= d {
+                            // First-cause-wins: only a LIVE token trips.
+                            let _ = self.inner.state.compare_exchange(
+                                LIVE,
+                                DEADLINE,
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            );
+                            return self.check();
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn deadline_error(&self) -> HyracksError {
+        HyracksError::DeadlineExceeded {
+            deadline_ns: self.inner.deadline_ns.load(Ordering::Acquire),
+        }
+    }
+
+    /// True when `other` is the same underlying token.
+    pub fn same_as(&self, other: &CancellationToken) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+// The operator bodies in `ops::*` run deep inside iterator adapters whose
+// signatures predate cancellation; rather than widening every one of them,
+// the executor installs the job token in a thread-local at worker start and
+// the strided loops fetch it from here. Outside a worker thread the default
+// token is returned — live forever — so direct calls to `ops::*` (unit
+// tests, utilities) see no-op checks.
+thread_local! {
+    static CURRENT: RefCell<CancellationToken> = RefCell::new(CancellationToken::new());
+}
+
+/// Installs `token` as the current worker's token (executor only).
+pub(crate) fn set_current(token: CancellationToken) {
+    CURRENT.with(|c| *c.borrow_mut() = token);
+}
+
+/// Resets the current thread's token to a fresh live one (worker teardown).
+pub(crate) fn clear_current() {
+    CURRENT.with(|c| *c.borrow_mut() = CancellationToken::new());
+}
+
+/// The calling thread's job token (a live dummy outside worker threads).
+pub fn current() -> CancellationToken {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asterix_obs::ManualClock;
+
+    #[test]
+    fn cancel_is_first_cause_wins() {
+        let t = CancellationToken::new();
+        assert!(t.check().is_ok());
+        assert!(t.cancel("first"));
+        assert!(!t.cancel("second"), "second cancel loses");
+        match t.check() {
+            Err(HyracksError::Cancelled(r)) => assert_eq!(r, "first"),
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_trips_on_manual_clock() {
+        let clock = ManualClock::shared(0);
+        let t = CancellationToken::with_deadline(clock.clone(), 100);
+        assert!(t.check().is_ok());
+        clock.advance(99);
+        assert!(t.check().is_ok());
+        clock.advance(1);
+        assert!(matches!(t.check(), Err(HyracksError::DeadlineExceeded { .. })));
+        // deadline beat a later cancel
+        assert!(!t.cancel("too late"));
+        assert!(matches!(t.check(), Err(HyracksError::DeadlineExceeded { .. })));
+    }
+
+    #[test]
+    fn deadlines_only_tighten() {
+        let clock = ManualClock::shared(0);
+        let t = CancellationToken::with_deadline(clock.clone(), 100);
+        t.set_deadline(clock.clone(), 500); // later: ignored
+        t.set_deadline(clock.clone(), 50); // earlier: adopted
+        clock.advance(50);
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = CancellationToken::new();
+        let u = t.clone();
+        assert!(t.same_as(&u));
+        t.cancel("shared");
+        assert!(u.is_cancelled());
+    }
+
+    #[test]
+    fn thread_local_default_is_live() {
+        assert!(current().check().is_ok());
+    }
+}

@@ -1,8 +1,11 @@
 //! Runtime context: spill-file management, working-memory budgets, and
 //! dataflow statistics (paper Figure 2's "working memory" slice).
 
+use crate::cancel::CancellationToken;
 use crate::error::Result;
+use crate::faults::DataflowFaults;
 use asterix_obs::{Clock, Counter, MetricsRegistry, MonotonicClock};
+use parking_lot::Mutex;
 use std::cell::Cell;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::PathBuf;
@@ -129,6 +132,12 @@ pub struct RuntimeCtx {
     /// deterministic test harness can control time).
     pub clock: Arc<dyn Clock>,
     registry: Arc<MetricsRegistry>,
+    /// Cancellation token of the job currently executing on this context,
+    /// installed by `exec::run_job_with` for its duration so external
+    /// callers ([`RuntimeCtx::cancel_current_job`]) can reach it.
+    current_job: Mutex<Option<CancellationToken>>,
+    /// Optional deterministic chaos injector; `None` in production.
+    faults: Option<Arc<DataflowFaults>>,
 }
 
 impl RuntimeCtx {
@@ -139,11 +148,29 @@ impl RuntimeCtx {
 
     /// Creates a context with an explicit clock (deterministic tests).
     pub fn with_clock(spill_dir: impl Into<PathBuf>, clock: Arc<dyn Clock>) -> Result<Arc<Self>> {
+        RuntimeCtx::with_clock_and_faults(spill_dir, clock, None)
+    }
+
+    /// Full-control constructor: explicit clock plus an optional chaos
+    /// injector whose schedules every job on this context runs under.
+    pub fn with_clock_and_faults(
+        spill_dir: impl Into<PathBuf>,
+        clock: Arc<dyn Clock>,
+        faults: Option<Arc<DataflowFaults>>,
+    ) -> Result<Arc<Self>> {
         let spill_dir = spill_dir.into();
         std::fs::create_dir_all(&spill_dir)?;
         let registry = MetricsRegistry::shared();
         let stats = DataflowStats::with_registry(&registry);
-        Ok(Arc::new(RuntimeCtx { spill_dir, next_spill: AtomicU64::new(0), stats, clock, registry }))
+        Ok(Arc::new(RuntimeCtx {
+            spill_dir,
+            next_spill: AtomicU64::new(0),
+            stats,
+            clock,
+            registry,
+            current_job: Mutex::new(None),
+            faults,
+        }))
     }
 
     /// A context spilling under the system temp directory.
@@ -153,17 +180,59 @@ impl RuntimeCtx {
 
     /// Temp-dir context with an explicit clock (deterministic tests).
     pub fn temp_with_clock(clock: Arc<dyn Clock>) -> Result<Arc<Self>> {
+        RuntimeCtx::with_clock(Self::fresh_temp_dir(), clock)
+    }
+
+    /// Temp-dir context running every job under a chaos injector.
+    pub fn temp_with_faults(faults: Arc<DataflowFaults>) -> Result<Arc<Self>> {
+        RuntimeCtx::with_clock_and_faults(
+            Self::fresh_temp_dir(),
+            MonotonicClock::shared(),
+            Some(faults),
+        )
+    }
+
+    fn fresh_temp_dir() -> PathBuf {
         let n = std::process::id();
         let t = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_nanos())
             .unwrap_or_default();
-        RuntimeCtx::with_clock(std::env::temp_dir().join(format!("hyracks-spill-{n}-{t}")), clock)
+        std::env::temp_dir().join(format!("hyracks-spill-{n}-{t}"))
     }
 
     /// The registry backing this context's dataflow counters.
     pub fn registry(&self) -> &Arc<MetricsRegistry> {
         &self.registry
+    }
+
+    /// The chaos injector, when one is configured.
+    pub fn dataflow_faults(&self) -> Option<&Arc<DataflowFaults>> {
+        self.faults.as_ref()
+    }
+
+    /// Cancels the job currently running on this context (if any). Returns
+    /// true when a live job token was tripped by this call.
+    pub fn cancel_current_job(&self, reason: &str) -> bool {
+        match &*self.current_job.lock() {
+            Some(token) => token.cancel(reason),
+            None => false,
+        }
+    }
+
+    /// Installs `token` as the current job's token for the duration of a
+    /// `run_job_with` call (executor only).
+    pub(crate) fn install_job_token(&self, token: &CancellationToken) {
+        *self.current_job.lock() = Some(token.clone());
+    }
+
+    /// Clears the slot, but only if it still holds `token` — a concurrent
+    /// job that installed its own token is left alone.
+    pub(crate) fn clear_job_token(&self, token: &CancellationToken) {
+        let mut slot = self.current_job.lock();
+        if slot.as_ref().is_some_and(|t| t.same_as(token)) {
+            *slot = None;
+        }
     }
 
     /// Opens a fresh spill-run writer.

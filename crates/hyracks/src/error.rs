@@ -18,6 +18,24 @@ pub enum HyracksError {
     Adm(asterix_adm::AdmError),
     /// A worker thread panicked.
     WorkerPanic(String),
+    /// The job was cancelled (first failing partition or external caller);
+    /// the payload is the cancellation reason.
+    Cancelled(String),
+    /// The job ran past its deadline (absolute nanoseconds on the job's
+    /// injected clock).
+    DeadlineExceeded { deadline_ns: u64 },
+    /// An upstream producer disconnected without sending its end-of-stream
+    /// marker — its partition died mid-stream, so the tuples received so
+    /// far may be a silent truncation of the real result.
+    UpstreamFailure(String),
+    /// A deterministic chaos-schedule fault fired (see `crate::faults`).
+    /// Transient by construction: a retry re-derives the schedule for the
+    /// next attempt.
+    InjectedFault(String),
+    /// The node owning a scanned partition is down (simulated fail-stop).
+    /// Raised by data sources above the storage layer; transient — a retry
+    /// after node restart can succeed.
+    NodeDown(usize),
     /// A length did not fit the `u32` framing fields used by frames and
     /// spill runs (see [`crate::frame::u32_len`]).
     SizeOverflow {
@@ -37,6 +55,13 @@ impl fmt::Display for HyracksError {
             HyracksError::Storage(e) => write!(f, "storage error in dataflow: {e}"),
             HyracksError::Adm(e) => write!(f, "data-model error in dataflow: {e}"),
             HyracksError::WorkerPanic(m) => write!(f, "worker panicked: {m}"),
+            HyracksError::Cancelled(m) => write!(f, "job cancelled: {m}"),
+            HyracksError::DeadlineExceeded { deadline_ns } => {
+                write!(f, "job deadline exceeded (deadline at {deadline_ns}ns on the job clock)")
+            }
+            HyracksError::UpstreamFailure(m) => write!(f, "upstream partition failed: {m}"),
+            HyracksError::InjectedFault(m) => write!(f, "injected fault: {m}"),
+            HyracksError::NodeDown(id) => write!(f, "node {id} is down"),
             HyracksError::SizeOverflow { what, len } => {
                 write!(f, "size overflow: {what} of {len} does not fit a u32 framing field")
             }

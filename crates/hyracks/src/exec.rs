@@ -6,8 +6,10 @@
 //! Early termination (e.g. LIMIT satisfied) propagates upstream naturally:
 //! closed channels make producers stop gracefully.
 
+use crate::cancel::{self, CancellationToken};
 use crate::ctx::RuntimeCtx;
 use crate::error::{HyracksError, Result};
+use crate::faults::{FrameAction, WorkerFaultState};
 use crate::frame::{Frame, Tuple};
 use crate::job::{
     cmp_tuples, ConnStrategy, JobSpec, OpKind, SortKey,
@@ -16,14 +18,21 @@ use crate::ops;
 use asterix_adm::compare::hash64_iter;
 use asterix_adm::Value;
 use asterix_obs::{Clock, JobProfile, OpMetrics, OperatorProfile};
-use crossbeam::channel::{bounded, Receiver, Select, Sender, TryRecvError};
+use crossbeam::channel::{
+    bounded, Receiver, RecvTimeoutError, Select, SendTimeoutError, Sender, TryRecvError,
+};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Frames buffered per channel before producers block.
 const CHANNEL_CAP: usize = 8;
+
+/// How long a blocked channel wait runs before the job token is re-polled.
+/// Only paid while a worker is already stalled — never on the hot path.
+const CANCEL_POLL: Duration = Duration::from_millis(50);
 
 /// Input-side metrics cell, shared between a worker and its port readers
 /// (readers are moved into boxed iterators, so the worker keeps a handle).
@@ -69,27 +78,52 @@ pub struct TupleStream {
     buffer: VecDeque<(Tuple, u32)>,
     cell: Arc<InCell>,
     clock: Arc<dyn Clock>,
+    token: CancellationToken,
 }
 
 impl TupleStream {
-    fn new(receivers: Vec<Receiver<Frame>>, cell: Arc<InCell>, clock: Arc<dyn Clock>) -> Self {
+    fn new(
+        receivers: Vec<Receiver<Frame>>,
+        cell: Arc<InCell>,
+        clock: Arc<dyn Clock>,
+        token: CancellationToken,
+    ) -> Self {
         let live = (0..receivers.len()).collect();
-        TupleStream { receivers, live, cursor: 0, buffer: VecDeque::new(), cell, clock }
+        TupleStream { receivers, live, cursor: 0, buffer: VecDeque::new(), cell, clock, token }
+    }
+
+    /// The producer behind a receiver vanished before sending its
+    /// end-of-stream marker. If the job token already tripped, the
+    /// disconnect is just an echo of that cancellation — report the cause,
+    /// not the symptom. Otherwise the producer died dirty and the consumer
+    /// must not pass off the truncated stream as a complete result.
+    fn dirty_disconnect(&self, idx: usize) -> HyracksError {
+        if let Err(e) = self.token.check() {
+            return e;
+        }
+        HyracksError::UpstreamFailure(format!(
+            "producer {idx} disconnected without end-of-stream (died mid-stream)"
+        ))
     }
 
     /// Next tuple with its cached size (the fast path for operators that
     /// forward tuples unchanged).
-    fn next_sized(&mut self) -> Option<(Tuple, u32)> {
-        if self.buffer.is_empty() && !self.refill() {
-            return None;
+    fn next_sized(&mut self) -> Result<Option<(Tuple, u32)>> {
+        if self.buffer.is_empty() && !self.refill()? {
+            return Ok(None);
         }
-        self.buffer.pop_front()
+        Ok(self.buffer.pop_front())
     }
 
-    fn refill(&mut self) -> bool {
+    /// Refills the buffer from any live producer. `Ok(false)` means every
+    /// producer finished cleanly (its end-of-stream marker was seen); a
+    /// disconnect without the marker, a cancellation, or an expired
+    /// deadline are typed errors.
+    fn refill(&mut self) -> Result<bool> {
         loop {
+            self.token.check()?;
             if self.live.is_empty() {
-                return false;
+                return Ok(false);
             }
             // Fast path: one non-blocking round-robin sweep over the live
             // receivers. In steady state a queued frame is found here and
@@ -102,17 +136,22 @@ impl TupleStream {
                 let idx = self.live[slot];
                 match self.receivers[idx].try_recv() {
                     Ok(frame) => {
+                        if frame.is_empty() {
+                            // End-of-stream marker: retire the channel
+                            // cleanly. Not counted by `note_frame` — the
+                            // profile counts data frames only.
+                            self.live[slot] = usize::MAX;
+                            any_closed = true;
+                            continue;
+                        }
                         self.cursor = (slot + 1) % n;
                         self.cell.note_frame(&frame);
-                        if !frame.is_empty() {
-                            self.buffer.extend(frame.into_sized());
-                            got = true;
-                            break;
-                        }
+                        self.buffer.extend(frame.into_sized());
+                        got = true;
+                        break;
                     }
                     Err(TryRecvError::Disconnected) => {
-                        self.live[slot] = usize::MAX;
-                        any_closed = true;
+                        return Err(self.dirty_disconnect(idx));
                     }
                     Err(TryRecvError::Empty) => {}
                 }
@@ -122,10 +161,10 @@ impl TupleStream {
                 self.cursor = 0;
             }
             if got {
-                return true;
+                return Ok(true);
             }
             if self.live.is_empty() {
-                return false;
+                return Ok(false);
             }
             if any_closed {
                 continue; // membership changed; re-sweep before blocking
@@ -135,30 +174,37 @@ impl TupleStream {
             // here, when a blocking wait is genuinely required. The wait is
             // timed here and only here: the fast path above never blocks,
             // so queue-wait attribution costs two clock reads per stall,
-            // not two per frame.
+            // not two per frame. The wait is bounded by `CANCEL_POLL` so a
+            // stalled worker still notices cancellation promptly.
             let wait_start = self.clock.now_ns();
-            let mut sel = Select::new();
-            for &i in &self.live {
-                sel.recv(&self.receivers[i]);
-            }
-            let op = sel.select();
+            let selected = {
+                let mut sel = Select::new();
+                for &i in &self.live {
+                    sel.recv(&self.receivers[i]);
+                }
+                sel.select_timeout(CANCEL_POLL)
+            };
+            let Ok(op) = selected else {
+                self.cell.note_wait(self.clock.now_ns().saturating_sub(wait_start));
+                continue; // token re-checked at the top of the loop
+            };
             let slot = op.index();
             let idx = self.live[slot];
             let received = op.recv(&self.receivers[idx]);
             self.cell.note_wait(self.clock.now_ns().saturating_sub(wait_start));
             match received {
                 Ok(frame) => {
+                    if frame.is_empty() {
+                        self.live.remove(slot);
+                        self.cursor = 0;
+                        continue;
+                    }
                     self.cursor = (slot + 1) % self.live.len();
                     self.cell.note_frame(&frame);
-                    if !frame.is_empty() {
-                        self.buffer.extend(frame.into_sized());
-                        return true;
-                    }
+                    self.buffer.extend(frame.into_sized());
+                    return Ok(true);
                 }
-                Err(_) => {
-                    self.live.remove(slot);
-                    self.cursor = 0;
-                }
+                Err(_) => return Err(self.dirty_disconnect(idx)),
             }
         }
     }
@@ -168,8 +214,12 @@ impl Iterator for TupleStream {
     type Item = Result<Tuple>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        if self.buffer.is_empty() && !self.refill() {
-            return None;
+        if self.buffer.is_empty() {
+            match self.refill() {
+                Ok(true) => {}
+                Ok(false) => return None,
+                Err(e) => return Some(Err(e)),
+            }
         }
         self.buffer.pop_front().map(|(t, _)| Ok(t))
     }
@@ -181,6 +231,10 @@ struct RecvStream {
     buffer: VecDeque<Tuple>,
     cell: Arc<InCell>,
     clock: Arc<dyn Clock>,
+    token: CancellationToken,
+    /// Terminal state reached: end-of-stream marker seen, producer died, or
+    /// the job was cancelled. Keeps the iterator fused after an error.
+    done: bool,
 }
 
 impl Iterator for RecvStream {
@@ -191,17 +245,49 @@ impl Iterator for RecvStream {
             if let Some(t) = self.buffer.pop_front() {
                 return Some(Ok(t));
             }
+            if self.done {
+                return None;
+            }
             // A merge leg blocks whenever its producer is behind; charge
-            // the whole recv as queue wait (per frame, not per tuple).
+            // the whole recv as queue wait (per frame, not per tuple),
+            // re-polling the job token between bounded waits.
             let wait_start = self.clock.now_ns();
-            let received = self.receiver.recv();
+            let received = loop {
+                match self.receiver.recv_timeout(CANCEL_POLL) {
+                    Ok(f) => break Ok(f),
+                    Err(RecvTimeoutError::Disconnected) => break Err(()),
+                    Err(RecvTimeoutError::Timeout) => {
+                        if let Err(e) = self.token.check() {
+                            self.done = true;
+                            self.cell
+                                .note_wait(self.clock.now_ns().saturating_sub(wait_start));
+                            return Some(Err(e));
+                        }
+                    }
+                }
+            };
             self.cell.note_wait(self.clock.now_ns().saturating_sub(wait_start));
             match received {
+                Ok(frame) if frame.is_empty() => {
+                    // End-of-stream marker: clean completion (not counted
+                    // by `note_frame`; the profile counts data frames).
+                    self.done = true;
+                    return None;
+                }
                 Ok(frame) => {
                     self.cell.note_frame(&frame);
                     self.buffer.extend(frame);
                 }
-                Err(_) => return None,
+                Err(()) => {
+                    self.done = true;
+                    return Some(Err(match self.token.check() {
+                        Err(e) => e, // disconnect is an echo of cancellation
+                        Ok(()) => HyracksError::UpstreamFailure(
+                            "merge producer disconnected without end-of-stream (died mid-stream)"
+                                .into(),
+                        ),
+                    }));
+                }
             }
         }
     }
@@ -245,13 +331,44 @@ pub struct OutputRouter {
     my_partition: usize,
     stats: Arc<RuntimeCtx>,
     metrics: OutMetrics,
+    token: CancellationToken,
+    /// Injected fault plan for this worker, if a chaos schedule is active.
+    faults: Option<WorkerFaultState>,
+    /// A sever fault fired: swallow all further output *and* the
+    /// end-of-stream marker, so consumers observe a dirty disconnect.
+    severed: bool,
 }
 
 impl OutputRouter {
-    fn new(strategy: ConnStrategy, senders: Vec<Sender<Frame>>, my_partition: usize, ctx: Arc<RuntimeCtx>) -> Self {
+    fn new(
+        strategy: ConnStrategy,
+        senders: Vec<Sender<Frame>>,
+        my_partition: usize,
+        ctx: Arc<RuntimeCtx>,
+        token: CancellationToken,
+        faults: Option<WorkerFaultState>,
+    ) -> Self {
         let buffers = senders.iter().map(|_| Frame::new()).collect();
         let metrics = OutMetrics { frames_to: vec![0; senders.len()], ..OutMetrics::default() };
-        OutputRouter { strategy, senders, buffers, my_partition, stats: ctx, metrics }
+        OutputRouter {
+            strategy,
+            senders,
+            buffers,
+            my_partition,
+            stats: ctx,
+            metrics,
+            token,
+            faults,
+            severed: false,
+        }
+    }
+
+    /// Start-of-worker fault hook (fail-first-attempt schedules).
+    fn fault_start(&mut self) -> Result<()> {
+        if let Some(f) = self.faults.as_mut() {
+            f.at_start()?;
+        }
+        Ok(())
     }
 
     /// Pushes one tuple; returns `false` when every consumer is gone (the
@@ -313,14 +430,57 @@ impl OutputRouter {
         if let Some(n) = self.metrics.frames_to.get_mut(dst) {
             *n += 1;
         }
-        Ok(self.senders[dst].send(frame).is_ok())
+        if self.severed {
+            return Ok(true); // output silently dropped from the sever point on
+        }
+        if let Some(f) = self.faults.as_mut() {
+            match f.on_frame()? {
+                FrameAction::Deliver => {}
+                FrameAction::DropRest => {
+                    self.severed = true;
+                    return Ok(true);
+                }
+            }
+        }
+        // Bounded sends so a producer blocked on a full channel still
+        // notices cancellation: re-poll the token every `CANCEL_POLL`.
+        let mut frame = frame;
+        loop {
+            match self.senders[dst].send_timeout(frame, CANCEL_POLL) {
+                Ok(()) => return Ok(true),
+                Err(SendTimeoutError::Disconnected(_)) => return Ok(false),
+                Err(SendTimeoutError::Timeout(f)) => {
+                    self.token.check()?;
+                    frame = f;
+                }
+            }
+        }
     }
 
-    /// Flushes all buffers and closes the output, yielding the output-side
-    /// metrics accumulated by this worker.
+    /// Flushes all buffers, ships the end-of-stream marker to every
+    /// destination, and yields the output-side metrics accumulated by this
+    /// worker. Only clean completion reaches this: error and panic paths
+    /// skip it, so their consumers observe a disconnect with no marker —
+    /// the dirty-death signal.
     fn finish(mut self) -> Result<OutMetrics> {
         for d in 0..self.senders.len() {
             let _ = self.flush(d)?;
+        }
+        if !self.severed {
+            for s in &self.senders {
+                let mut eos = Frame::eos();
+                loop {
+                    match s.send_timeout(eos, CANCEL_POLL) {
+                        Ok(()) | Err(SendTimeoutError::Disconnected(_)) => break,
+                        Err(SendTimeoutError::Timeout(f)) => {
+                            if self.token.is_cancelled() {
+                                break; // job is dying; markers no longer matter
+                            }
+                            eos = f;
+                        }
+                    }
+                }
+            }
         }
         Ok(std::mem::take(&mut self.metrics))
     }
@@ -338,10 +498,115 @@ pub struct JobResult {
     pub profile: JobProfile,
 }
 
-/// Executes a validated job to completion.
+/// Per-job lifecycle options: an externally cancellable token and/or a
+/// relative deadline measured on the context clock.
+#[derive(Default)]
+pub struct JobOptions {
+    /// Token the job runs under; `run_job_with` creates a private one when
+    /// absent. Pass a clone of your own token to cancel the job externally.
+    pub token: Option<CancellationToken>,
+    /// Relative deadline for the whole job, measured on `ctx.clock`.
+    pub deadline: Option<Duration>,
+}
+
+/// Severity ranking used when several workers fail together: real errors
+/// (rank 0) outrank the upstream-failure echoes (1) a dead producer leaves
+/// in its consumers, which outrank the deadline (2) and cancellation (3)
+/// noise that fail-fast propagation induces in healthy siblings. The join
+/// loop keeps the lowest-ranked error, so the job reports the cause rather
+/// than a symptom.
+fn error_rank(e: &HyracksError) -> u8 {
+    match e {
+        HyracksError::Cancelled(_) => 3,
+        HyracksError::DeadlineExceeded { .. } => 2,
+        HyracksError::UpstreamFailure(_) => 1,
+        _ => 0,
+    }
+}
+
+/// RAII guard living for a worker's whole thread body: counts the worker in
+/// the job's live set, installs the job token in the worker's thread-local,
+/// and — critically — runs during unwinding, so a panicking worker still
+/// cancels the job (waking siblings blocked on channels) and decrements the
+/// live count before its thread dies.
+struct WorkerGuard {
+    token: CancellationToken,
+    live: Arc<AtomicUsize>,
+    label: String,
+}
+
+impl WorkerGuard {
+    fn new(token: CancellationToken, live: Arc<AtomicUsize>, label: String) -> WorkerGuard {
+        live.fetch_add(1, AtomicOrdering::SeqCst);
+        cancel::set_current(token.clone());
+        WorkerGuard { token, live, label }
+    }
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            // The panicking worker never reaches its fail-fast path below;
+            // cancel here so the job converges to a join instead of
+            // deadlocking on the dead worker's channels.
+            self.token.cancel(&format!("worker {} panicked", self.label));
+        }
+        cancel::clear_current();
+        self.live.fetch_sub(1, AtomicOrdering::SeqCst);
+    }
+}
+
+/// Executes a validated job to completion (no external token, no deadline).
 pub fn run_job(spec: JobSpec, ctx: Arc<RuntimeCtx>) -> Result<JobResult> {
+    run_job_with(spec, ctx, JobOptions::default())
+}
+
+/// Executes a validated job to completion under `opts`.
+///
+/// Lifecycle: the job token (supplied or fresh) is installed on the context
+/// so [`RuntimeCtx::cancel_current_job`] can reach it; every worker polls it
+/// at frame boundaries and on blocked channel operations. The first failing
+/// partition cancels it, so siblings stop fail-fast. Every worker thread is
+/// joined before this returns — on success, error, and panic paths alike.
+pub fn run_job_with(spec: JobSpec, ctx: Arc<RuntimeCtx>, opts: JobOptions) -> Result<JobResult> {
+    let token = opts.token.unwrap_or_default();
+    if let Some(d) = opts.deadline {
+        let now = ctx.clock.now_ns();
+        token.set_deadline(
+            Arc::clone(&ctx.clock),
+            now.saturating_add(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)),
+        );
+    }
+    ctx.install_job_token(&token);
+    let out = run_job_inner(spec, &ctx, &token);
+    ctx.clear_job_token(&token);
+    // Lifecycle accounting: exactly one outcome counter per job run.
+    let outcome = match &out {
+        Ok(_) => "hyracks.lifecycle.completed",
+        Err(HyracksError::Cancelled(_)) => "hyracks.lifecycle.cancelled",
+        Err(HyracksError::DeadlineExceeded { .. }) => "hyracks.lifecycle.deadline_exceeded",
+        Err(HyracksError::UpstreamFailure(_)) => "hyracks.lifecycle.upstream_failures",
+        Err(HyracksError::InjectedFault(_)) => "hyracks.lifecycle.injected_faults",
+        Err(HyracksError::WorkerPanic(_)) => "hyracks.lifecycle.worker_panics",
+        Err(_) => "hyracks.lifecycle.failed",
+    };
+    ctx.registry().counter(outcome).inc();
+    out
+}
+
+fn run_job_inner(
+    spec: JobSpec,
+    ctx: &Arc<RuntimeCtx>,
+    token: &CancellationToken,
+) -> Result<JobResult> {
     spec.validate()?;
+    // Pre-flight: a pre-cancelled token or an already-expired deadline
+    // fails here, before any thread is spawned.
+    token.check()?;
     let job_start = ctx.clock.now_ns();
+    if let Some(f) = ctx.dataflow_faults() {
+        f.begin_attempt();
+    }
     let spec = Arc::new(spec);
     // channel matrix per connector: [src_partition][dst_partition]
     struct Matrix {
@@ -373,12 +638,24 @@ pub fn run_job(spec: JobSpec, ctx: Arc<RuntimeCtx>) -> Result<JobResult> {
     let metrics: Arc<Mutex<Vec<Vec<OpMetrics>>>> = Arc::new(Mutex::new(
         spec.ops.iter().map(|op| vec![OpMetrics::default(); op.partitions]).collect(),
     ));
-    let mut handles = Vec::new();
+    // Phase 1: wire every worker's ports and router up front. A wiring
+    // error returns here, before a single thread exists, so a malformed
+    // spec can never leak already-running workers.
+    struct WorkerSetup {
+        op_id: usize,
+        partition: usize,
+        label: String,
+        in_cell: Arc<InCell>,
+        ports: Vec<PortReader>,
+        out: Option<OutputRouter>,
+    }
+    let mut setups: Vec<WorkerSetup> = Vec::new();
     for (op_id, op) in spec.ops.iter().enumerate() {
         for p in 0..op.partitions {
             // Input-side counters for this worker, shared with its port
             // readers (both ports of a binary op feed the same cell).
             let in_cell = Arc::new(InCell::default());
+            let label = format!("{}#{p}", op.label);
             // input ports
             let arity = op.kind.arity();
             let mut ports: Vec<PortReader> = Vec::with_capacity(arity);
@@ -411,6 +688,8 @@ pub fn run_job(spec: JobSpec, ctx: Arc<RuntimeCtx>) -> Result<JobResult> {
                                 buffer: VecDeque::new(),
                                 cell: Arc::clone(&in_cell),
                                 clock: Arc::clone(&ctx.clock),
+                                token: token.clone(),
+                                done: false,
                             })
                             .collect();
                         PortReader::Merge(Box::new(ops::sort::KWayMerge::new(
@@ -422,11 +701,12 @@ pub fn run_job(spec: JobSpec, ctx: Arc<RuntimeCtx>) -> Result<JobResult> {
                         col,
                         Arc::clone(&in_cell),
                         Arc::clone(&ctx.clock),
+                        token.clone(),
                     )),
                 };
                 ports.push(reader);
             }
-            // output router
+            // output router (with this worker's chaos plan, if any)
             let out = spec
                 .connectors
                 .iter()
@@ -437,72 +717,126 @@ pub fn run_job(spec: JobSpec, ctx: Arc<RuntimeCtx>) -> Result<JobResult> {
                         c.strategy.clone(),
                         matrices[ci].senders[p].clone(),
                         p,
-                        Arc::clone(&ctx),
+                        Arc::clone(ctx),
+                        token.clone(),
+                        ctx.dataflow_faults()
+                            .map(|f| WorkerFaultState::new(Arc::clone(f), label.clone(), p)),
                     )
                 });
-            let spec2 = Arc::clone(&spec);
-            let ctx2 = Arc::clone(&ctx);
-            let results2 = Arc::clone(&results);
-            let metrics2 = Arc::clone(&metrics);
-            let label = format!("{}#{p}", op.label);
-            let handle = std::thread::Builder::new()
-                .name(label.clone())
-                .spawn(move || -> Result<()> {
-                    let started = ctx2.clock.now_ns();
-                    let _ = crate::ctx::take_worker_spill(); // fresh thread, but be explicit
-                    let out_m = run_worker(&spec2.ops[op_id].kind, p, ports, out, &ctx2, &results2)?;
-                    let ended = ctx2.clock.now_ns();
-                    let (spill_runs, spilled_bytes, grace_fanout) = crate::ctx::take_worker_spill();
-                    let wait = in_cell.wait_ns.load(AtomicOrdering::Relaxed);
-                    let m = OpMetrics {
-                        tuples_in: in_cell.tuples.load(AtomicOrdering::Relaxed),
-                        tuples_out: out_m.tuples,
-                        frames_in: in_cell.frames.load(AtomicOrdering::Relaxed),
-                        frames_out: out_m.frames,
-                        bytes_in: in_cell.bytes.load(AtomicOrdering::Relaxed),
-                        bytes_out: out_m.bytes,
-                        queue_wait_ns: wait,
-                        compute_ns: ended.saturating_sub(started).saturating_sub(wait),
-                        spill_runs,
-                        spilled_bytes,
-                        grace_fanout,
-                        frames_routed: out_m.frames_to,
-                    };
-                    if let Some(slot) =
-                        metrics2.lock().get_mut(op_id).and_then(|row| row.get_mut(p))
-                    {
-                        *slot = m;
+            setups.push(WorkerSetup { op_id, partition: p, label, in_cell, ports, out });
+        }
+    }
+    // Phase 2: spawn. If the OS refuses a thread mid-way, the remaining
+    // setups are dropped (closing their channels) and the token is
+    // cancelled, so the already-spawned workers wind down and are joined
+    // below — no detached threads either way.
+    let live_workers = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::with_capacity(setups.len());
+    let mut spawn_err: Option<HyracksError> = None;
+    for s in setups {
+        let spec2 = Arc::clone(&spec);
+        let ctx2 = Arc::clone(ctx);
+        let results2 = Arc::clone(&results);
+        let metrics2 = Arc::clone(&metrics);
+        let token2 = token.clone();
+        let live2 = Arc::clone(&live_workers);
+        let label = s.label.clone();
+        let spawned = std::thread::Builder::new()
+            .name(s.label.clone())
+            .spawn(move || -> Result<()> {
+                let guard = WorkerGuard::new(token2.clone(), live2, s.label);
+                let started = ctx2.clock.now_ns();
+                let _ = crate::ctx::take_worker_spill(); // fresh thread, but be explicit
+                let out_m = match run_worker(
+                    &spec2.ops[s.op_id].kind,
+                    s.partition,
+                    s.ports,
+                    s.out,
+                    &ctx2,
+                    &results2,
+                ) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        // Fail fast: the first real failure cancels every
+                        // sibling. Cancellation-derived errors don't
+                        // re-cancel (the token already tripped; first
+                        // cause wins regardless).
+                        if error_rank(&e) <= 1 {
+                            token2.cancel(&format!("partition {} failed: {e}", guard.label));
+                        }
+                        return Err(e);
                     }
-                    Ok(())
-                })
-                .map_err(HyracksError::Io)?;
-            handles.push((label, handle));
+                };
+                let ended = ctx2.clock.now_ns();
+                let (spill_runs, spilled_bytes, grace_fanout) = crate::ctx::take_worker_spill();
+                let wait = s.in_cell.wait_ns.load(AtomicOrdering::Relaxed);
+                let m = OpMetrics {
+                    tuples_in: s.in_cell.tuples.load(AtomicOrdering::Relaxed),
+                    tuples_out: out_m.tuples,
+                    frames_in: s.in_cell.frames.load(AtomicOrdering::Relaxed),
+                    frames_out: out_m.frames,
+                    bytes_in: s.in_cell.bytes.load(AtomicOrdering::Relaxed),
+                    bytes_out: out_m.bytes,
+                    queue_wait_ns: wait,
+                    compute_ns: ended.saturating_sub(started).saturating_sub(wait),
+                    spill_runs,
+                    spilled_bytes,
+                    grace_fanout,
+                    frames_routed: out_m.frames_to,
+                };
+                if let Some(slot) =
+                    metrics2.lock().get_mut(s.op_id).and_then(|row| row.get_mut(s.partition))
+                {
+                    *slot = m;
+                }
+                Ok(())
+            });
+        match spawned {
+            Ok(h) => handles.push((label, h)),
+            Err(e) => {
+                token.cancel(&format!("failed to spawn worker {label}"));
+                spawn_err = Some(HyracksError::Io(e));
+                break;
+            }
         }
     }
     // Drop our copies of the senders so channels close when workers finish.
     drop(matrices);
-    let mut first_err: Option<HyracksError> = None;
+    // Phase 3: join every worker — panic or not — keeping the most severe
+    // error (see `error_rank`: real failures beat the cancellation noise
+    // that fail-fast propagation induced in their siblings).
+    let mut first_err: Option<(u8, HyracksError)> = None;
     for (label, h) in handles {
-        match h.join() {
-            Ok(Ok(())) => {}
-            Ok(Err(e)) => {
-                if first_err.is_none() {
-                    first_err = Some(e);
-                }
-            }
+        let err = match h.join() {
+            Ok(Ok(())) => None,
+            Ok(Err(e)) => Some(e),
             Err(panic) => {
-                if first_err.is_none() {
-                    let msg = panic
-                        .downcast_ref::<&str>()
-                        .map(|s| s.to_string())
-                        .or_else(|| panic.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "unknown panic".into());
-                    first_err = Some(HyracksError::WorkerPanic(format!("{label}: {msg}")));
-                }
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".into());
+                Some(HyracksError::WorkerPanic(format!("{label}: {msg}")))
+            }
+        };
+        if let Some(e) = err {
+            let rank = error_rank(&e);
+            if first_err.as_ref().is_none_or(|(r, _)| rank < *r) {
+                first_err = Some((rank, e));
             }
         }
     }
-    if let Some(e) = first_err {
+    // Every spawned worker has been joined, so the live count must be zero;
+    // a nonzero count would mean a worker thread escaped the job.
+    let leaked = live_workers.load(AtomicOrdering::SeqCst);
+    debug_assert_eq!(leaked, 0, "worker threads outlived run_job");
+    if leaked != 0 {
+        ctx.registry().counter("hyracks.lifecycle.leaked_workers").add(leaked as u64);
+    }
+    if let Some(e) = spawn_err {
+        return Err(e);
+    }
+    if let Some((_, e)) = first_err {
         return Err(e);
     }
     let tuples = std::mem::take(&mut *results.lock());
@@ -574,6 +908,7 @@ fn run_worker(
             "non-sink operator has no outgoing connector".into(),
         ));
     };
+    out.fault_start()?;
     let stopped = run_op_body(kind, partition, ports, &mut out, ctx)?;
     let _ = stopped;
     out.finish()
@@ -588,7 +923,7 @@ fn for_each_sized(
 ) -> Result<bool> {
     match port {
         PortReader::Any(mut s) => {
-            while let Some((t, size)) = s.next_sized() {
+            while let Some((t, size)) = s.next_sized()? {
                 if !f(t, size as usize)? {
                     return Ok(false);
                 }
@@ -621,8 +956,16 @@ fn run_op_body(
             "ResultSink reached the operator body; it is handled by the caller".into(),
         )),
         OpKind::Source(factory) => {
+            // Sources have no inbound channels (where the token is normally
+            // polled), so check it here — strided, never per tuple.
+            let token = cancel::current();
             let iter = factory.open(partition)?;
+            let mut n = 0u64;
             for t in iter {
+                n += 1;
+                if n & 1023 == 0 {
+                    token.check()?;
+                }
                 if !out.push(t?)? {
                     return Ok(false);
                 }
@@ -1089,5 +1432,249 @@ mod tests {
         j.connect(d, r, 0, ConnStrategy::Gather);
         let out = run_job_sorted(j, RuntimeCtx::temp().unwrap(), &[SortKey::asc(0)]).unwrap();
         assert_eq!(out.len(), 10);
+    }
+
+    // -- lifecycle: cancellation, deadlines, EOS protocol, fault injection --
+
+    use crate::faults::{DataflowFaults, FaultConfig};
+    use asterix_obs::ManualClock;
+
+    /// An endless source wired straight to a sink — the fixture for
+    /// cancellation tests (only cancellation can end it).
+    fn endless_job() -> JobSpec {
+        let mut j = JobSpec::new();
+        let s = j.add(
+            OpKind::Source(Arc::new(FnSource(|_p: usize| {
+                Ok(Box::new((0..i64::MAX).map(|i| Ok(vec![Value::Int(i)])))
+                    as Box<dyn Iterator<Item = Result<Tuple>> + Send>)
+            }))),
+            1,
+            "scan",
+        );
+        let r = j.add(OpKind::ResultSink, 1, "sink");
+        j.connect(s, r, 0, ConnStrategy::Gather);
+        j
+    }
+
+    #[test]
+    fn external_cancel_stops_a_running_job() {
+        let ctx = RuntimeCtx::temp().unwrap();
+        let token = CancellationToken::new();
+        let t2 = token.clone();
+        // Cancel from outside once the job is demonstrably running.
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            assert!(t2.cancel("user abort"), "this cancel is the first cause");
+        });
+        let before = ctx.registry().snapshot();
+        let err = run_job_with(
+            endless_job(),
+            Arc::clone(&ctx),
+            JobOptions { token: Some(token), deadline: None },
+        )
+        .unwrap_err();
+        canceller.join().unwrap();
+        assert!(
+            matches!(&err, HyracksError::Cancelled(r) if r.contains("user abort")),
+            "job reports the external cancellation cause: {err}"
+        );
+        let delta = ctx.registry().snapshot().delta(&before);
+        assert_eq!(delta.counter("hyracks.lifecycle.cancelled"), Some(1));
+    }
+
+    #[test]
+    fn cancel_current_job_reaches_the_running_token() {
+        let ctx = RuntimeCtx::temp().unwrap();
+        let ctx2 = Arc::clone(&ctx);
+        let canceller = std::thread::spawn(move || {
+            // Poll until the executor has installed the job token.
+            loop {
+                if ctx2.cancel_current_job("killed via context") {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        let err = run_job(endless_job(), Arc::clone(&ctx)).unwrap_err();
+        canceller.join().unwrap();
+        assert!(
+            matches!(&err, HyracksError::Cancelled(r) if r.contains("killed via context")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn deadline_exceeded_on_manual_clock() {
+        // Every clock read advances 1ms; 50ms deadline → the job trips on
+        // its own polling, deterministically, with no wall-clock sleeps.
+        let clock = ManualClock::shared(1_000_000);
+        let ctx = RuntimeCtx::temp_with_clock(clock).unwrap();
+        let err = run_job_with(
+            endless_job(),
+            ctx,
+            JobOptions { token: None, deadline: Some(Duration::from_millis(50)) },
+        )
+        .unwrap_err();
+        assert!(matches!(err, HyracksError::DeadlineExceeded { .. }), "{err}");
+    }
+
+    #[test]
+    fn expired_deadline_fails_preflight() {
+        let ctx = RuntimeCtx::temp().unwrap();
+        let before = ctx.registry().snapshot();
+        let err = run_job_with(
+            endless_job(),
+            Arc::clone(&ctx),
+            JobOptions { token: None, deadline: Some(Duration::ZERO) },
+        )
+        .unwrap_err();
+        assert!(matches!(err, HyracksError::DeadlineExceeded { .. }), "{err}");
+        let delta = ctx.registry().snapshot().delta(&before);
+        assert_eq!(delta.counter("hyracks.lifecycle.deadline_exceeded"), Some(1));
+    }
+
+    #[test]
+    fn worker_panic_cancels_and_reaps_siblings() {
+        // Partition 1 waits at a barrier so it is provably mid-flight when
+        // partition 0 panics; the panic must cancel the job so partition 1
+        // winds down and `run_job` joins every thread (the debug assert on
+        // the live-worker count inside run_job enforces the reap).
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let b = Arc::clone(&barrier);
+        let mut j = JobSpec::new();
+        let s = j.add(
+            OpKind::Source(Arc::new(FnSource(move |p: usize| {
+                let b = Arc::clone(&b);
+                Ok(Box::new((0..i64::MAX).map(move |i| {
+                    if i == 0 {
+                        b.wait();
+                        if p == 0 {
+                            panic!("injected worker panic");
+                        }
+                    }
+                    Ok(vec![Value::Int(i)])
+                })) as Box<dyn Iterator<Item = Result<Tuple>> + Send>)
+            }))),
+            2,
+            "scan",
+        );
+        let r = j.add(OpKind::ResultSink, 1, "sink");
+        j.connect(s, r, 0, ConnStrategy::Gather);
+        let ctx = RuntimeCtx::temp().unwrap();
+        let before = ctx.registry().snapshot();
+        let err = run_job(j, Arc::clone(&ctx)).unwrap_err();
+        assert!(
+            matches!(&err, HyracksError::WorkerPanic(m) if m.contains("injected worker panic")),
+            "panic outranks the induced sibling cancellations: {err}"
+        );
+        let delta = ctx.registry().snapshot().delta(&before);
+        assert_eq!(delta.counter("hyracks.lifecycle.worker_panics"), Some(1));
+        assert_eq!(delta.counter("hyracks.lifecycle.leaked_workers"), None, "all joined");
+    }
+
+    #[test]
+    fn dirty_disconnect_is_typed_upstream_failure() {
+        // Unit-level: a producer that drops its sender without the
+        // end-of-stream marker must surface as UpstreamFailure, not as a
+        // silently truncated (but "clean") stream.
+        let (tx, rx) = bounded::<Frame>(4);
+        let mut s = TupleStream::new(
+            vec![rx],
+            Arc::new(InCell::default()),
+            asterix_obs::MonotonicClock::shared(),
+            CancellationToken::new(),
+        );
+        let mut f = Frame::new();
+        f.push(vec![Value::Int(1)]).unwrap();
+        tx.send(f).unwrap();
+        drop(tx); // died mid-stream
+        assert_eq!(s.next().unwrap().unwrap(), vec![Value::Int(1)]);
+        let err = s.next().unwrap().unwrap_err();
+        assert!(matches!(err, HyracksError::UpstreamFailure(_)), "{err}");
+    }
+
+    #[test]
+    fn eos_marker_ends_the_stream_cleanly() {
+        let (tx, rx) = bounded::<Frame>(4);
+        let cell = Arc::new(InCell::default());
+        let mut s = TupleStream::new(
+            vec![rx],
+            Arc::clone(&cell),
+            asterix_obs::MonotonicClock::shared(),
+            CancellationToken::new(),
+        );
+        let mut f = Frame::new();
+        f.push(vec![Value::Int(1)]).unwrap();
+        tx.send(f).unwrap();
+        tx.send(Frame::eos()).unwrap();
+        drop(tx);
+        assert_eq!(s.next().unwrap().unwrap(), vec![Value::Int(1)]);
+        assert!(s.next().is_none(), "marker after the data = clean end");
+        assert_eq!(
+            cell.frames.load(AtomicOrdering::Relaxed),
+            1,
+            "the end-of-stream marker is not a data frame; profiles don't count it"
+        );
+    }
+
+    #[test]
+    fn severed_output_is_an_error_not_a_truncated_result() {
+        // sever_pct=100 severs every worker's output at its first frame:
+        // the sink sees a disconnect with no end-of-stream marker and the
+        // job must fail typed — never return a truncated Ok.
+        let faults = DataflowFaults::new(FaultConfig {
+            seed: 7,
+            sever_pct: 100,
+            max_frame: 1,
+            ..FaultConfig::default()
+        });
+        let ctx = RuntimeCtx::temp_with_faults(Arc::clone(&faults)).unwrap();
+        let mut j = JobSpec::new();
+        let s = j.add(int_source(100), 1, "scan");
+        let r = j.add(OpKind::ResultSink, 1, "sink");
+        j.connect(s, r, 0, ConnStrategy::Gather);
+        let err = run_job(j, ctx).unwrap_err();
+        assert!(matches!(err, HyracksError::UpstreamFailure(_)), "{err}");
+        let events = faults.events();
+        assert!(events.iter().any(|e| e.what == "sever"), "sever fired: {events:?}");
+    }
+
+    #[test]
+    fn injected_kill_is_a_typed_fault() {
+        let faults = DataflowFaults::new(FaultConfig {
+            seed: 3,
+            kill_pct: 100,
+            max_frame: 1,
+            ..FaultConfig::default()
+        });
+        let ctx = RuntimeCtx::temp_with_faults(Arc::clone(&faults)).unwrap();
+        let mut j = JobSpec::new();
+        let s = j.add(int_source(100), 2, "scan");
+        let r = j.add(OpKind::ResultSink, 1, "sink");
+        j.connect(s, r, 0, ConnStrategy::Gather);
+        let err = run_job(j, ctx).unwrap_err();
+        assert!(matches!(err, HyracksError::InjectedFault(_)), "{err}");
+        assert!(faults.events().iter().any(|e| e.what == "kill"));
+    }
+
+    #[test]
+    fn fail_first_attempt_succeeds_on_retry() {
+        let faults = DataflowFaults::new(FaultConfig {
+            fail_first_attempt: true,
+            ..FaultConfig::default()
+        });
+        let ctx = RuntimeCtx::temp_with_faults(Arc::clone(&faults)).unwrap();
+        let make = || {
+            let mut j = JobSpec::new();
+            let s = j.add(int_source(50), 2, "scan");
+            let r = j.add(OpKind::ResultSink, 1, "sink");
+            j.connect(s, r, 0, ConnStrategy::Gather);
+            j
+        };
+        let err = run_job(make(), Arc::clone(&ctx)).unwrap_err();
+        assert!(matches!(err, HyracksError::InjectedFault(_)), "attempt 1 fails: {err}");
+        let out = run_job(make(), ctx).unwrap().tuples;
+        assert_eq!(out.len(), 100, "attempt 2 runs clean to the full result");
+        assert!(faults.events().iter().all(|e| e.attempt == 1));
     }
 }

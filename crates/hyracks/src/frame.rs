@@ -50,6 +50,16 @@ impl Frame {
         Frame { tuples: Vec::with_capacity(n), sizes: Vec::with_capacity(n), bytes: 0 }
     }
 
+    /// The explicit end-of-stream marker. Routers never ship empty data
+    /// frames, so an empty frame on a channel unambiguously means "this
+    /// producer finished cleanly". Consumers that instead observe a
+    /// disconnect *without* having seen this marker know the producer died
+    /// mid-stream and must raise a typed upstream failure rather than
+    /// treating the truncated stream as complete.
+    pub fn eos() -> Frame {
+        Frame::default()
+    }
+
     /// Approximate size of a tuple, used for frame and working-memory
     /// accounting.
     pub fn tuple_size(t: &Tuple) -> usize {

@@ -20,14 +20,19 @@
 //! with partition spilling) all degrade gracefully to disk under a
 //! configurable working-memory budget (experiment E5).
 
+pub mod cancel;
 pub mod ctx;
 pub mod error;
 pub mod exec;
+pub mod faults;
 pub mod frame;
 pub mod job;
 pub mod ops;
 
+pub use cancel::CancellationToken;
 pub use ctx::RuntimeCtx;
 pub use error::{HyracksError, Result};
+pub use exec::JobOptions;
+pub use faults::{DataflowFaults, FaultConfig};
 pub use frame::{u32_len, Frame, Tuple};
 pub use job::{ConnStrategy, JobSpec, OpId, OpKind};

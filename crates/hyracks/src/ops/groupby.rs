@@ -68,7 +68,15 @@ fn group_level(
     let mut bytes = 0usize;
     let mut spills: Option<Vec<crate::ctx::RunWriter>> = None;
     let part_of = |h: u64| ((h.rotate_left(29)) ^ seed) as usize % GRACE_PARTITIONS;
+    // Aggregation is a pipeline breaker; poll the job token on a stride so
+    // a cancelled job stops consuming instead of aggregating to the end.
+    let token = crate::cancel::current();
+    let mut n = 0u64;
     for item in input {
+        n += 1;
+        if n & 1023 == 0 {
+            token.check()?;
+        }
         let t = item?;
         let h = hash_key(&t, key_cols);
         if let Some(bucket) = table.get_mut(&h) {
@@ -170,7 +178,13 @@ pub fn group_collect(
         out.push(Value::Array(std::mem::take(group)));
         emit(out)
     };
+    let token = crate::cancel::current();
+    let mut n = 0u64;
     for item in sorted {
+        n += 1;
+        if n & 1023 == 0 {
+            token.check()?;
+        }
         let t = item?;
         let key: Tuple = key_cols.iter().map(|c| t[*c].clone()).collect();
         // A single payload column collects bare values; multiple columns
@@ -237,7 +251,13 @@ fn distinct_level(
         Some(cs) => cs.iter().all(|c| adm_eq(&s[*c], &t[*c])),
         None => s.len() == t.len() && s.iter().zip(t.iter()).all(|(a, b)| adm_eq(a, b)),
     };
+    let token = crate::cancel::current();
+    let mut n = 0u64;
     for item in input {
+        n += 1;
+        if n & 1023 == 0 {
+            token.check()?;
+        }
         let t = item?;
         let h = match cols {
             Some(cs) => hash_key(&t, cs),

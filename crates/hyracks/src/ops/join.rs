@@ -75,12 +75,20 @@ fn join_level(
     // Try to build in memory within the budget. Buckets store build tuples
     // directly: key columns are hashed and compared in place, so no per-row
     // key vector is ever materialized.
+    // The build phase is a pipeline breaker; poll the job token on a stride
+    // so a cancelled job stops building instead of running to completion.
+    let token = crate::cancel::current();
+    let mut n = 0u64;
     let mut table: HashMap<u64, Vec<Tuple>> = HashMap::new();
     let mut build_bytes = 0usize;
     let mut build = build.peekable();
     let mut overflow = false;
     let mut overflowed_rows: Vec<Tuple> = Vec::new();
     while let Some(item) = build.next() {
+        n += 1;
+        if n & 1023 == 0 {
+            token.check()?;
+        }
         let t = item?;
         build_bytes += Frame::tuple_size(&t);
         if !key_has_unknown(&t, &cfg.right_keys) {
@@ -126,6 +134,10 @@ fn join_level(
         .map(|_| ctx.new_run())
         .collect::<Result<_>>()?;
     for t in probe {
+        n += 1;
+        if n & 1023 == 0 {
+            token.check()?;
+        }
         let t = t?;
         if key_has_unknown(&t, &cfg.left_keys) {
             // unknown keys match nothing; for outer joins they still surface
@@ -168,7 +180,13 @@ fn probe_table(
     cfg: &HashJoinCfg,
     emit: &mut dyn FnMut(Tuple) -> Result<bool>,
 ) -> Result<bool> {
+    let token = crate::cancel::current();
+    let mut n = 0u64;
     for t in probe {
+        n += 1;
+        if n & 1023 == 0 {
+            token.check()?;
+        }
         let t = t?;
         if !key_has_unknown(&t, &cfg.left_keys) {
             if let Some(bucket) = table.get(&hash_key(&t, &cfg.left_keys)) {
@@ -221,8 +239,14 @@ pub fn nested_loop_join(
     right_arity: usize,
     emit: &mut dyn FnMut(Tuple) -> Result<bool>,
 ) -> Result<()> {
+    let token = crate::cancel::current();
+    let mut n = 0u64;
     let build: Vec<Tuple> = build.collect::<Result<_>>()?;
     for t in probe {
+        n += 1;
+        if n & 1023 == 0 {
+            token.check()?;
+        }
         let t = t?;
         let mut matched = false;
         for b in &build {

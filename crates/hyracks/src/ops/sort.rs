@@ -27,10 +27,19 @@ pub fn external_sort(
     memory: usize,
     ctx: Arc<RuntimeCtx>,
 ) -> Result<Box<dyn Iterator<Item = Result<Tuple>> + Send>> {
+    // Sorting is a pipeline breaker: a cancelled job would otherwise keep
+    // buffering/spilling to the end of its input, so poll the job token on a
+    // stride (never per tuple — the check is off the hot path).
+    let token = crate::cancel::current();
+    let mut n = 0u64;
     let mut buffer: Vec<Tuple> = Vec::new();
     let mut bytes = 0usize;
     let mut runs: Vec<RunHandle> = Vec::new();
     for t in input {
+        n += 1;
+        if n & 1023 == 0 {
+            token.check()?;
+        }
         let t = t?;
         bytes += Frame::tuple_size(&t);
         buffer.push(t);
@@ -59,6 +68,10 @@ pub fn external_sort(
             let merged = merge_runs(chunk, &keys)?;
             let mut w = ctx.new_run()?;
             for t in merged {
+                n += 1;
+                if n & 1023 == 0 {
+                    token.check()?;
+                }
                 w.write(&t?)?;
             }
             next.push(w.finish(&ctx)?);
@@ -213,8 +226,14 @@ pub fn top_k(
         return Ok(Vec::new());
     }
     // Max-heap of the current k smallest (root = largest of the kept set).
+    let token = crate::cancel::current();
+    let mut n = 0u64;
     let mut kept: Vec<Tuple> = Vec::with_capacity(k + 1);
     for t in input {
+        n += 1;
+        if n & 1023 == 0 {
+            token.check()?;
+        }
         let t = t?;
         kept.push(t);
         if kept.len() > k {

@@ -83,6 +83,43 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Sender::send_timeout`]; both variants hand the
+    /// unsent message back to the caller.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum SendTimeoutError<T> {
+        Timeout(T),
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Display for SendTimeoutError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                SendTimeoutError::Timeout(_) => write!(f, "timed out sending on a full channel"),
+                SendTimeoutError::Disconnected(_) => {
+                    write!(f, "sending on a disconnected channel")
+                }
+            }
+        }
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => write!(f, "timed out receiving on an empty channel"),
+                RecvTimeoutError::Disconnected => {
+                    write!(f, "receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
     impl fmt::Display for TryRecvError {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             match self {
@@ -142,6 +179,38 @@ pub mod channel {
                 st = self.0.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
             }
         }
+
+        /// Send that gives up after `timeout`, handing the message back.
+        /// Cancellation-aware callers loop on `Timeout`, polling their
+        /// token between attempts, so a producer never blocks forever on a
+        /// full channel whose consumer died or stalled.
+        pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut st = self.0.lock();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendTimeoutError::Disconnected(value));
+                }
+                let full = st.cap.is_some_and(|c| st.queue.len() >= c.max(1));
+                if !full {
+                    st.queue.push_back(value);
+                    self.0.cv.notify_all();
+                    drop(st);
+                    bump_global();
+                    return Ok(());
+                }
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    return Err(SendTimeoutError::Timeout(value));
+                }
+                let (g, _) = self
+                    .0
+                    .cv
+                    .wait_timeout(st, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                st = g;
+            }
+        }
     }
 
     impl<T> Clone for Sender<T> {
@@ -179,6 +248,35 @@ pub mod channel {
                     return Err(RecvError);
                 }
                 st = self.0.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Receive that gives up after `timeout`. Queued messages are
+        /// always drained before `Disconnected` is reported, matching
+        /// `recv`/`try_recv`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut st = self.0.lock();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    self.0.cv.notify_all();
+                    drop(st);
+                    bump_global();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (g, _) = self
+                    .0
+                    .cv
+                    .wait_timeout(st, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                st = g;
             }
         }
 
@@ -326,6 +424,45 @@ pub mod channel {
                 }
             }
         }
+
+        /// Like [`Select::select`], but gives up after `timeout` so callers
+        /// can interleave readiness waits with cancellation polls.
+        pub fn select_timeout(
+            &mut self,
+            timeout: Duration,
+        ) -> Result<SelectedOperation, SelectTimeoutError> {
+            assert!(!self.probes.is_empty(), "select with no operations");
+            let deadline = std::time::Instant::now() + timeout;
+            let g = global();
+            let mut gen = g.generation.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                for (i, p) in self.probes.iter().enumerate() {
+                    if p.probe_ready() {
+                        return Ok(SelectedOperation { index: i });
+                    }
+                }
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    return Err(SelectTimeoutError);
+                }
+                let step = (deadline - now).min(Duration::from_millis(5));
+                let (g2, _) = g
+                    .cv
+                    .wait_timeout(gen, step)
+                    .unwrap_or_else(PoisonError::into_inner);
+                gen = g2;
+            }
+        }
+    }
+
+    /// Error returned by [`Select::select_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SelectTimeoutError;
+
+    impl fmt::Display for SelectTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "timed out waiting for a ready operation")
+        }
     }
 }
 
@@ -410,6 +547,48 @@ mod tests {
         let op = sel.select();
         assert!(op.recv(&rx).is_err());
         h.join().unwrap();
+    }
+
+    #[test]
+    fn send_timeout_full_then_drained() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        match tx.send_timeout(2, Duration::from_millis(10)) {
+            Err(SendTimeoutError::Timeout(v)) => assert_eq!(v, 2, "message handed back"),
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.send_timeout(2, Duration::from_millis(10)).unwrap();
+        drop(rx);
+        assert!(matches!(
+            tx.send_timeout(3, Duration::from_millis(10)),
+            Err(SendTimeoutError::Disconnected(3))
+        ));
+    }
+
+    #[test]
+    fn recv_timeout_drains_before_disconnect() {
+        let (tx, rx) = bounded(2);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Timeout));
+        tx.send(5).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(5));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn select_timeout_expires_and_recovers() {
+        let (tx, rx) = bounded::<i32>(1);
+        let mut sel = Select::new();
+        sel.recv(&rx);
+        assert!(sel.select_timeout(Duration::from_millis(10)).is_err());
+        tx.send(4).unwrap();
+        let op = sel.select_timeout(Duration::from_millis(100)).unwrap();
+        assert_eq!(op.index(), 0);
+        assert_eq!(op.recv(&rx).unwrap(), 4);
     }
 
     #[test]
