@@ -12,9 +12,11 @@
 //! repro profile e01 --out profile.json   # also write the JSON document
 //! repro chaos        # replayable fault-injection suite (default seed 42)
 //! repro chaos --seed 7   # same suite under a pinned seed
+//! repro serving      # concurrent-serving SLO sweep -> BENCH_serving.json
+//! repro serving --out FILE   # write the JSON somewhere else
 //! ```
 
-use asterix_bench::{chaos, experiments, hotpath, profile};
+use asterix_bench::{chaos, experiments, hotpath, profile, serving};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -57,6 +59,22 @@ fn main() {
         } else {
             println!("{}", run.json);
         }
+        return;
+    }
+    if args.iter().any(|a| a == "serving") {
+        let out = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_serving.json".into());
+        let json = serving::run(quick);
+        std::fs::write(&out, &json).unwrap_or_else(|e| {
+            eprintln!("cannot write {out}: {e}");
+            std::process::exit(1);
+        });
+        print!("{json}");
+        eprintln!("serving SLO baseline written to {out}");
         return;
     }
     if args.iter().any(|a| a == "hotpath") {

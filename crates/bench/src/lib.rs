@@ -12,6 +12,7 @@ pub mod experiments;
 pub mod hotpath;
 pub mod profile;
 pub mod report;
+pub mod serving;
 
 pub use report::ExpReport;
 

@@ -1,0 +1,250 @@
+//! Tail-latency SLO bench for the concurrent serving layer — the persistent
+//! baseline behind `BENCH_serving.json`.
+//!
+//! N closed-loop clients (each a [`Session`], each with exactly one query in
+//! flight) hammer one instance with a fixed mix of the repo's experiment
+//! workload shapes:
+//!
+//! * **e01-shape** — GROUP BY COUNT aggregation over the whole dataset;
+//! * **e04-shape** — GROUP BY COUNT + SUM (two aggregates per group);
+//! * **e07-shape** — primary-key point lookup.
+//!
+//! For each client count the suite reports queries/sec and the p50/p95/p99
+//! latency of the *full* serving path — admission queueing included, because
+//! queue wait is exactly what an SLO on a saturated system is about.
+//!
+//! Latencies are wall-clock on whatever host runs this, so absolute numbers
+//! are only comparable within one run; the point of the artifact is the
+//! *shape*: tail latency as a function of offered concurrency under a fixed
+//! admission configuration (which the JSON records).
+
+use asterix_core::scheduler::SchedulerConfig;
+use asterix_core::{CoreError, Instance, InstanceConfig};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Client counts the sweep visits (the acceptance floor is three points).
+const CLIENTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Point {
+    clients: usize,
+    queries: usize,
+    elapsed_s: f64,
+    qps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    backpressure_retries: u64,
+}
+
+fn fnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Nearest-rank percentile over an already-sorted sample.
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((q * sorted_ms.len() as f64).ceil() as usize).clamp(1, sorted_ms.len());
+    sorted_ms[rank - 1]
+}
+
+fn setup(records: usize) -> Instance {
+    let db = Instance::open(InstanceConfig {
+        scheduler: SchedulerConfig::default(),
+        ..Default::default()
+    })
+    .expect("open instance");
+    db.execute_sqlpp(
+        "CREATE TYPE M AS { messageId: int, authorId: int, grp: int, val: int, message: string };
+         CREATE DATASET Messages(M) PRIMARY KEY messageId;",
+    )
+    .expect("ddl");
+    let mut txn = db.begin();
+    for i in 0..records {
+        let rec = asterix_adm::parse::parse_value(&format!(
+            r#"{{"messageId":{i},"authorId":{},"grp":{},"val":{},"message":"msg body {i}"}}"#,
+            i % 97,
+            i % 64,
+            i % 1000,
+        ))
+        .expect("record");
+        txn.write("Messages", &rec, true).expect("load");
+    }
+    txn.commit().expect("commit");
+    db
+}
+
+/// The query mix, cycled per client by query index.
+fn query_text(records: usize, client: usize, k: usize) -> String {
+    match k % 3 {
+        0 => "SELECT m.authorId AS a, COUNT(*) AS c FROM Messages m GROUP BY m.authorId".into(),
+        1 => "SELECT m.grp AS g, COUNT(*) AS c, SUM(m.val) AS s FROM Messages m GROUP BY m.grp"
+            .into(),
+        _ => {
+            // point lookups spread across the key space per (client, k)
+            let key = (client * 7919 + k * 131) % records;
+            format!("SELECT VALUE m.message FROM Messages m WHERE m.messageId = {key}")
+        }
+    }
+}
+
+/// One closed-loop sweep point: `clients` sessions, each running
+/// `queries_per_client` queries back-to-back. Returns every query's latency
+/// plus the backpressure-retry count.
+fn run_point(db: &Instance, clients: usize, queries_per_client: usize, records: usize) -> Point {
+    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+    let backpressure = std::sync::atomic::AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let latencies = &latencies;
+            let backpressure = &backpressure;
+            let session = db.session();
+            scope.spawn(move || {
+                let mut mine = Vec::with_capacity(queries_per_client);
+                for k in 0..queries_per_client {
+                    let text = query_text(records, c, k);
+                    let t0 = Instant::now();
+                    loop {
+                        match session.submit(&text) {
+                            Ok(handle) => {
+                                handle.wait().expect("bench query");
+                                break;
+                            }
+                            // typed backpressure: the closed-loop client
+                            // backs off and resubmits (latency keeps
+                            // accruing — the client is still waiting)
+                            Err(CoreError::Saturated(_)) => {
+                                backpressure.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                            Err(e) => panic!("bench query failed: {e}"),
+                        }
+                    }
+                    mine.push(t0.elapsed().as_secs_f64() * 1e3);
+                }
+                latencies.lock().expect("latency lock").extend(mine);
+            });
+        }
+    });
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let mut ms = latencies.into_inner().expect("latency lock");
+    ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let queries = ms.len();
+    Point {
+        clients,
+        queries,
+        elapsed_s,
+        qps: queries as f64 / elapsed_s,
+        p50_ms: percentile(&ms, 0.50),
+        p95_ms: percentile(&ms, 0.95),
+        p99_ms: percentile(&ms, 0.99),
+        backpressure_retries: backpressure.into_inner(),
+    }
+}
+
+/// Runs the sweep and renders `BENCH_serving.json`'s contents.
+pub fn run(quick: bool) -> String {
+    let records = if quick { 2_000 } else { 8_000 };
+    let queries_per_client = if quick { 9 } else { 30 };
+    eprintln!("serving: loading {records} records...");
+    let db = setup(records);
+    let mut points = Vec::new();
+    for clients in CLIENTS {
+        eprintln!("serving: {clients} closed-loop client(s)...");
+        points.push(run_point(&db, clients, queries_per_client, records));
+    }
+    let sched = db.scheduler().config().clone();
+    let metrics = db.metrics_snapshot();
+
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema_version\": 1,\n");
+    s.push_str("  \"generated_by\": \"repro serving\",\n");
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str(&format!(
+        "  \"host\": {{ \"cpus\": {} }},\n",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    ));
+    s.push_str(
+        "  \"methodology\": \"closed-loop clients, one query in flight each; \
+         latency spans submit->rows including admission queueing; percentiles \
+         are nearest-rank over all queries of a point\",\n",
+    );
+    s.push_str(&format!(
+        "  \"workload\": {{ \"records\": {records}, \"queries_per_client\": \
+         {queries_per_client}, \"mix\": [\"e01_group_count\", \"e04_group_count_sum\", \
+         \"e07_point_lookup\"] }},\n",
+    ));
+    s.push_str(&format!(
+        "  \"scheduler\": {{ \"total_memory\": {}, \"default_query_memory\": {}, \
+         \"max_concurrent\": {}, \"queue_depth\": {} }},\n",
+        sched.total_memory, sched.default_query_memory, sched.max_concurrent, sched.queue_depth,
+    ));
+    s.push_str(&format!(
+        "  \"serving_counters\": {{ \"admitted\": {}, \"rejected\": {}, \"completed\": {} }},\n",
+        metrics.counter("core.serving.admitted").unwrap_or(0),
+        metrics.counter("core.serving.rejected").unwrap_or(0),
+        metrics.counter("core.serving.completed").unwrap_or(0),
+    ));
+    s.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{ \"clients\": {}, \"queries\": {}, \"elapsed_s\": {}, \"qps\": {}, \
+             \"p50_ms\": {}, \"p95_ms\": {}, \"p99_ms\": {}, \"backpressure_retries\": {} }}{}\n",
+            p.clients,
+            p.queries,
+            fnum(p.elapsed_s),
+            fnum(p.qps),
+            fnum(p.p50_ms),
+            fnum(p.p95_ms),
+            fnum(p.p99_ms),
+            p.backpressure_retries,
+            if i + 1 < points.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let ms: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(super::percentile(&ms, 0.50), 50.0);
+        assert_eq!(super::percentile(&ms, 0.95), 95.0);
+        assert_eq!(super::percentile(&ms, 0.99), 99.0);
+        assert_eq!(super::percentile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn serving_quick_meets_acceptance_shape() {
+        let json = super::run(true);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains("NaN") && !json.contains("inf"));
+        assert!(json.contains("\"schema_version\": 1"));
+        // one point per client count, each with ordered percentiles
+        let points: Vec<&str> = json.lines().filter(|l| l.contains("\"clients\": ")).collect();
+        assert_eq!(points.len(), super::CLIENTS.len());
+        for line in points {
+            let grab = |k: &str| -> f64 {
+                line.split(&format!("\"{k}\": "))
+                    .nth(1)
+                    .and_then(|s| s.split(|c: char| !c.is_ascii_digit() && c != '.').next())
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(f64::NAN)
+            };
+            let (p50, p95, p99, qps) = (grab("p50_ms"), grab("p95_ms"), grab("p99_ms"), grab("qps"));
+            assert!(p50 <= p95 && p95 <= p99, "percentile order: {line}");
+            assert!(qps > 0.0, "qps must be positive: {line}");
+        }
+    }
+}

@@ -27,6 +27,13 @@ pub enum CoreError {
     /// A cluster node is down (transient: the query may succeed on retry
     /// once the node restarts or the retry policy restarts it).
     NodeDown(usize),
+    /// The query scheduler refused admission: the global memory pool cannot
+    /// cover the requested budget, or the bounded admission queue is full.
+    /// This is *backpressure*, not a fault — the system is telling the
+    /// client to slow down or resubmit later. Deliberately non-transient:
+    /// the instance-level retry loop must not convert an overload signal
+    /// into more load.
+    Saturated(String),
     /// Filesystem problems.
     Io(std::io::Error),
     /// Unsupported operation.
@@ -67,6 +74,7 @@ impl fmt::Display for CoreError {
             CoreError::Adm(e) => write!(f, "{e}"),
             CoreError::Txn(m) => write!(f, "transaction error: {m}"),
             CoreError::NodeDown(id) => write!(f, "node {id} is down"),
+            CoreError::Saturated(m) => write!(f, "admission rejected: {m}"),
             CoreError::Io(e) => write!(f, "I/O error: {e}"),
             CoreError::Unsupported(m) => write!(f, "unsupported: {m}"),
         }

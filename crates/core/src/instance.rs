@@ -16,6 +16,7 @@ use crate::catalog::{Catalog, DatasetKind};
 use crate::dataset::{extract_pk, partition_of, DatasetPartition, StorageConfig};
 use crate::error::{CoreError, Result};
 use crate::node::Cluster;
+use crate::scheduler::{QueryControl, QueryScheduler, SchedulerConfig, Session};
 use crate::sources::{DatasetRuntime, DatasetSource, ExternalSource};
 use crate::txn::{TxnManager, UndoEntry};
 use asterix_adm::binary::{decode, encode};
@@ -24,7 +25,7 @@ use asterix_algebricks::jobgen::{self, JobGenConfig};
 use asterix_algebricks::plan::VarGen;
 use asterix_algebricks::rules::optimize;
 use asterix_algebricks::source::DataSource;
-use asterix_hyracks::{DataflowFaults, JobOptions, RuntimeCtx};
+use asterix_hyracks::{CancellationToken, DataflowFaults, JobOptions, RuntimeCtx};
 use asterix_sqlpp::ast::{DmlStmt, Query, Stmt};
 use asterix_sqlpp::translate::{translate_query, CatalogView};
 use asterix_storage::wal::{committed_operations, read_log, WalRecord};
@@ -32,6 +33,7 @@ use asterix_storage::lock_order::OrderedRwLock;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -102,6 +104,10 @@ pub struct InstanceConfig {
     /// instance runs under its seeded fault schedules (`None` in
     /// production).
     pub dataflow_faults: Option<Arc<DataflowFaults>>,
+    /// Admission control for concurrently served queries (global memory
+    /// pool, concurrency gate, bounded priority queue) — see
+    /// [`crate::scheduler`].
+    pub scheduler: SchedulerConfig,
 }
 
 impl Default for InstanceConfig {
@@ -121,6 +127,7 @@ impl Default for InstanceConfig {
             retry: RetryPolicy::default(),
             query_deadline: None,
             dataflow_faults: None,
+            scheduler: SchedulerConfig::default(),
         }
     }
 }
@@ -155,8 +162,14 @@ struct Inner {
     ctx: Arc<RuntimeCtx>,
     vargen: Mutex<VarGen>,
     ddl_log: Mutex<Vec<String>>,
-    /// Profile tree of the most recently completed query job.
+    /// Profile tree of the most recently completed query job. Deprecated
+    /// facade kept for single-client callers; concurrent clients read
+    /// per-query profiles from their [`crate::scheduler::QueryHandle`]s.
     last_profile: Mutex<Option<asterix_obs::JobProfile>>,
+    /// Admission controller for the concurrent serving path.
+    sched: Arc<QueryScheduler>,
+    /// Session-id allocator for [`Instance::session`].
+    next_session: AtomicU64,
 }
 
 /// An AsterixDB instance. Cloning yields another handle on the same
@@ -205,6 +218,7 @@ impl Instance {
             config.dataflow_faults.clone(),
         )
         .map_err(CoreError::Hyracks)?;
+        let sched = QueryScheduler::new(config.scheduler.clone(), ctx.registry());
         let inner = Arc::new(Inner {
             config,
             root,
@@ -217,6 +231,8 @@ impl Instance {
             vargen: Mutex::new(VarGen::new()),
             ddl_log: Mutex::new(Vec::new()),
             last_profile: Mutex::new(None),
+            sched,
+            next_session: AtomicU64::new(1),
         });
         let instance = Instance { inner };
         instance.recover()?;
@@ -373,20 +389,52 @@ impl Instance {
     /// the typed, non-retried
     /// [`HyracksError::DeadlineExceeded`](asterix_hyracks::HyracksError).
     pub fn query_with_deadline(&self, text: &str, deadline: Duration) -> Result<Vec<Value>> {
+        let q = self.parse_single_query(text)?;
+        self.run_query_deadline(&q, Some(deadline))
+    }
+
+    /// Parses `text` as SQL++ and returns its trailing query statement.
+    pub(crate) fn parse_single_query(&self, text: &str) -> Result<Query> {
         let stmts = asterix_sqlpp::parse_sqlpp(text).map_err(CoreError::Sqlpp)?;
         let Some(Stmt::Query(q)) = stmts.into_iter().next_back() else {
             return Err(CoreError::Unsupported("statement was not a query".into()));
         };
-        self.run_query_deadline(&q, Some(deadline))
+        Ok(q)
     }
 
-    /// Cancels the query job currently executing on this instance, if any.
-    /// Every worker of the job observes the shared token and unwinds; the
-    /// query call returns the typed
+    /// Opens a client [`Session`] for concurrent query submission
+    /// ([`Session::submit`] → [`crate::scheduler::QueryHandle`]).
+    pub fn session(&self) -> Session {
+        let id = self.inner.next_session.fetch_add(1, Ordering::Relaxed);
+        Session::new(self.clone(), id)
+    }
+
+    /// The admission controller serving this instance (pool accounting for
+    /// tests and benches).
+    pub fn scheduler(&self) -> &Arc<QueryScheduler> {
+        &self.inner.sched
+    }
+
+    /// The instance-wide default query deadline.
+    pub(crate) fn default_deadline(&self) -> Option<Duration> {
+        self.inner.config.query_deadline
+    }
+
+    /// Updates the deprecated instance-wide last-profile facade.
+    pub(crate) fn store_last_profile(&self, profile: asterix_obs::JobProfile) {
+        *self.inner.last_profile.lock() = Some(profile);
+    }
+
+    /// Cancels **every** query job currently executing on this instance —
+    /// the broad hammer, kept as a facade for single-client callers and
+    /// emergency shedding. Every worker of every live job observes its
+    /// token and unwinds; each affected query returns the typed
     /// [`HyracksError::Cancelled`](asterix_hyracks::HyracksError) carrying
-    /// `reason`. Returns true when a live job was actually tripped.
+    /// `reason`. Prefer [`crate::scheduler::QueryHandle::cancel`], which
+    /// cancels exactly one query. Returns true when at least one live job
+    /// was tripped.
     pub fn cancel_job(&self, reason: &str) -> bool {
-        self.inner.ctx.cancel_current_job(reason)
+        self.inner.ctx.cancel_all_jobs(reason)
     }
 
     /// Kills cluster node `id` (simulated machine failure — durable state
@@ -590,22 +638,43 @@ impl Instance {
         self.run_query_deadline(q, self.inner.config.query_deadline)
     }
 
+    /// Runs one translated query under the default deadline, feeding the
+    /// deprecated instance-wide [`Instance::last_profile`] facade.
+    fn run_query_deadline(&self, q: &Query, deadline: Option<Duration>) -> Result<Vec<Value>> {
+        let (rows, profile) = self.run_query_profiled(q, deadline, None, None)?;
+        self.store_last_profile(profile);
+        Ok(rows)
+    }
+
     /// Runs one translated query: translate/optimize once, then execute with
     /// the configured [`RetryPolicy`] — transient failures (node down,
     /// injected faults, partitions dying mid-stream) re-run the job with
     /// exponential backoff; deterministic failures surface immediately.
-    fn run_query_deadline(&self, q: &Query, deadline: Option<Duration>) -> Result<Vec<Value>> {
+    ///
+    /// The concurrent serving path supplies `control` (per-query
+    /// cancellation shared with a [`crate::scheduler::QueryHandle`]) and
+    /// `memory_budget` (the admission reservation, which caps each
+    /// operator's working memory below the instance-wide `op_memory`).
+    pub(crate) fn run_query_profiled(
+        &self,
+        q: &Query,
+        deadline: Option<Duration>,
+        control: Option<&QueryControl>,
+        memory_budget: Option<usize>,
+    ) -> Result<(Vec<Value>, asterix_obs::JobProfile)> {
         let view = self.catalog_view();
         let mut plan = {
             let mut vg = self.inner.vargen.lock();
             translate_query(q, &view, &mut vg).map_err(CoreError::Sqlpp)?
         };
         optimize(&mut plan);
+        let op_memory = memory_budget
+            .map_or(self.inner.config.op_memory, |b| self.inner.config.op_memory.min(b));
         let cfg = JobGenConfig {
             dop: self.inner.config.partitions.max(1),
-            sort_memory: self.inner.config.op_memory,
-            join_memory: self.inner.config.op_memory,
-            group_memory: self.inner.config.op_memory,
+            sort_memory: op_memory,
+            join_memory: op_memory,
+            group_memory: op_memory,
             local_aggregation: self.inner.config.local_aggregation,
         };
         let retry = &self.inner.config.retry;
@@ -614,18 +683,33 @@ impl Instance {
         loop {
             attempt += 1;
             // A fresh token per attempt: a cancelled or timed-out attempt
-            // must not poison its successor.
-            let opts = JobOptions { token: None, deadline };
-            let err = match jobgen::execute_profiled_with(
+            // must not poison its successor. When a handle is attached, the
+            // attempt token is installed in its control slot *before* the
+            // handle token is re-checked, so a `cancel()` landing between
+            // attempts always trips one of the two.
+            let token = if let Some(ctrl) = control {
+                let t = CancellationToken::new();
+                *ctrl.attempt.lock() = Some(t.clone());
+                if let Err(e) = ctrl.token.check() {
+                    *ctrl.attempt.lock() = None;
+                    return Err(CoreError::Hyracks(e));
+                }
+                Some(t)
+            } else {
+                None
+            };
+            let opts = JobOptions { token, deadline };
+            let outcome = jobgen::execute_profiled_with(
                 &plan,
                 &cfg,
                 Arc::clone(&self.inner.ctx),
                 opts,
-            ) {
-                Ok((rows, profile)) => {
-                    *self.inner.last_profile.lock() = Some(profile);
-                    return Ok(rows);
-                }
+            );
+            if let Some(ctrl) = control {
+                *ctrl.attempt.lock() = None;
+            }
+            let err = match outcome {
+                Ok((rows, profile)) => return Ok((rows, profile)),
                 Err(e) => CoreError::from(e),
             };
             if attempt >= max_attempts || !err.is_transient() {
@@ -653,6 +737,11 @@ impl Instance {
     /// Per-operator profile tree of the most recently completed query
     /// (EXPLAIN PROFILE-style), or `None` before the first query. DML that
     /// runs an internal query (e.g. DELETE's victim scan) updates it too.
+    ///
+    /// Deprecated facade: with concurrent clients "most recent" is a race —
+    /// whichever query finishes last wins. Concurrent callers should read
+    /// [`crate::scheduler::QueryHandle::profile`], which is always the
+    /// handle's own query.
     pub fn last_profile(&self) -> Option<asterix_obs::JobProfile> {
         self.inner.last_profile.lock().clone()
     }

@@ -26,6 +26,9 @@
 //! * [`feeds`] — continuous batched ingestion of data-in-motion;
 //! * [`pubsub`] — BAD-style channels ("Big Active Data", §IV): repetitive
 //!   channel queries pushing results to subscribers;
+//! * [`scheduler`] — concurrent query serving: budget-based admission
+//!   control, the bounded priority queue with typed backpressure, and
+//!   session-scoped query handles;
 //! * [`interchange`] — CSV/JSON import & export (§V-D round-tripping);
 //! * [`datagen`] — deterministic Gleambook/spatial/log data generators.
 
@@ -40,8 +43,12 @@ pub mod instance;
 pub mod interchange;
 pub mod node;
 pub mod pubsub;
+pub mod scheduler;
 pub mod sources;
 pub mod txn;
 
 pub use error::{CoreError, Result};
 pub use instance::{Instance, InstanceConfig, Language, RetryPolicy};
+pub use scheduler::{
+    PoolSnapshot, Priority, QueryHandle, QueryOptions, QueryScheduler, SchedulerConfig, Session,
+};

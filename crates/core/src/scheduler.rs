@@ -1,0 +1,618 @@
+//! Concurrent query serving: admission control under a global memory pool,
+//! a bounded priority queue with typed backpressure, and session-scoped
+//! query handles.
+//!
+//! The paper's cluster controller admits many simultaneous jobs; memory is
+//! the resource that actually kills an overloaded BDMS, so admission here is
+//! budget-based. Every query reserves a slice of a global pool before it may
+//! execute; queries that cannot be admitted immediately wait in a bounded
+//! priority queue, and submissions past the queue bound are refused with the
+//! typed [`CoreError::Saturated`] — backpressure the client can act on,
+//! rather than an unbounded pile-up that eventually takes the node down.
+//!
+//! # Admission protocol
+//!
+//! 1. [`Session::submit`] synchronously reserves a [`Ticket`]: either an
+//!    *eager* admission (pool and concurrency slot free, nobody queued ahead)
+//!    or a queue entry. A full queue or an impossible budget (larger than the
+//!    whole pool) rejects right here with [`CoreError::Saturated`].
+//! 2. A worker thread redeems the ticket ([`QueryScheduler`] internal
+//!    `admit_wait`), blocking until the query is at the head of the queue
+//!    *and* both a concurrency slot and its memory budget are free. Admission
+//!    order is strict priority-then-FIFO with no bypass: a small query never
+//!    overtakes the queue head even when it would fit, which trades a little
+//!    utilization for a starvation-freedom guarantee.
+//! 3. The returned `AdmissionGuard` releases the budget and slot on drop —
+//!    success, failure, and panic paths all return resources to the pool.
+//!
+//! Cancellation works at every stage: a queued query that is cancelled
+//! removes itself from the queue and reports the typed
+//! [`HyracksError::Cancelled`](asterix_hyracks::HyracksError); a running
+//! query trips its current attempt's job token.
+//!
+//! Lock ordering: the scheduler's queue/pool mutex ranks first in the global
+//! [`lock_order`] hierarchy (`"scheduler"`) — it is held only for queue
+//! bookkeeping, never across query execution, but execution downstream
+//! takes every other lock in the system. The condvar forces a plain
+//! `parking_lot` mutex here, so ordering is asserted with manual
+//! [`lock_order::acquire`] tokens (same pattern as the lock manager in
+//! [`crate::txn`]).
+
+use crate::error::{CoreError, Result};
+use crate::instance::Instance;
+use asterix_adm::Value;
+use asterix_hyracks::CancellationToken;
+use asterix_obs::{Counter, JobProfile, MetricsRegistry};
+use asterix_storage::lock_order;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Admission-control configuration (one scheduler per [`Instance`]).
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Global memory pool shared by all concurrently admitted queries.
+    pub total_memory: usize,
+    /// Budget reserved for a query that does not specify one
+    /// ([`QueryOptions::memory`]).
+    pub default_query_memory: usize,
+    /// Maximum concurrently *executing* queries, independent of memory.
+    pub max_concurrent: usize,
+    /// Maximum queries waiting for admission; submissions beyond this are
+    /// refused with [`CoreError::Saturated`].
+    pub queue_depth: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            total_memory: 256 << 20,
+            default_query_memory: 32 << 20,
+            max_concurrent: 4,
+            queue_depth: 16,
+        }
+    }
+}
+
+/// Queue priority. Higher priorities are admitted first; within a priority
+/// class admission is FIFO by submission order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    Low,
+    #[default]
+    Normal,
+    High,
+}
+
+/// Per-submission options for [`Session::submit_with`].
+#[derive(Debug, Clone, Default)]
+pub struct QueryOptions {
+    /// Queue priority (default [`Priority::Normal`]).
+    pub priority: Priority,
+    /// Memory budget to reserve from the global pool; `None` takes
+    /// [`SchedulerConfig::default_query_memory`]. The budget also caps the
+    /// per-operator working memory of the compiled job.
+    pub memory: Option<usize>,
+    /// Wall-clock deadline for the query; `None` takes the instance default.
+    pub deadline: Option<Duration>,
+}
+
+/// A queued (not yet admitted) submission.
+struct Waiting {
+    ticket: u64,
+    seq: u64,
+    priority: Priority,
+}
+
+struct PoolState {
+    free_memory: usize,
+    running: usize,
+    queue: Vec<Waiting>,
+    next_seq: u64,
+}
+
+impl PoolState {
+    /// Index of the queue head: highest priority, then earliest submission.
+    fn head(&self) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, w) in self.queue.iter().enumerate() {
+            let better = match best {
+                None => true,
+                Some(b) => {
+                    let cur = &self.queue[b];
+                    (w.priority, std::cmp::Reverse(w.seq))
+                        > (cur.priority, std::cmp::Reverse(cur.seq))
+                }
+            };
+            if better {
+                best = Some(i);
+            }
+        }
+        best
+    }
+}
+
+/// Point-in-time view of the admission pool (tests and the bench read it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolSnapshot {
+    /// Configured pool size.
+    pub total_memory: usize,
+    /// Memory not currently reserved by an admitted query.
+    pub free_memory: usize,
+    /// Queries currently holding an admission (executing).
+    pub running: usize,
+    /// Queries waiting in the admission queue.
+    pub queued: usize,
+}
+
+/// Admission controller: the global memory pool, the concurrency gate, and
+/// the bounded priority queue. One per [`Instance`]; obtained via
+/// [`Instance::scheduler`].
+pub struct QueryScheduler {
+    cfg: SchedulerConfig,
+    state: Mutex<PoolState>,
+    cv: Condvar,
+    next_ticket: AtomicU64,
+    admitted: Counter,
+    rejected: Counter,
+    queue_cancelled: Counter,
+    completed: Counter,
+}
+
+/// How often a queued waiter re-polls its cancellation token while parked.
+const ADMIT_POLL: Duration = Duration::from_millis(10);
+
+impl QueryScheduler {
+    pub(crate) fn new(cfg: SchedulerConfig, registry: &MetricsRegistry) -> Arc<QueryScheduler> {
+        Arc::new(QueryScheduler {
+            state: Mutex::new(PoolState {
+                free_memory: cfg.total_memory,
+                running: 0,
+                queue: Vec::new(),
+                next_seq: 0,
+            }),
+            cv: Condvar::new(),
+            next_ticket: AtomicU64::new(1),
+            admitted: registry.counter("core.serving.admitted"),
+            rejected: registry.counter("core.serving.rejected"),
+            queue_cancelled: registry.counter("core.serving.queue_cancelled"),
+            completed: registry.counter("core.serving.completed"),
+            cfg,
+        })
+    }
+
+    /// The configuration this scheduler was built with.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.cfg
+    }
+
+    /// Current pool accounting.
+    pub fn pool_snapshot(&self) -> PoolSnapshot {
+        let _order = lock_order::acquire("scheduler");
+        let st = self.state.lock();
+        PoolSnapshot {
+            total_memory: self.cfg.total_memory,
+            free_memory: st.free_memory,
+            running: st.running,
+            queued: st.queue.len(),
+        }
+    }
+
+    /// Synchronous admission step: reserve resources now (eager admission)
+    /// or a queue slot. The only point that refuses work — both refusal
+    /// shapes are [`CoreError::Saturated`].
+    pub(crate) fn enqueue(
+        self: &Arc<Self>,
+        budget: usize,
+        priority: Priority,
+    ) -> Result<Ticket> {
+        if budget > self.cfg.total_memory {
+            self.rejected.inc();
+            return Err(CoreError::Saturated(format!(
+                "query memory budget of {budget} bytes exceeds the global pool of {} bytes",
+                self.cfg.total_memory
+            )));
+        }
+        let id = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        let _order = lock_order::acquire("scheduler");
+        let mut st = self.state.lock();
+        // Eager path: resources free and nobody queued ahead of us.
+        if st.queue.is_empty()
+            && st.running < self.cfg.max_concurrent
+            && st.free_memory >= budget
+        {
+            st.running += 1;
+            st.free_memory -= budget;
+            return Ok(Ticket {
+                sched: Arc::clone(self),
+                id,
+                budget,
+                eager: true,
+                redeemed: false,
+            });
+        }
+        if st.queue.len() >= self.cfg.queue_depth {
+            drop(st);
+            self.rejected.inc();
+            return Err(CoreError::Saturated(format!(
+                "admission queue is full ({} waiting, depth {})",
+                self.cfg.queue_depth, self.cfg.queue_depth
+            )));
+        }
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.queue.push(Waiting { ticket: id, seq, priority });
+        Ok(Ticket {
+            sched: Arc::clone(self),
+            id,
+            budget,
+            eager: false,
+            redeemed: false,
+        })
+    }
+
+    /// Blocks until the ticket's query is admitted (or `token` cancels
+    /// first). Consumes the ticket; resources travel into the returned
+    /// guard.
+    pub(crate) fn admit_wait(
+        self: &Arc<Self>,
+        mut ticket: Ticket,
+        token: &CancellationToken,
+    ) -> Result<AdmissionGuard> {
+        let (id, budget) = (ticket.id, ticket.budget);
+        if ticket.eager {
+            ticket.redeemed = true;
+            self.admitted.inc();
+            return Ok(AdmissionGuard { sched: Arc::clone(self), budget });
+        }
+        let _order = lock_order::acquire("scheduler");
+        let mut st = self.state.lock();
+        loop {
+            if let Err(e) = token.check() {
+                // Cancelled while queued: withdraw our entry ourselves so
+                // the slot frees immediately, and report the typed error.
+                if let Some(pos) = st.queue.iter().position(|w| w.ticket == id) {
+                    st.queue.remove(pos);
+                }
+                ticket.redeemed = true;
+                drop(st);
+                self.queue_cancelled.inc();
+                self.cv.notify_all();
+                return Err(CoreError::Hyracks(e));
+            }
+            let at_head = st.head().is_some_and(|h| st.queue[h].ticket == id);
+            if at_head && st.running < self.cfg.max_concurrent && st.free_memory >= budget {
+                if let Some(pos) = st.queue.iter().position(|w| w.ticket == id) {
+                    st.queue.remove(pos);
+                }
+                st.running += 1;
+                st.free_memory -= budget;
+                ticket.redeemed = true;
+                drop(st);
+                self.admitted.inc();
+                return Ok(AdmissionGuard { sched: Arc::clone(self), budget });
+            }
+            // Bounded wait, then re-poll the token: admission must stay
+            // responsive to cancellation even if a wakeup is missed.
+            self.cv.wait_for(&mut st, ADMIT_POLL);
+        }
+    }
+
+    /// Returns `budget` and a concurrency slot to the pool and wakes every
+    /// waiter (the new head may be any of them).
+    fn release(&self, budget: usize) {
+        let _order = lock_order::acquire("scheduler");
+        let mut st = self.state.lock();
+        st.running = st.running.saturating_sub(1);
+        st.free_memory = (st.free_memory + budget).min(self.cfg.total_memory);
+        drop(st);
+        self.completed.inc();
+        self.cv.notify_all();
+    }
+}
+
+/// A reserved admission: either eagerly admitted or a queue entry. Dropping
+/// an unredeemed ticket (e.g. worker-thread spawn failure) rolls the
+/// reservation back.
+pub(crate) struct Ticket {
+    sched: Arc<QueryScheduler>,
+    id: u64,
+    budget: usize,
+    eager: bool,
+    redeemed: bool,
+}
+
+impl Drop for Ticket {
+    fn drop(&mut self) {
+        if self.redeemed {
+            return;
+        }
+        if self.eager {
+            self.sched.release(self.budget);
+            return;
+        }
+        let _order = lock_order::acquire("scheduler");
+        let mut st = self.sched.state.lock();
+        if let Some(pos) = st.queue.iter().position(|w| w.ticket == self.id) {
+            st.queue.remove(pos);
+        }
+        drop(st);
+        self.sched.cv.notify_all();
+    }
+}
+
+/// RAII admission: holds one concurrency slot and `budget` bytes of the
+/// global pool; both return to the pool on drop, whatever path the query
+/// took out of execution.
+pub(crate) struct AdmissionGuard {
+    sched: Arc<QueryScheduler>,
+    budget: usize,
+}
+
+impl Drop for AdmissionGuard {
+    fn drop(&mut self) {
+        self.sched.release(self.budget);
+    }
+}
+
+/// Cancellation plumbing shared between a [`QueryHandle`] and the worker
+/// executing its query. The handle-level token lives for the whole query;
+/// each execution attempt runs under its own fresh job token (a cancelled
+/// or timed-out attempt must not poison a retry), so cancelling a running
+/// query has to trip *both*: the handle token stops the retry loop, the
+/// attempt token unwinds the dataflow currently executing.
+pub(crate) struct QueryControl {
+    /// Query-lifetime cancel signal.
+    pub(crate) token: CancellationToken,
+    /// Job token of the attempt currently executing, if any. The worker
+    /// installs the attempt token *before* re-checking `token`, so a cancel
+    /// that lands between attempts is never lost.
+    pub(crate) attempt: Mutex<Option<CancellationToken>>,
+}
+
+/// Terminal state of a finished query, written once by the worker.
+struct HandleState {
+    done: bool,
+    /// Taken (once) by `wait`.
+    outcome: Option<Result<Vec<Value>>>,
+    profile: Option<JobProfile>,
+}
+
+struct HandleShared {
+    state: Mutex<HandleState>,
+    cv: Condvar,
+    control: QueryControl,
+}
+
+/// A submitted query: cancel it, wait for its rows, read its profile. The
+/// handle is the *only* place this query's results and profile surface —
+/// queries submitted through different sessions can never observe each
+/// other's state (unlike the deprecated instance-wide
+/// [`Instance::last_profile`]). Dropping the handle without waiting
+/// detaches the query; it runs to completion and its resources are
+/// released normally.
+pub struct QueryHandle {
+    id: u64,
+    session: u64,
+    shared: Arc<HandleShared>,
+    worker: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl QueryHandle {
+    /// Instance-wide query id (admission ticket number).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Id of the [`Session`] this query was submitted through.
+    pub fn session_id(&self) -> u64 {
+        self.session
+    }
+
+    /// Cancels this query — and only this query. Queued: it withdraws from
+    /// the admission queue. Running: every worker of the current attempt
+    /// observes the token and unwinds. Either way [`QueryHandle::wait`]
+    /// returns the typed
+    /// [`HyracksError::Cancelled`](asterix_hyracks::HyracksError) carrying
+    /// `reason`. Returns true if this call tripped a live token.
+    pub fn cancel(&self, reason: &str) -> bool {
+        let handle_tripped = self.shared.control.token.cancel(reason);
+        let attempt = self.shared.control.attempt.lock().clone();
+        let attempt_tripped = attempt.is_some_and(|t| t.cancel(reason));
+        handle_tripped || attempt_tripped
+    }
+
+    /// True once the query has finished (rows ready or failed).
+    pub fn is_finished(&self) -> bool {
+        self.shared.state.lock().done
+    }
+
+    /// Blocks until the query finishes and returns its rows (or its typed
+    /// error). The outcome is consumed: a second `wait` reports an error.
+    pub fn wait(&self) -> Result<Vec<Value>> {
+        let outcome = {
+            let mut st = self.shared.state.lock();
+            while !st.done {
+                self.shared.cv.wait(&mut st);
+            }
+            st.outcome.take()
+        };
+        // Reap the worker thread (first waiter only; harmless if detached).
+        let worker = self.worker.lock().take();
+        if let Some(jh) = worker {
+            let _ = jh.join();
+        }
+        match outcome {
+            Some(r) => r,
+            None => Err(CoreError::Unsupported(
+                "query outcome already consumed by an earlier wait()".into(),
+            )),
+        }
+    }
+
+    /// Per-operator profile tree of *this* query, available once it
+    /// completes successfully. Never shows another query's tree.
+    pub fn profile(&self) -> Option<JobProfile> {
+        self.shared.state.lock().profile.clone()
+    }
+}
+
+/// A client session: the unit of result isolation. Queries submitted through
+/// a session return their rows and profiles only through their own
+/// [`QueryHandle`]s. Sessions are cheap (an instance handle plus an id) and
+/// independent — one per simulated client.
+pub struct Session {
+    instance: Instance,
+    id: u64,
+}
+
+impl Session {
+    pub(crate) fn new(instance: Instance, id: u64) -> Session {
+        Session { instance, id }
+    }
+
+    /// This session's instance-unique id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Submits one SQL++ query with default options. Parse errors and
+    /// admission rejections ([`CoreError::Saturated`]) surface synchronously;
+    /// execution errors surface from [`QueryHandle::wait`].
+    pub fn submit(&self, text: &str) -> Result<QueryHandle> {
+        self.submit_with(text, QueryOptions::default())
+    }
+
+    /// Submits one SQL++ query with explicit priority / memory budget /
+    /// deadline.
+    pub fn submit_with(&self, text: &str, opts: QueryOptions) -> Result<QueryHandle> {
+        // Parse up front: a malformed query is the submitter's error and
+        // should be typed and synchronous, not deferred to `wait`.
+        let query = self.instance.parse_single_query(text)?;
+        let sched = Arc::clone(self.instance.scheduler());
+        let budget = opts
+            .memory
+            .unwrap_or(sched.config().default_query_memory)
+            .max(1);
+        let deadline = opts.deadline.or(self.instance.default_deadline());
+        let ticket = sched.enqueue(budget, opts.priority)?;
+        let id = ticket.id;
+        let shared = Arc::new(HandleShared {
+            state: Mutex::new(HandleState { done: false, outcome: None, profile: None }),
+            cv: Condvar::new(),
+            control: QueryControl {
+                token: CancellationToken::new(),
+                attempt: Mutex::new(None),
+            },
+        });
+        let instance = self.instance.clone();
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name(format!("serve-q{id}"))
+            .spawn(move || {
+                let result = (|| {
+                    let _admission = sched.admit_wait(ticket, &worker_shared.control.token)?;
+                    instance.run_query_profiled(
+                        &query,
+                        deadline,
+                        Some(&worker_shared.control),
+                        Some(budget),
+                    )
+                })();
+                let mut st = worker_shared.state.lock();
+                match result {
+                    Ok((rows, profile)) => {
+                        // The profile also feeds the deprecated instance-wide
+                        // facade; the handle copy is this query's own.
+                        instance.store_last_profile(profile.clone());
+                        st.outcome = Some(Ok(rows));
+                        st.profile = Some(profile);
+                    }
+                    Err(e) => st.outcome = Some(Err(e)),
+                }
+                st.done = true;
+                drop(st);
+                worker_shared.cv.notify_all();
+            })
+            .map_err(CoreError::Io)?;
+        Ok(QueryHandle {
+            id,
+            session: self.id,
+            shared,
+            worker: Mutex::new(Some(worker)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_orders_low_normal_high() {
+        assert!(Priority::Low < Priority::Normal);
+        assert!(Priority::Normal < Priority::High);
+        assert_eq!(Priority::default(), Priority::Normal);
+    }
+
+    #[test]
+    fn head_prefers_priority_then_fifo() {
+        let st = PoolState {
+            free_memory: 0,
+            running: 0,
+            queue: vec![
+                Waiting { ticket: 1, seq: 0, priority: Priority::Normal },
+                Waiting { ticket: 2, seq: 1, priority: Priority::High },
+                Waiting { ticket: 3, seq: 2, priority: Priority::High },
+                Waiting { ticket: 4, seq: 3, priority: Priority::Low },
+            ],
+            next_seq: 4,
+        };
+        // Highest priority wins; among equal priorities the earliest seq.
+        let h = st.head().map(|i| st.queue[i].ticket);
+        assert_eq!(h, Some(2));
+    }
+
+    #[test]
+    fn eager_admission_reserves_and_ticket_drop_rolls_back() {
+        let reg = MetricsRegistry::new();
+        let sched = QueryScheduler::new(SchedulerConfig::default(), &reg);
+        let ticket = sched.enqueue(1 << 20, Priority::Normal).expect("admit");
+        let snap = sched.pool_snapshot();
+        assert_eq!(snap.running, 1);
+        assert_eq!(snap.free_memory, snap.total_memory - (1 << 20));
+        drop(ticket); // never redeemed: reservation must roll back
+        let snap = sched.pool_snapshot();
+        assert_eq!(snap.running, 0);
+        assert_eq!(snap.free_memory, snap.total_memory);
+    }
+
+    fn expect_saturated(r: Result<Ticket>) -> CoreError {
+        match r {
+            Ok(_) => panic!("expected Saturated rejection, got an admission"),
+            Err(e) => e,
+        }
+    }
+
+    #[test]
+    fn oversized_budget_and_full_queue_reject_typed() {
+        let reg = MetricsRegistry::new();
+        let cfg = SchedulerConfig {
+            total_memory: 1024,
+            default_query_memory: 512,
+            max_concurrent: 1,
+            queue_depth: 1,
+        };
+        let sched = QueryScheduler::new(cfg, &reg);
+        let err = expect_saturated(sched.enqueue(2048, Priority::Normal));
+        assert!(matches!(err, CoreError::Saturated(_)), "got {err}");
+        assert!(!err.is_transient(), "backpressure must not be retried");
+        // Fill the running slot and the one queue slot, then overflow.
+        let _running = sched.enqueue(512, Priority::Normal).expect("eager");
+        let _queued = sched.enqueue(512, Priority::Normal).expect("queued");
+        let err = expect_saturated(sched.enqueue(512, Priority::Normal));
+        assert!(matches!(err, CoreError::Saturated(_)), "got {err}");
+        assert_eq!(reg.snapshot().counter("core.serving.rejected"), Some(2));
+    }
+}

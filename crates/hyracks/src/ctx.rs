@@ -132,10 +132,12 @@ pub struct RuntimeCtx {
     /// deterministic test harness can control time).
     pub clock: Arc<dyn Clock>,
     registry: Arc<MetricsRegistry>,
-    /// Cancellation token of the job currently executing on this context,
-    /// installed by `exec::run_job_with` for its duration so external
-    /// callers ([`RuntimeCtx::cancel_current_job`]) can reach it.
-    current_job: Mutex<Option<CancellationToken>>,
+    /// Cancellation tokens of every job currently executing on this
+    /// context, installed by `exec::run_job_with` for the call's duration.
+    /// Concurrent serving means many jobs run at once; external callers
+    /// reach them via [`RuntimeCtx::cancel_all_jobs`] (or, per query,
+    /// through the scheduler's `QueryHandle`).
+    active_jobs: Mutex<Vec<CancellationToken>>,
     /// Optional deterministic chaos injector; `None` in production.
     faults: Option<Arc<DataflowFaults>>,
 }
@@ -168,7 +170,7 @@ impl RuntimeCtx {
             stats,
             clock,
             registry,
-            current_job: Mutex::new(None),
+            active_jobs: Mutex::new(Vec::new()),
             faults,
         }))
     }
@@ -211,27 +213,44 @@ impl RuntimeCtx {
         self.faults.as_ref()
     }
 
-    /// Cancels the job currently running on this context (if any). Returns
-    /// true when a live job token was tripped by this call.
-    pub fn cancel_current_job(&self, reason: &str) -> bool {
-        match &*self.current_job.lock() {
-            Some(token) => token.cancel(reason),
-            None => false,
+    /// Cancels every job currently running on this context. Returns true
+    /// when at least one live job token was tripped by this call.
+    ///
+    /// This is the broad hammer behind the deprecated single-job facade
+    /// (`Instance::cancel_job`); per-query cancellation goes through the
+    /// scheduler's `QueryHandle::cancel` instead.
+    pub fn cancel_all_jobs(&self, reason: &str) -> bool {
+        let tokens: Vec<CancellationToken> = self.active_jobs.lock().clone();
+        let mut tripped = false;
+        for token in &tokens {
+            tripped |= token.cancel(reason);
         }
+        tripped
     }
 
-    /// Installs `token` as the current job's token for the duration of a
+    /// Deprecated facade from the one-job-at-a-time era: cancels *all*
+    /// running jobs, since "the current job" is no longer a well-defined
+    /// notion under concurrent serving. Prefer `QueryHandle::cancel`.
+    pub fn cancel_current_job(&self, reason: &str) -> bool {
+        self.cancel_all_jobs(reason)
+    }
+
+    /// Number of jobs currently executing on this context.
+    pub fn active_job_count(&self) -> usize {
+        self.active_jobs.lock().len()
+    }
+
+    /// Registers `token` as an active job for the duration of a
     /// `run_job_with` call (executor only).
     pub(crate) fn install_job_token(&self, token: &CancellationToken) {
-        *self.current_job.lock() = Some(token.clone());
+        self.active_jobs.lock().push(token.clone());
     }
 
-    /// Clears the slot, but only if it still holds `token` — a concurrent
-    /// job that installed its own token is left alone.
+    /// Unregisters `token`; other concurrent jobs' tokens are left alone.
     pub(crate) fn clear_job_token(&self, token: &CancellationToken) {
-        let mut slot = self.current_job.lock();
-        if slot.as_ref().is_some_and(|t| t.same_as(token)) {
-            *slot = None;
+        let mut jobs = self.active_jobs.lock();
+        if let Some(pos) = jobs.iter().position(|t| t.same_as(token)) {
+            jobs.swap_remove(pos);
         }
     }
 

@@ -21,11 +21,26 @@
 //! Mutable structures (linear hashing) write through [`BufferCache::put`],
 //! which marks frames dirty; dirty frames are written back on eviction or
 //! [`BufferCache::flush_file`] — the classic steal/no-force discipline.
+//!
+//! # Request coalescing
+//!
+//! Concurrent serving turns a cold page into a *miss storm*: N scanners
+//! fault the same page at once and, with probe-then-read, all N issue the
+//! same physical read. The cache therefore keeps an in-flight-load map
+//! (level `cache_inflight`, acquired before `cache_shard`): the first
+//! requester of a missing key becomes the **leader** and performs the one
+//! physical read; later requesters find the key in-flight, park on the
+//! entry's condvar, and share the installed frame when the leader publishes
+//! it (counted as `cache.coalesced_waits` plus a logical hit). A failed
+//! leader read is published too — every waiter gets a typed
+//! [`StorageError::CoalescedLoad`] carrying the cause — and the slot is
+//! retired either way, so the next request for the page retries fresh.
 
 use crate::error::{Result, StorageError};
 use crate::io::{FileId, FileManager, PAGE_SIZE};
-use crate::lock_order::OrderedRwLock;
+use crate::lock_order::{OrderedMutex, OrderedRwLock};
 use crate::stats::{CacheShardSnapshot, IoStats};
+use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -76,6 +91,7 @@ struct Shard {
     misses: AtomicU64,
     evictions: AtomicU64,
     readaheads: AtomicU64,
+    coalesced_waits: AtomicU64,
 }
 
 impl Shard {
@@ -94,6 +110,7 @@ impl Shard {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             readaheads: AtomicU64::new(0),
+            coalesced_waits: AtomicU64::new(0),
         }
     }
 
@@ -106,6 +123,58 @@ impl Shard {
     }
 }
 
+/// Outcome slot of one in-flight physical load, shared between the leading
+/// reader and its parked waiters.
+enum LoadState {
+    Pending,
+    Ready(Arc<Vec<u8>>),
+    /// Rendered leader error (`StorageError` is not `Clone`; waiters wrap
+    /// the string in [`StorageError::CoalescedLoad`]).
+    Failed(String),
+}
+
+struct InflightEntry {
+    state: Mutex<LoadState>,
+    cv: Condvar,
+}
+
+impl InflightEntry {
+    fn new() -> InflightEntry {
+        InflightEntry { state: Mutex::new(LoadState::Pending), cv: Condvar::new() }
+    }
+
+    /// Publishes the leader's outcome and wakes every parked waiter.
+    fn resolve(&self, outcome: LoadState) {
+        let mut s = self.state.lock();
+        *s = outcome;
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    /// Parks until the leader resolves; returns the shared frame or the
+    /// leader's rendered error.
+    fn wait(&self) -> std::result::Result<Arc<Vec<u8>>, String> {
+        let mut s = self.state.lock();
+        loop {
+            match &*s {
+                LoadState::Pending => self.cv.wait(&mut s),
+                LoadState::Ready(d) => return Ok(Arc::clone(d)),
+                LoadState::Failed(m) => return Err(m.clone()),
+            }
+        }
+    }
+}
+
+/// How a missing-page request relates to the in-flight-load map.
+enum InflightRole {
+    /// The frame became resident between the miss probe and the map lock.
+    Hit(Arc<Vec<u8>>),
+    /// Another thread is already reading this page; park on its entry.
+    Waiter(Arc<InflightEntry>),
+    /// This thread claimed the slot and must perform the physical read.
+    Leader(Arc<InflightEntry>),
+}
+
 /// A lock-striped CLOCK buffer cache over one [`FileManager`].
 pub struct BufferCache {
     manager: Arc<FileManager>,
@@ -113,6 +182,9 @@ pub struct BufferCache {
     capacity: usize,
     readahead_pages: usize,
     shards: Vec<Shard>,
+    /// One entry per page key currently being read from disk (see the
+    /// module docs, "Request coalescing").
+    inflight: OrderedMutex<HashMap<(FileId, u64), Arc<InflightEntry>>>,
 }
 
 impl BufferCache {
@@ -139,6 +211,7 @@ impl BufferCache {
             capacity,
             readahead_pages: opts.readahead_pages,
             shards,
+            inflight: OrderedMutex::new("cache_inflight", HashMap::new()),
         })
     }
 
@@ -170,7 +243,8 @@ impl BufferCache {
         &self.shards[(h % self.shards.len() as u64) as usize]
     }
 
-    /// Reads a page through the cache.
+    /// Reads a page through the cache. Concurrent misses for the same page
+    /// coalesce onto one physical read (see the module docs).
     pub fn get(&self, file: FileId, page_no: u64) -> Result<Arc<Vec<u8>>> {
         if self.capacity == 0 {
             self.stats.count_cache_miss();
@@ -183,24 +257,108 @@ impl BufferCache {
             self.stats.count_cache_hit();
             return Ok(data);
         }
-        // Miss: do the physical read outside any lock, then install. The
-        // miss is counted by whoever actually inserts the frame — a racing
-        // shard-mate may install the same page between our shared-lock probe
-        // and the exclusive-lock insert, and counting on the probe side
-        // would book that one access as two misses.
-        let data = Arc::new(self.manager.read_page(file, page_no)?);
-        if self.install(key, Arc::clone(&data), false)? {
-            shard.misses.fetch_add(1, Ordering::Relaxed);
-            self.stats.count_cache_miss();
-            Ok(data)
-        } else {
-            // Lost the install race: the insert side owns the miss, this
-            // access is a hit on the now-resident frame. Return the cached
-            // page (it may carry writes newer than our disk read).
-            shard.hits.fetch_add(1, Ordering::Relaxed);
-            self.stats.count_cache_hit();
-            Ok(shard.lookup(&key).unwrap_or(data))
+        match self.inflight_role(key, shard) {
+            InflightRole::Hit(data) => {
+                shard.hits.fetch_add(1, Ordering::Relaxed);
+                self.stats.count_cache_hit();
+                Ok(data)
+            }
+            InflightRole::Waiter(entry) => self.wait_coalesced(key, shard, &entry),
+            InflightRole::Leader(entry) => {
+                // The one physical read for this key, outside every lock.
+                let loaded = self.manager.read_page(file, page_no).and_then(|buf| {
+                    let data = Arc::new(buf);
+                    let inserted = self.install(key, Arc::clone(&data), false)?;
+                    Ok((data, inserted))
+                });
+                self.finish_lead(key, shard, &entry, loaded)
+            }
         }
+    }
+
+    /// Classifies a missing-page request against the in-flight-load map.
+    /// The shard is re-probed *under* the map lock so that a frame installed
+    /// by a just-retired leader is seen as a plain hit instead of spawning a
+    /// duplicate read.
+    fn inflight_role(&self, key: (FileId, u64), shard: &Shard) -> InflightRole {
+        let mut map = self.inflight.lock(); // xlint: lock(cache_inflight)
+        if let Some(entry) = map.get(&key) {
+            return InflightRole::Waiter(Arc::clone(entry));
+        }
+        if let Some(data) = shard.lookup(&key) {
+            return InflightRole::Hit(data);
+        }
+        let entry = Arc::new(InflightEntry::new());
+        map.insert(key, Arc::clone(&entry));
+        InflightRole::Leader(entry)
+    }
+
+    /// Waiter side of a coalesced load: park on the leader's entry, book the
+    /// coalesced wait, and share its frame — or surface its failure typed.
+    fn wait_coalesced(
+        &self,
+        key: (FileId, u64),
+        shard: &Shard,
+        entry: &InflightEntry,
+    ) -> Result<Arc<Vec<u8>>> {
+        shard.coalesced_waits.fetch_add(1, Ordering::Relaxed);
+        self.stats.count_coalesced_wait();
+        match entry.wait() {
+            Ok(data) => {
+                shard.hits.fetch_add(1, Ordering::Relaxed);
+                self.stats.count_cache_hit();
+                Ok(data)
+            }
+            Err(cause) => Err(StorageError::CoalescedLoad { file: key.0, page: key.1, cause }),
+        }
+    }
+
+    /// Leader side epilogue: retire the in-flight slot, publish the outcome
+    /// to parked waiters, and book the miss (or the lost-install hit). The
+    /// slot is retired *before* publishing so that any retry triggered by a
+    /// published failure opens a fresh slot instead of re-joining this one.
+    fn finish_lead(
+        &self,
+        key: (FileId, u64),
+        shard: &Shard,
+        entry: &InflightEntry,
+        loaded: Result<(Arc<Vec<u8>>, bool)>,
+    ) -> Result<Arc<Vec<u8>>> {
+        {
+            let mut map = self.inflight.lock(); // xlint: lock(cache_inflight)
+            map.remove(&key);
+        }
+        match loaded {
+            Ok((data, inserted)) => {
+                // Insert-side-wins accounting: the miss belongs to whoever
+                // actually inserted the frame. Losing the install race (a
+                // racing `put`, or readahead from another file scan) books
+                // this access as a hit, and the resident frame — which may
+                // carry writes newer than our disk read — is handed out.
+                let data = if inserted {
+                    shard.misses.fetch_add(1, Ordering::Relaxed);
+                    self.stats.count_cache_miss();
+                    data
+                } else {
+                    shard.hits.fetch_add(1, Ordering::Relaxed);
+                    self.stats.count_cache_hit();
+                    shard.lookup(&key).unwrap_or(data)
+                };
+                entry.resolve(LoadState::Ready(Arc::clone(&data)));
+                Ok(data)
+            }
+            Err(e) => {
+                entry.resolve(LoadState::Failed(e.to_string()));
+                Err(e)
+            }
+        }
+    }
+
+    /// Page keys currently being read from disk (diagnostic; races by
+    /// nature, but quiescent callers can assert the map drained).
+    pub fn inflight_loads(&self) -> usize {
+        let map = self.inflight.lock(); // xlint: lock(cache_inflight)
+        map.len()
     }
 
     /// Reads a page on a *sequential* scan path. A hit behaves like
@@ -219,6 +377,31 @@ impl BufferCache {
             self.stats.count_cache_hit();
             return Ok(data);
         }
+        // The demanded page coalesces exactly like `get`; only a leader
+        // performs the batched read (waiters take no readahead of their own
+        // — the leader's batch covers the range they were scanning).
+        match self.inflight_role(key, shard) {
+            InflightRole::Hit(data) => {
+                shard.hits.fetch_add(1, Ordering::Relaxed);
+                self.stats.count_cache_hit();
+                Ok(data)
+            }
+            InflightRole::Waiter(entry) => self.wait_coalesced(key, shard, &entry),
+            InflightRole::Leader(entry) => {
+                let loaded = self.read_batch_and_install(file, page_no);
+                self.finish_lead(key, shard, &entry, loaded)
+            }
+        }
+    }
+
+    /// Readahead leader body: one batched physical read, installing the
+    /// demanded page plus up to `readahead_pages - 1` sequential neighbors.
+    /// Returns the demanded page and whether this call inserted it.
+    fn read_batch_and_install(
+        &self,
+        file: FileId,
+        page_no: u64,
+    ) -> Result<(Arc<Vec<u8>>, bool)> {
         let pages = self.manager.page_count(file)?;
         let n = self
             .readahead_pages
@@ -232,18 +415,7 @@ impl BufferCache {
             let data = Arc::new(buf);
             let inserted = self.install(k, Arc::clone(&data), false)?;
             if i == 0 {
-                // Insert-side-wins accounting, as in `get`: a racing
-                // shard-mate that installed the demanded page first owns
-                // the miss, and its frame (possibly newer) is handed out.
-                if inserted {
-                    shard.misses.fetch_add(1, Ordering::Relaxed);
-                    self.stats.count_cache_miss();
-                    first = Some(data);
-                } else {
-                    shard.hits.fetch_add(1, Ordering::Relaxed);
-                    self.stats.count_cache_hit();
-                    first = Some(shard.lookup(&k).unwrap_or(data));
-                }
+                first = Some((data, inserted));
             } else if inserted {
                 // Only pages this call actually brought into the cache
                 // count as readahead; already-resident ones are no-ops.
@@ -422,6 +594,7 @@ impl BufferCache {
                 misses: s.misses.load(Ordering::Relaxed),
                 evictions: s.evictions.load(Ordering::Relaxed),
                 readaheads: s.readaheads.load(Ordering::Relaxed),
+                coalesced_waits: s.coalesced_waits.load(Ordering::Relaxed),
             })
             .collect()
     }

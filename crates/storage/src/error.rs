@@ -25,6 +25,12 @@ pub enum StorageError {
     /// production configurations; test harnesses match on it to tell a
     /// scheduled crash from a real failure.
     Injected(String),
+    /// A coalesced page load failed: this requester parked on another
+    /// thread's in-flight physical read (see `BufferCache`), and that leader
+    /// read failed. Carries the page key and the leader's rendered error so
+    /// every waiter sees the cause; the in-flight slot is cleared, so the
+    /// next request for the page retries the read fresh.
+    CoalescedLoad { file: crate::io::FileId, page: u64, cause: String },
     /// Truncating a torn/corrupt WAL tail at reopen failed. Carries the log
     /// path and both offsets so the operator knows exactly which file to
     /// repair and where the valid prefix ends.
@@ -48,6 +54,11 @@ impl fmt::Display for StorageError {
             StorageError::Adm(e) => write!(f, "data-model error in storage: {e}"),
             StorageError::Invalid(m) => write!(f, "invalid storage operation: {m}"),
             StorageError::Injected(m) => write!(f, "injected fault: {m}"),
+            StorageError::CoalescedLoad { file, page, cause } => write!(
+                f,
+                "coalesced load of file {file:?} page {page} failed in the \
+                 leading reader: {cause}"
+            ),
             StorageError::WalTruncate { path, valid_len, file_len, source } => write!(
                 f,
                 "failed to truncate torn WAL tail of {} at offset {valid_len} \

@@ -49,6 +49,10 @@ pub struct FaultConfig {
     pub fsync_fail_prob: f64,
     /// Probability that a page read gets one bit flipped, silently.
     pub read_corrupt_prob: f64,
+    /// Added latency per page read. Not a fault per se: stress tests use it
+    /// to hold a physical read open long enough that racing requesters
+    /// deterministically pile onto the cache's in-flight-load slot.
+    pub read_delay: Option<std::time::Duration>,
 }
 
 impl Default for FaultConfig {
@@ -60,6 +64,7 @@ impl Default for FaultConfig {
             short_write_prob: 0.0,
             fsync_fail_prob: 0.0,
             read_corrupt_prob: 0.0,
+            read_delay: None,
         }
     }
 }
@@ -237,6 +242,9 @@ impl FaultInjector {
     /// Failpoint for a read; may silently flip one bit of `buf`.
     pub fn on_read(&self, target: &str, buf: &mut [u8]) -> Result<()> {
         let op = self.next_op(target)?;
+        if let Some(d) = self.config.read_delay {
+            std::thread::sleep(d);
+        }
         if self.is_crash_point(op) {
             self.crashed.store(true, Ordering::SeqCst);
             self.record(FaultEvent::Crash { op, target: target.to_string() });
@@ -302,6 +310,7 @@ mod tests {
                 short_write_prob: 0.3,
                 fsync_fail_prob: 0.0,
                 read_corrupt_prob: 0.5,
+                read_delay: None,
             });
             let mut buf = vec![0xAAu8; 64];
             for i in 0..32u64 {

@@ -4,7 +4,7 @@
 //! "Correctness tooling" and the static checker in `crates/xlint`):
 //!
 //! ```text
-//! catalog -> lock_manager -> lsm_component -> cache_shard -> wal
+//! scheduler -> catalog -> lock_manager -> lsm_component -> cache_inflight -> cache_shard -> wal
 //! ```
 //!
 //! A thread may acquire locks left-to-right (skipping levels is fine) and
@@ -26,7 +26,22 @@ use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::ops::{Deref, DerefMut};
 
 /// The canonical lock levels, lowest rank (acquired first) to highest.
-pub const LEVELS: [&str; 5] = ["catalog", "lock_manager", "lsm_component", "cache_shard", "wal"];
+///
+/// `scheduler` is the admission-queue lock of the serving layer (held only
+/// for queue bookkeeping, never across query execution, but execution takes
+/// every other level — so it ranks first). `cache_inflight` is the buffer
+/// cache's in-flight-load map: a miss consults it while possibly inside an
+/// `lsm_component` critical section and probes the `cache_shard` under it,
+/// pinning it between those two levels.
+pub const LEVELS: [&str; 7] = [
+    "scheduler",
+    "catalog",
+    "lock_manager",
+    "lsm_component",
+    "cache_inflight",
+    "cache_shard",
+    "wal",
+];
 
 /// Rank of a level name in [`LEVELS`], if declared.
 pub fn rank_of(name: &str) -> Option<usize> {

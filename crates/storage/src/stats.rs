@@ -32,6 +32,7 @@ pub struct IoStats {
     cache_misses: AtomicU64,
     evictions: AtomicU64,
     readaheads: AtomicU64,
+    coalesced_waits: AtomicU64,
     bytes_written: AtomicU64,
     bytes_read: AtomicU64,
 }
@@ -56,6 +57,7 @@ impl IoStats {
             cache_misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             readaheads: AtomicU64::new(0),
+            coalesced_waits: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
             bytes_read: AtomicU64::new(0),
         });
@@ -69,6 +71,10 @@ impl IoStats {
         observe("storage.io.cache_misses", IoStats::cache_misses);
         observe("storage.io.evictions", IoStats::evictions);
         observe("storage.io.readaheads", IoStats::readaheads);
+        // Registered under the cache-level name (not `storage.io.*`): the
+        // counter measures request coalescing in the buffer cache, and the
+        // serving-layer dashboards key on `cache.coalesced_waits`.
+        observe("cache.coalesced_waits", IoStats::coalesced_waits);
         observe("storage.io.bytes_written", IoStats::bytes_written);
         observe("storage.io.bytes_read", IoStats::bytes_read);
         stats
@@ -108,6 +114,10 @@ impl IoStats {
         self.readaheads.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn count_coalesced_wait(&self) {
+        self.coalesced_waits.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Number of physical page reads performed.
     pub fn physical_reads(&self) -> u64 {
         self.physical_reads.load(Ordering::Relaxed)
@@ -138,6 +148,12 @@ impl IoStats {
         self.readaheads.load(Ordering::Relaxed)
     }
 
+    /// Cache misses that parked on another requester's in-flight physical
+    /// read instead of issuing a duplicate one (request coalescing).
+    pub fn coalesced_waits(&self) -> u64 {
+        self.coalesced_waits.load(Ordering::Relaxed)
+    }
+
     /// Total bytes physically written (write-amplification numerator).
     pub fn bytes_written(&self) -> u64 {
         self.bytes_written.load(Ordering::Relaxed)
@@ -156,6 +172,7 @@ impl IoStats {
         self.cache_misses.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
         self.readaheads.store(0, Ordering::Relaxed);
+        self.coalesced_waits.store(0, Ordering::Relaxed);
         self.bytes_written.store(0, Ordering::Relaxed);
         self.bytes_read.store(0, Ordering::Relaxed);
     }
@@ -169,6 +186,7 @@ impl IoStats {
             cache_misses: self.cache_misses(),
             evictions: self.evictions(),
             readaheads: self.readaheads(),
+            coalesced_waits: self.coalesced_waits(),
             bytes_written: self.bytes_written(),
             bytes_read: self.bytes_read(),
         }
@@ -184,6 +202,7 @@ pub struct IoSnapshot {
     pub cache_misses: u64,
     pub evictions: u64,
     pub readaheads: u64,
+    pub coalesced_waits: u64,
     pub bytes_written: u64,
     pub bytes_read: u64,
 }
@@ -199,6 +218,7 @@ pub struct CacheShardSnapshot {
     pub misses: u64,
     pub evictions: u64,
     pub readaheads: u64,
+    pub coalesced_waits: u64,
 }
 
 /// Checks snapshot monotonicity in debug builds: subtracting a *later*
@@ -239,6 +259,11 @@ impl std::ops::Sub for IoSnapshot {
             cache_misses: delta_field!("cache_misses", self.cache_misses, rhs.cache_misses),
             evictions: delta_field!("evictions", self.evictions, rhs.evictions),
             readaheads: delta_field!("readaheads", self.readaheads, rhs.readaheads),
+            coalesced_waits: delta_field!(
+                "coalesced_waits",
+                self.coalesced_waits,
+                rhs.coalesced_waits
+            ),
             bytes_written: delta_field!("bytes_written", self.bytes_written, rhs.bytes_written),
             bytes_read: delta_field!("bytes_read", self.bytes_read, rhs.bytes_read),
         }
@@ -258,6 +283,11 @@ impl std::ops::Sub for CacheShardSnapshot {
             misses: delta_field!("shard misses", self.misses, rhs.misses),
             evictions: delta_field!("shard evictions", self.evictions, rhs.evictions),
             readaheads: delta_field!("shard readaheads", self.readaheads, rhs.readaheads),
+            coalesced_waits: delta_field!(
+                "shard coalesced_waits",
+                self.coalesced_waits,
+                rhs.coalesced_waits
+            ),
         }
     }
 }
@@ -307,6 +337,9 @@ mod tests {
         assert_eq!(snap.counter("storage.io.bytes_read"), Some(4096));
         assert_eq!(snap.counter("storage.io.cache_hits"), Some(1));
         assert_eq!(snap.counter("storage.io.cache_misses"), Some(0));
+        assert_eq!(snap.counter("cache.coalesced_waits"), Some(0));
+        s.count_coalesced_wait();
+        assert_eq!(s.registry().snapshot().counter("cache.coalesced_waits"), Some(1));
     }
 
     #[test]

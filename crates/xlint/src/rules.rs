@@ -12,8 +12,15 @@ use std::path::{Path, PathBuf};
 /// The canonical lock order. Acquiring left-to-right is legal; any edge that
 /// goes right-to-left is an inversion. Must match
 /// `asterix_storage::lock_order::LEVELS`.
-pub const LOCK_ORDER: [&str; 5] =
-    ["catalog", "lock_manager", "lsm_component", "cache_shard", "wal"];
+pub const LOCK_ORDER: [&str; 7] = [
+    "scheduler",
+    "catalog",
+    "lock_manager",
+    "lsm_component",
+    "cache_inflight",
+    "cache_shard",
+    "wal",
+];
 
 /// Crates whose non-test code falls under the L1 panic-path rule.
 pub const L1_CRATES: [&str; 5] = ["storage", "core", "hyracks", "algebricks", "obs"];
