@@ -108,6 +108,10 @@ pub struct InstanceConfig {
     /// pool, concurrency gate, bounded priority queue) — see
     /// [`crate::scheduler`].
     pub scheduler: SchedulerConfig,
+    /// Morsel-executor worker threads shared by every job on this instance;
+    /// 0 = auto (`available_parallelism()`). This is the *only* thread
+    /// count: operator `partitions` are schedulable units, not threads.
+    pub worker_threads: usize,
 }
 
 impl Default for InstanceConfig {
@@ -128,6 +132,7 @@ impl Default for InstanceConfig {
             query_deadline: None,
             dataflow_faults: None,
             scheduler: SchedulerConfig::default(),
+            worker_threads: 0,
         }
     }
 }
@@ -218,6 +223,7 @@ impl Instance {
             config.dataflow_faults.clone(),
         )
         .map_err(CoreError::Hyracks)?;
+        ctx.set_worker_threads(config.worker_threads);
         let sched = QueryScheduler::new(config.scheduler.clone(), ctx.registry());
         let inner = Arc::new(Inner {
             config,
@@ -698,7 +704,7 @@ impl Instance {
             } else {
                 None
             };
-            let opts = JobOptions { token, deadline };
+            let opts = JobOptions { token, deadline, workers: None };
             let outcome = jobgen::execute_profiled_with(
                 &plan,
                 &cfg,

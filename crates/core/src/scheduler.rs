@@ -30,6 +30,20 @@
 //! [`HyracksError::Cancelled`](asterix_hyracks::HyracksError); a running
 //! query trips its current attempt's job token.
 //!
+//! # Interaction with the morsel executor
+//!
+//! Admission bounds *how many* queries run and *how much memory* each may
+//! reserve; it does not multiply threads. Every admitted query's job runs
+//! as cooperative actors on the instance's single shared
+//! [`WorkerPool`](asterix_hyracks::WorkerPool)
+//! (`InstanceConfig::worker_threads`, default `available_parallelism()`),
+//! so N concurrent queries time-share one pool instead of spawning
+//! N × partitions threads. Degree of parallelism is therefore a pure
+//! scheduling decision: raising `partitions` adds schedulable morsel
+//! sources (finer stealing granularity), while the admission budget keeps
+//! the sum of per-operator working memories bounded independently of how
+//! the pool interleaves them.
+//!
 //! Lock ordering: the scheduler's queue/pool mutex ranks first in the global
 //! [`lock_order`] hierarchy (`"scheduler"`) — it is held only for queue
 //! bookkeeping, never across query execution, but execution downstream

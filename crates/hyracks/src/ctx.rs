@@ -4,13 +4,14 @@
 use crate::cancel::CancellationToken;
 use crate::error::Result;
 use crate::faults::DataflowFaults;
+use crate::sched::WorkerPool;
 use asterix_obs::{Clock, Counter, MetricsRegistry, MonotonicClock};
 use parking_lot::Mutex;
 use std::cell::Cell;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use crate::frame::{u32_len, Tuple};
 use asterix_adm::binary::{encode_into, Decoder};
@@ -140,6 +141,14 @@ pub struct RuntimeCtx {
     active_jobs: Mutex<Vec<CancellationToken>>,
     /// Optional deterministic chaos injector; `None` in production.
     faults: Option<Arc<DataflowFaults>>,
+    /// The shared morsel worker pool, built lazily on first job so contexts
+    /// that never execute (pure spill/run tests) spawn no threads. Every
+    /// job on this context shares it: degree of parallelism is a scheduling
+    /// decision, not a thread count.
+    pool: OnceLock<Arc<WorkerPool>>,
+    /// Configured pool width; 0 means "auto" (`available_parallelism`).
+    /// Only consulted before the pool is first built.
+    worker_threads: AtomicUsize,
 }
 
 impl RuntimeCtx {
@@ -172,6 +181,8 @@ impl RuntimeCtx {
             registry,
             active_jobs: Mutex::new(Vec::new()),
             faults,
+            pool: OnceLock::new(),
+            worker_threads: AtomicUsize::new(0),
         }))
     }
 
@@ -211,6 +222,27 @@ impl RuntimeCtx {
     /// The chaos injector, when one is configured.
     pub fn dataflow_faults(&self) -> Option<&Arc<DataflowFaults>> {
         self.faults.as_ref()
+    }
+
+    /// Sets the shared pool width before any job runs on this context
+    /// (0 = auto-size from `available_parallelism`). A no-op once the pool
+    /// exists — pool width is fixed for the context's lifetime.
+    pub fn set_worker_threads(&self, n: usize) {
+        self.worker_threads.store(n, Ordering::Relaxed);
+    }
+
+    /// The shared morsel worker pool, created on first use.
+    pub fn worker_pool(&self) -> Arc<WorkerPool> {
+        let pool = self.pool.get_or_init(|| {
+            let configured = self.worker_threads.load(Ordering::Relaxed);
+            let n = if configured > 0 {
+                configured
+            } else {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            };
+            WorkerPool::new(n.max(1), self.registry())
+        });
+        Arc::clone(pool)
     }
 
     /// Cancels every job currently running on this context. Returns true

@@ -1,369 +1,380 @@
-//! The job executor: one worker thread per operator-partition, bounded
-//! frame channels between them (push-based dataflow, as in Hyracks).
+//! The job executor: operator partitions run as cooperative *actors* on a
+//! shared work-stealing worker pool ([`crate::sched`]), each step bounded
+//! to one morsel of tuples (push-based dataflow, as in Hyracks — but
+//! degree of parallelism is a scheduling decision, not a thread count).
 //!
-//! Connectors materialize as an S×D channel matrix per edge; producers
-//! route tuples by the connector strategy, consumers read their column.
-//! Early termination (e.g. LIMIT satisfied) propagates upstream naturally:
-//! closed channels make producers stop gracefully.
+//! Connectors materialize as an S×D matrix of frame buffers (*edges*) per
+//! dataflow edge; producers route tuples by the connector strategy,
+//! consumers read their column. Nothing ever blocks an OS thread: an actor
+//! with no input or no output room returns `Idle` and is re-queued when a
+//! neighbor pushes a frame, drains past the capacity watermark, or closes
+//! its side of the edge. Early termination (e.g. LIMIT satisfied)
+//! propagates upstream naturally: a finished consumer marks its edges gone
+//! and producers stop gracefully on the next push.
+//!
+//! Pipeline breakers (sort, join build, group-by, …) are *barrier tasks*:
+//! they accumulate input across steps, run their algorithm once the
+//! barrier input ends, then re-enqueue themselves to drain the
+//! merge/probe/emit phase one morsel at a time.
+//!
+//! Cancellation is polled once per morsel at the top of every step — no
+//! strided in-loop checks and no 50ms channel-timeout re-poll loops — so
+//! cancel latency is bounded by one morsel.
 
 use crate::cancel::{self, CancellationToken};
 use crate::ctx::RuntimeCtx;
 use crate::error::{HyracksError, Result};
 use crate::faults::{FrameAction, WorkerFaultState};
 use crate::frame::{Frame, Tuple};
-use crate::job::{
-    cmp_tuples, ConnStrategy, JobSpec, OpKind, SortKey,
-};
+use crate::job::{cmp_tuples, ConnStrategy, JobSpec, OpKind, SortKey};
 use crate::ops;
+use crate::sched::{self, WorkerPool, MORSEL_TUPLES};
 use asterix_adm::compare::hash64_iter;
 use asterix_adm::Value;
-use asterix_obs::{Clock, JobProfile, OpMetrics, OperatorProfile};
-use crossbeam::channel::{
-    bounded, Receiver, RecvTimeoutError, Select, SendTimeoutError, Sender, TryRecvError,
-};
-use parking_lot::Mutex;
+use asterix_obs::{Counter, JobProfile, OpMetrics, OperatorProfile};
+use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::{Arc, OnceLock, Weak};
 use std::time::Duration;
 
-/// Frames buffered per channel before producers block.
+/// Frames buffered per edge before the producer is asked to yield. Soft:
+/// room is checked *before* a producing step, so a step's own output may
+/// overshoot by up to one morsel — bounded, and it keeps the per-push path
+/// branch-free.
 const CHANNEL_CAP: usize = 8;
 
-/// How long a blocked channel wait runs before the job token is re-polled.
-/// Only paid while a worker is already stalled — never on the hot path.
-const CANCEL_POLL: Duration = Duration::from_millis(50);
+/// How often the submitting thread re-checks the job token while waiting
+/// for the actor graph to drain (it is normally woken by the last actor).
+const COMPLETION_POLL: Duration = Duration::from_millis(2);
 
-/// Input-side metrics cell, shared between a worker and its port readers
-/// (readers are moved into boxed iterators, so the worker keeps a handle).
-/// Updated once per received *frame* — never per tuple — so the relaxed
-/// atomics cost nothing measurable on the hot path.
+/// Wakes actors when their neighborhood changes. Implemented by the live
+/// job (resolving actor indices against the worker pool) and by a no-op
+/// dummy in port unit tests.
+trait Notifier {
+    fn notify_task(&self, idx: usize);
+}
+
+/// Shared state of one dataflow edge between a producer actor and a
+/// consumer actor. The executor's replacement for a bounded channel: a
+/// plain frame queue plus explicit end-of-stream / consumer-gone flags,
+/// mutated only inside short lock scopes (actors never block on it).
 #[derive(Default)]
-struct InCell {
-    tuples: AtomicU64,
-    frames: AtomicU64,
-    bytes: AtomicU64,
-    /// Time blocked waiting on empty inbound channels.
-    wait_ns: AtomicU64,
+struct EdgeState {
+    frames: VecDeque<Frame>,
+    /// Producer finished *cleanly*: every frame it ever shipped is in
+    /// `frames` (or already consumed). Replaces PR-5's in-band
+    /// `Frame::eos()` marker — end-of-stream is an edge flag now, so it
+    /// can never be confused with data and never occupies queue room.
+    eos: bool,
+    /// Producer is done writing (cleanly or not). `closed && !eos` is the
+    /// dirty-death signal: the producer died mid-stream and the frames
+    /// seen so far may be a silent truncation of the real result.
+    closed: bool,
+    /// Consumer finished (early or otherwise): producers drop output for
+    /// this edge and treat an all-gone fanout as a request to stop.
+    consumer_gone: bool,
 }
 
-impl InCell {
-    #[inline]
-    fn note_frame(&self, f: &Frame) {
-        self.frames.fetch_add(1, AtomicOrdering::Relaxed);
-        self.tuples.fetch_add(f.len() as u64, AtomicOrdering::Relaxed);
-        self.bytes.fetch_add(f.bytes() as u64, AtomicOrdering::Relaxed);
-    }
-
-    #[inline]
-    fn note_wait(&self, ns: u64) {
-        self.wait_ns.fetch_add(ns, AtomicOrdering::Relaxed);
-    }
+struct Edge {
+    state: Mutex<EdgeState>,
+    /// Task index of the producer actor (notified when the consumer drains
+    /// past the capacity watermark or goes away).
+    src_task: usize,
+    /// Task index of the consumer actor (notified on push/close).
+    dst_task: usize,
 }
 
-// ---------------------------------------------------------------------------
-// Input side
-// ---------------------------------------------------------------------------
+/// One `poll` outcome of an input port.
+#[derive(Debug)]
+enum PortPoll {
+    /// A tuple with its cached byte size.
+    Tuple(Tuple, u32),
+    /// No tuple buffered right now, but producers are still live — the
+    /// actor should go idle and wait for a push notification.
+    Pending,
+    /// Every producer finished cleanly; the port is exhausted.
+    End,
+}
 
-/// Streaming iterator over one input port (any-order across producers).
-pub struct TupleStream {
-    receivers: Vec<Receiver<Frame>>,
-    /// Indices of still-connected receivers; shrinks only on disconnect
-    /// instead of being rebuilt from scratch on every refill.
+/// A producer vanished before flagging end-of-stream. If the job token
+/// already tripped, the disconnect is just an echo of that cancellation —
+/// report the cause, not the symptom. Otherwise the producer died dirty
+/// and the consumer must not pass off the truncated stream as complete.
+fn dirty_disconnect(token: &CancellationToken, idx: usize) -> HyracksError {
+    if let Err(e) = token.check() {
+        return e;
+    }
+    HyracksError::UpstreamFailure(format!(
+        "producer {idx} disconnected without end-of-stream (died mid-stream)"
+    ))
+}
+
+fn note_in_frame(m: &mut OpMetrics, f: &Frame) {
+    m.frames_in += 1;
+    m.tuples_in += f.len() as u64;
+    m.bytes_in += f.bytes() as u64;
+}
+
+/// Arrival-order input port: pops frames from any live edge with a
+/// rotating sweep (no producer starves the others).
+struct AnyPort {
+    edges: Vec<Arc<Edge>>,
+    /// Indices into `edges` still open.
     live: Vec<usize>,
-    /// Rotating fairness cursor into `live`.
     cursor: usize,
-    /// Buffered tuples with their cached byte sizes (carried from the
-    /// producer's frame so pass-through operators never re-size them).
     buffer: VecDeque<(Tuple, u32)>,
-    cell: Arc<InCell>,
-    clock: Arc<dyn Clock>,
-    token: CancellationToken,
 }
 
-impl TupleStream {
-    fn new(
-        receivers: Vec<Receiver<Frame>>,
-        cell: Arc<InCell>,
-        clock: Arc<dyn Clock>,
-        token: CancellationToken,
-    ) -> Self {
-        let live = (0..receivers.len()).collect();
-        TupleStream { receivers, live, cursor: 0, buffer: VecDeque::new(), cell, clock, token }
+impl AnyPort {
+    fn new(edges: Vec<Arc<Edge>>) -> Self {
+        let live = (0..edges.len()).collect();
+        AnyPort { edges, live, cursor: 0, buffer: VecDeque::new() }
     }
 
-    /// The producer behind a receiver vanished before sending its
-    /// end-of-stream marker. If the job token already tripped, the
-    /// disconnect is just an echo of that cancellation — report the cause,
-    /// not the symptom. Otherwise the producer died dirty and the consumer
-    /// must not pass off the truncated stream as a complete result.
-    fn dirty_disconnect(&self, idx: usize) -> HyracksError {
-        if let Err(e) = self.token.check() {
-            return e;
-        }
-        HyracksError::UpstreamFailure(format!(
-            "producer {idx} disconnected without end-of-stream (died mid-stream)"
-        ))
-    }
-
-    /// Next tuple with its cached size (the fast path for operators that
-    /// forward tuples unchanged).
-    fn next_sized(&mut self) -> Result<Option<(Tuple, u32)>> {
-        if self.buffer.is_empty() && !self.refill()? {
-            return Ok(None);
-        }
-        Ok(self.buffer.pop_front())
-    }
-
-    /// Refills the buffer from any live producer. `Ok(false)` means every
-    /// producer finished cleanly (its end-of-stream marker was seen); a
-    /// disconnect without the marker, a cancellation, or an expired
-    /// deadline are typed errors.
-    fn refill(&mut self) -> Result<bool> {
+    fn poll(
+        &mut self,
+        job: &dyn Notifier,
+        token: &CancellationToken,
+        m: &mut OpMetrics,
+    ) -> Result<PortPoll> {
         loop {
-            self.token.check()?;
-            if self.live.is_empty() {
-                return Ok(false);
+            if let Some((t, s)) = self.buffer.pop_front() {
+                return Ok(PortPoll::Tuple(t, s));
             }
-            // Fast path: one non-blocking round-robin sweep over the live
-            // receivers. In steady state a queued frame is found here and
-            // no `Select` is ever constructed.
+            if self.live.is_empty() {
+                return Ok(PortPoll::End);
+            }
             let n = self.live.len();
-            let mut got = false;
-            let mut any_closed = false;
+            let mut got: Option<Frame> = None;
+            let mut notify_src: Option<usize> = None;
+            let mut retired = false;
+            let mut dirty: Option<usize> = None;
             for k in 0..n {
                 let slot = (self.cursor + k) % n;
-                let idx = self.live[slot];
-                match self.receivers[idx].try_recv() {
-                    Ok(frame) => {
-                        if frame.is_empty() {
-                            // End-of-stream marker: retire the channel
-                            // cleanly. Not counted by `note_frame` — the
-                            // profile counts data frames only.
-                            self.live[slot] = usize::MAX;
-                            any_closed = true;
-                            continue;
+                let ei = self.live[slot];
+                {
+                    let mut st = self.edges[ei].state.lock();
+                    if let Some(f) = st.frames.pop_front() {
+                        // Crossing the capacity watermark frees room for a
+                        // producer waiting on a full edge.
+                        if st.frames.len() == CHANNEL_CAP - 1 {
+                            notify_src = Some(self.edges[ei].src_task);
                         }
                         self.cursor = (slot + 1) % n;
-                        self.cell.note_frame(&frame);
-                        self.buffer.extend(frame.into_sized());
-                        got = true;
-                        break;
+                        got = Some(f);
+                    } else if st.closed {
+                        if st.eos {
+                            self.live[slot] = usize::MAX;
+                            retired = true;
+                        } else {
+                            dirty = Some(ei);
+                        }
                     }
-                    Err(TryRecvError::Disconnected) => {
-                        return Err(self.dirty_disconnect(idx));
-                    }
-                    Err(TryRecvError::Empty) => {}
+                }
+                if got.is_some() || dirty.is_some() {
+                    break;
                 }
             }
-            if any_closed {
+            if let Some(src) = notify_src {
+                job.notify_task(src);
+            }
+            if retired {
                 self.live.retain(|&i| i != usize::MAX);
                 self.cursor = 0;
             }
-            if got {
-                return Ok(true);
+            if let Some(f) = got {
+                note_in_frame(m, &f);
+                self.buffer.extend(f.into_sized());
+                continue;
+            }
+            if let Some(idx) = dirty {
+                return Err(dirty_disconnect(token, idx));
             }
             if self.live.is_empty() {
-                return Ok(false);
+                return Ok(PortPoll::End);
             }
-            if any_closed {
-                continue; // membership changed; re-sweep before blocking
-            }
-            // Slow path: every live channel was empty. `Select` borrows the
-            // receivers, so it cannot live in the struct; it is built only
-            // here, when a blocking wait is genuinely required. The wait is
-            // timed here and only here: the fast path above never blocks,
-            // so queue-wait attribution costs two clock reads per stall,
-            // not two per frame. The wait is bounded by `CANCEL_POLL` so a
-            // stalled worker still notices cancellation promptly.
-            let wait_start = self.clock.now_ns();
-            let selected = {
-                let mut sel = Select::new();
-                for &i in &self.live {
-                    sel.recv(&self.receivers[i]);
-                }
-                sel.select_timeout(CANCEL_POLL)
-            };
-            let Ok(op) = selected else {
-                self.cell.note_wait(self.clock.now_ns().saturating_sub(wait_start));
-                continue; // token re-checked at the top of the loop
-            };
-            let slot = op.index();
-            let idx = self.live[slot];
-            let received = op.recv(&self.receivers[idx]);
-            self.cell.note_wait(self.clock.now_ns().saturating_sub(wait_start));
-            match received {
-                Ok(frame) => {
-                    if frame.is_empty() {
-                        self.live.remove(slot);
-                        self.cursor = 0;
-                        continue;
-                    }
-                    self.cursor = (slot + 1) % self.live.len();
-                    self.cell.note_frame(&frame);
-                    self.buffer.extend(frame.into_sized());
-                    return Ok(true);
-                }
-                Err(_) => return Err(self.dirty_disconnect(idx)),
-            }
+            return Ok(PortPoll::Pending);
         }
     }
 }
 
-impl Iterator for TupleStream {
-    type Item = Result<Tuple>;
-
-    fn next(&mut self) -> Option<Self::Item> {
-        if self.buffer.is_empty() {
-            match self.refill() {
-                Ok(true) => {}
-                Ok(false) => return None,
-                Err(e) => return Some(Err(e)),
-            }
-        }
-        self.buffer.pop_front().map(|(t, _)| Ok(t))
-    }
-}
-
-/// Per-producer stream used by sorted-merge consumption.
-struct RecvStream {
-    receiver: Receiver<Frame>,
-    buffer: VecDeque<Tuple>,
-    cell: Arc<InCell>,
-    clock: Arc<dyn Clock>,
-    token: CancellationToken,
-    /// Terminal state reached: end-of-stream marker seen, producer died, or
-    /// the job was cancelled. Keeps the iterator fused after an error.
+/// One producer leg of a merge-sorted port.
+struct MergeLeg {
+    edge: Arc<Edge>,
+    buffer: VecDeque<(Tuple, u32)>,
     done: bool,
 }
 
-impl Iterator for RecvStream {
-    type Item = Result<Tuple>;
+/// Order-preserving gather: emits the global minimum across per-producer
+/// sorted streams. Can only emit when every open leg has a buffered tuple,
+/// so an empty open leg makes the whole port `Pending`.
+struct MergePort {
+    keys: Vec<SortKey>,
+    legs: Vec<MergeLeg>,
+}
 
-    fn next(&mut self) -> Option<Self::Item> {
-        loop {
-            if let Some(t) = self.buffer.pop_front() {
-                return Some(Ok(t));
-            }
-            if self.done {
-                return None;
-            }
-            // A merge leg blocks whenever its producer is behind; charge
-            // the whole recv as queue wait (per frame, not per tuple),
-            // re-polling the job token between bounded waits.
-            let wait_start = self.clock.now_ns();
-            let received = loop {
-                match self.receiver.recv_timeout(CANCEL_POLL) {
-                    Ok(f) => break Ok(f),
-                    Err(RecvTimeoutError::Disconnected) => break Err(()),
-                    Err(RecvTimeoutError::Timeout) => {
-                        if let Err(e) = self.token.check() {
-                            self.done = true;
-                            self.cell
-                                .note_wait(self.clock.now_ns().saturating_sub(wait_start));
-                            return Some(Err(e));
+impl MergePort {
+    fn new(edges: Vec<Arc<Edge>>, keys: Vec<SortKey>) -> Self {
+        let legs = edges
+            .into_iter()
+            .map(|edge| MergeLeg { edge, buffer: VecDeque::new(), done: false })
+            .collect();
+        MergePort { keys, legs }
+    }
+
+    fn poll(
+        &mut self,
+        job: &dyn Notifier,
+        token: &CancellationToken,
+        m: &mut OpMetrics,
+    ) -> Result<PortPoll> {
+        for li in 0..self.legs.len() {
+            while self.legs[li].buffer.is_empty() && !self.legs[li].done {
+                let mut frame: Option<Frame> = None;
+                let mut notify_src: Option<usize> = None;
+                let mut dirty = false;
+                let mut pending = false;
+                let mut done = false;
+                {
+                    let leg = &mut self.legs[li];
+                    let mut st = leg.edge.state.lock();
+                    if let Some(f) = st.frames.pop_front() {
+                        if st.frames.len() == CHANNEL_CAP - 1 {
+                            notify_src = Some(leg.edge.src_task);
                         }
+                        frame = Some(f);
+                    } else if st.closed {
+                        if st.eos {
+                            done = true;
+                        } else {
+                            dirty = true;
+                        }
+                    } else {
+                        pending = true;
                     }
                 }
-            };
-            self.cell.note_wait(self.clock.now_ns().saturating_sub(wait_start));
-            match received {
-                Ok(frame) if frame.is_empty() => {
-                    // End-of-stream marker: clean completion (not counted
-                    // by `note_frame`; the profile counts data frames).
-                    self.done = true;
-                    return None;
+                if done {
+                    self.legs[li].done = true;
                 }
-                Ok(frame) => {
-                    self.cell.note_frame(&frame);
-                    self.buffer.extend(frame);
+                if let Some(src) = notify_src {
+                    job.notify_task(src);
                 }
-                Err(()) => {
-                    self.done = true;
-                    return Some(Err(match self.token.check() {
-                        Err(e) => e, // disconnect is an echo of cancellation
-                        Ok(()) => HyracksError::UpstreamFailure(
-                            "merge producer disconnected without end-of-stream (died mid-stream)"
-                                .into(),
-                        ),
-                    }));
+                if dirty {
+                    return Err(dirty_disconnect(token, li));
+                }
+                if pending {
+                    return Ok(PortPoll::Pending);
+                }
+                if let Some(f) = frame {
+                    note_in_frame(m, &f);
+                    self.legs[li].buffer.extend(f.into_sized());
+                }
+            }
+        }
+        let mut best: Option<usize> = None;
+        for i in 0..self.legs.len() {
+            if self.legs[i].buffer.front().is_none() {
+                continue;
+            }
+            best = Some(match best {
+                None => i,
+                Some(b) => {
+                    let ti = &self.legs[i].buffer[0].0;
+                    let tb = &self.legs[b].buffer[0].0;
+                    if cmp_tuples(ti, tb, &self.keys) == std::cmp::Ordering::Less {
+                        i
+                    } else {
+                        b
+                    }
+                }
+            });
+        }
+        match best {
+            Some(i) => match self.legs[i].buffer.pop_front() {
+                Some((t, s)) => Ok(PortPoll::Tuple(t, s)),
+                None => Ok(PortPoll::End),
+            },
+            None => Ok(PortPoll::End),
+        }
+    }
+}
+
+/// An actor's input port.
+enum InPort {
+    Any(AnyPort),
+    Merge(MergePort),
+}
+
+impl InPort {
+    fn poll(
+        &mut self,
+        job: &dyn Notifier,
+        token: &CancellationToken,
+        m: &mut OpMetrics,
+    ) -> Result<PortPoll> {
+        match self {
+            InPort::Any(p) => p.poll(job, token, m),
+            InPort::Merge(p) => p.poll(job, token, m),
+        }
+    }
+
+    fn for_edges(&self, f: &mut dyn FnMut(&Arc<Edge>)) {
+        match self {
+            InPort::Any(p) => {
+                for e in &p.edges {
+                    f(e);
+                }
+            }
+            InPort::Merge(p) => {
+                for leg in &p.legs {
+                    f(&leg.edge);
                 }
             }
         }
     }
 }
 
-enum PortReader {
-    Any(TupleStream),
-    Merge(Box<dyn Iterator<Item = Result<Tuple>> + Send>),
-}
-
-impl PortReader {
-    fn into_iter(self) -> Box<dyn Iterator<Item = Result<Tuple>> + Send> {
-        match self {
-            PortReader::Any(s) => Box::new(s),
-            PortReader::Merge(m) => m,
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Output side
-// ---------------------------------------------------------------------------
-
-/// Output metrics owned exclusively by one worker: plain integers, merged
-/// into the job profile once at worker end.
-#[derive(Debug, Default)]
-struct OutMetrics {
-    tuples: u64,
-    frames: u64,
-    bytes: u64,
-    /// Frames shipped to each destination partition of the outbound edge.
-    frames_to: Vec<u64>,
-}
-
-/// Routes a worker's output tuples to consumer partitions per the connector
-/// strategy.
-pub struct OutputRouter {
+/// Routes an actor's output tuples to its consumer edges by the connector
+/// strategy, buffering into frames and flushing full frames in place.
+/// Partial frames persist across steps, so frame boundaries match the
+/// thread-per-partition executor's exactly (deterministic profile counts).
+struct Router {
     strategy: ConnStrategy,
-    senders: Vec<Sender<Frame>>,
+    edges: Vec<Arc<Edge>>,
     buffers: Vec<Frame>,
     my_partition: usize,
-    stats: Arc<RuntimeCtx>,
-    metrics: OutMetrics,
-    token: CancellationToken,
-    /// Injected fault plan for this worker, if a chaos schedule is active.
+    moved: Counter,
+    exchanged: Counter,
+    /// Injected fault plan for this actor, if a chaos schedule is active.
     faults: Option<WorkerFaultState>,
-    /// A sever fault fired: swallow all further output *and* the
-    /// end-of-stream marker, so consumers observe a dirty disconnect.
+    /// A sever fault fired: swallow all further output *and* the clean
+    /// end-of-stream flag, so consumers observe a dirty disconnect.
     severed: bool,
 }
 
-impl OutputRouter {
+impl Router {
     fn new(
         strategy: ConnStrategy,
-        senders: Vec<Sender<Frame>>,
+        edges: Vec<Arc<Edge>>,
         my_partition: usize,
-        ctx: Arc<RuntimeCtx>,
-        token: CancellationToken,
+        ctx: &RuntimeCtx,
         faults: Option<WorkerFaultState>,
     ) -> Self {
-        let buffers = senders.iter().map(|_| Frame::new()).collect();
-        let metrics = OutMetrics { frames_to: vec![0; senders.len()], ..OutMetrics::default() };
-        OutputRouter {
+        let buffers = edges.iter().map(|_| Frame::new()).collect();
+        Router {
             strategy,
-            senders,
+            edges,
             buffers,
             my_partition,
-            stats: ctx,
-            metrics,
-            token,
+            moved: ctx.stats.tuples_moved.clone(),
+            exchanged: ctx.stats.tuples_exchanged.clone(),
             faults,
             severed: false,
         }
     }
 
-    /// Start-of-worker fault hook (fail-first-attempt schedules).
+    /// Start-of-actor fault hook (fail-first-attempt schedules).
     fn fault_start(&mut self) -> Result<()> {
         if let Some(f) = self.faults.as_mut() {
             f.at_start()?;
@@ -371,42 +382,72 @@ impl OutputRouter {
         Ok(())
     }
 
-    /// Pushes one tuple; returns `false` when every consumer is gone (the
-    /// worker should stop producing).
-    pub fn push(&mut self, t: Tuple) -> Result<bool> {
-        let size = Frame::tuple_size(&t);
-        self.push_sized(t, size)
+    /// True when every non-gone out edge has room for another frame.
+    /// Checked *before* a producing step; pushes within a step always
+    /// succeed (bounded overshoot of one morsel).
+    fn has_room(&self) -> bool {
+        self.edges.iter().all(|e| {
+            let st = e.state.lock();
+            st.consumer_gone || st.frames.len() < CHANNEL_CAP
+        })
     }
 
-    /// Pushes a tuple whose byte size the caller already knows (carried
-    /// from an upstream frame), so routing never re-walks the values. Key
-    /// columns are hashed by reference — no key materialization.
-    pub fn push_sized(&mut self, t: Tuple, size: usize) -> Result<bool> {
-        self.stats.stats.tuples_moved.inc();
+    /// Pushes one tuple; returns `false` when every consumer is gone (the
+    /// actor should stop producing).
+    fn push(&mut self, job: &dyn Notifier, m: &mut OpMetrics, t: Tuple) -> Result<bool> {
+        let size = Frame::tuple_size(&t);
+        self.push_sized(job, m, t, size)
+    }
+
+    /// Pushes a tuple whose byte size the caller computed fresh; validates
+    /// the `u32` size cache once, then takes the cached fast path.
+    fn push_sized(
+        &mut self,
+        job: &dyn Notifier,
+        m: &mut OpMetrics,
+        t: Tuple,
+        size: usize,
+    ) -> Result<bool> {
+        let size = crate::frame::u32_len("tuple size", size)?;
+        self.push_cached(job, m, t, size)
+    }
+
+    /// Pushes a tuple whose byte size is carried from an upstream frame's
+    /// size cache — the exchange hot path: no re-walk, no re-validation.
+    fn push_cached(
+        &mut self,
+        job: &dyn Notifier,
+        m: &mut OpMetrics,
+        t: Tuple,
+        size: u32,
+    ) -> Result<bool> {
+        self.moved.inc();
         if !matches!(self.strategy, ConnStrategy::OneToOne) {
-            self.stats.stats.tuples_exchanged.inc();
+            self.exchanged.inc();
         }
-        self.metrics.tuples += 1;
-        self.metrics.bytes += size as u64;
+        m.tuples_out += 1;
+        m.bytes_out += size as u64;
         match &self.strategy {
-            ConnStrategy::OneToOne => self.buffer_to(self.my_partition, t, size),
-            ConnStrategy::Gather | ConnStrategy::MergeSorted(_) => self.buffer_to(0, t, size),
+            ConnStrategy::OneToOne => self.buffer_to(job, m, self.my_partition, t, size),
+            ConnStrategy::Gather | ConnStrategy::MergeSorted(_) => {
+                self.buffer_to(job, m, 0, t, size)
+            }
             ConnStrategy::Hash(cols) => {
                 let h = hash64_iter(cols.iter().map(|c| &t[*c]), cols.len());
-                let dst = (h % self.senders.len() as u64) as usize;
-                self.buffer_to(dst, t, size)
+                let dst = (h % self.edges.len() as u64) as usize;
+                self.buffer_to(job, m, dst, t, size)
             }
             ConnStrategy::Broadcast => {
                 // Clone for all destinations but the last, which takes the
                 // tuple by move.
                 let mut any_alive = false;
-                let last = self.senders.len() - 1;
+                let last = self.edges.len() - 1;
                 for d in 0..last {
-                    if self.buffer_to(d, t.clone(), size)? {
+                    if self.buffer_to(job, m, d, t.clone(), size)? {
                         any_alive = true;
                     }
                 }
-                if self.buffer_to(last, t, size)? {
+                if self.buffer_to(job, m, last, t, size)? {
                     any_alive = true;
                 }
                 Ok(any_alive)
@@ -414,20 +455,27 @@ impl OutputRouter {
         }
     }
 
-    fn buffer_to(&mut self, dst: usize, t: Tuple, size: usize) -> Result<bool> {
-        if self.buffers[dst].push_sized(t, size)? {
-            return self.flush(dst);
+    fn buffer_to(
+        &mut self,
+        job: &dyn Notifier,
+        m: &mut OpMetrics,
+        dst: usize,
+        t: Tuple,
+        size: u32,
+    ) -> Result<bool> {
+        if self.buffers[dst].push_cached(t, size) {
+            return self.flush(job, m, dst);
         }
         Ok(true)
     }
 
-    fn flush(&mut self, dst: usize) -> Result<bool> {
+    fn flush(&mut self, job: &dyn Notifier, m: &mut OpMetrics, dst: usize) -> Result<bool> {
         if self.buffers[dst].is_empty() {
             return Ok(true);
         }
         let frame = self.buffers[dst].take();
-        self.metrics.frames += 1;
-        if let Some(n) = self.metrics.frames_to.get_mut(dst) {
+        m.frames_out += 1;
+        if let Some(n) = m.frames_routed.get_mut(dst) {
             *n += 1;
         }
         if self.severed {
@@ -442,79 +490,54 @@ impl OutputRouter {
                 }
             }
         }
-        // Bounded sends so a producer blocked on a full channel still
-        // notices cancellation: re-poll the token every `CANCEL_POLL`.
-        let mut frame = frame;
-        loop {
-            match self.senders[dst].send_timeout(frame, CANCEL_POLL) {
-                Ok(()) => return Ok(true),
-                Err(SendTimeoutError::Disconnected(_)) => return Ok(false),
-                Err(SendTimeoutError::Timeout(f)) => {
-                    self.token.check()?;
-                    frame = f;
-                }
+        let gone = {
+            let mut st = self.edges[dst].state.lock();
+            if st.consumer_gone {
+                true
+            } else {
+                st.frames.push_back(frame);
+                false
             }
+        };
+        if gone {
+            return Ok(false);
         }
+        job.notify_task(self.edges[dst].dst_task);
+        Ok(true)
     }
 
-    /// Flushes all buffers, ships the end-of-stream marker to every
-    /// destination, and yields the output-side metrics accumulated by this
-    /// worker. Only clean completion reaches this: error and panic paths
-    /// skip it, so their consumers observe a disconnect with no marker —
-    /// the dirty-death signal.
-    fn finish(mut self) -> Result<OutMetrics> {
-        for d in 0..self.senders.len() {
-            let _ = self.flush(d)?;
+    /// Flushes every partial frame (end of a producing phase).
+    fn flush_all(&mut self, job: &dyn Notifier, m: &mut OpMetrics) -> Result<()> {
+        for d in 0..self.edges.len() {
+            let _ = self.flush(job, m, d)?;
         }
-        if !self.severed {
-            for s in &self.senders {
-                let mut eos = Frame::eos();
-                loop {
-                    match s.send_timeout(eos, CANCEL_POLL) {
-                        Ok(()) | Err(SendTimeoutError::Disconnected(_)) => break,
-                        Err(SendTimeoutError::Timeout(f)) => {
-                            if self.token.is_cancelled() {
-                                break; // job is dying; markers no longer matter
-                            }
-                            eos = f;
-                        }
-                    }
-                }
-            }
-        }
-        Ok(std::mem::take(&mut self.metrics))
+        Ok(())
     }
 }
 
-// ---------------------------------------------------------------------------
-// Executor
-// ---------------------------------------------------------------------------
-
-/// Result of a job: the tuples gathered by the result sink, plus the
-/// per-operator profile assembled from every worker's metrics.
+/// Outcome of an executed job: the result tuples delivered to the sink and
+/// the per-operator profile tree.
 #[derive(Debug)]
 pub struct JobResult {
     pub tuples: Vec<Tuple>,
     pub profile: JobProfile,
 }
 
-/// Per-job lifecycle options: an externally cancellable token and/or a
-/// relative deadline measured on the context clock.
+/// Execution options for [`run_job_with`].
 #[derive(Default)]
 pub struct JobOptions {
-    /// Token the job runs under; `run_job_with` creates a private one when
-    /// absent. Pass a clone of your own token to cancel the job externally.
+    /// External cancellation token; a fresh one is created when `None`.
     pub token: Option<CancellationToken>,
-    /// Relative deadline for the whole job, measured on `ctx.clock`.
+    /// Relative deadline, measured on the context clock from job start.
     pub deadline: Option<Duration>,
+    /// Run this job on a private pool of exactly `n` workers instead of
+    /// the context's shared pool (tests and dedicated batch jobs; `None`
+    /// shares the pool with every other job on the context).
+    pub workers: Option<usize>,
 }
 
-/// Severity ranking used when several workers fail together: real errors
-/// (rank 0) outrank the upstream-failure echoes (1) a dead producer leaves
-/// in its consumers, which outrank the deadline (2) and cancellation (3)
-/// noise that fail-fast propagation induces in healthy siblings. The join
-/// loop keeps the lowest-ranked error, so the job reports the cause rather
-/// than a symptom.
+/// Ranks errors for reporting: the true root cause outranks the cascade it
+/// triggers (induced sibling cancellations rank last).
 fn error_rank(e: &HyracksError) -> u8 {
     match e {
         HyracksError::Cancelled(_) => 3,
@@ -524,35 +547,715 @@ fn error_rank(e: &HyracksError) -> u8 {
     }
 }
 
-/// RAII guard living for a worker's whole thread body: counts the worker in
-/// the job's live set, installs the job token in the worker's thread-local,
-/// and — critically — runs during unwinding, so a panicking worker still
-/// cancels the job (waking siblings blocked on channels) and decrements the
-/// live count before its thread dies.
-struct WorkerGuard {
-    token: CancellationToken,
-    live: Arc<AtomicUsize>,
-    label: String,
+/// Execution phase of one actor. Streaming ops stay in `Run`; pipeline
+/// breakers move `Accum → (algorithm) → Emit`, hash joins `Accum → Probe`.
+enum Phase {
+    /// Source: factory not yet opened.
+    OpenSource,
+    /// Source: draining its iterator.
+    SourceRun(Box<dyn Iterator<Item = Result<Tuple>> + Send>),
+    /// Streaming unary ops (filter/assign/project/unnest).
+    Run,
+    /// Limit: offset/quota progress.
+    Limit { skipped: usize, emitted: usize },
+    /// UnionAll: which input port is being drained.
+    Union { port: usize },
+    /// Barrier input accumulation (sort/topk/aggregate/group/distinct on
+    /// port 0; join build side on port 1). Byte sizes are carried so join
+    /// build-memory decisions match the old incremental accounting.
+    Accum { staged: Vec<(Tuple, u32)>, staged_bytes: u64 },
+    /// Hash join whose build side fit in memory: streaming per-morsel
+    /// probe, the probe side is never staged.
+    Probe { table: std::collections::HashMap<u64, Vec<Tuple>>, cfg: ops::join::HashJoinCfg },
+    /// Hash join build side exceeded memory: stage the probe side too,
+    /// then run the grace/hybrid path in one barrier transition.
+    GraceAccum {
+        build: Vec<(Tuple, u32)>,
+        probe: Vec<(Tuple, u32)>,
+        cfg: ops::join::HashJoinCfg,
+    },
+    /// Nested-loop join: build side staged, streaming the probe.
+    NljProbe { build: Vec<Tuple> },
+    /// Barrier output: draining the algorithm's result one morsel at a
+    /// time (the re-enqueued merge/emit phase).
+    Emit(Box<dyn Iterator<Item = Result<Tuple>> + Send>),
+    /// Result sink: accumulating delivered tuples.
+    Sink { delivered: Vec<Tuple> },
 }
 
-impl WorkerGuard {
-    fn new(token: CancellationToken, live: Arc<AtomicUsize>, label: String) -> WorkerGuard {
-        live.fetch_add(1, AtomicOrdering::SeqCst);
-        cancel::set_current(token.clone());
-        WorkerGuard { token, live, label }
+fn initial_phase(kind: &OpKind) -> Phase {
+    match kind {
+        OpKind::ResultSink => Phase::Sink { delivered: Vec::new() },
+        OpKind::Source(_) => Phase::OpenSource,
+        OpKind::Limit { .. } => Phase::Limit { skipped: 0, emitted: 0 },
+        OpKind::UnionAll => Phase::Union { port: 0 },
+        OpKind::Sort { .. }
+        | OpKind::TopK { .. }
+        | OpKind::Aggregate { .. }
+        | OpKind::GroupBy { .. }
+        | OpKind::GroupCollect { .. }
+        | OpKind::Distinct { .. }
+        | OpKind::HashJoin { .. }
+        | OpKind::NestedLoopJoin { .. } => Phase::Accum { staged: Vec::new(), staged_bytes: 0 },
+        _ => Phase::Run,
     }
 }
 
-impl Drop for WorkerGuard {
-    fn drop(&mut self) {
-        if std::thread::panicking() {
-            // The panicking worker never reaches its fail-fast path below;
-            // cancel here so the job converges to a join instead of
-            // deadlocking on the dead worker's channels.
-            self.token.cancel(&format!("worker {} panicked", self.label));
+/// Mutable state of one operator-partition actor.
+struct ActorBody {
+    op_id: usize,
+    partition: usize,
+    label: String,
+    started: bool,
+    finished: bool,
+    /// Clock reading when the actor last went idle (drained into
+    /// `metrics.queue_wait_ns` on the next step).
+    wait_since: Option<u64>,
+    metrics: OpMetrics,
+    phase: Phase,
+    in_ports: Vec<InPort>,
+    router: Option<Router>,
+}
+
+/// One operator-partition as a schedulable task.
+struct ActorTask {
+    job: Weak<JobInner>,
+    core: sched::TaskCore,
+    body: Mutex<ActorBody>,
+}
+
+/// Shared state of one running job.
+struct JobInner {
+    spec: Arc<JobSpec>,
+    ctx: Arc<RuntimeCtx>,
+    token: CancellationToken,
+    pool: Arc<WorkerPool>,
+    tasks: OnceLock<Vec<Arc<ActorTask>>>,
+    remaining: AtomicUsize,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+    results: Mutex<Vec<Tuple>>,
+    /// Lowest-ranked (most causal) error seen so far, with its rank.
+    error: Mutex<Option<(u8, HyracksError)>>,
+}
+
+impl Notifier for JobInner {
+    fn notify_task(&self, idx: usize) {
+        if let Some(tasks) = self.tasks.get() {
+            if let Some(t) = tasks.get(idx) {
+                let task: Arc<dyn sched::Task> = Arc::clone(t) as Arc<dyn sched::Task>;
+                sched::notify(&task, &self.pool);
+            }
         }
+    }
+}
+
+impl JobInner {
+    /// Wakes every unfinished actor (used after a token trip so idle
+    /// actors observe the cancellation instead of waiting forever).
+    fn sweep_notify(&self) {
+        if let Some(tasks) = self.tasks.get() {
+            for t in tasks {
+                if !t.core.is_done() {
+                    let task: Arc<dyn sched::Task> = Arc::clone(t) as Arc<dyn sched::Task>;
+                    sched::notify(&task, &self.pool);
+                }
+            }
+        }
+    }
+}
+
+impl sched::Task for ActorTask {
+    fn core(&self) -> &sched::TaskCore {
+        &self.core
+    }
+
+    fn step(&self) -> sched::Step {
+        let Some(job) = self.job.upgrade() else {
+            // The job completed and was torn down; this is a stale queue
+            // entry left behind by a late notification.
+            return sched::Step::Finished;
+        };
+        let mut body = self.body.lock();
+        if body.finished {
+            return sched::Step::Finished;
+        }
+        let clock = Arc::clone(&job.ctx.clock);
+        if let Some(w) = body.wait_since.take() {
+            body.metrics.queue_wait_ns += clock.now_ns().saturating_sub(w);
+        }
+        let step_start = clock.now_ns();
+        let first = !body.started;
+        body.started = true;
+        cancel::set_current(job.token.clone());
+        let body_ref = &mut *body;
+        let flow = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if first {
+                // Fail-first-attempt faults fire for every routed actor,
+                // before the token check — the chaos schedule outranks the
+                // sibling cancellations it triggers.
+                if let Some(r) = body_ref.router.as_mut() {
+                    r.fault_start()?;
+                }
+            }
+            // The per-morsel cancellation poll: exactly one check per step.
+            job.token.check()?;
+            step_once(&job, body_ref)
+        }));
         cancel::clear_current();
-        self.live.fetch_sub(1, AtomicOrdering::SeqCst);
+        // Attribute spill activity done during this step (sort runs, grace
+        // partitions) to this actor, wherever the pool thread ran it.
+        let (runs, bytes, fanout) = crate::ctx::take_worker_spill();
+        body.metrics.spill_runs += runs;
+        body.metrics.spilled_bytes += bytes;
+        body.metrics.grace_fanout += fanout;
+        body.metrics.compute_ns += clock.now_ns().saturating_sub(step_start);
+        match flow {
+            Ok(Ok(StepFlow::Again)) => sched::Step::Again,
+            Ok(Ok(StepFlow::Idle)) => {
+                body.wait_since = Some(clock.now_ns());
+                sched::Step::Idle
+            }
+            Ok(Ok(StepFlow::Finished)) => {
+                finish_actor(&job, &mut body, Ok(()));
+                sched::Step::Finished
+            }
+            Ok(Err(e)) => {
+                finish_actor(&job, &mut body, Err(e));
+                sched::Step::Finished
+            }
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".into());
+                // Keep PR-5's reap guarantee: a panicking actor cancels
+                // the job so siblings wind down, and finishes itself typed
+                // — the pool thread survives.
+                job.token.cancel(&format!("worker {} panicked", body.label));
+                let e = HyracksError::WorkerPanic(format!("{}: {msg}", body.label));
+                finish_actor(&job, &mut body, Err(e));
+                sched::Step::Finished
+            }
+        }
+    }
+}
+
+/// What one cooperative step decided.
+enum StepFlow {
+    /// More work immediately available; re-enqueue.
+    Again,
+    /// Blocked on input or output room; wait for a neighbor notification.
+    Idle,
+    /// This actor is done (cleanly or by early termination).
+    Finished,
+}
+
+/// Tears one actor down: closes its out edges (clean or dirty), releases
+/// its in edges, records its error, and completes the job when it was the
+/// last actor standing.
+fn finish_actor(job: &JobInner, body: &mut ActorBody, result: Result<()>) {
+    body.finished = true;
+    let severed = body.router.as_ref().map(|r| r.severed).unwrap_or(false);
+    let clean = result.is_ok() && !severed;
+    if let Some(r) = body.router.as_ref() {
+        for e in &r.edges {
+            let dst = {
+                let mut st = e.state.lock();
+                if st.closed {
+                    None
+                } else {
+                    st.closed = true;
+                    st.eos = clean;
+                    Some(e.dst_task)
+                }
+            };
+            if let Some(d) = dst {
+                job.notify_task(d);
+            }
+        }
+    }
+    for port in &body.in_ports {
+        port.for_edges(&mut |e| {
+            let src = {
+                let mut st = e.state.lock();
+                if st.consumer_gone {
+                    None
+                } else {
+                    st.consumer_gone = true;
+                    // Already-shipped frames will never be read; drop them
+                    // so memory is released promptly.
+                    st.frames.clear();
+                    Some(e.src_task)
+                }
+            };
+            if let Some(s) = src {
+                job.notify_task(s);
+            }
+        });
+    }
+    if let Err(e) = result {
+        let rank = error_rank(&e);
+        if rank <= 1 {
+            // Fail-fast: the first failing partition cancels its siblings.
+            job.token.cancel(&format!("partition {} failed: {e}", body.label));
+        }
+        {
+            let mut slot = job.error.lock();
+            let replace = match slot.as_ref() {
+                None => true,
+                Some((r, _)) => rank < *r,
+            };
+            if replace {
+                *slot = Some((rank, e));
+            }
+        }
+    }
+    if job.remaining.fetch_sub(1, AtomicOrdering::SeqCst) == 1 {
+        let mut done = job.done.lock();
+        *done = true;
+        job.done_cv.notify_all();
+    }
+}
+
+/// Runs one morsel-bounded step of an actor's current phase.
+fn step_once(job: &JobInner, body: &mut ActorBody) -> Result<StepFlow> {
+    let kind = &job.spec.ops[body.op_id].kind;
+    let partition = body.partition;
+    let token = &job.token;
+    let ActorBody { in_ports, router, metrics, phase, .. } = body;
+    let invalid = |m: &str| HyracksError::InvalidJob(m.to_string());
+    match phase {
+        Phase::OpenSource => {
+            let OpKind::Source(factory) = kind else {
+                return Err(invalid("source phase on a non-source operator"));
+            };
+            let iter = factory.open(partition)?;
+            *phase = Phase::SourceRun(iter);
+            Ok(StepFlow::Again)
+        }
+        Phase::SourceRun(iter) => {
+            let Some(out) = router.as_mut() else {
+                return Err(invalid("source has no outgoing connector"));
+            };
+            if !out.has_room() {
+                return Ok(StepFlow::Idle);
+            }
+            for _ in 0..MORSEL_TUPLES {
+                match iter.next() {
+                    None => {
+                        out.flush_all(job, metrics)?;
+                        return Ok(StepFlow::Finished);
+                    }
+                    Some(Err(e)) => return Err(e),
+                    Some(Ok(t)) => {
+                        if !out.push(job, metrics, t)? {
+                            return Ok(StepFlow::Finished);
+                        }
+                    }
+                }
+            }
+            Ok(StepFlow::Again)
+        }
+        Phase::Run => {
+            let Some(out) = router.as_mut() else {
+                return Err(invalid("non-sink operator has no outgoing connector"));
+            };
+            if !out.has_room() {
+                return Ok(StepFlow::Idle);
+            }
+            let Some(port) = in_ports.get_mut(0) else {
+                return Err(invalid("streaming operator has no input port"));
+            };
+            for _ in 0..MORSEL_TUPLES {
+                match port.poll(job, token, metrics)? {
+                    PortPoll::Pending => return Ok(StepFlow::Idle),
+                    PortPoll::End => {
+                        out.flush_all(job, metrics)?;
+                        return Ok(StepFlow::Finished);
+                    }
+                    PortPoll::Tuple(t, size) => {
+                        let cont = match kind {
+                            OpKind::Filter(pred) => {
+                                if pred(&t)? {
+                                    out.push_cached(job, metrics, t, size)?
+                                } else {
+                                    true
+                                }
+                            }
+                            OpKind::Assign(exprs) => {
+                                let mut t = t;
+                                for e in exprs {
+                                    let v = e(&t)?;
+                                    t.push(v);
+                                }
+                                out.push(job, metrics, t)?
+                            }
+                            OpKind::Project(cols) => {
+                                let projected: Tuple =
+                                    cols.iter().map(|c| t[*c].clone()).collect();
+                                out.push(job, metrics, projected)?
+                            }
+                            OpKind::Unnest { expr, outer } => {
+                                let coll = expr(&t)?;
+                                let mut cont = true;
+                                match coll.as_collection() {
+                                    Some(items) if !items.is_empty() => {
+                                        for item in items {
+                                            let mut row = t.clone();
+                                            row.push(item.clone());
+                                            if !out.push(job, metrics, row)? {
+                                                cont = false;
+                                                break;
+                                            }
+                                        }
+                                    }
+                                    _ => {
+                                        if *outer {
+                                            let mut row = t.clone();
+                                            row.push(Value::Missing);
+                                            cont = out.push(job, metrics, row)?;
+                                        }
+                                    }
+                                }
+                                cont
+                            }
+                            _ => return Err(invalid("unexpected streaming operator")),
+                        };
+                        if !cont {
+                            return Ok(StepFlow::Finished);
+                        }
+                    }
+                }
+            }
+            Ok(StepFlow::Again)
+        }
+        Phase::Limit { skipped, emitted } => {
+            let OpKind::Limit { offset, count } = kind else {
+                return Err(invalid("limit phase on a non-limit operator"));
+            };
+            let Some(out) = router.as_mut() else {
+                return Err(invalid("limit has no outgoing connector"));
+            };
+            if !out.has_room() {
+                return Ok(StepFlow::Idle);
+            }
+            let Some(port) = in_ports.get_mut(0) else {
+                return Err(invalid("limit has no input port"));
+            };
+            for _ in 0..MORSEL_TUPLES {
+                match port.poll(job, token, metrics)? {
+                    PortPoll::Pending => return Ok(StepFlow::Idle),
+                    PortPoll::End => {
+                        out.flush_all(job, metrics)?;
+                        return Ok(StepFlow::Finished);
+                    }
+                    PortPoll::Tuple(t, size) => {
+                        if *skipped < *offset {
+                            *skipped += 1;
+                            continue;
+                        }
+                        if let Some(c) = count {
+                            if *emitted >= *c {
+                                // Quota met: stop consuming. Finishing
+                                // releases the in edges, so producers
+                                // stop shortly after.
+                                out.flush_all(job, metrics)?;
+                                return Ok(StepFlow::Finished);
+                            }
+                        }
+                        *emitted += 1;
+                        if !out.push_cached(job, metrics, t, size)? {
+                            return Ok(StepFlow::Finished);
+                        }
+                    }
+                }
+            }
+            Ok(StepFlow::Again)
+        }
+        Phase::Union { port } => {
+            let Some(out) = router.as_mut() else {
+                return Err(invalid("union has no outgoing connector"));
+            };
+            if !out.has_room() {
+                return Ok(StepFlow::Idle);
+            }
+            for _ in 0..MORSEL_TUPLES {
+                let p = *port;
+                let Some(in_port) = in_ports.get_mut(p) else {
+                    return Err(invalid("union input port missing"));
+                };
+                match in_port.poll(job, token, metrics)? {
+                    PortPoll::Pending => return Ok(StepFlow::Idle),
+                    PortPoll::End => {
+                        if p == 0 {
+                            *port = 1;
+                            continue;
+                        }
+                        out.flush_all(job, metrics)?;
+                        return Ok(StepFlow::Finished);
+                    }
+                    PortPoll::Tuple(t, size) => {
+                        if !out.push_cached(job, metrics, t, size)? {
+                            return Ok(StepFlow::Finished);
+                        }
+                    }
+                }
+            }
+            Ok(StepFlow::Again)
+        }
+        Phase::Sink { delivered } => {
+            let Some(port) = in_ports.get_mut(0) else {
+                return Err(invalid("sink has no input port"));
+            };
+            for _ in 0..MORSEL_TUPLES {
+                match port.poll(job, token, metrics)? {
+                    PortPoll::Pending => return Ok(StepFlow::Idle),
+                    PortPoll::End => {
+                        metrics.tuples_out = delivered.len() as u64;
+                        job.results.lock().extend(std::mem::take(delivered));
+                        return Ok(StepFlow::Finished);
+                    }
+                    PortPoll::Tuple(t, _) => delivered.push(t),
+                }
+            }
+            Ok(StepFlow::Again)
+        }
+        Phase::Accum { staged, staged_bytes } => {
+            let port_idx = match kind {
+                OpKind::HashJoin { .. } | OpKind::NestedLoopJoin { .. } => 1,
+                _ => 0,
+            };
+            let Some(port) = in_ports.get_mut(port_idx) else {
+                return Err(invalid("barrier operator input port missing"));
+            };
+            for _ in 0..MORSEL_TUPLES {
+                match port.poll(job, token, metrics)? {
+                    PortPoll::Pending => return Ok(StepFlow::Idle),
+                    PortPoll::Tuple(t, s) => {
+                        *staged_bytes += s as u64;
+                        staged.push((t, s));
+                    }
+                    PortPoll::End => {
+                        let staged = std::mem::take(staged);
+                        let staged_bytes = *staged_bytes;
+                        *phase = barrier_transition(kind, staged, staged_bytes, job)?;
+                        // Barrier crossed: re-enqueue for the next phase
+                        // rather than running the whole drain inline.
+                        return Ok(StepFlow::Again);
+                    }
+                }
+            }
+            Ok(StepFlow::Again)
+        }
+        Phase::Probe { table, cfg } => {
+            let Some(out) = router.as_mut() else {
+                return Err(invalid("join has no outgoing connector"));
+            };
+            if !out.has_room() {
+                return Ok(StepFlow::Idle);
+            }
+            let Some(port) = in_ports.get_mut(0) else {
+                return Err(invalid("join probe port missing"));
+            };
+            for _ in 0..MORSEL_TUPLES {
+                match port.poll(job, token, metrics)? {
+                    PortPoll::Pending => return Ok(StepFlow::Idle),
+                    PortPoll::End => {
+                        out.flush_all(job, metrics)?;
+                        return Ok(StepFlow::Finished);
+                    }
+                    PortPoll::Tuple(t, _) => {
+                        let mut stop = false;
+                        ops::join::probe_one(t, table, cfg, &mut |o| {
+                            let cont = out.push(job, metrics, o)?;
+                            if !cont {
+                                stop = true;
+                            }
+                            Ok(cont)
+                        })?;
+                        if stop {
+                            return Ok(StepFlow::Finished);
+                        }
+                    }
+                }
+            }
+            Ok(StepFlow::Again)
+        }
+        Phase::GraceAccum { build, probe, cfg } => {
+            let Some(port) = in_ports.get_mut(0) else {
+                return Err(invalid("join probe port missing"));
+            };
+            for _ in 0..MORSEL_TUPLES {
+                match port.poll(job, token, metrics)? {
+                    PortPoll::Pending => return Ok(StepFlow::Idle),
+                    PortPoll::Tuple(t, s) => probe.push((t, s)),
+                    PortPoll::End => {
+                        let build = std::mem::take(build);
+                        let probe = std::mem::take(probe);
+                        let cfg = cfg.clone();
+                        let mut collected: Vec<Tuple> = Vec::new();
+                        ops::join::hash_join(
+                            probe.into_iter().map(|(t, _)| Ok(t)),
+                            build.into_iter().map(|(t, _)| Ok(t)),
+                            &cfg,
+                            &job.ctx,
+                            &mut |t| {
+                                collected.push(t);
+                                Ok(true)
+                            },
+                        )?;
+                        *phase = Phase::Emit(Box::new(collected.into_iter().map(Ok)));
+                        return Ok(StepFlow::Again);
+                    }
+                }
+            }
+            Ok(StepFlow::Again)
+        }
+        Phase::NljProbe { build } => {
+            let OpKind::NestedLoopJoin { pred, kind: jk, right_arity } = kind else {
+                return Err(invalid("nlj phase on a non-nlj operator"));
+            };
+            let Some(out) = router.as_mut() else {
+                return Err(invalid("join has no outgoing connector"));
+            };
+            if !out.has_room() {
+                return Ok(StepFlow::Idle);
+            }
+            let Some(port) = in_ports.get_mut(0) else {
+                return Err(invalid("join probe port missing"));
+            };
+            for _ in 0..MORSEL_TUPLES {
+                match port.poll(job, token, metrics)? {
+                    PortPoll::Pending => return Ok(StepFlow::Idle),
+                    PortPoll::End => {
+                        out.flush_all(job, metrics)?;
+                        return Ok(StepFlow::Finished);
+                    }
+                    PortPoll::Tuple(t, _) => {
+                        let mut stop = false;
+                        ops::join::nlj_probe_one(t, build, pred, *jk, *right_arity, &mut |o| {
+                            let cont = out.push(job, metrics, o)?;
+                            if !cont {
+                                stop = true;
+                            }
+                            Ok(cont)
+                        })?;
+                        if stop {
+                            return Ok(StepFlow::Finished);
+                        }
+                    }
+                }
+            }
+            Ok(StepFlow::Again)
+        }
+        Phase::Emit(iter) => {
+            let Some(out) = router.as_mut() else {
+                return Err(invalid("barrier operator has no outgoing connector"));
+            };
+            if !out.has_room() {
+                return Ok(StepFlow::Idle);
+            }
+            for _ in 0..MORSEL_TUPLES {
+                match iter.next() {
+                    None => {
+                        out.flush_all(job, metrics)?;
+                        return Ok(StepFlow::Finished);
+                    }
+                    Some(Err(e)) => return Err(e),
+                    Some(Ok(t)) => {
+                        if !out.push(job, metrics, t)? {
+                            return Ok(StepFlow::Finished);
+                        }
+                    }
+                }
+            }
+            Ok(StepFlow::Again)
+        }
+    }
+}
+
+/// Runs a barrier operator's algorithm over its staged input and returns
+/// the phase that drains the output. The staged input is held in memory;
+/// the consuming algorithms (external sort, grace join, spilling group-by)
+/// still spill their own working state under the operator memory budget.
+fn barrier_transition(
+    kind: &OpKind,
+    staged: Vec<(Tuple, u32)>,
+    staged_bytes: u64,
+    job: &JobInner,
+) -> Result<Phase> {
+    let ctx = &job.ctx;
+    match kind {
+        OpKind::Sort { keys, memory } => {
+            let input = staged.into_iter().map(|(t, _)| Ok(t));
+            let sorted =
+                ops::sort::external_sort(input, keys.clone(), *memory, Arc::clone(ctx))?;
+            Ok(Phase::Emit(sorted))
+        }
+        OpKind::TopK { keys, k } => {
+            let input = staged.into_iter().map(|(t, _)| Ok(t));
+            let top = ops::sort::top_k(input, keys, *k)?;
+            Ok(Phase::Emit(Box::new(top.into_iter().map(Ok))))
+        }
+        OpKind::Aggregate { aggs } => {
+            let input = staged.into_iter().map(|(t, _)| Ok(t));
+            let t = ops::scalar_aggregate(input, aggs)?;
+            Ok(Phase::Emit(Box::new(std::iter::once(Ok(t)))))
+        }
+        OpKind::GroupBy { key_cols, aggs, memory } => {
+            let input = staged.into_iter().map(|(t, _)| Ok(t));
+            let mut out: Vec<Tuple> = Vec::new();
+            ops::groupby::hash_group_by(input, key_cols, aggs, *memory, ctx, &mut |t| {
+                out.push(t);
+                Ok(true)
+            })?;
+            Ok(Phase::Emit(Box::new(out.into_iter().map(Ok))))
+        }
+        OpKind::GroupCollect { key_cols, payload_cols, memory } => {
+            let input = staged.into_iter().map(|(t, _)| Ok(t));
+            let mut out: Vec<Tuple> = Vec::new();
+            ops::groupby::group_collect(input, key_cols, payload_cols, *memory, ctx, &mut |t| {
+                out.push(t);
+                Ok(true)
+            })?;
+            Ok(Phase::Emit(Box::new(out.into_iter().map(Ok))))
+        }
+        OpKind::Distinct { cols, memory } => {
+            let input = staged.into_iter().map(|(t, _)| Ok(t));
+            let mut out: Vec<Tuple> = Vec::new();
+            ops::groupby::distinct(input, cols.as_deref(), *memory, ctx, &mut |t| {
+                out.push(t);
+                Ok(true)
+            })?;
+            Ok(Phase::Emit(Box::new(out.into_iter().map(Ok))))
+        }
+        OpKind::HashJoin { left_keys, right_keys, kind, right_arity, memory } => {
+            let cfg = ops::join::HashJoinCfg {
+                left_keys: left_keys.clone(),
+                right_keys: right_keys.clone(),
+                kind: *kind,
+                right_arity: *right_arity,
+                memory: *memory,
+            };
+            if staged_bytes <= *memory as u64 {
+                // Build fits: in-memory table, streaming per-morsel probe.
+                let table = ops::join::build_table(staged.into_iter().map(|(t, _)| t), &cfg);
+                Ok(Phase::Probe { table, cfg })
+            } else {
+                // Same boundary as the old incremental build: over-budget
+                // build sides take the grace path once the probe side is
+                // staged too.
+                Ok(Phase::GraceAccum { build: staged, probe: Vec::new(), cfg })
+            }
+        }
+        OpKind::NestedLoopJoin { .. } => {
+            Ok(Phase::NljProbe { build: staged.into_iter().map(|(t, _)| t).collect() })
+        }
+        _ => Err(HyracksError::InvalidJob(
+            "barrier transition on a streaming operator".into(),
+        )),
     }
 }
 
@@ -563,11 +1266,11 @@ pub fn run_job(spec: JobSpec, ctx: Arc<RuntimeCtx>) -> Result<JobResult> {
 
 /// Executes a validated job to completion under `opts`.
 ///
-/// Lifecycle: the job token (supplied or fresh) is installed on the context
-/// so [`RuntimeCtx::cancel_current_job`] can reach it; every worker polls it
-/// at frame boundaries and on blocked channel operations. The first failing
-/// partition cancels it, so siblings stop fail-fast. Every worker thread is
-/// joined before this returns — on success, error, and panic paths alike.
+/// Lifecycle: the job token (supplied or fresh) is installed on the
+/// context so [`RuntimeCtx::cancel_current_job`] can reach it; every actor
+/// polls it once per morsel. The first failing partition cancels it, so
+/// siblings stop fail-fast. Every actor reaches a terminal state before
+/// this returns — on success, error, and panic paths alike.
 pub fn run_job_with(spec: JobSpec, ctx: Arc<RuntimeCtx>, opts: JobOptions) -> Result<JobResult> {
     let token = opts.token.unwrap_or_default();
     if let Some(d) = opts.deadline {
@@ -578,7 +1281,7 @@ pub fn run_job_with(spec: JobSpec, ctx: Arc<RuntimeCtx>, opts: JobOptions) -> Re
         );
     }
     ctx.install_job_token(&token);
-    let out = run_job_inner(spec, &ctx, &token);
+    let out = run_job_inner(spec, &ctx, &token, opts.workers);
     ctx.clear_job_token(&token);
     // Lifecycle accounting: exactly one outcome counter per job run.
     let outcome = match &out {
@@ -598,252 +1301,179 @@ fn run_job_inner(
     spec: JobSpec,
     ctx: &Arc<RuntimeCtx>,
     token: &CancellationToken,
+    workers: Option<usize>,
 ) -> Result<JobResult> {
     spec.validate()?;
     // Pre-flight: a pre-cancelled token or an already-expired deadline
-    // fails here, before any thread is spawned.
+    // fails here, before any task is enqueued.
     token.check()?;
     let job_start = ctx.clock.now_ns();
     if let Some(f) = ctx.dataflow_faults() {
         f.begin_attempt();
     }
     let spec = Arc::new(spec);
-    // channel matrix per connector: [src_partition][dst_partition]
-    struct Matrix {
-        senders: Vec<Vec<Sender<Frame>>>,
-        receivers: Vec<Vec<Option<Receiver<Frame>>>>,
+    let pool = match workers {
+        Some(n) => WorkerPool::new(n.max(1), ctx.registry()),
+        None => ctx.worker_pool(),
+    };
+    // Task index per operator-partition: ops expand in declaration order.
+    let mut offsets = Vec::with_capacity(spec.ops.len());
+    let mut total = 0usize;
+    for op in &spec.ops {
+        offsets.push(total);
+        total += op.partitions;
     }
-    let mut matrices: Vec<Matrix> = Vec::with_capacity(spec.connectors.len());
+    // Edge matrix per connector: [src_partition][dst_partition].
+    let mut conn_edges: Vec<Vec<Vec<Arc<Edge>>>> = Vec::with_capacity(spec.connectors.len());
     for c in &spec.connectors {
         let sp = spec.ops[c.src].partitions;
         let dp = spec.ops[c.dst].partitions;
-        let mut senders = Vec::with_capacity(sp);
-        let mut receivers: Vec<Vec<Option<Receiver<Frame>>>> = (0..dp).map(|_| Vec::new()).collect();
-        for _ in 0..sp {
-            let mut row = Vec::with_capacity(dp);
-            for (d, recv_col) in receivers.iter_mut().enumerate() {
-                let _ = d;
-                let (tx, rx) = bounded::<Frame>(CHANNEL_CAP);
-                row.push(tx);
-                recv_col.push(Some(rx));
-            }
-            senders.push(row);
-        }
-        matrices.push(Matrix { senders, receivers });
+        let rows = (0..sp)
+            .map(|s| {
+                (0..dp)
+                    .map(|d| {
+                        Arc::new(Edge {
+                            state: Mutex::new(EdgeState::default()),
+                            src_task: offsets[c.src] + s,
+                            dst_task: offsets[c.dst] + d,
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+        conn_edges.push(rows);
     }
-    let results: Arc<Mutex<Vec<Tuple>>> = Arc::new(Mutex::new(Vec::new()));
-    // One OpMetrics slot per operator-partition, filled by each worker as
-    // it finishes (workers own plain counters; this mutex is touched once
-    // per worker lifetime).
-    let metrics: Arc<Mutex<Vec<Vec<OpMetrics>>>> = Arc::new(Mutex::new(
-        spec.ops.iter().map(|op| vec![OpMetrics::default(); op.partitions]).collect(),
-    ));
-    // Phase 1: wire every worker's ports and router up front. A wiring
-    // error returns here, before a single thread exists, so a malformed
-    // spec can never leak already-running workers.
-    struct WorkerSetup {
-        op_id: usize,
-        partition: usize,
-        label: String,
-        in_cell: Arc<InCell>,
-        ports: Vec<PortReader>,
-        out: Option<OutputRouter>,
-    }
-    let mut setups: Vec<WorkerSetup> = Vec::new();
+    let inner = Arc::new(JobInner {
+        spec: Arc::clone(&spec),
+        ctx: Arc::clone(ctx),
+        token: token.clone(),
+        pool: Arc::clone(&pool),
+        tasks: OnceLock::new(),
+        remaining: AtomicUsize::new(total),
+        done: Mutex::new(false),
+        done_cv: Condvar::new(),
+        results: Mutex::new(Vec::new()),
+        error: Mutex::new(None),
+    });
+    // Wire one actor per operator-partition. Wiring errors surface before
+    // any task is enqueued.
+    let mut tasks: Vec<Arc<ActorTask>> = Vec::with_capacity(total);
     for (op_id, op) in spec.ops.iter().enumerate() {
+        let out_conn = spec.connectors.iter().enumerate().find(|(_, c)| c.src == op_id);
         for p in 0..op.partitions {
-            // Input-side counters for this worker, shared with its port
-            // readers (both ports of a binary op feed the same cell).
-            let in_cell = Arc::new(InCell::default());
             let label = format!("{}#{p}", op.label);
-            // input ports
             let arity = op.kind.arity();
-            let mut ports: Vec<PortReader> = Vec::with_capacity(arity);
+            let mut in_ports = Vec::with_capacity(arity);
             for port in 0..arity {
-                let (ci, conn) = spec
+                let Some((ci, conn)) = spec
                     .connectors
                     .iter()
                     .enumerate()
                     .find(|(_, c)| c.dst == op_id && c.dst_port == port)
-                    .ok_or_else(|| {
-                        HyracksError::InvalidJob(format!(
-                            "no connector feeds op {op_id} port {port}"
-                        ))
-                    })?;
-                let mut col: Vec<Receiver<Frame>> =
-                    Vec::with_capacity(matrices[ci].receivers[p].len());
-                for r in matrices[ci].receivers[p].iter_mut() {
-                    col.push(r.take().ok_or_else(|| {
-                        HyracksError::InvalidJob(format!(
-                            "receiver for connector {ci} partition {p} wired twice"
-                        ))
-                    })?);
-                }
-                let reader = match &conn.strategy {
+                else {
+                    return Err(HyracksError::InvalidJob(format!(
+                        "no connector feeds op {op_id} port {port}"
+                    )));
+                };
+                let col: Vec<Arc<Edge>> =
+                    conn_edges[ci].iter().map(|row| Arc::clone(&row[p])).collect();
+                in_ports.push(match &conn.strategy {
                     ConnStrategy::MergeSorted(keys) => {
-                        let streams: Vec<RecvStream> = col
-                            .into_iter()
-                            .map(|receiver| RecvStream {
-                                receiver,
-                                buffer: VecDeque::new(),
-                                cell: Arc::clone(&in_cell),
-                                clock: Arc::clone(&ctx.clock),
-                                token: token.clone(),
-                                done: false,
-                            })
-                            .collect();
-                        PortReader::Merge(Box::new(ops::sort::KWayMerge::new(
-                            streams,
-                            keys.clone(),
-                        )))
+                        InPort::Merge(MergePort::new(col, keys.clone()))
                     }
-                    _ => PortReader::Any(TupleStream::new(
-                        col,
-                        Arc::clone(&in_cell),
-                        Arc::clone(&ctx.clock),
-                        token.clone(),
-                    )),
-                };
-                ports.push(reader);
-            }
-            // output router (with this worker's chaos plan, if any)
-            let out = spec
-                .connectors
-                .iter()
-                .enumerate()
-                .find(|(_, c)| c.src == op_id)
-                .map(|(ci, c)| {
-                    OutputRouter::new(
-                        c.strategy.clone(),
-                        matrices[ci].senders[p].clone(),
-                        p,
-                        Arc::clone(ctx),
-                        token.clone(),
-                        ctx.dataflow_faults()
-                            .map(|f| WorkerFaultState::new(Arc::clone(f), label.clone(), p)),
-                    )
+                    _ => InPort::Any(AnyPort::new(col)),
                 });
-            setups.push(WorkerSetup { op_id, partition: p, label, in_cell, ports, out });
-        }
-    }
-    // Phase 2: spawn. If the OS refuses a thread mid-way, the remaining
-    // setups are dropped (closing their channels) and the token is
-    // cancelled, so the already-spawned workers wind down and are joined
-    // below — no detached threads either way.
-    let live_workers = Arc::new(AtomicUsize::new(0));
-    let mut handles = Vec::with_capacity(setups.len());
-    let mut spawn_err: Option<HyracksError> = None;
-    for s in setups {
-        let spec2 = Arc::clone(&spec);
-        let ctx2 = Arc::clone(ctx);
-        let results2 = Arc::clone(&results);
-        let metrics2 = Arc::clone(&metrics);
-        let token2 = token.clone();
-        let live2 = Arc::clone(&live_workers);
-        let label = s.label.clone();
-        let spawned = std::thread::Builder::new()
-            .name(s.label.clone())
-            .spawn(move || -> Result<()> {
-                let guard = WorkerGuard::new(token2.clone(), live2, s.label);
-                let started = ctx2.clock.now_ns();
-                let _ = crate::ctx::take_worker_spill(); // fresh thread, but be explicit
-                let out_m = match run_worker(
-                    &spec2.ops[s.op_id].kind,
-                    s.partition,
-                    s.ports,
-                    s.out,
-                    &ctx2,
-                    &results2,
-                ) {
-                    Ok(m) => m,
-                    Err(e) => {
-                        // Fail fast: the first real failure cancels every
-                        // sibling. Cancellation-derived errors don't
-                        // re-cancel (the token already tripped; first
-                        // cause wins regardless).
-                        if error_rank(&e) <= 1 {
-                            token2.cancel(&format!("partition {} failed: {e}", guard.label));
-                        }
-                        return Err(e);
-                    }
-                };
-                let ended = ctx2.clock.now_ns();
-                let (spill_runs, spilled_bytes, grace_fanout) = crate::ctx::take_worker_spill();
-                let wait = s.in_cell.wait_ns.load(AtomicOrdering::Relaxed);
-                let m = OpMetrics {
-                    tuples_in: s.in_cell.tuples.load(AtomicOrdering::Relaxed),
-                    tuples_out: out_m.tuples,
-                    frames_in: s.in_cell.frames.load(AtomicOrdering::Relaxed),
-                    frames_out: out_m.frames,
-                    bytes_in: s.in_cell.bytes.load(AtomicOrdering::Relaxed),
-                    bytes_out: out_m.bytes,
-                    queue_wait_ns: wait,
-                    compute_ns: ended.saturating_sub(started).saturating_sub(wait),
-                    spill_runs,
-                    spilled_bytes,
-                    grace_fanout,
-                    frames_routed: out_m.frames_to,
-                };
-                if let Some(slot) =
-                    metrics2.lock().get_mut(s.op_id).and_then(|row| row.get_mut(s.partition))
-                {
-                    *slot = m;
-                }
-                Ok(())
+            }
+            let router = out_conn.map(|(ci, conn)| {
+                let row = conn_edges[ci][p].clone();
+                let faults = ctx
+                    .dataflow_faults()
+                    .map(|f| WorkerFaultState::new(Arc::clone(f), label.clone(), p));
+                Router::new(conn.strategy.clone(), row, p, ctx, faults)
             });
-        match spawned {
-            Ok(h) => handles.push((label, h)),
-            Err(e) => {
-                token.cancel(&format!("failed to spawn worker {label}"));
-                spawn_err = Some(HyracksError::Io(e));
-                break;
-            }
+            let ndst = router.as_ref().map(|r| r.edges.len()).unwrap_or(0);
+            let metrics = OpMetrics { frames_routed: vec![0; ndst], ..OpMetrics::default() };
+            let body = ActorBody {
+                op_id,
+                partition: p,
+                label,
+                started: false,
+                finished: false,
+                wait_since: None,
+                metrics,
+                phase: initial_phase(&op.kind),
+                in_ports,
+                router,
+            };
+            tasks.push(Arc::new(ActorTask {
+                job: Arc::downgrade(&inner),
+                core: sched::TaskCore::new(),
+                body: Mutex::new(body),
+            }));
         }
     }
-    // Drop our copies of the senders so channels close when workers finish.
-    drop(matrices);
-    // Phase 3: join every worker — panic or not — keeping the most severe
-    // error (see `error_rank`: real failures beat the cancellation noise
-    // that fail-fast propagation induced in their siblings).
-    let mut first_err: Option<(u8, HyracksError)> = None;
-    for (label, h) in handles {
-        let err = match h.join() {
-            Ok(Ok(())) => None,
-            Ok(Err(e)) => Some(e),
-            Err(panic) => {
-                let msg = panic
-                    .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
-                    .or_else(|| panic.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "unknown panic".into());
-                Some(HyracksError::WorkerPanic(format!("{label}: {msg}")))
-            }
-        };
-        if let Some(e) = err {
-            let rank = error_rank(&e);
-            if first_err.as_ref().is_none_or(|(r, _)| rank < *r) {
-                first_err = Some((rank, e));
-            }
+    let _ = inner.tasks.set(tasks);
+    // Kick every actor once; from here the graph drives itself through
+    // push/drain/close notifications.
+    if let Some(tasks) = inner.tasks.get() {
+        for t in tasks {
+            let task: Arc<dyn sched::Task> = Arc::clone(t) as Arc<dyn sched::Task>;
+            sched::notify(&task, &pool);
         }
     }
-    // Every spawned worker has been joined, so the live count must be zero;
-    // a nonzero count would mean a worker thread escaped the job.
-    let leaked = live_workers.load(AtomicOrdering::SeqCst);
-    debug_assert_eq!(leaked, 0, "worker threads outlived run_job");
-    if leaked != 0 {
-        ctx.registry().counter("hyracks.lifecycle.leaked_workers").add(leaked as u64);
+    wait_done(&inner);
+    // Harvest per-actor metrics into the per-operator slots.
+    let mut per_op: Vec<Vec<OpMetrics>> =
+        spec.ops.iter().map(|op| vec![OpMetrics::default(); op.partitions]).collect();
+    let mut unfinished = 0u64;
+    if let Some(tasks) = inner.tasks.get() {
+        for t in tasks {
+            let mut b = t.body.lock();
+            if !b.finished {
+                unfinished += 1;
+            }
+            let m = std::mem::take(&mut b.metrics);
+            per_op[b.op_id][b.partition] = m;
+        }
     }
-    if let Some(e) = spawn_err {
-        return Err(e);
+    // PR-5's reap-everything guarantee, restated for actors: the job only
+    // completes when every actor reached a terminal state.
+    debug_assert_eq!(unfinished, 0, "job completed with unfinished actors");
+    if unfinished != 0 {
+        ctx.registry().counter("hyracks.lifecycle.leaked_workers").add(unfinished);
     }
+    let first_err = {
+        let mut slot = inner.error.lock();
+        slot.take()
+    };
     if let Some((_, e)) = first_err {
         return Err(e);
     }
-    let tuples = std::mem::take(&mut *results.lock());
+    let tuples = std::mem::take(&mut *inner.results.lock());
     let elapsed_ns = ctx.clock.now_ns().saturating_sub(job_start);
-    let per_op = std::mem::take(&mut *metrics.lock());
     let profile = assemble_profile(&spec, per_op, elapsed_ns);
     Ok(JobResult { tuples, profile })
+}
+
+/// Blocks the submitting thread until the last actor completes. Re-checks
+/// the job token on a short period so idle actors are woken to observe a
+/// cancellation (or an expired deadline — the check also trips it).
+fn wait_done(job: &JobInner) {
+    loop {
+        {
+            let mut done = job.done.lock();
+            if *done {
+                return;
+            }
+            let _ = job.done_cv.wait_for(&mut done, COMPLETION_POLL);
+            if *done {
+                return;
+            }
+        }
+        if job.token.check().is_err() {
+            job.sweep_notify();
+        }
+    }
 }
 
 /// Builds the operator profile tree rooted at the result sink. Job specs
@@ -884,276 +1514,6 @@ fn profile_node(
     }
 }
 
-fn run_worker(
-    kind: &OpKind,
-    partition: usize,
-    mut ports: Vec<PortReader>,
-    out: Option<OutputRouter>,
-    ctx: &Arc<RuntimeCtx>,
-    results: &Arc<Mutex<Vec<Tuple>>>,
-) -> Result<OutMetrics> {
-    if let OpKind::ResultSink = kind {
-        let input = ports.remove(0).into_iter();
-        let mut local = Vec::new();
-        for t in input {
-            local.push(t?);
-        }
-        let delivered = local.len() as u64;
-        results.lock().extend(local);
-        // The sink's "output" is the result set it delivers to the caller.
-        return Ok(OutMetrics { tuples: delivered, ..OutMetrics::default() });
-    }
-    let Some(mut out) = out else {
-        return Err(HyracksError::InvalidJob(
-            "non-sink operator has no outgoing connector".into(),
-        ));
-    };
-    out.fault_start()?;
-    let stopped = run_op_body(kind, partition, ports, &mut out, ctx)?;
-    let _ = stopped;
-    out.finish()
-}
-
-/// Drives a pass-through operator over one port, carrying each tuple's
-/// cached byte size from the input frame to the output frame so unchanged
-/// tuples are never re-sized.
-fn for_each_sized(
-    port: PortReader,
-    f: &mut dyn FnMut(Tuple, usize) -> Result<bool>,
-) -> Result<bool> {
-    match port {
-        PortReader::Any(mut s) => {
-            while let Some((t, size)) = s.next_sized()? {
-                if !f(t, size as usize)? {
-                    return Ok(false);
-                }
-            }
-            Ok(true)
-        }
-        PortReader::Merge(m) => {
-            for t in m {
-                let t = t?;
-                let size = Frame::tuple_size(&t);
-                if !f(t, size)? {
-                    return Ok(false);
-                }
-            }
-            Ok(true)
-        }
-    }
-}
-
-/// Runs the operator body; returns Ok(..) on success (early stop included).
-fn run_op_body(
-    kind: &OpKind,
-    partition: usize,
-    mut ports: Vec<PortReader>,
-    out: &mut OutputRouter,
-    ctx: &Arc<RuntimeCtx>,
-) -> Result<bool> {
-    match kind {
-        OpKind::ResultSink => Err(HyracksError::InvalidJob(
-            "ResultSink reached the operator body; it is handled by the caller".into(),
-        )),
-        OpKind::Source(factory) => {
-            // Sources have no inbound channels (where the token is normally
-            // polled), so check it here — strided, never per tuple.
-            let token = cancel::current();
-            let iter = factory.open(partition)?;
-            let mut n = 0u64;
-            for t in iter {
-                n += 1;
-                if n & 1023 == 0 {
-                    token.check()?;
-                }
-                if !out.push(t?)? {
-                    return Ok(false);
-                }
-            }
-            Ok(true)
-        }
-        OpKind::Filter(pred) => for_each_sized(ports.remove(0), &mut |t, size| {
-            if pred(&t)? {
-                out.push_sized(t, size)
-            } else {
-                Ok(true)
-            }
-        }),
-        OpKind::Assign(exprs) => {
-            let input = ports.remove(0).into_iter();
-            for t in input {
-                let mut t = t?;
-                for e in exprs {
-                    let v = e(&t)?;
-                    t.push(v);
-                }
-                if !out.push(t)? {
-                    return Ok(false);
-                }
-            }
-            Ok(true)
-        }
-        OpKind::Project(cols) => {
-            let input = ports.remove(0).into_iter();
-            for t in input {
-                let t = t?;
-                let projected: Tuple = cols.iter().map(|c| t[*c].clone()).collect();
-                if !out.push(projected)? {
-                    return Ok(false);
-                }
-            }
-            Ok(true)
-        }
-        OpKind::Unnest { expr, outer } => {
-            let input = ports.remove(0).into_iter();
-            for t in input {
-                let t = t?;
-                let coll = expr(&t)?;
-                match coll.as_collection() {
-                    Some(items) if !items.is_empty() => {
-                        for item in items {
-                            let mut row = t.clone();
-                            row.push(item.clone());
-                            if !out.push(row)? {
-                                return Ok(false);
-                            }
-                        }
-                    }
-                    _ => {
-                        if *outer {
-                            let mut row = t.clone();
-                            row.push(Value::Missing);
-                            if !out.push(row)? {
-                                return Ok(false);
-                            }
-                        }
-                    }
-                }
-            }
-            Ok(true)
-        }
-        OpKind::Limit { offset, count } => {
-            let mut skipped = 0usize;
-            let mut emitted = 0usize;
-            for_each_sized(ports.remove(0), &mut |t, size| {
-                if skipped < *offset {
-                    skipped += 1;
-                    return Ok(true);
-                }
-                if let Some(c) = count {
-                    if emitted >= *c {
-                        return Ok(false); // quota met: stop consuming
-                    }
-                }
-                emitted += 1;
-                out.push_sized(t, size)
-            })
-        }
-        OpKind::Sort { keys, memory } => {
-            let input = ports.remove(0).into_iter();
-            let sorted = ops::sort::external_sort(input, keys.clone(), *memory, Arc::clone(ctx))?;
-            for t in sorted {
-                if !out.push(t?)? {
-                    return Ok(false);
-                }
-            }
-            Ok(true)
-        }
-        OpKind::TopK { keys, k } => {
-            let input = ports.remove(0).into_iter();
-            for t in ops::sort::top_k(input, keys, *k)? {
-                if !out.push(t)? {
-                    return Ok(false);
-                }
-            }
-            Ok(true)
-        }
-        OpKind::Aggregate { aggs } => {
-            let input = ports.remove(0).into_iter();
-            let t = ops::scalar_aggregate(input, aggs)?;
-            out.push(t)?;
-            Ok(true)
-        }
-        OpKind::GroupBy { key_cols, aggs, memory } => {
-            let input = ports.remove(0).into_iter();
-            let mut ok = true;
-            ops::groupby::hash_group_by(input, key_cols, aggs, *memory, ctx, &mut |t| {
-                let cont = out.push(t)?;
-                if !cont {
-                    ok = false;
-                }
-                Ok(cont)
-            })?;
-            Ok(ok)
-        }
-        OpKind::GroupCollect { key_cols, payload_cols, memory } => {
-            let input = ports.remove(0).into_iter();
-            let mut ok = true;
-            ops::groupby::group_collect(input, key_cols, payload_cols, *memory, ctx, &mut |t| {
-                let cont = out.push(t)?;
-                if !cont {
-                    ok = false;
-                }
-                Ok(cont)
-            })?;
-            Ok(ok)
-        }
-        OpKind::Distinct { cols, memory } => {
-            let input = ports.remove(0).into_iter();
-            let mut ok = true;
-            ops::groupby::distinct(input, cols.as_deref(), *memory, ctx, &mut |t| {
-                let cont = out.push(t)?;
-                if !cont {
-                    ok = false;
-                }
-                Ok(cont)
-            })?;
-            Ok(ok)
-        }
-        OpKind::HashJoin { left_keys, right_keys, kind, right_arity, memory } => {
-            let build = ports.remove(1).into_iter();
-            let probe = ports.remove(0).into_iter();
-            let cfg = ops::join::HashJoinCfg {
-                left_keys: left_keys.clone(),
-                right_keys: right_keys.clone(),
-                kind: *kind,
-                right_arity: *right_arity,
-                memory: *memory,
-            };
-            let mut ok = true;
-            ops::join::hash_join(probe, build, &cfg, ctx, &mut |t| {
-                let cont = out.push(t)?;
-                if !cont {
-                    ok = false;
-                }
-                Ok(cont)
-            })?;
-            Ok(ok)
-        }
-        OpKind::NestedLoopJoin { pred, kind, right_arity } => {
-            let build = ports.remove(1).into_iter();
-            let probe = ports.remove(0).into_iter();
-            let mut ok = true;
-            ops::join::nested_loop_join(probe, build, pred, *kind, *right_arity, &mut |t| {
-                let cont = out.push(t)?;
-                if !cont {
-                    ok = false;
-                }
-                Ok(cont)
-            })?;
-            Ok(ok)
-        }
-        OpKind::UnionAll => {
-            let second = ports.remove(1);
-            let first = ports.remove(0);
-            if !for_each_sized(first, &mut |t, size| out.push_sized(t, size))? {
-                return Ok(false);
-            }
-            for_each_sized(second, &mut |t, size| out.push_sized(t, size))
-        }
-    }
-}
-
 /// Convenience: run a job and return result tuples sorted by `keys`
 /// (handy in tests where gather order is nondeterministic).
 pub fn run_job_sorted(spec: JobSpec, ctx: Arc<RuntimeCtx>, keys: &[SortKey]) -> Result<Vec<Tuple>> {
@@ -1166,6 +1526,7 @@ pub fn run_job_sorted(spec: JobSpec, ctx: Arc<RuntimeCtx>, keys: &[SortKey]) -> 
 mod tests {
     use super::*;
     use crate::job::{AggSpec, FnSource, JoinKind, SortKey};
+    use std::sync::atomic::AtomicU64;
     use std::sync::Arc;
 
     fn int_source(per_partition: i64) -> OpKind {
@@ -1434,6 +1795,89 @@ mod tests {
         assert_eq!(out.len(), 10);
     }
 
+    // -- scheduler: morsel accounting, barrier re-enqueue, cancel latency --
+
+    /// Waits until the scheduler has drained every stale queue entry so
+    /// that `hyracks.sched.enqueued == hyracks.sched.morsels` (a finishing
+    /// job can leave a last QUEUED entry that pops just after `run_job`
+    /// returns).
+    fn wait_sched_quiescent(ctx: &RuntimeCtx) -> (u64, u64) {
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let snap = ctx.registry().snapshot();
+            let enq = snap.counter("hyracks.sched.enqueued").unwrap_or(0);
+            let run = snap.counter("hyracks.sched.morsels").unwrap_or(0);
+            if enq == run || std::time::Instant::now() > deadline {
+                return (enq, run);
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn barrier_task_re_enqueues_its_merge_phase() {
+        // A sort over multiple morsels' worth of input must take many
+        // steps (accumulate per-morsel, then re-enqueue to emit), not one
+        // monolithic blocking run — and every enqueued morsel must run.
+        let ctx = RuntimeCtx::temp().unwrap();
+        let before = ctx.registry().snapshot();
+        let mut j = JobSpec::new();
+        let s = j.add(int_source(5000), 1, "scan");
+        let keys = vec![SortKey::asc(0)];
+        let sort = j.add(OpKind::Sort { keys: keys.clone(), memory: 1 << 20 }, 1, "sort");
+        let r = j.add(OpKind::ResultSink, 1, "sink");
+        j.connect(s, sort, 0, ConnStrategy::OneToOne);
+        j.connect(sort, r, 0, ConnStrategy::MergeSorted(keys));
+        let out = run_job(j, Arc::clone(&ctx)).unwrap().tuples;
+        assert_eq!(out.len(), 5000);
+        assert_eq!(out[0][0], Value::Int(0));
+        let (enq, ran) = wait_sched_quiescent(&ctx);
+        assert_eq!(enq, ran, "every enqueued morsel ran exactly once");
+        let morsels = ctx.registry().snapshot().delta(&before)
+            .counter("hyracks.sched.morsels")
+            .unwrap_or(0);
+        // 5000 tuples at <=1024/morsel through scan + sort-accum +
+        // sort-emit + sink is well over a dozen steps; a single-step sort
+        // would sit near 3.
+        assert!(morsels >= 12, "barrier phases are morsel-stepped ({morsels} morsels)");
+    }
+
+    #[test]
+    fn cancel_is_observed_within_one_morsel() {
+        // The source itself cancels the job mid-stream; the executor may
+        // finish the current morsel but must not start another.
+        let ctx = RuntimeCtx::temp().unwrap();
+        let produced = Arc::new(AtomicU64::new(0));
+        let p2 = Arc::clone(&produced);
+        let mut j = JobSpec::new();
+        let s = j.add(
+            OpKind::Source(Arc::new(FnSource(move |_p: usize| {
+                let produced = Arc::clone(&p2);
+                Ok(Box::new((0..i64::MAX).map(move |i| {
+                    let n = produced.fetch_add(1, AtomicOrdering::SeqCst);
+                    if n == 5000 {
+                        crate::cancel::current().cancel("mid-stream cancel");
+                    }
+                    Ok(vec![Value::Int(i)])
+                })) as Box<dyn Iterator<Item = Result<Tuple>> + Send>)
+            }))),
+            1,
+            "scan",
+        );
+        let r = j.add(OpKind::ResultSink, 1, "sink");
+        j.connect(s, r, 0, ConnStrategy::Gather);
+        let err = run_job(j, ctx).unwrap_err();
+        assert!(
+            matches!(&err, HyracksError::Cancelled(m) if m.contains("mid-stream cancel")),
+            "{err}"
+        );
+        let n = produced.load(AtomicOrdering::SeqCst);
+        assert!(
+            n <= 5000 + MORSEL_TUPLES as u64,
+            "cancel observed within one morsel, not one frame stream ({n} produced)"
+        );
+    }
+
     // -- lifecycle: cancellation, deadlines, EOS protocol, fault injection --
 
     use crate::faults::{DataflowFaults, FaultConfig};
@@ -1470,7 +1914,7 @@ mod tests {
         let err = run_job_with(
             endless_job(),
             Arc::clone(&ctx),
-            JobOptions { token: Some(token), deadline: None },
+            JobOptions { token: Some(token), deadline: None, workers: None },
         )
         .unwrap_err();
         canceller.join().unwrap();
@@ -1512,7 +1956,7 @@ mod tests {
         let err = run_job_with(
             endless_job(),
             ctx,
-            JobOptions { token: None, deadline: Some(Duration::from_millis(50)) },
+            JobOptions { token: None, deadline: Some(Duration::from_millis(50)), workers: None },
         )
         .unwrap_err();
         assert!(matches!(err, HyracksError::DeadlineExceeded { .. }), "{err}");
@@ -1525,7 +1969,7 @@ mod tests {
         let err = run_job_with(
             endless_job(),
             Arc::clone(&ctx),
-            JobOptions { token: None, deadline: Some(Duration::ZERO) },
+            JobOptions { token: None, deadline: Some(Duration::ZERO), workers: None },
         )
         .unwrap_err();
         assert!(matches!(err, HyracksError::DeadlineExceeded { .. }), "{err}");
@@ -1537,8 +1981,10 @@ mod tests {
     fn worker_panic_cancels_and_reaps_siblings() {
         // Partition 1 waits at a barrier so it is provably mid-flight when
         // partition 0 panics; the panic must cancel the job so partition 1
-        // winds down and `run_job` joins every thread (the debug assert on
-        // the live-worker count inside run_job enforces the reap).
+        // winds down and every actor reaches a terminal state (the debug
+        // assert on unfinished actors inside run_job enforces the reap).
+        // A dedicated 2-worker pool guarantees both source partitions are
+        // stepped concurrently, so the barrier cannot deadlock the pool.
         let barrier = Arc::new(std::sync::Barrier::new(2));
         let b = Arc::clone(&barrier);
         let mut j = JobSpec::new();
@@ -1562,65 +2008,84 @@ mod tests {
         j.connect(s, r, 0, ConnStrategy::Gather);
         let ctx = RuntimeCtx::temp().unwrap();
         let before = ctx.registry().snapshot();
-        let err = run_job(j, Arc::clone(&ctx)).unwrap_err();
+        let err = run_job_with(
+            j,
+            Arc::clone(&ctx),
+            JobOptions { token: None, deadline: None, workers: Some(2) },
+        )
+        .unwrap_err();
         assert!(
             matches!(&err, HyracksError::WorkerPanic(m) if m.contains("injected worker panic")),
             "panic outranks the induced sibling cancellations: {err}"
         );
         let delta = ctx.registry().snapshot().delta(&before);
         assert_eq!(delta.counter("hyracks.lifecycle.worker_panics"), Some(1));
-        assert_eq!(delta.counter("hyracks.lifecycle.leaked_workers"), None, "all joined");
+        assert_eq!(delta.counter("hyracks.lifecycle.leaked_workers"), None, "all reaped");
+    }
+
+    /// Port-level tests drive an [`AnyPort`] by hand over a raw edge.
+    struct NoNotify;
+    impl Notifier for NoNotify {
+        fn notify_task(&self, _idx: usize) {}
+    }
+
+    fn test_edge() -> Arc<Edge> {
+        Arc::new(Edge { state: Mutex::new(EdgeState::default()), src_task: 0, dst_task: 1 })
     }
 
     #[test]
     fn dirty_disconnect_is_typed_upstream_failure() {
-        // Unit-level: a producer that drops its sender without the
-        // end-of-stream marker must surface as UpstreamFailure, not as a
+        // Unit-level: a producer that closes its edge without the
+        // end-of-stream flag must surface as UpstreamFailure, not as a
         // silently truncated (but "clean") stream.
-        let (tx, rx) = bounded::<Frame>(4);
-        let mut s = TupleStream::new(
-            vec![rx],
-            Arc::new(InCell::default()),
-            asterix_obs::MonotonicClock::shared(),
-            CancellationToken::new(),
-        );
-        let mut f = Frame::new();
-        f.push(vec![Value::Int(1)]).unwrap();
-        tx.send(f).unwrap();
-        drop(tx); // died mid-stream
-        assert_eq!(s.next().unwrap().unwrap(), vec![Value::Int(1)]);
-        let err = s.next().unwrap().unwrap_err();
+        let edge = test_edge();
+        let mut port = AnyPort::new(vec![Arc::clone(&edge)]);
+        let token = CancellationToken::new();
+        let mut m = OpMetrics::default();
+        {
+            let mut st = edge.state.lock();
+            let mut f = Frame::new();
+            f.push(vec![Value::Int(1)]).unwrap();
+            st.frames.push_back(f);
+            st.closed = true; // died mid-stream: closed without eos
+        }
+        match port.poll(&NoNotify, &token, &mut m).unwrap() {
+            PortPoll::Tuple(t, _) => assert_eq!(t, vec![Value::Int(1)]),
+            _ => panic!("buffered data drains before the dirty close is reported"),
+        }
+        let err = port.poll(&NoNotify, &token, &mut m).unwrap_err();
         assert!(matches!(err, HyracksError::UpstreamFailure(_)), "{err}");
     }
 
     #[test]
-    fn eos_marker_ends_the_stream_cleanly() {
-        let (tx, rx) = bounded::<Frame>(4);
-        let cell = Arc::new(InCell::default());
-        let mut s = TupleStream::new(
-            vec![rx],
-            Arc::clone(&cell),
-            asterix_obs::MonotonicClock::shared(),
-            CancellationToken::new(),
+    fn eos_flag_ends_the_stream_cleanly() {
+        let edge = test_edge();
+        let mut port = AnyPort::new(vec![Arc::clone(&edge)]);
+        let token = CancellationToken::new();
+        let mut m = OpMetrics::default();
+        {
+            let mut st = edge.state.lock();
+            let mut f = Frame::new();
+            f.push(vec![Value::Int(1)]).unwrap();
+            st.frames.push_back(f);
+            st.closed = true;
+            st.eos = true; // clean finish
+        }
+        match port.poll(&NoNotify, &token, &mut m).unwrap() {
+            PortPoll::Tuple(t, _) => assert_eq!(t, vec![Value::Int(1)]),
+            _ => panic!("data before the clean close"),
+        }
+        assert!(
+            matches!(port.poll(&NoNotify, &token, &mut m).unwrap(), PortPoll::End),
+            "eos flag after the data = clean end"
         );
-        let mut f = Frame::new();
-        f.push(vec![Value::Int(1)]).unwrap();
-        tx.send(f).unwrap();
-        tx.send(Frame::eos()).unwrap();
-        drop(tx);
-        assert_eq!(s.next().unwrap().unwrap(), vec![Value::Int(1)]);
-        assert!(s.next().is_none(), "marker after the data = clean end");
-        assert_eq!(
-            cell.frames.load(AtomicOrdering::Relaxed),
-            1,
-            "the end-of-stream marker is not a data frame; profiles don't count it"
-        );
+        assert_eq!(m.frames_in, 1, "end-of-stream is a flag, not a counted data frame");
     }
 
     #[test]
     fn severed_output_is_an_error_not_a_truncated_result() {
         // sever_pct=100 severs every worker's output at its first frame:
-        // the sink sees a disconnect with no end-of-stream marker and the
+        // the sink sees a dirty close with no end-of-stream flag and the
         // job must fail typed — never return a truncated Ok.
         let faults = DataflowFaults::new(FaultConfig {
             seed: 7,

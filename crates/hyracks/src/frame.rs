@@ -9,7 +9,13 @@
 //! Sizing a tuple walks every `Value`, which is too expensive to repeat each
 //! time a tuple crosses an exchange unchanged. Frames therefore store the
 //! byte size alongside each tuple; pass-through paths carry it via
-//! [`Frame::push_sized`] and [`Frame::into_sized`] instead of re-walking.
+//! [`Frame::push_sized`] and [`Frame::into_sized`] instead of re-walking,
+//! and the exchange hot path keeps the already-validated `u32` cache via
+//! [`Frame::push_cached`] (no re-walk *and* no re-validation).
+//!
+//! A frame is also the natural *morsel* bound: the scheduler runs operator
+//! steps over at most [`crate::sched::MORSEL_TUPLES`] tuples, about one
+//! frame's worth, before yielding the worker.
 
 use crate::error::{HyracksError, Result};
 use asterix_adm::Value;
@@ -50,12 +56,12 @@ impl Frame {
         Frame { tuples: Vec::with_capacity(n), sizes: Vec::with_capacity(n), bytes: 0 }
     }
 
-    /// The explicit end-of-stream marker. Routers never ship empty data
-    /// frames, so an empty frame on a channel unambiguously means "this
-    /// producer finished cleanly". Consumers that instead observe a
-    /// disconnect *without* having seen this marker know the producer died
-    /// mid-stream and must raise a typed upstream failure rather than
-    /// treating the truncated stream as complete.
+    /// The explicit end-of-stream marker of the PR-5 channel protocol.
+    /// The morsel executor now records end-of-stream as a flag on the edge
+    /// itself (an in-band marker would occupy queue room and could be
+    /// confused with data), but the constructor is kept for tests and
+    /// out-of-tree callers of the frame API; an empty frame still reads
+    /// unambiguously as "no data".
     pub fn eos() -> Frame {
         Frame::default()
     }
@@ -82,10 +88,19 @@ impl Frame {
     #[inline]
     pub fn push_sized(&mut self, t: Tuple, size: usize) -> Result<bool> {
         let size32 = u32_len("tuple size", size)?;
-        self.bytes += size;
-        self.sizes.push(size32);
+        Ok(self.push_cached(t, size32))
+    }
+
+    /// Adds a tuple whose `u32` cached size came straight from another
+    /// frame's size column ([`Frame::into_sized`]), so it has already been
+    /// validated once — the repartition hot path: no size walk, no range
+    /// check, no `Result`. Returns `true` when the frame is full.
+    #[inline]
+    pub fn push_cached(&mut self, t: Tuple, size: u32) -> bool {
+        self.bytes += size as usize;
+        self.sizes.push(size);
         self.tuples.push(t);
-        Ok(self.bytes >= FRAME_BUDGET)
+        self.bytes >= FRAME_BUDGET
     }
 
     /// Number of tuples.

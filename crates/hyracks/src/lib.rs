@@ -8,9 +8,12 @@
 //! A query plan compiles into a [`job::JobSpec`] — a DAG of operator
 //! descriptors, each instantiated as N partition-parallel workers, wired by
 //! *connectors* (one-to-one, hash-partition, broadcast, sorted-merge). The
-//! [`exec`] module runs a job by spawning one worker thread per
-//! operator-partition and streaming [`frame::Frame`]s (tuple batches)
-//! through bounded channels — the same push-based frame dataflow as Hyracks.
+//! [`exec`] module runs a job by scheduling each operator-partition as a
+//! cooperative actor on a fixed work-stealing worker pool ([`sched`]),
+//! streaming [`frame::Frame`]s (tuple batches) through bounded edge queues
+//! — the same push-based frame dataflow as Hyracks, but the degree of
+//! parallelism is a scheduling decision: `partitions = N` does **not**
+//! spawn N threads, it creates N schedulable morsel sources.
 //!
 //! The paper's fundamental assumption — "the portion of data stored on a
 //! given node can well exceed the size of its main memory, and likewise for
@@ -28,11 +31,13 @@ pub mod faults;
 pub mod frame;
 pub mod job;
 pub mod ops;
+pub mod sched;
 
 pub use cancel::CancellationToken;
 pub use ctx::RuntimeCtx;
 pub use error::{HyracksError, Result};
 pub use exec::JobOptions;
+pub use sched::{WorkerPool, MORSEL_TUPLES};
 pub use faults::{DataflowFaults, FaultConfig};
 pub use frame::{u32_len, Frame, Tuple};
 pub use job::{ConnStrategy, JobSpec, OpId, OpKind};

@@ -174,6 +174,69 @@ fn join_level(
     Ok(true)
 }
 
+/// Builds the in-memory probe table over build-side rows: buckets keyed by
+/// the hash of the join key, rows with unknown keys skipped (they match
+/// nothing). Shared by the in-memory path here and the executor's
+/// streaming probe phase.
+pub(crate) fn build_table(
+    rows: impl Iterator<Item = Tuple>,
+    cfg: &HashJoinCfg,
+) -> HashMap<u64, Vec<Tuple>> {
+    let mut table: HashMap<u64, Vec<Tuple>> = HashMap::new();
+    for t in rows {
+        if !key_has_unknown(&t, &cfg.right_keys) {
+            table.entry(hash_key(&t, &cfg.right_keys)).or_default().push(t);
+        }
+    }
+    table
+}
+
+/// Probes one tuple against the in-memory table, emitting every match
+/// (left columns then right). Returns `Ok(false)` when `emit` stopped
+/// early. The executor calls this per probe tuple so hash-join probing
+/// stays a streaming, morsel-bounded phase.
+pub(crate) fn probe_one(
+    t: Tuple,
+    table: &HashMap<u64, Vec<Tuple>>,
+    cfg: &HashJoinCfg,
+    emit: &mut dyn FnMut(Tuple) -> Result<bool>,
+) -> Result<bool> {
+    if !key_has_unknown(&t, &cfg.left_keys) {
+        if let Some(bucket) = table.get(&hash_key(&t, &cfg.left_keys)) {
+            // Find the final match up front so the probe row can be
+            // *moved* into its last output tuple — the common 1-match
+            // case then emits without cloning the probe side at all.
+            let last = bucket
+                .iter()
+                .rposition(|bt| keys_join_eq(&t, &cfg.left_keys, bt, &cfg.right_keys));
+            if let Some(last) = last {
+                for bt in bucket[..last]
+                    .iter()
+                    .filter(|bt| keys_join_eq(&t, &cfg.left_keys, bt, &cfg.right_keys))
+                {
+                    let mut out = Vec::with_capacity(t.len() + bt.len());
+                    out.extend(t.iter().cloned());
+                    out.extend(bt.iter().cloned());
+                    if !emit(out)? {
+                        return Ok(false);
+                    }
+                }
+                let bt = &bucket[last];
+                let mut out = t;
+                out.reserve(bt.len());
+                out.extend(bt.iter().cloned());
+                return emit(out);
+            }
+        }
+    }
+    if cfg.kind == JoinKind::LeftOuter {
+        let mut out = t;
+        out.extend(std::iter::repeat_n(Value::Missing, cfg.right_arity));
+        return emit(out);
+    }
+    Ok(true)
+}
+
 fn probe_table(
     probe: impl Iterator<Item = Result<Tuple>>,
     table: &HashMap<u64, Vec<Tuple>>,
@@ -187,45 +250,38 @@ fn probe_table(
         if n & 1023 == 0 {
             token.check()?;
         }
-        let t = t?;
-        if !key_has_unknown(&t, &cfg.left_keys) {
-            if let Some(bucket) = table.get(&hash_key(&t, &cfg.left_keys)) {
-                // Find the final match up front so the probe row can be
-                // *moved* into its last output tuple — the common 1-match
-                // case then emits without cloning the probe side at all.
-                let last = bucket
-                    .iter()
-                    .rposition(|bt| keys_join_eq(&t, &cfg.left_keys, bt, &cfg.right_keys));
-                if let Some(last) = last {
-                    for bt in bucket[..last]
-                        .iter()
-                        .filter(|bt| keys_join_eq(&t, &cfg.left_keys, bt, &cfg.right_keys))
-                    {
-                        let mut out = Vec::with_capacity(t.len() + bt.len());
-                        out.extend(t.iter().cloned());
-                        out.extend(bt.iter().cloned());
-                        if !emit(out)? {
-                            return Ok(false);
-                        }
-                    }
-                    let bt = &bucket[last];
-                    let mut out = t;
-                    out.reserve(bt.len());
-                    out.extend(bt.iter().cloned());
-                    if !emit(out)? {
-                        return Ok(false);
-                    }
-                    continue;
-                }
-            }
+        if !probe_one(t?, table, cfg, emit)? {
+            return Ok(false);
         }
-        if cfg.kind == JoinKind::LeftOuter {
-            let mut out = t;
-            out.extend(std::iter::repeat_n(Value::Missing, cfg.right_arity));
+    }
+    Ok(true)
+}
+
+/// Probes one tuple against the buffered nested-loop build side. Returns
+/// `Ok(false)` when `emit` stopped early.
+pub(crate) fn nlj_probe_one(
+    t: Tuple,
+    build: &[Tuple],
+    pred: &crate::job::Pred2Fn,
+    kind: JoinKind,
+    right_arity: usize,
+    emit: &mut dyn FnMut(Tuple) -> Result<bool>,
+) -> Result<bool> {
+    let mut matched = false;
+    for b in build {
+        if pred(&t, b)? {
+            matched = true;
+            let mut out = t.clone();
+            out.extend(b.iter().cloned());
             if !emit(out)? {
                 return Ok(false);
             }
         }
+    }
+    if !matched && kind == JoinKind::LeftOuter {
+        let mut out = t;
+        out.extend(std::iter::repeat_n(Value::Missing, right_arity));
+        return emit(out);
     }
     Ok(true)
 }
@@ -247,24 +303,8 @@ pub fn nested_loop_join(
         if n & 1023 == 0 {
             token.check()?;
         }
-        let t = t?;
-        let mut matched = false;
-        for b in &build {
-            if pred(&t, b)? {
-                matched = true;
-                let mut out = t.clone();
-                out.extend(b.iter().cloned());
-                if !emit(out)? {
-                    return Ok(());
-                }
-            }
-        }
-        if !matched && kind == JoinKind::LeftOuter {
-            let mut out = t;
-            out.extend(std::iter::repeat_n(Value::Missing, right_arity));
-            if !emit(out)? {
-                return Ok(());
-            }
+        if !nlj_probe_one(t?, &build, pred, kind, right_arity, emit)? {
+            return Ok(());
         }
     }
     Ok(())

@@ -45,8 +45,17 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Default number of lock stripes (clamped to the frame budget).
+/// Fallback stripe count when the host's parallelism cannot be queried.
 pub const DEFAULT_SHARDS: usize = 8;
+
+/// Default number of lock stripes: one per hardware thread (clamped to the
+/// frame budget at construction). Lock stripes exist to decorrelate
+/// concurrent cache hits, and the number of threads that can contend is the
+/// worker-pool width — sizing to the machine instead of a hard-coded 8
+/// keeps stripe contention flat as core counts grow.
+pub fn default_shards() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(DEFAULT_SHARDS)
+}
 
 /// Default pages fetched per sequential readahead batch.
 pub const DEFAULT_READAHEAD: usize = 8;
@@ -56,7 +65,8 @@ pub const DEFAULT_READAHEAD: usize = 8;
 pub struct CacheOptions {
     /// Frame budget in pages (0 disables caching entirely).
     pub capacity: usize,
-    /// Number of lock-striped shards; 0 picks `min(capacity, DEFAULT_SHARDS)`.
+    /// Number of lock-striped shards; 0 picks
+    /// `min(capacity, available_parallelism())` ([`default_shards`]).
     pub shards: usize,
     /// Pages per sequential readahead batch; 0 or 1 disables readahead.
     pub readahead_pages: usize,
@@ -199,7 +209,7 @@ impl BufferCache {
     pub fn with_options(manager: Arc<FileManager>, opts: CacheOptions) -> Arc<Self> {
         let stats = Arc::clone(manager.stats());
         let capacity = opts.capacity;
-        let n = if opts.shards > 0 { opts.shards } else { DEFAULT_SHARDS };
+        let n = if opts.shards > 0 { opts.shards } else { default_shards() };
         let n = n.min(capacity.max(1)).max(1);
         // Split the budget; early shards absorb the remainder so the per-
         // shard capacities sum exactly to `capacity`.
@@ -765,12 +775,12 @@ mod tests {
     #[test]
     fn sharding_splits_budget_exactly() {
         let (cache, _fm, _d) = setup(10);
-        assert_eq!(cache.shard_count(), DEFAULT_SHARDS);
+        assert_eq!(cache.shard_count(), default_shards().min(10));
         let caps: usize = cache.shard_snapshots().iter().map(|s| s.capacity).sum();
         assert_eq!(caps, 10, "per-shard capacities sum to the budget");
-        // tiny budgets clamp the stripe count
+        // tiny budgets clamp the stripe count to at most the page budget
         let (small, _fm2, _d2) = setup(2);
-        assert_eq!(small.shard_count(), 2);
+        assert_eq!(small.shard_count(), default_shards().min(2));
     }
 
     #[test]

@@ -423,3 +423,26 @@ fn readahead_respects_capacity_pressure() {
     }
     assert!(cache.resident() <= 4, "readahead never overflows the budget");
 }
+
+#[test]
+fn auto_sharding_tracks_host_parallelism() {
+    // shards: 0 sizes the stripe count to the machine (clamped to the page
+    // budget), matching the morsel worker pool's width — explicit counts
+    // above keep stress runs deterministic, but the default must scale.
+    let dir = TempDir::new();
+    let fm = FileManager::new(&dir.0, IoStats::new()).unwrap();
+    let cache = BufferCache::with_options(
+        Arc::clone(&fm),
+        CacheOptions { capacity: 4096, shards: 0, readahead_pages: 0 },
+    );
+    assert_eq!(cache.shard_count(), asterix_storage::cache::default_shards().min(4096));
+    let tiny = BufferCache::with_options(
+        Arc::clone(&fm),
+        CacheOptions { capacity: 2, shards: 0, readahead_pages: 0 },
+    );
+    assert_eq!(
+        tiny.shard_count(),
+        asterix_storage::cache::default_shards().min(2),
+        "page budget clamps the auto stripe count"
+    );
+}
