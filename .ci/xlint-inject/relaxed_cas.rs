@@ -1,0 +1,9 @@
+//! CI negative-test fixture: an unannotated `Ordering::Relaxed` CAS.
+//! The lint job runs xlint over this directory and REQUIRES a nonzero
+//! exit — if this file ever passes, the L7 atomic-ordering pass is broken.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn claim_slot(state: &AtomicU64) -> bool {
+    state.compare_exchange(0, 1, Ordering::Relaxed, Ordering::Relaxed).is_ok()
+}

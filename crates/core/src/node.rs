@@ -48,7 +48,7 @@ impl Node {
     }
 
     /// Opens a node with explicit buffer-cache shard/readahead options.
-    pub fn open_with_opts(
+    pub fn open_with_opts( // xlint: allow(blocking, "node bring-up runs on the control plane before the worker pool serves jobs")
         id: usize,
         dir: impl AsRef<Path>,
         cache_opts: CacheOptions,
@@ -116,7 +116,7 @@ impl Node {
 
 /// Removes everything in a node directory except the WAL (see the comment
 /// in [`Node::open_with_faults`]).
-fn discard_orphan_components(dir: &Path) -> std::io::Result<()> {
+fn discard_orphan_components(dir: &Path) -> std::io::Result<()> { // xlint: allow(blocking, "orphan cleanup is part of single-threaded node recovery")
     for entry in std::fs::read_dir(dir)? {
         let entry = entry?;
         if !entry.file_type()?.is_file() {

@@ -135,7 +135,7 @@ impl Broker {
             }
             *last = Some(rows.clone());
         }
-        let epoch = ch.epoch.fetch_add(1, Ordering::Relaxed);
+        let epoch = ch.epoch.fetch_add(1, Ordering::Relaxed); // xlint: ordering(epoch publication is ordered by the channel mutex held here; the counter needs atomicity only)
         let update = ChannelUpdate { channel: ch.name.clone(), epoch, rows };
         let mut subs = ch.subscribers.write();
         subs.retain(|s| s.send(update.clone()).is_ok());

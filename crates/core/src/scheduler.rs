@@ -228,7 +228,7 @@ impl QueryScheduler {
                 self.cfg.total_memory
             )));
         }
-        let id = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        let id = self.next_ticket.fetch_add(1, Ordering::Relaxed); // xlint: ordering(ticket-id allocation; admission handoff is ordered by the state mutex)
         let _order = lock_order::acquire("scheduler");
         let mut st = self.state.lock();
         // Eager path: resources free and nobody queued ahead of us.
@@ -444,7 +444,7 @@ impl QueryHandle {
 
     /// Blocks until the query finishes and returns its rows (or its typed
     /// error). The outcome is consumed: a second `wait` reports an error.
-    pub fn wait(&self) -> Result<Vec<Value>> {
+    pub fn wait(&self) -> Result<Vec<Value>> { // xlint: allow(blocking, "admission wait parks the submitting session thread by design; pool workers never call submit")
         let outcome = {
             let mut st = self.shared.state.lock();
             while !st.done {

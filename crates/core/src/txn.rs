@@ -48,7 +48,7 @@ impl LockManager {
     /// the same transaction. Times out (as a deadlock break) with an error.
     /// A transaction cancelled while waiting (or before arriving) gets the
     /// typed cancellation error promptly — never its own timeout.
-    pub fn lock(&self, txn: u64, dataset: &str, pk: &[u8]) -> Result<()> {
+    pub fn lock(&self, txn: u64, dataset: &str, pk: &[u8]) -> Result<()> { // xlint: allow(blocking, "2PL lock wait is deadline-bounded (wait_for + timeout); blocking is the lock-manager contract")
         let key = (dataset.to_string(), pk.to_vec());
         // Manual order token: the guard round-trips through the condvar, so
         // the OrderedMutex wrapper does not fit here.
@@ -134,14 +134,14 @@ impl Default for TxnManager {
 impl TxnManager {
     /// Allocates a transaction id.
     pub fn begin(&self) -> u64 {
-        self.next_id.fetch_add(1, Ordering::Relaxed)
+        self.next_id.fetch_add(1, Ordering::Relaxed) // xlint: ordering(txn-id allocation needs uniqueness only; commit ordering comes from the wal lock)
     }
 
     /// Advances the id counter past ids seen in a recovered log.
     pub fn observe_recovered(&self, max_seen: u64) {
         let mut cur = self.next_id.load(Ordering::Relaxed);
         while cur <= max_seen {
-            match self.next_id.compare_exchange(
+            match self.next_id.compare_exchange( // xlint: ordering(recovery-time high-water bump runs before the instance serves transactions)
                 cur,
                 max_seen + 1,
                 Ordering::Relaxed,

@@ -670,7 +670,7 @@ impl sched::Task for ActorTask {
         &self.core
     }
 
-    fn step(&self) -> sched::Step {
+    fn step(&self) -> sched::Step { // xlint: actor_entry
         let Some(job) = self.job.upgrade() else {
             // The job completed and was torn down; this is a stale queue
             // entry left behind by a late notification.
@@ -820,7 +820,7 @@ fn finish_actor(job: &JobInner, body: &mut ActorBody, result: Result<()>) {
 }
 
 /// Runs one morsel-bounded step of an actor's current phase.
-fn step_once(job: &JobInner, body: &mut ActorBody) -> Result<StepFlow> {
+fn step_once(job: &JobInner, body: &mut ActorBody) -> Result<StepFlow> { // xlint: actor_entry
     let kind = &job.spec.ops[body.op_id].kind;
     let partition = body.partition;
     let token = &job.token;

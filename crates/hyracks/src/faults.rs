@@ -229,7 +229,7 @@ impl WorkerFaultState {
 
     /// Per-shipped-frame hook. `Err` kills the worker with a typed fault;
     /// `DropRest` tells the router to sever its output.
-    pub(crate) fn on_frame(&mut self) -> Result<FrameAction> {
+    pub(crate) fn on_frame(&mut self) -> Result<FrameAction> { // xlint: allow(blocking, "fault injection for chaos tests; the sleep simulates a slow operator deliberately")
         self.frames += 1;
         match self.plan {
             WorkerFault::KillAtFrame(n) if self.frames >= n => {

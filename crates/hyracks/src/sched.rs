@@ -285,7 +285,7 @@ fn worker_loop(shared: Arc<PoolShared>, w: usize) {
 /// except every [`FAIR_EVERY`]th pop, which reverses the first two so the
 /// oldest work cannot be starved by a busy LIFO tail.
 fn pop_task(shared: &PoolShared, w: usize) -> Option<Arc<dyn Task>> {
-    let tick = shared.fair_tick[w].fetch_add(1, Ordering::Relaxed).wrapping_add(1);
+    let tick = shared.fair_tick[w].fetch_add(1, Ordering::Relaxed).wrapping_add(1); // xlint: ordering(fair_tick is per-worker, read only by its owner; cadence, not synchronization)
     if tick.is_multiple_of(FAIR_EVERY) {
         if let Some(t) = shared.injector.lock().pop_front() {
             shared.pending.fetch_sub(1, Ordering::AcqRel);

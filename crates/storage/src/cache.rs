@@ -163,7 +163,7 @@ impl InflightEntry {
 
     /// Parks until the leader resolves; returns the shared frame or the
     /// leader's rendered error.
-    fn wait(&self) -> std::result::Result<Arc<Vec<u8>>, String> {
+    fn wait(&self) -> std::result::Result<Arc<Vec<u8>>, String> { // xlint: allow(blocking, "coalesced load: one loader does the read, peers park until the page lands; bounded by one page I/O")
         let mut s = self.state.lock();
         loop {
             match &*s {
@@ -305,7 +305,7 @@ impl BufferCache {
 
     /// Waiter side of a coalesced load: park on the leader's entry, book the
     /// coalesced wait, and share its frame — or surface its failure typed.
-    fn wait_coalesced(
+    fn wait_coalesced( // xlint: allow(blocking, "single-loader coalescing design; see CoalescedEntry::wait")
         &self,
         key: (FileId, u64),
         shard: &Shard,
@@ -478,7 +478,7 @@ impl BufferCache {
                     let idx = inner.hand % inner.ring.len();
                     let victim_key = inner.ring[idx];
                     let referenced = match inner.frames.get(&victim_key) {
-                        Some(frame) => frame.referenced.swap(false, Ordering::Relaxed),
+                        Some(frame) => frame.referenced.swap(false, Ordering::Relaxed), // xlint: ordering(second-chance reference bit is a heuristic; eviction is guarded by the shard lock held here)
                         None => {
                             // Ring slot with no backing frame: self-heal by
                             // dropping the stale slot and continuing the sweep.

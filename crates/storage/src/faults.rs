@@ -240,7 +240,7 @@ impl FaultInjector {
     }
 
     /// Failpoint for a read; may silently flip one bit of `buf`.
-    pub fn on_read(&self, target: &str, buf: &mut [u8]) -> Result<()> {
+    pub fn on_read(&self, target: &str, buf: &mut [u8]) -> Result<()> { // xlint: allow(blocking, "fault injection for chaos tests; simulated I/O latency")
         let op = self.next_op(target)?;
         if let Some(d) = self.config.read_delay {
             std::thread::sleep(d);

@@ -52,7 +52,7 @@ impl FileManager {
     }
 
     /// Opens a device directory whose physical I/O consults `faults`.
-    pub fn with_faults(
+    pub fn with_faults( // xlint: allow(blocking, "storage-env setup I/O; runs at open, before jobs are served")
         dir: impl AsRef<Path>,
         stats: Arc<IoStats>,
         faults: Option<Arc<FaultInjector>>,
@@ -83,7 +83,7 @@ impl FileManager {
     }
 
     fn register(&self, file: File, path: PathBuf, pages: u64, writable: bool) -> FileId {
-        let id = FileId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let id = FileId(self.next_id.fetch_add(1, Ordering::Relaxed)); // xlint: ordering(file-id allocation; registration is published by the files-map lock)
         self.files
             .write()
             .insert(id, Arc::new(RwLock::new(OpenFile { file, path, pages, writable })));
@@ -91,7 +91,7 @@ impl FileManager {
     }
 
     /// Creates a new, empty, writable page file with the given name.
-    pub fn create(&self, name: &str) -> Result<FileId> {
+    pub fn create(&self, name: &str) -> Result<FileId> { // xlint: allow(blocking, "synchronous page I/O is the storage contract; per-call work is one file create")
         if let Some(f) = &self.faults {
             f.check_alive(name)?;
         }
@@ -106,7 +106,7 @@ impl FileManager {
     }
 
     /// Opens an existing file read-only (e.g. a component found at recovery).
-    pub fn open(&self, name: &str) -> Result<FileId> {
+    pub fn open(&self, name: &str) -> Result<FileId> { // xlint: allow(blocking, "synchronous page I/O is the storage contract; per-call work is one file open")
         if let Some(f) = &self.faults {
             f.check_alive(name)?;
         }
@@ -142,7 +142,7 @@ impl FileManager {
     }
 
     /// Reads one physical page.
-    pub fn read_page(&self, id: FileId, page_no: u64) -> Result<Vec<u8>> {
+    pub fn read_page(&self, id: FileId, page_no: u64) -> Result<Vec<u8>> { // xlint: allow(blocking, "one-page read; morsel budgets account it via storage.io.physical_reads")
         let handle = self.handle(id)?;
         let guard = handle.read();
         if page_no >= guard.pages {
@@ -166,7 +166,7 @@ impl FileManager {
     /// Reads `n` contiguous physical pages starting at `start` in one
     /// operation (sequential readahead). Fault checks and stats apply per
     /// page, in page order, exactly as `n` single-page reads would.
-    pub fn read_pages(&self, id: FileId, start: u64, n: usize) -> Result<Vec<Vec<u8>>> {
+    pub fn read_pages(&self, id: FileId, start: u64, n: usize) -> Result<Vec<Vec<u8>>> { // xlint: allow(blocking, "batched sequential read, bounded by the readahead window")
         let handle = self.handle(id)?;
         let guard = handle.read();
         let n = n.max(1);
@@ -197,7 +197,7 @@ impl FileManager {
 
     /// Writes one physical page in place, extending the file if `page_no`
     /// is the next page.
-    pub fn write_page(&self, id: FileId, page_no: u64, data: &[u8]) -> Result<()> {
+    pub fn write_page(&self, id: FileId, page_no: u64, data: &[u8]) -> Result<()> { // xlint: allow(blocking, "one-page write; bounded and accounted in storage.io.physical_writes")
         if data.len() != PAGE_SIZE {
             return Err(StorageError::Invalid(format!(
                 "write_page requires exactly {PAGE_SIZE} bytes, got {}",
@@ -242,7 +242,7 @@ impl FileManager {
     }
 
     /// Forces file contents to stable storage.
-    pub fn sync(&self, id: FileId) -> Result<()> {
+    pub fn sync(&self, id: FileId) -> Result<()> { // xlint: allow(blocking, "fdatasync is the durability point; callers batch via group commit")
         let handle = self.handle(id)?;
         let guard = handle.read();
         if let Some(f) = &self.faults {
@@ -253,7 +253,7 @@ impl FileManager {
     }
 
     /// Closes and deletes a file (e.g. merged-away LSM components).
-    pub fn delete(&self, id: FileId) -> Result<()> {
+    pub fn delete(&self, id: FileId) -> Result<()> { // xlint: allow(blocking, "component delete during recovery/merge retirement; bounded by one unlink")
         if let Some(f) = &self.faults {
             f.check_alive("delete")?;
         }
@@ -270,7 +270,7 @@ impl FileManager {
     /// Sequential bulk writer for building an immutable component file.
     /// Pages written through it are counted when [`PageFileWriter::finish`]
     /// flushes.
-    pub fn bulk_writer(self: &Arc<Self>, name: &str) -> Result<PageFileWriter> {
+    pub fn bulk_writer(self: &Arc<Self>, name: &str) -> Result<PageFileWriter> { // xlint: allow(blocking, "bulk writer creation for flush/merge output; one file create")
         if let Some(f) = &self.faults {
             f.check_alive(name)?;
         }
@@ -316,7 +316,7 @@ pub struct PageFileWriter {
 impl PageFileWriter {
     /// Appends one page (must be exactly [`PAGE_SIZE`] bytes), returning its
     /// page number.
-    pub fn append(&mut self, data: &[u8]) -> Result<u64> {
+    pub fn append(&mut self, data: &[u8]) -> Result<u64> { // xlint: allow(blocking, "bulk append on the flush/merge path; page-sized writes")
         if data.len() != PAGE_SIZE {
             return Err(StorageError::Invalid(format!(
                 "append requires exactly {PAGE_SIZE} bytes, got {}",
@@ -353,7 +353,7 @@ impl PageFileWriter {
     }
 
     /// Flushes, syncs, and registers the file; returns its [`FileId`].
-    pub fn finish(mut self) -> Result<FileId> {
+    pub fn finish(mut self) -> Result<FileId> { // xlint: allow(blocking, "bulk-writer finish syncs the new component once before publish")
         let mut w = self
             .writer
             .take()

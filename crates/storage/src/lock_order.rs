@@ -73,7 +73,7 @@ mod imp {
                 LEVELS.join(" -> ")
             );
         };
-        let id = NEXT_TOKEN.fetch_add(1, Ordering::Relaxed);
+        let id = NEXT_TOKEN.fetch_add(1, Ordering::Relaxed); // xlint: ordering(debug token id; uniqueness only)
         HELD.with(|h| {
             let mut h = h.borrow_mut();
             if let Some(&(top_rank, top_name, _)) = h.last() {

@@ -361,7 +361,7 @@ impl LsmTree {
         if self.mem.is_empty() {
             return Ok(());
         }
-        let id = self.next_component_id.fetch_add(1, AtomicOrdering::Relaxed);
+        let id = self.next_component_id.fetch_add(1, AtomicOrdering::Relaxed); // xlint: ordering(component-id allocation under the lsm_component lock; uniqueness only)
         let name = format!("{}_c{}.btree", self.config.name, id);
         let writer = self.cache.manager().bulk_writer(&name)?;
         let expected = if self.config.bloom { self.mem.len() } else { 0 };
@@ -400,7 +400,7 @@ impl LsmTree {
         // dropped; otherwise they must be preserved (they may mask entries in
         // older components).
         let includes_oldest = n == self.disk.len();
-        let id = self.next_component_id.fetch_add(1, AtomicOrdering::Relaxed);
+        let id = self.next_component_id.fetch_add(1, AtomicOrdering::Relaxed); // xlint: ordering(component-id allocation under the lsm_component lock; uniqueness only)
         let name = format!("{}_c{}.btree", self.config.name, id);
         let writer = self.cache.manager().bulk_writer(&name)?;
         let expected: u64 = self.disk[..n].iter().map(|c| c.tree.len()).sum();

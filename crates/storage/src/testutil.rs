@@ -10,7 +10,7 @@ pub struct TempDir(PathBuf);
 
 impl TempDir {
     pub fn new() -> Self {
-        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed); // xlint: ordering(unique temp-dir suffix; no synchronization)
         let pid = std::process::id();
         let nanos = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)

@@ -152,7 +152,7 @@ impl WalWriter {
     /// A torn or corrupt tail left by a crash is truncated here: appending
     /// after garbage would strand every later record behind the scan stop,
     /// silently losing committed transactions on the *next* recovery.
-    pub fn open_with_faults(
+    pub fn open_with_faults( // xlint: allow(blocking, "WAL open/replay happens at storage-env open, before jobs are served")
         path: impl AsRef<Path>,
         faults: Option<Arc<FaultInjector>>,
     ) -> Result<Self> {
@@ -214,7 +214,7 @@ impl WalWriter {
     /// On an injected short write the buffer is kept and `sync` may be
     /// retried: the flush rewrites the same byte range at the same offset,
     /// so a partial prefix on disk is simply overwritten.
-    pub fn sync(&mut self) -> Result<()> {
+    pub fn sync(&mut self) -> Result<()> { // xlint: allow(blocking, "WAL sync is the durability contract; group commit amortizes the fdatasync")
         if !self.buf.is_empty() {
             if let Some(f) = self.faults.clone() {
                 let target = format!("{}:flush", crate::faults::target_name(&self.path));
@@ -271,7 +271,7 @@ fn scan_log(buf: &[u8]) -> (Vec<(Lsn, WalRecord)>, u64) {
     (out, pos as u64)
 }
 
-fn read_file_or_empty(path: &Path) -> Result<Vec<u8>> {
+fn read_file_or_empty(path: &Path) -> Result<Vec<u8>> { // xlint: allow(blocking, "WAL replay read at recovery time; single-threaded startup")
     let mut file = match File::open(path) {
         Ok(f) => f,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),

@@ -1,0 +1,14 @@
+//! L5 failing fixture: the entry point never blocks directly, but a helper
+//! two hops down calls `recv()` — the reachability walk must still find it.
+
+pub fn step(h: &Hub) { // xlint: actor_entry
+    route_frames(h);
+}
+
+fn route_frames(h: &Hub) {
+    drain_input(h);
+}
+
+fn drain_input(h: &Hub) {
+    let _msg = h.rx.recv();
+}

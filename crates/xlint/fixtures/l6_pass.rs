@@ -1,0 +1,18 @@
+//! L6 passing fixture: named guards held for the protected region, a drop
+//! after the last protected use, and a suppressed deliberate poison probe.
+
+pub fn named_guard(s: &Shared) {
+    let _g = s.m.lock();
+    s.bump();
+}
+
+pub fn drop_after_last_use(s: &Shared) {
+    let g = s.m.lock();
+    g.bump();
+    drop(g);
+    log_done();
+}
+
+pub fn poison_probe(s: &Shared) {
+    let _ = s.m.lock(); // xlint: allow(guard_drop, "fixture: poison check only, nothing protected")
+}

@@ -1,0 +1,27 @@
+//! L7 failing fixture: Relaxed in a consumed RMW, a single-line CAS, and a
+//! multi-line CAS — all unannotated. The discarded counter bump at the end
+//! must NOT be flagged.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn next_id(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn cas_state(s: &AtomicU64) -> bool {
+    s.compare_exchange(0, 1, Ordering::Relaxed, Ordering::Relaxed).is_ok()
+}
+
+pub fn cas_multiline(s: &AtomicU64) -> bool {
+    s.compare_exchange(
+        0,
+        1,
+        Ordering::AcqRel,
+        Ordering::Relaxed,
+    )
+    .is_ok()
+}
+
+pub fn bump_stat(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}

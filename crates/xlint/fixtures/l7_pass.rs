@@ -1,0 +1,16 @@
+//! L7 passing fixture: the consumed RMW carries an ordering annotation, the
+//! CAS uses AcqRel/Acquire, and the discarded bump needs nothing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn next_id(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::Relaxed) // xlint: ordering(fixture: id allocation needs atomicity only)
+}
+
+pub fn cas_state(s: &AtomicU64) -> bool {
+    s.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire).is_ok()
+}
+
+pub fn bump_stat(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,12 @@
+//! L8 failing fixture: a counter registered into a struct field but never
+//! incremented anywhere, and a snapshot read of a name nobody registers.
+
+pub fn build(reg: &Registry) -> Metrics {
+    Metrics {
+        lost: reg.counter("sqlpp.compile.lost"),
+    }
+}
+
+pub fn report(snapshot: &Snapshot) -> u64 {
+    snapshot.counter("sqlpp.compile.misspelled").unwrap_or(0)
+}

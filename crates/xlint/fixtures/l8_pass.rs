@@ -1,0 +1,16 @@
+//! L8 passing fixture: the registered handle is incremented, the read name
+//! resolves, and the alias-incremented registration carries a suppression.
+
+pub fn build(reg: &Registry) -> Metrics {
+    let compiled = reg.counter("sqlpp.compile.ok");
+    compiled.inc();
+    Metrics { compiled }
+}
+
+pub fn report(snapshot: &Snapshot) -> u64 {
+    snapshot.counter("sqlpp.compile.ok").unwrap_or(0)
+}
+
+pub fn build_shadow(reg: &Registry) -> Counter {
+    reg.counter("sqlpp.compile.shadow") // xlint: allow(metric, "fixture: incremented via a cloned alias")
+}

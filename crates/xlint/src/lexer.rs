@@ -105,6 +105,24 @@ pub fn mask(src: &str) -> MaskedFile {
                     }
                 }
                 if c == b'b' && prev_nonident(b, i) && i + 1 < b.len() {
+                    if b[i + 1] == b'r' {
+                        // Possible raw byte string br"…" or br#"…"#.
+                        let mut j = i + 2;
+                        let mut hashes = 0u32;
+                        while j < b.len() && b[j] == b'#' {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if j < b.len() && b[j] == b'"' {
+                            for _ in i..j {
+                                code.push(' ');
+                            }
+                            code.push('"');
+                            st = State::RawStr(hashes);
+                            i = j + 1;
+                            continue;
+                        }
+                    }
                     if b[i + 1] == b'"' {
                         code.push(' ');
                         code.push('"');
@@ -182,8 +200,16 @@ pub fn mask(src: &str) -> MaskedFile {
             }
             State::Str | State::ByteStr => {
                 if c == b'\\' && i + 1 < b.len() {
+                    // A line-continuation escape (`\` before a newline) still
+                    // ends a source line: keep the `\n` in the code channel
+                    // (and counted) or every later line number shifts.
                     code.push(' ');
-                    code.push(' ');
+                    if b[i + 1] == b'\n' {
+                        line += 1;
+                        code.push('\n');
+                    } else {
+                        code.push(' ');
+                    }
                     i += 2;
                     continue;
                 }
@@ -226,7 +252,12 @@ pub fn mask(src: &str) -> MaskedFile {
             State::Char => {
                 if c == b'\\' && i + 1 < b.len() {
                     code.push(' ');
-                    code.push(' ');
+                    if b[i + 1] == b'\n' {
+                        line += 1;
+                        code.push('\n');
+                    } else {
+                        code.push(' ');
+                    }
                     i += 2;
                     continue;
                 }
@@ -458,6 +489,35 @@ mod tests {
         let m = mask(src);
         assert!(m.lines[1].in_test);
         assert!(!m.lines[2].in_test);
+    }
+
+    #[test]
+    fn raw_byte_strings_are_masked() {
+        let src = "let x = br#\"panic!(\"y\") .recv()\"#; let z = br\"x.unwrap()\"; f();\n";
+        let m = mask(src);
+        assert!(!m.lines[0].code.contains("panic!"));
+        assert!(!m.lines[0].code.contains(".recv()"));
+        assert!(!m.lines[0].code.contains(".unwrap()"));
+        assert!(m.lines[0].code.contains("f();"));
+    }
+
+    #[test]
+    fn br_identifier_prefix_is_not_a_raw_string() {
+        let src = "let y = branch(1); brick.unwrap();\n";
+        let m = mask(src);
+        assert!(m.lines[0].code.contains("branch(1)"));
+        assert!(m.lines[0].code.contains("brick.unwrap()"));
+    }
+
+    #[test]
+    fn string_line_continuation_keeps_line_numbers() {
+        // The `\` + newline escape inside a string must not swallow the
+        // newline, or every subsequent line shifts by one.
+        let src = "let s = \"ab\\\n   cd\";\nx.unwrap();\nfn tail() {}\n";
+        let m = mask(src);
+        assert_eq!(m.lines.len(), 4);
+        assert!(m.lines[2].code.contains(".unwrap()"), "{:?}", m.lines[2].code);
+        assert!(m.lines[3].code.contains("fn tail"), "{:?}", m.lines[3].code);
     }
 
     #[test]

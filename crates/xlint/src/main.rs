@@ -17,11 +17,23 @@
 //! * **L4** (`cross_unwrap`) — `Result`-returning `pub fn`s of
 //!   `crates/storage` and `crates/core` must not be `.unwrap()`ed from
 //!   another crate.
+//! * **L5** (`blocking`) — no blocking primitive (channel recv/send,
+//!   condvar wait, sleep, join, file I/O) reachable through the call graph
+//!   from an `// xlint: actor_entry` function. Suppress with
+//!   `// xlint: allow(blocking, "why")` on the site, or on a `fn` line to
+//!   mark a whole function an audited boundary.
+//! * **L6** (`guard_drop`) — no immediately-dropped (`let _ =` / bare
+//!   statement) or prematurely-`drop()`ed lock/admission guards.
+//! * **L7** (`atomic_ordering`) — `Ordering::Relaxed` in a CAS or a
+//!   consumed RMW needs an `// xlint: ordering(<why>)` annotation.
+//! * **L8** (`metric`) — metric names read or documented must be
+//!   registered; registered handles must be incremented.
 //!
 //! Usage: `cargo run -p xlint -- [--root DIR] [--deny-all]
-//! [--baseline FILE] [--write-baseline FILE]`
+//! [--baseline FILE] [--update-baseline] [--write-baseline FILE]`
 
 mod baseline;
+mod callgraph;
 #[cfg(test)]
 mod fixture_tests;
 mod lexer;
@@ -30,10 +42,15 @@ mod rules;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+/// Documents cross-checked by the L8 metric pass when present under the
+/// root.
+const DOC_FILES: [&str; 2] = ["DESIGN.md", "README.md"];
+
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut deny_all = false;
     let mut baseline_path: Option<PathBuf> = None;
+    let mut update_baseline = false;
     let mut write_baseline: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -41,15 +58,18 @@ fn main() -> ExitCode {
             "--root" => root = PathBuf::from(args.next().unwrap_or_else(|| ".".into())),
             "--deny-all" => deny_all = true,
             "--baseline" => baseline_path = args.next().map(PathBuf::from),
+            "--update-baseline" => update_baseline = true,
             "--write-baseline" => write_baseline = args.next().map(PathBuf::from),
             "--help" | "-h" => {
                 println!(
                     "xlint: asterix-rs workspace lints (L1 panic-path, L2 unsafe, \
-                     L3 lock-order, L4 cross-crate unwrap)\n\n\
+                     L3 lock-order, L4 cross-crate unwrap, L5 blocking-in-actor, \
+                     L6 guard-drop, L7 atomic-ordering, L8 metric hygiene)\n\n\
                      options:\n  --root DIR             workspace root (default .)\n  \
                      --deny-all             exit nonzero on any violation\n  \
-                     --baseline FILE        fail if suppression counts grew vs FILE\n  \
-                     --write-baseline FILE  record current suppression counts"
+                     --baseline FILE        fail on suppressions not fingerprinted in FILE\n  \
+                     --update-baseline      rewrite the baseline (default xlint-baseline.json)\n  \
+                     --write-baseline FILE  record current suppression fingerprints to FILE"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -71,7 +91,13 @@ fn main() -> ExitCode {
         eprintln!("xlint: no .rs files under {}", root.display());
         return ExitCode::from(2);
     }
-    let rep = rules::check(&files);
+    let docs: Vec<(PathBuf, String)> = DOC_FILES
+        .iter()
+        .filter_map(|d| {
+            std::fs::read_to_string(root.join(d)).ok().map(|t| (PathBuf::from(d), t))
+        })
+        .collect();
+    let rep = rules::check_with_docs(&files, &docs);
 
     println!("xlint: checked {} files, {} lines", rep.files_checked, rep.lines_checked);
 
@@ -82,10 +108,9 @@ fn main() -> ExitCode {
         }
     }
 
-    let counts = rep.suppression_counts();
     if !rep.suppressions.is_empty() {
         println!("\nsuppressions: {} total", rep.suppressions.len());
-        for (rule, n) in &counts {
+        for (rule, n) in &rep.suppression_counts() {
             println!("  allow({rule}): {n}");
         }
         for s in &rep.suppressions {
@@ -100,28 +125,39 @@ fn main() -> ExitCode {
         }
     }
 
-    if let Some(p) = write_baseline {
-        let b = baseline::Baseline { suppressions: counts.clone() };
-        if let Err(e) = b.write(&p) {
+    let live = baseline::Baseline::from_suppressions(&rep.suppressions);
+
+    if update_baseline || write_baseline.is_some() {
+        let p = write_baseline
+            .unwrap_or_else(|| baseline_path.clone().unwrap_or_else(|| root.join("xlint-baseline.json")));
+        if let Err(e) = live.write(&p) {
             eprintln!("xlint: cannot write baseline {}: {e}", p.display());
             return ExitCode::from(2);
         }
-        println!("\nbaseline written to {}", p.display());
+        println!("\nbaseline written to {} ({} suppressions)", p.display(), live.entries.len());
     }
 
     let mut failed = false;
     if let Some(p) = baseline_path {
         match baseline::Baseline::read(&p) {
             Ok(base) => {
-                for (rule, n) in &counts {
-                    let allowed = base.suppressions.get(rule).copied().unwrap_or(0);
-                    if *n > allowed {
-                        println!(
-                            "\nbaseline: allow({rule}) count grew: {n} > {allowed} \
-                             (update {} deliberately if this is intended)",
-                            p.display()
-                        );
-                        failed = true;
+                let (unbaselined, stale) = base.diff(&live.entries);
+                if !unbaselined.is_empty() {
+                    println!(
+                        "\nbaseline: {} suppression(s) not fingerprinted in {} \
+                         (update deliberately with --update-baseline if intended):",
+                        unbaselined.len(),
+                        p.display()
+                    );
+                    for e in &unbaselined {
+                        println!("  allow({}) in {} [{}]", e.rule, e.file, e.hash);
+                    }
+                    failed = true;
+                }
+                if !stale.is_empty() {
+                    println!("\nbaseline: {} stale entr(ies) no longer live:", stale.len());
+                    for e in &stale {
+                        println!("  allow({}) in {} [{}]", e.rule, e.file, e.hash);
                     }
                 }
             }
