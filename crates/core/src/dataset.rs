@@ -20,6 +20,7 @@ use asterix_adm::types::ObjectType;
 use asterix_adm::{Point, Rectangle, Value};
 use asterix_storage::inverted::InvertedIndex;
 use asterix_storage::lsm::{LsmConfig, LsmTree, MergePolicy};
+use asterix_storage::CompactionExec;
 use asterix_storage::lsm_rtree::{LsmRTree, LsmRTreeConfig};
 use std::ops::Bound;
 use std::sync::Arc;
@@ -35,6 +36,13 @@ pub struct StorageConfig {
     /// Compress record values in primary-index disk components (§VII's
     /// storage compression).
     pub compress: bool,
+    /// Background compaction executor. `None` (the default) keeps merges
+    /// on the flushing thread — the pre-background behaviour; `Some` moves
+    /// them onto the runtime's morsel worker pool.
+    pub compaction: Option<CompactionExec>,
+    /// Let each B+-tree index pick its own merge policy from the observed
+    /// read/write mix (re-evaluated every `lsm::AUTO_TUNE_WINDOW` flushes).
+    pub auto_tune: bool,
 }
 
 impl Default for StorageConfig {
@@ -47,6 +55,8 @@ impl Default for StorageConfig {
             },
             rtree_point_optimize: true,
             compress: false,
+            compaction: None,
+            auto_tune: false,
         }
     }
 }
@@ -132,6 +142,7 @@ impl DatasetPartition {
             compress_values: cfg.compress,
         };
         let primary = LsmTree::new(Arc::clone(&node.cache), mk_lsm("pri"));
+        Self::apply_compaction(&primary, cfg);
         let mut secondaries = Vec::new();
         for idx in &def.indexes {
             secondaries.push(Self::build_secondary(idx, &def.name, partition, &node, cfg));
@@ -147,6 +158,17 @@ impl DatasetPartition {
         })
     }
 
+    /// Installs the configured background executor / autotuner on a
+    /// B+-tree LSM index. R-tree and keyword indexes still merge on the
+    /// flushing thread — they are a small fraction of merge volume and
+    /// keep their own simpler merge path.
+    fn apply_compaction(tree: &LsmTree, cfg: &StorageConfig) {
+        if let Some(exec) = &cfg.compaction {
+            tree.set_executor(exec.clone());
+        }
+        tree.set_auto_tune(cfg.auto_tune);
+    }
+
     fn build_secondary(
         idx: &IndexDef,
         dataset: &str,
@@ -156,9 +178,8 @@ impl DatasetPartition {
     ) -> Secondary {
         let name = format!("{dataset}_p{partition}_{}", idx.name);
         match idx.kind {
-            IndexKind::BTree => Secondary::BTree {
-                def: idx.clone(),
-                tree: LsmTree::new(
+            IndexKind::BTree => {
+                let tree = LsmTree::new(
                     Arc::clone(&node.cache),
                     LsmConfig {
                         name,
@@ -167,8 +188,10 @@ impl DatasetPartition {
                         bloom: false, // range-probed; blooms don't help
                         compress_values: false, // secondary entries carry no values
                     },
-                ),
-            },
+                );
+                Self::apply_compaction(&tree, cfg);
+                Secondary::BTree { def: idx.clone(), tree }
+            }
             IndexKind::RTree => Secondary::RTree {
                 def: idx.clone(),
                 tree: LsmRTree::new(

@@ -112,6 +112,12 @@ pub struct InstanceConfig {
     /// 0 = auto (`available_parallelism()`). This is the *only* thread
     /// count: operator `partitions` are schedulable units, not threads.
     pub worker_threads: usize,
+    /// Run LSM merges as morsel tasks on the shared worker pool instead of
+    /// on the flushing thread. Off by default: foreground merges keep
+    /// component counts deterministic, which seeded fault-injection tests
+    /// (`faults`) rely on — background merge I/O would race the op-counted
+    /// crash schedules.
+    pub background_compaction: bool,
 }
 
 impl Default for InstanceConfig {
@@ -133,6 +139,7 @@ impl Default for InstanceConfig {
             dataflow_faults: None,
             scheduler: SchedulerConfig::default(),
             worker_threads: 0,
+            background_compaction: false,
         }
     }
 }
@@ -175,6 +182,8 @@ struct Inner {
     sched: Arc<QueryScheduler>,
     /// Session-id allocator for [`Instance::session`].
     next_session: AtomicU64,
+    /// Tripped at teardown so background merges abort at the next morsel.
+    compaction_token: CancellationToken,
 }
 
 /// An AsterixDB instance. Cloning yields another handle on the same
@@ -224,6 +233,17 @@ impl Instance {
         )
         .map_err(CoreError::Hyracks)?;
         ctx.set_worker_threads(config.worker_threads);
+        // Background compaction shares the morsel pool with query work; the
+        // instance-lifetime token lets shutdown abort in-flight merges at
+        // the next merge morsel instead of waiting them out.
+        let compaction_token = CancellationToken::new();
+        let mut config = config;
+        if config.background_compaction && config.storage.compaction.is_none() {
+            config.storage.compaction = Some(asterix_hyracks::storage_compaction_executor(
+                &ctx,
+                compaction_token.clone(),
+            ));
+        }
         let sched = QueryScheduler::new(config.scheduler.clone(), ctx.registry());
         let inner = Arc::new(Inner {
             config,
@@ -239,6 +259,7 @@ impl Instance {
             last_profile: Mutex::new(None),
             sched,
             next_session: AtomicU64::new(1),
+            compaction_token,
         });
         let instance = Instance { inner };
         instance.recover()?;
@@ -892,6 +913,7 @@ impl Instance {
 
 impl Drop for Inner {
     fn drop(&mut self) {
+        self.compaction_token.cancel("instance shutdown");
         if self.temp_guard && !self.root.join(".keep").exists() {
             let _ = std::fs::remove_dir_all(&self.root);
         }

@@ -37,7 +37,7 @@ pub use cancel::CancellationToken;
 pub use ctx::RuntimeCtx;
 pub use error::{HyracksError, Result};
 pub use exec::JobOptions;
-pub use sched::{WorkerPool, MORSEL_TUPLES};
+pub use sched::{storage_compaction_executor, WorkerPool, MORSEL_TUPLES};
 pub use faults::{DataflowFaults, FaultConfig};
 pub use frame::{u32_len, Frame, Tuple};
 pub use job::{ConnStrategy, JobSpec, OpId, OpKind};

@@ -32,11 +32,14 @@
 //! every scheduled morsel is run exactly once (drains on cancel are
 //! themselves steps), which the leak proptest asserts.
 
+use crate::cancel::CancellationToken;
+use crate::ctx::RuntimeCtx;
 use asterix_obs::{Counter, MetricsRegistry};
+use asterix_storage::{BackgroundExecutor, BackgroundJob, CompactionExec, JobStep};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 /// Tuples processed per scheduling step: the morsel size. Cancellation
@@ -369,6 +372,78 @@ fn push_from_worker(shared: &PoolShared, task: Arc<dyn Task>, front: bool) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Storage compaction bridge
+// ---------------------------------------------------------------------------
+
+/// One background LSM merge running as a morsel task: every scheduling
+/// quantum advances the merge by one bounded [`BackgroundJob::step`] (a
+/// merge morsel of ~1k entries), so compaction shares workers with query
+/// morsels instead of owning a thread. The job's cooperative cancel flag
+/// is tripped from `token` at morsel boundaries, giving merges the same
+/// bounded cancellation latency as query tasks.
+struct CompactionTask {
+    core: TaskCore,
+    job: Arc<dyn BackgroundJob>,
+    token: CancellationToken,
+}
+
+impl Task for CompactionTask {
+    fn core(&self) -> &TaskCore {
+        &self.core
+    }
+
+    fn step(&self) -> Step { // xlint: actor_entry
+        if self.token.is_cancelled() {
+            self.job.cancel();
+        }
+        match self.job.step() {
+            JobStep::Again => Step::Again,
+            JobStep::Done => Step::Finished,
+        }
+    }
+}
+
+/// [`BackgroundExecutor`] over a context's shared [`WorkerPool`]. Holds the
+/// context weakly: the executor lives inside storage config structs whose
+/// lifetime the runtime does not control, and a strong reference would keep
+/// the pool (and its threads) alive past instance shutdown.
+struct PoolExecutor {
+    ctx: Weak<RuntimeCtx>,
+    token: CancellationToken,
+}
+
+impl BackgroundExecutor for PoolExecutor {
+    fn offload(&self, job: Arc<dyn BackgroundJob>) {
+        match self.ctx.upgrade() {
+            Some(ctx) => {
+                let task: Arc<dyn Task> = Arc::new(CompactionTask {
+                    core: TaskCore::new(),
+                    job,
+                    token: self.token.clone(),
+                });
+                notify(&task, &ctx.worker_pool());
+            }
+            // Runtime gone (shutdown race): the tree's compaction state
+            // machine still expects this job to reach Done, so drive it
+            // inline on the submitting thread rather than stranding the
+            // tree in `merging` forever.
+            None => while job.step() == JobStep::Again {},
+        }
+    }
+}
+
+/// A [`CompactionExec`] that schedules LSM merges onto `ctx`'s morsel
+/// worker pool. `token` is polled once per merge morsel; tripping it makes
+/// in-flight merges abort cleanly at the next step boundary (the tree
+/// republishes nothing and stays on its pre-merge component list).
+pub fn storage_compaction_executor(
+    ctx: &Arc<RuntimeCtx>,
+    token: CancellationToken,
+) -> CompactionExec {
+    CompactionExec::new(Arc::new(PoolExecutor { ctx: Arc::downgrade(ctx), token }))
+}
+
 fn park(shared: &PoolShared) {
     let start = Instant::now();
     let mut idle = shared.idle.lock();
@@ -532,6 +607,90 @@ mod tests {
         notify(&dyn_t, &pool);
         assert!(!drive(&pool.shared, 0));
         assert_eq!(t.runs.load(Ordering::SeqCst), 1);
+    }
+
+    /// Fake merge job: counts steps, honours cooperative cancel.
+    struct FakeJob {
+        steps_left: AtomicUsize,
+        steps_run: AtomicUsize,
+        cancelled: AtomicBool,
+        done: AtomicBool,
+    }
+
+    impl FakeJob {
+        fn new(steps: usize) -> Arc<Self> {
+            Arc::new(FakeJob {
+                steps_left: AtomicUsize::new(steps),
+                steps_run: AtomicUsize::new(0),
+                cancelled: AtomicBool::new(false),
+                done: AtomicBool::new(false),
+            })
+        }
+    }
+
+    impl BackgroundJob for FakeJob {
+        fn step(&self) -> JobStep {
+            self.steps_run.fetch_add(1, Ordering::SeqCst);
+            if self.cancelled.load(Ordering::SeqCst)
+                || self.steps_left.fetch_sub(1, Ordering::SeqCst) <= 1
+            {
+                self.done.store(true, Ordering::SeqCst);
+                return JobStep::Done;
+            }
+            JobStep::Again
+        }
+        fn cancel(&self) {
+            self.cancelled.store(true, Ordering::SeqCst);
+        }
+    }
+
+    fn wait_done(job: &FakeJob) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !job.done.load(Ordering::SeqCst) {
+            assert!(Instant::now() < deadline, "compaction job never finished");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn compaction_jobs_run_morsel_stepped_on_the_pool() {
+        let ctx = RuntimeCtx::temp().unwrap();
+        ctx.set_worker_threads(2);
+        let exec = storage_compaction_executor(&ctx, CancellationToken::new());
+        let job = FakeJob::new(5);
+        exec.offload(job.clone() as Arc<dyn BackgroundJob>);
+        wait_done(&job);
+        assert_eq!(job.steps_run.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn tripped_token_cancels_the_merge_at_the_next_morsel() {
+        let ctx = RuntimeCtx::temp().unwrap();
+        ctx.set_worker_threads(1);
+        let token = CancellationToken::new();
+        token.cancel("test shutdown");
+        let exec = storage_compaction_executor(&ctx, token);
+        let job = FakeJob::new(1_000_000);
+        exec.offload(job.clone() as Arc<dyn BackgroundJob>);
+        wait_done(&job);
+        // The task saw the tripped token before its first quantum, cancelled
+        // the job, and the very first step aborted instead of running 1M.
+        assert_eq!(job.steps_run.load(Ordering::SeqCst), 1);
+        assert!(job.cancelled.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn dead_context_falls_back_to_inline_completion() {
+        let exec = {
+            let ctx = RuntimeCtx::temp().unwrap();
+            storage_compaction_executor(&ctx, CancellationToken::new())
+        };
+        // The context is gone; submit must still drive the job to Done on
+        // this thread so the tree never wedges in `merging`.
+        let job = FakeJob::new(4);
+        exec.offload(job.clone() as Arc<dyn BackgroundJob>);
+        assert!(job.done.load(Ordering::SeqCst));
+        assert_eq!(job.steps_run.load(Ordering::SeqCst), 4);
     }
 
     #[test]

@@ -49,6 +49,10 @@ pub struct FaultConfig {
     pub fsync_fail_prob: f64,
     /// Probability that a page read gets one bit flipped, silently.
     pub read_corrupt_prob: f64,
+    /// Probability that a file delete fails (transient; the file survives).
+    /// Exercises the LSM merge-retirement path, where a failed delete must
+    /// be non-fatal cleanup, never data loss.
+    pub delete_fail_prob: f64,
     /// Added latency per page read. Not a fault per se: stress tests use it
     /// to hold a physical read open long enough that racing requesters
     /// deterministically pile onto the cache's in-flight-load slot.
@@ -64,6 +68,7 @@ impl Default for FaultConfig {
             short_write_prob: 0.0,
             fsync_fail_prob: 0.0,
             read_corrupt_prob: 0.0,
+            delete_fail_prob: 0.0,
             read_delay: None,
         }
     }
@@ -83,6 +88,8 @@ pub enum FaultEvent {
     FsyncFailure { op: u64, target: String },
     /// Bit `bit` of byte `byte` of a read buffer was flipped.
     BitFlip { op: u64, target: String, byte: usize, bit: u8 },
+    /// A file delete failed transiently; the file stays on disk.
+    DeleteFailure { op: u64, target: String },
 }
 
 /// What an instrumented write should do, as decided by the injector.
@@ -277,6 +284,26 @@ impl FaultInjector {
         Ok(())
     }
 
+    /// Failpoint for a file delete (LSM component retirement). The crash
+    /// point can land here; otherwise a probabilistic *transient* failure
+    /// leaves the file on disk and the system alive — retirement callers
+    /// must treat that as deferred cleanup, not an error.
+    pub fn on_delete(&self, target: &str) -> Result<()> {
+        let op = self.next_op(target)?;
+        if self.is_crash_point(op) {
+            self.crashed.store(true, Ordering::SeqCst);
+            self.record(FaultEvent::Crash { op, target: target.to_string() });
+            return Err(self.injected(target, "injected crash during delete"));
+        }
+        if self.config.delete_fail_prob > 0.0
+            && self.rng.lock().gen_bool(self.config.delete_fail_prob)
+        {
+            self.record(FaultEvent::DeleteFailure { op, target: target.to_string() });
+            return Err(self.injected(target, "injected delete failure"));
+        }
+        Ok(())
+    }
+
     /// Failpoint for an fsync. Both the crash point and a probabilistic
     /// fsync failure land here; either way the injector is crashed after.
     pub fn on_sync(&self, target: &str) -> Result<()> {
@@ -310,6 +337,7 @@ mod tests {
                 short_write_prob: 0.3,
                 fsync_fail_prob: 0.0,
                 read_corrupt_prob: 0.5,
+                delete_fail_prob: 0.0,
                 read_delay: None,
             });
             let mut buf = vec![0xAAu8; 64];
@@ -393,6 +421,28 @@ mod tests {
         assert_eq!(buf.iter().filter(|&&b| b != 0).count(), 1, "exactly one bit flipped");
         assert!(matches!(f.events()[0], FaultEvent::BitFlip { op: 0, .. }));
         assert!(!f.crashed(), "bit flips are silent, not crashes");
+    }
+
+    #[test]
+    fn delete_failures_are_transient_and_recorded() {
+        let f = FaultInjector::new(FaultConfig {
+            seed: 17,
+            delete_fail_prob: 1.0,
+            ..FaultConfig::default()
+        });
+        assert!(f.on_delete("c1.btree").is_err());
+        assert!(!f.crashed(), "a failed delete leaves the system alive");
+        assert!(f.on_delete("c2.btree").is_err(), "next delete can fail too");
+        assert!(f.on_write("w", 16).is_ok(), "other I/O unaffected");
+        let events = f.events();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(&events[0], FaultEvent::DeleteFailure { op: 0, target } if target == "c1.btree"));
+
+        // the crash point can land on a delete, and then it is sticky
+        let f = FaultInjector::crash_after(18, 0);
+        assert!(f.on_delete("c3.btree").is_err());
+        assert!(f.crashed());
+        assert!(f.on_delete("c4.btree").is_err(), "dead handles stay dead");
     }
 
     #[test]

@@ -252,10 +252,14 @@ impl FileManager {
         Ok(())
     }
 
-    /// Closes and deletes a file (e.g. merged-away LSM components).
+    /// Closes and deletes a file (e.g. merged-away LSM components). The
+    /// failpoint is consulted *before* the handle is dropped, so an injected
+    /// delete failure leaves both the open handle and the file intact —
+    /// callers may retry or defer the cleanup.
     pub fn delete(&self, id: FileId) -> Result<()> { // xlint: allow(blocking, "component delete during recovery/merge retirement; bounded by one unlink")
         if let Some(f) = &self.faults {
-            f.check_alive("delete")?;
+            let target = crate::faults::target_name(&self.handle(id)?.read().path);
+            f.on_delete(&target)?;
         }
         let handle = self
             .files

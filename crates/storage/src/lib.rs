@@ -36,6 +36,7 @@
 pub mod bloom;
 pub mod btree;
 pub mod cache;
+pub mod compaction;
 pub mod compress;
 pub mod error;
 pub mod faults;
@@ -54,6 +55,7 @@ pub(crate) mod testutil;
 pub mod wal;
 
 pub use cache::BufferCache;
+pub use compaction::{BackgroundExecutor, BackgroundJob, CompactionExec, JobStep, ThreadExecutor};
 pub use error::{Result, StorageError};
 pub use faults::{FaultConfig, FaultEvent, FaultInjector};
 pub use io::{FileId, FileManager, PAGE_SIZE};

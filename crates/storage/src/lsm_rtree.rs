@@ -147,30 +147,20 @@ impl LsmRTree {
     }
 
     fn maybe_merge(&mut self) -> Result<()> {
-        let sizes: Vec<u64> = self.disk.iter().map(|c| c.size_bytes).collect();
-        let pick = match self.config.merge_policy {
-            MergePolicy::NoMerge => None,
-            MergePolicy::Constant { max_components } => {
-                (sizes.len() > max_components.max(1)).then_some(sizes.len())
-            }
-            MergePolicy::Prefix { max_mergable_bytes, max_tolerance_components } => {
-                let mut run = 0usize;
-                let mut total = 0u64;
-                for &s in &sizes {
-                    if s < max_mergable_bytes && total + s <= max_mergable_bytes * 2 {
-                        run += 1;
-                        total += s;
-                    } else {
-                        break;
-                    }
-                }
-                (run >= 2 && run > max_tolerance_components).then_some(run)
-            }
-        };
-        if let Some(n) = pick {
+        // Loop until the policy is satisfied (cascade): one pick per flush
+        // never converges a backlog. The progress guard breaks out if a
+        // merge fails to shrink the list (e.g. a degenerate pick).
+        loop {
+            let sizes: Vec<u64> = self.disk.iter().map(|c| c.size_bytes).collect();
+            let Some(n) = self.config.merge_policy.pick_merge(&sizes) else {
+                return Ok(());
+            };
+            let before = self.disk.len();
             self.merge_newest(n)?;
+            if self.disk.len() >= before {
+                return Ok(());
+            }
         }
-        Ok(())
     }
 
     /// Merges the `n` newest components into one.

@@ -14,6 +14,7 @@
 //! I/O without any storage-specific glue, while every existing
 //! `count_*`/`snapshot`/`reset` call site compiles unchanged.
 
+use crate::compaction::LsmMetricsHub;
 use asterix_obs::MetricsRegistry;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
@@ -26,6 +27,9 @@ use std::sync::{Arc, Weak};
 #[derive(Debug)]
 pub struct IoStats {
     registry: Arc<MetricsRegistry>,
+    /// Node-wide LSM amplification hub shared by every tree on this device
+    /// (registered as `storage.lsm.*` metrics alongside the I/O counters).
+    lsm: Arc<LsmMetricsHub>,
     physical_reads: AtomicU64,
     physical_writes: AtomicU64,
     cache_hits: AtomicU64,
@@ -51,6 +55,7 @@ impl IoStats {
     pub fn with_registry(registry: &Arc<MetricsRegistry>) -> Arc<Self> {
         let stats = Arc::new(IoStats {
             registry: Arc::clone(registry),
+            lsm: Arc::new(LsmMetricsHub::default()),
             physical_reads: AtomicU64::new(0),
             physical_writes: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
@@ -77,7 +82,13 @@ impl IoStats {
         observe("cache.coalesced_waits", IoStats::coalesced_waits);
         observe("storage.io.bytes_written", IoStats::bytes_written);
         observe("storage.io.bytes_read", IoStats::bytes_read);
+        stats.lsm.register(registry);
         stats
+    }
+
+    /// The LSM amplification hub every tree sharing these stats reports to.
+    pub fn lsm(&self) -> &Arc<LsmMetricsHub> {
+        &self.lsm
     }
 
     /// The registry these counters are observed by (for node-level
@@ -164,7 +175,9 @@ impl IoStats {
         self.bytes_read.load(Ordering::Relaxed)
     }
 
-    /// Resets all counters to zero (between experiment phases).
+    /// Resets all I/O counters to zero (between experiment phases). The LSM
+    /// hub is deliberately untouched: its space counters are deltas against
+    /// per-tree marks, and zeroing one side would desynchronize them.
     pub fn reset(&self) {
         self.physical_reads.store(0, Ordering::Relaxed);
         self.physical_writes.store(0, Ordering::Relaxed);
