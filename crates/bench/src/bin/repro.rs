@@ -14,9 +14,12 @@
 //! repro chaos --seed 7   # same suite under a pinned seed
 //! repro serving      # concurrent-serving SLO sweep -> BENCH_serving.json
 //! repro serving --out FILE   # write the JSON somewhere else
+//! repro feeds        # sustained-ingestion suite -> BENCH_feeds.json
+//! repro feeds --check              # kill/crash/resume recovery battery
+//! repro feeds --check --inject-loss   # tripwire: must exit nonzero
 //! ```
 
-use asterix_bench::{chaos, experiments, hotpath, profile, serving};
+use asterix_bench::{chaos, experiments, feeds, hotpath, profile, serving};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -59,6 +62,31 @@ fn main() {
         } else {
             println!("{}", run.json);
         }
+        return;
+    }
+    if args.iter().any(|a| a == "feeds") {
+        if args.iter().any(|a| a == "--check") {
+            let inject_loss = args.iter().any(|a| a == "--inject-loss");
+            let (report, ok) = feeds::check(inject_loss);
+            print!("{report}");
+            if !ok {
+                std::process::exit(1);
+            }
+            return;
+        }
+        let out = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_feeds.json".into());
+        let json = feeds::run(quick);
+        std::fs::write(&out, &json).unwrap_or_else(|e| {
+            eprintln!("cannot write {out}: {e}");
+            std::process::exit(1);
+        });
+        print!("{json}");
+        eprintln!("feed ingestion baseline written to {out}");
         return;
     }
     if args.iter().any(|a| a == "serving") {

@@ -9,6 +9,7 @@
 
 pub mod chaos;
 pub mod experiments;
+pub mod feeds;
 pub mod hotpath;
 pub mod profile;
 pub mod report;

@@ -116,18 +116,58 @@ pub struct ShadowLink {
 }
 
 impl ShadowLink {
-    /// Creates a link from `store` into `dataset` of `instance`.
+    /// Creates a link from `store` into `dataset` of `instance`, starting
+    /// from the beginning of the DCP stream. After a crash use
+    /// [`ShadowLink::resume`] instead, which restarts from the last cursor
+    /// the instance committed durably.
     pub fn new(store: FrontEndStore, instance: Instance, dataset: impl Into<String>) -> Arc<Self> {
+        ShadowLink::with_cursor(store, instance, dataset, 0)
+    }
+
+    /// Recovers a link after an instance restart: reads the last durably
+    /// committed DCP cursor for `dataset` (persisted by [`ShadowLink::pump`]
+    /// inside each shadow transaction) and resumes streaming from there.
+    /// Mutations the crash cut short are re-applied; primary-key upserts and
+    /// idempotent deletes make the re-application harmless.
+    pub fn resume(
+        store: FrontEndStore,
+        instance: Instance,
+        dataset: impl Into<String>,
+    ) -> Result<Arc<Self>> {
+        let dataset = dataset.into();
+        let cursor = instance.feed_durable_seq(&ShadowLink::cursor_name(&dataset))?;
+        Ok(ShadowLink::with_cursor(store, instance, dataset, cursor))
+    }
+
+    fn with_cursor(
+        store: FrontEndStore,
+        instance: Instance,
+        dataset: impl Into<String>,
+        cursor: u64,
+    ) -> Arc<Self> {
         Arc::new(ShadowLink {
             store,
             instance,
             dataset: dataset.into(),
-            cursor: AtomicU64::new(0),
+            cursor: AtomicU64::new(cursor),
             stopped: Arc::new(AtomicBool::new(false)),
         })
     }
 
+    /// WAL cursor name under which this link's progress is persisted
+    /// (namespaced apart from [`crate::feeds::Feed::cursor`] names).
+    pub fn cursor_name(dataset: &str) -> String {
+        format!("dcp.{dataset}")
+    }
+
+    /// The last DCP sequence number applied (and committed) by this link.
+    pub fn cursor(&self) -> u64 {
+        self.cursor.load(Ordering::Acquire)
+    }
+
     /// Applies all pending mutations once; returns how many were applied.
+    /// The batch transaction also persists the new DCP cursor, so the
+    /// applied prefix and its restart point are durable together.
     pub fn pump(&self) -> Result<usize> {
         let cursor = self.cursor.load(Ordering::Acquire);
         let pending = self.store.stream_since(cursor);
@@ -149,6 +189,7 @@ impl ShadowLink {
             }
             last = m.seq;
         }
+        txn.set_feed_cursor(ShadowLink::cursor_name(&self.dataset), last);
         txn.commit()?;
         self.cursor.store(last, Ordering::Release);
         Ok(n)
@@ -289,5 +330,50 @@ mod tests {
     fn key_mapping() {
         assert_eq!(key_to_pk("42"), Value::Int(42));
         assert_eq!(key_to_pk("user::42"), Value::from("user::42"));
+    }
+
+    #[test]
+    fn resume_restarts_from_last_durable_cursor_after_crash() {
+        use crate::instance::InstanceConfig;
+        let dir = std::env::temp_dir().join(format!(
+            "asterix-dcp-resume-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let mk = |d: &std::path::Path| {
+            Instance::open(InstanceConfig {
+                data_dir: Some(d.to_path_buf()),
+                ..InstanceConfig::default()
+            })
+            .unwrap()
+        };
+        let store = FrontEndStore::new();
+        {
+            let instance = mk(&dir);
+            create_shadow_dataset(&instance, "Shadow", "id").unwrap();
+            let link = ShadowLink::new(store.clone(), instance.clone(), "Shadow");
+            for i in 0..50 {
+                store.set(format!("{i}"), doc(i, i));
+            }
+            link.pump().unwrap();
+            assert_eq!(link.cursor(), 50);
+            instance.crash();
+        }
+        // mutations keep arriving while analytics is down
+        for i in 50..80 {
+            store.set(format!("{i}"), doc(i, i));
+        }
+        store.delete("0");
+        let instance = mk(&dir);
+        assert_eq!(instance.count("Shadow").unwrap(), 50, "shadow recovered");
+        let link = ShadowLink::resume(store.clone(), instance.clone(), "Shadow").unwrap();
+        assert_eq!(link.cursor(), 50, "cursor recovered from the WAL");
+        assert_eq!(link.lag(), 31, "only the missed tail is pending");
+        link.pump().unwrap();
+        assert_eq!(instance.count("Shadow").unwrap(), 79);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

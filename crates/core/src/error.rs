@@ -42,10 +42,11 @@ pub enum CoreError {
 
 impl CoreError {
     /// True for failures a job-level retry can plausibly cure: a node that
-    /// was down (and may be restarted), an injected chaos fault, or a
-    /// partition that died mid-stream. Deterministic failures — cancelled
-    /// jobs, expired deadlines, plan/type errors, constraint violations —
-    /// are fatal: retrying would fail identically or override the caller.
+    /// was down (and may be restarted), an injected chaos fault (storage or
+    /// dataflow), or a partition that died mid-stream. Deterministic
+    /// failures — cancelled jobs, expired deadlines, plan/type errors,
+    /// constraint violations — are fatal: retrying would fail identically
+    /// or override the caller.
     pub fn is_transient(&self) -> bool {
         use asterix_hyracks::HyracksError as He;
         fn transient_hyracks(e: &He) -> bool {
@@ -53,6 +54,7 @@ impl CoreError {
         }
         match self {
             CoreError::NodeDown(_) => true,
+            CoreError::Storage(asterix_storage::StorageError::Injected(_)) => true,
             CoreError::Hyracks(e) => transient_hyracks(e),
             CoreError::Algebricks(asterix_algebricks::AlgebricksError::Runtime(e)) => {
                 transient_hyracks(e)

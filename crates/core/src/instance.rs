@@ -118,6 +118,14 @@ pub struct InstanceConfig {
     /// (`faults`) rely on — background merge I/O would race the op-counted
     /// crash schedules.
     pub background_compaction: bool,
+    /// Group-commit WAL (on by default): concurrent committers on one node
+    /// share a single fdatasync — the leader flushes, followers whose bytes
+    /// it covered piggyback (`storage.wal.group_commits` /
+    /// `group_commit_waiters`). `false` restores one fsync per commit, the
+    /// durability-equivalent baseline the feeds bench compares against.
+    /// A lone committer behaves identically in both modes (append → write →
+    /// fsync), so seeded fault-injection schedules are unaffected.
+    pub wal_group_commit: bool,
 }
 
 impl Default for InstanceConfig {
@@ -140,6 +148,7 @@ impl Default for InstanceConfig {
             scheduler: SchedulerConfig::default(),
             worker_threads: 0,
             background_compaction: false,
+            wal_group_commit: true,
         }
     }
 }
@@ -226,6 +235,11 @@ impl Instance {
             },
             config.faults.clone(),
         )?;
+        if !config.wal_group_commit {
+            for node in &cluster.nodes {
+                node.wal_group.set_enabled(false);
+            }
+        }
         let ctx = RuntimeCtx::with_clock_and_faults(
             root.join("spill"),
             asterix_obs::MonotonicClock::shared(),
@@ -350,7 +364,8 @@ impl Instance {
             for (_, r) in &records {
                 if let WalRecord::Update { txn_id, .. }
                 | WalRecord::Commit { txn_id }
-                | WalRecord::Abort { txn_id } = r
+                | WalRecord::Abort { txn_id }
+                | WalRecord::FeedCursor { txn_id, .. } = r
                 {
                     max_txn = max_txn.max(*txn_id);
                 }
@@ -897,8 +912,30 @@ impl Instance {
             instance: self,
             id: self.inner.txns.begin(),
             undo: Vec::new(),
+            feed_cursors: Vec::new(),
             finished: false,
         }
+    }
+
+    /// The dataflow runtime's metrics registry (feed counters live here).
+    pub(crate) fn registry(&self) -> &Arc<asterix_obs::MetricsRegistry> {
+        self.inner.ctx.registry()
+    }
+
+    /// Last durable sequence number of `feed` (0 = no committed batch),
+    /// recovered from the committed [`WalRecord::FeedCursor`] records across
+    /// every node's log. This is the restart point [`crate::feeds::Feed::resume`]
+    /// and [`crate::dcp::ShadowLink::resume`] ingest from: every record with
+    /// a sequence number at or below it is durably committed.
+    pub fn feed_durable_seq(&self, feed: &str) -> Result<u64> {
+        let mut max = 0u64;
+        for node in &self.inner.cluster.nodes {
+            let records = read_log(node.wal_path())?;
+            if let Some(seq) = asterix_storage::wal::committed_feed_cursors(&records).get(feed) {
+                max = max.max(*seq);
+            }
+        }
+        Ok(max)
     }
 
     fn dataset_runtime(&self, name: &str) -> Result<Arc<DatasetRuntime>> {
@@ -983,6 +1020,9 @@ pub struct Txn<'a> {
     instance: &'a Instance,
     id: u64,
     undo: Vec<UndoEntry>,
+    /// Feed frontiers this transaction advances: committed atomically with
+    /// the data as [`WalRecord::FeedCursor`] records.
+    feed_cursors: Vec<(String, u64)>,
     finished: bool,
 }
 
@@ -1078,6 +1118,14 @@ impl<'a> Txn<'a> {
         Ok(())
     }
 
+    /// Records that committing this transaction advances `feed`'s durable
+    /// frontier to `seq`. The cursor is logged next to the batch's `Commit`
+    /// record, so [`Instance::feed_durable_seq`] recovers it iff the batch
+    /// itself is durable — the feed resume contract.
+    pub fn set_feed_cursor(&mut self, feed: impl Into<String>, seq: u64) {
+        self.feed_cursors.push((feed.into(), seq));
+    }
+
     /// Commits: forces the WAL and releases locks.
     pub fn commit(mut self) -> Result<()> {
         let inner = &self.instance.inner;
@@ -1088,14 +1136,36 @@ impl<'a> Txn<'a> {
             .iter()
             .map(|u| u.partition as usize % inner.cluster.nodes.len())
             .collect();
+        if touched.is_empty() && !self.feed_cursors.is_empty() {
+            // a batch whose every record was rejected still advances the
+            // feed frontier; anchor its cursor on node 0
+            touched.push(0);
+        }
         touched.sort_unstable();
         touched.dedup();
         for n in touched {
             let node = &inner.cluster.nodes[n];
-            let mut wal = node.wal.lock(); // xlint: lock(wal)
-            wal.append(&WalRecord::Commit { txn_id: self.id })
+            // append under the WAL lock, then release it before the sync:
+            // GroupCommit lets concurrent committers share the fdatasync
+            // (a lone committer performs exactly the old append→write→fsync
+            // sequence, keeping seeded fault schedules stable)
+            let end = {
+                let mut wal = node.wal.lock(); // xlint: lock(wal)
+                for (feed, seq) in &self.feed_cursors {
+                    wal.append(&WalRecord::FeedCursor {
+                        txn_id: self.id,
+                        feed: feed.clone(),
+                        seq: *seq,
+                    })
+                    .map_err(CoreError::Storage)?;
+                }
+                wal.append(&WalRecord::Commit { txn_id: self.id })
+                    .map_err(CoreError::Storage)?;
+                wal.next_lsn()
+            };
+            node.wal_group
+                .sync_through(&node.wal, end)
                 .map_err(CoreError::Storage)?;
-            wal.sync().map_err(CoreError::Storage)?;
         }
         inner.txns.locks.release_all(self.id);
         self.finished = true;

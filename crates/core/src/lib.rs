@@ -48,6 +48,7 @@ pub mod sources;
 pub mod txn;
 
 pub use error::{CoreError, Result};
+pub use feeds::{Feed, FeedConfig, IngestionPolicy};
 pub use instance::{Instance, InstanceConfig, Language, RetryPolicy};
 pub use scheduler::{
     PoolSnapshot, Priority, QueryHandle, QueryOptions, QueryScheduler, SchedulerConfig, Session,

@@ -11,7 +11,7 @@ use asterix_storage::cache::{BufferCache, CacheOptions};
 use asterix_storage::faults::FaultInjector;
 use asterix_storage::io::FileManager;
 use asterix_storage::stats::IoStats;
-use asterix_storage::wal::WalWriter;
+use asterix_storage::wal::{GroupCommit, WalWriter};
 use asterix_storage::lock_order::OrderedMutex;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -23,6 +23,10 @@ pub struct Node {
     pub dir: PathBuf,
     pub cache: Arc<BufferCache>,
     pub wal: OrderedMutex<WalWriter>,
+    /// Group-commit protocol for this node's WAL: committers append under
+    /// [`Node::wal`], then call [`GroupCommit::sync_through`] so concurrent
+    /// commits share one fdatasync (see `asterix_storage::wal::GroupCommit`).
+    pub wal_group: Arc<GroupCommit>,
     /// Simulated liveness. A killed node keeps its on-disk state (directory,
     /// WAL) but refuses all data access until [`Node::restart`] — the
     /// in-process stand-in for a machine dropping out of the cluster.
@@ -66,11 +70,20 @@ impl Node {
         let fm = FileManager::with_faults(&dir, stats, faults.clone())?;
         let cache = BufferCache::with_options(fm, cache_opts);
         let wal = WalWriter::open_with_faults(dir.join("node.wal"), faults)?;
+        let wal_group = Arc::new(GroupCommit::new(true));
+        {
+            let reg = cache.stats().registry();
+            let g = Arc::clone(&wal_group);
+            reg.observed_counter("storage.wal.group_commits", move || g.rounds());
+            let g = Arc::clone(&wal_group);
+            reg.observed_counter("storage.wal.group_commit_waiters", move || g.waiters());
+        }
         Ok(Arc::new(Node {
             id,
             dir,
             cache,
             wal: OrderedMutex::new("wal", wal),
+            wal_group,
             alive: AtomicBool::new(true),
         }))
     }

@@ -1,0 +1,261 @@
+//! Feed recovery contract under chaos: kill a node mid-ingest under every
+//! congestion policy, crash the instance, reopen, and resume from the last
+//! durable feed seqno. Over random (seed, kill-point, policy) triples, four
+//! invariants must hold:
+//!
+//!  1. committed ⇒ present exactly once — every record of a batch whose
+//!     ingestion transaction committed before the kill is in the dataset
+//!     after recovery, and no primary key appears twice even though the
+//!     producer replays the tail (seqnos + PK upserts make replay
+//!     idempotent);
+//!  2. honest frontier — `Instance::feed_durable_seq` after the crash names
+//!     a seqno whose full committed prefix recovered (dataset count equals
+//!     records ingested before the kill);
+//!  3. durable-seqno monotonicity — the frontier never moves backwards:
+//!     after the replay it reaches the full stream length;
+//!  4. lossless policies — under Throttle and Spill (which never drop) the
+//!     recovered-and-resumed dataset is exactly the full id range; under
+//!     Discard the dataset equals everything the two feed incarnations
+//!     acknowledged (drops are audited, never silent).
+//!
+//! The seed perturbs queue depth, batch size, and producer pacing so the
+//! kill lands in different spots of the push/commit interleaving; the
+//! kill-point picks where in the stream the node dies. CI's chaos nightly
+//! runs this battery at `PROPTEST_CASES=256`.
+
+use asterix_adm::parse::parse_value;
+use asterix_adm::Value;
+use asterix_core::feeds::{Feed, FeedConfig, IngestionPolicy};
+use asterix_core::instance::{Instance, InstanceConfig, RetryPolicy};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Self-cleaning scratch directory (integration tests cannot use the
+/// crate-private test helpers).
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let p = std::env::temp_dir().join(format!(
+            "asterix-feedrec-{tag}-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+
+    fn path(&self) -> &PathBuf {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+const DDL: &str = r#"
+    CREATE TYPE EventType AS { id: int, v: int };
+    CREATE DATASET Stream(EventType) PRIMARY KEY id;
+"#;
+
+const TOTAL: u64 = 48;
+
+fn rec(id: i64) -> Value {
+    parse_value(&format!(r#"{{"id": {id}, "v": {id}}}"#)).unwrap()
+}
+
+fn policy(idx: usize) -> IngestionPolicy {
+    match idx % 3 {
+        0 => IngestionPolicy::Throttle,
+        1 => IngestionPolicy::Discard,
+        _ => IngestionPolicy::Spill,
+    }
+}
+
+/// One node, so killing node 0 stalls every partition deterministically.
+fn open(dir: &Path) -> Instance {
+    Instance::open(InstanceConfig {
+        data_dir: Some(dir.to_path_buf()),
+        nodes: 1,
+        partitions: 2,
+        ..InstanceConfig::default()
+    })
+    .expect("instance opens")
+}
+
+/// The recovery-contract property for one (seed, kill-point, policy)
+/// triple. Returns an error description on violation so both the proptest
+/// and the pinned regression seeds share one implementation.
+fn check_recovery_contract(seed: u64, kill_at: u64, pol_idx: usize) -> Result<(), String> {
+    let pol = policy(pol_idx);
+    // the seed perturbs the push/commit interleaving the kill lands in
+    let batch = [1usize, 2, 4, 8][(seed % 4) as usize];
+    let queue = [4usize, 8, 16][((seed / 4) % 3) as usize];
+    let yield_every = (seed % 5) + 1;
+    let dir = TempDir::new("contract");
+
+    // ---- phase 1: ingest, kill mid-stream, fail-stop, crash --------------
+    let db = open(dir.path());
+    db.execute_sqlpp(DDL).map_err(|e| format!("ddl: {e}"))?;
+    let feed = Feed::start(
+        db.clone(),
+        "Stream",
+        FeedConfig {
+            queue,
+            batch,
+            policy: pol,
+            retry: RetryPolicy {
+                max_attempts: 3,
+                backoff: Duration::from_millis(1),
+                restart_dead_nodes: false,
+            },
+        },
+    );
+    for id in 0..TOTAL {
+        if id == kill_at {
+            db.kill_node(0);
+        }
+        if feed.push(rec(id as i64)).is_err() {
+            break; // the feed fail-stopped after exhausting its retry budget
+        }
+        if id % yield_every == 0 {
+            std::thread::yield_now();
+        }
+    }
+    let (ingested1, rejected1) = feed.stop();
+    if rejected1 != 0 {
+        return Err(format!("phase 1 rejected {rejected1} records (none are malformed)"));
+    }
+    let cursor = Feed::cursor("Stream");
+    let durable1 = db.feed_durable_seq(&cursor).map_err(|e| format!("durable read: {e}"))?;
+    if pol != IngestionPolicy::Discard && durable1 != ingested1 {
+        return Err(format!(
+            "lossless policy has gaps: durable={durable1} but ingested={ingested1}"
+        ));
+    }
+    if durable1 < ingested1 {
+        return Err(format!("frontier {durable1} behind acknowledged {ingested1}"));
+    }
+    db.crash();
+
+    // ---- phase 2: reopen, resume from the durable frontier ---------------
+    let db = open(dir.path());
+    let durable2 = db.feed_durable_seq(&cursor).map_err(|e| format!("durable reread: {e}"))?;
+    if durable2 != durable1 {
+        return Err(format!("frontier moved across crash: {durable1} -> {durable2}"));
+    }
+    let recovered = db.count("Stream").map_err(|e| format!("count: {e}"))? as u64;
+    if recovered != ingested1 {
+        return Err(format!(
+            "recovered {recovered} rows but {ingested1} were acknowledged committed"
+        ));
+    }
+    // replay the tail: records with seqno > frontier, i.e. ids >= frontier
+    // (seqnos are assigned in push order starting at 1, so seq(id) = id+1)
+    let feed = Feed::resume_with(
+        db.clone(),
+        "Stream",
+        durable2,
+        FeedConfig {
+            queue: TOTAL as usize + 16, // replay without congestion
+            batch,
+            policy: pol,
+            retry: RetryPolicy::default(),
+        },
+    );
+    for id in durable2..TOTAL {
+        feed.push(rec(id as i64)).map_err(|e| format!("replay push: {e}"))?;
+    }
+    let (ingested2, rejected2) = feed.stop();
+    if rejected2 != 0 {
+        return Err(format!("replay rejected {rejected2} records"));
+    }
+
+    // ---- invariants ------------------------------------------------------
+    let final_durable = db.feed_durable_seq(&cursor).map_err(|e| format!("final read: {e}"))?;
+    if final_durable < durable2 {
+        return Err(format!("frontier regressed: {durable2} -> {final_durable}"));
+    }
+    if final_durable != TOTAL {
+        return Err(format!("replay ended at frontier {final_durable}, want {TOTAL}"));
+    }
+    let rows = db
+        .query("SELECT VALUE s.id FROM Stream s")
+        .map_err(|e| format!("final query: {e}"))?;
+    let ids: BTreeSet<i64> = rows.iter().filter_map(Value::as_i64).collect();
+    if ids.len() != rows.len() {
+        return Err(format!(
+            "a record was applied twice: {} rows, {} distinct ids",
+            rows.len(),
+            ids.len()
+        ));
+    }
+    if rows.len() as u64 != ingested1 + ingested2 {
+        return Err(format!(
+            "acknowledged {} + {} records but {} are present",
+            ingested1,
+            ingested2,
+            rows.len()
+        ));
+    }
+    if pol != IngestionPolicy::Discard {
+        let want: BTreeSet<i64> = (0..TOTAL as i64).collect();
+        if ids != want {
+            let missing: Vec<i64> = want.difference(&ids).copied().collect();
+            return Err(format!("lossless policy lost records: missing ids {missing:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// Honour the CI nightly's `PROPTEST_CASES` (the in-attribute config
+/// overrides proptest's own env lookup).
+fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(16)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    /// Kill-mid-ingest recovery holds over random (seed, kill-point,
+    /// policy) triples.
+    #[test]
+    fn kill_mid_ingest_recovers_exactly_once(
+        seed in 0u64..10_000,
+        kill_at in 0u64..TOTAL,
+        pol_idx in 0usize..3,
+    ) {
+        if let Err(why) = check_recovery_contract(seed, kill_at, pol_idx) {
+            prop_assert!(false, "seed={} kill_at={} policy={}: {}", seed, kill_at, pol_idx, why);
+        }
+    }
+}
+
+/// Pinned regression triples: the kill landing before any commit, in the
+/// middle of the stream, and on the last record — once per policy.
+#[test]
+fn pinned_kill_points_recover_under_every_policy() {
+    for (seed, kill_at, pol_idx) in [
+        (1u64, 0u64, 0usize),
+        (7, 0, 1),
+        (42, 0, 2),
+        (3, TOTAL / 2, 0),
+        (11, TOTAL / 2, 1),
+        (19, TOTAL / 2, 2),
+        (5, TOTAL - 1, 0),
+        (13, TOTAL - 1, 1),
+        (23, TOTAL - 1, 2),
+    ] {
+        if let Err(why) = check_recovery_contract(seed, kill_at, pol_idx) {
+            panic!("seed={seed} kill_at={kill_at} policy={pol_idx}: {why}");
+        }
+    }
+}

@@ -11,10 +11,13 @@
 use crate::error::{Result, StorageError};
 use crate::faults::{FaultInjector, WritePlan};
 use crate::le;
+use crate::lock_order::OrderedMutex;
+use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::Read;
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Log sequence number: byte offset of the record in the log file.
@@ -40,6 +43,11 @@ pub enum WalRecord {
     /// All operations before this point are flushed into components; replay
     /// can start here.
     Checkpoint,
+    /// Durable ingestion frontier of a feed: committing the surrounding
+    /// transaction makes `seq` the feed's last durable sequence number.
+    /// Logged immediately before the `Commit` of the batch that carried it,
+    /// so recovery can hand a resumed feed the exact restart point.
+    FeedCursor { txn_id: u64, feed: String, seq: u64 },
 }
 
 impl WalRecord {
@@ -67,6 +75,13 @@ impl WalRecord {
                 out.extend_from_slice(&txn_id.to_le_bytes());
             }
             WalRecord::Checkpoint => out.push(4),
+            WalRecord::FeedCursor { txn_id, feed, seq } => {
+                out.push(5);
+                out.extend_from_slice(&txn_id.to_le_bytes());
+                out.extend_from_slice(&(feed.len() as u32).to_le_bytes());
+                out.extend_from_slice(feed.as_bytes());
+                out.extend_from_slice(&seq.to_le_bytes());
+            }
         }
         out
     }
@@ -111,6 +126,15 @@ impl WalRecord {
             2 => Ok(WalRecord::Commit { txn_id: take_u64(&mut r)? }),
             3 => Ok(WalRecord::Abort { txn_id: take_u64(&mut r)? }),
             4 => Ok(WalRecord::Checkpoint),
+            5 => {
+                let txn_id = take_u64(&mut r)?;
+                let flen = take_u32(&mut r)? as usize;
+                let feed = std::str::from_utf8(take(flen, &mut r)?)
+                    .map_err(|_| corrupt())?
+                    .to_owned();
+                let seq = take_u64(&mut r)?;
+                Ok(WalRecord::FeedCursor { txn_id, feed, seq })
+            }
             _ => Err(corrupt()),
         }
     }
@@ -350,6 +374,129 @@ pub fn committed_operations(
         .collect()
 }
 
+/// Highest *committed* feed cursor per feed name, over the whole log.
+///
+/// Unlike data replay this deliberately ignores checkpoints: a cursor is
+/// restart metadata, not a re-appliable operation, and a feed resumed long
+/// after a checkpoint still needs its frontier.
+pub fn committed_feed_cursors(records: &[(Lsn, WalRecord)]) -> HashMap<String, u64> {
+    let committed: std::collections::HashSet<u64> = records
+        .iter()
+        .filter_map(|(_, r)| match r {
+            WalRecord::Commit { txn_id } => Some(*txn_id),
+            _ => None,
+        })
+        .collect();
+    let aborted: std::collections::HashSet<u64> = records
+        .iter()
+        .filter_map(|(_, r)| match r {
+            WalRecord::Abort { txn_id } => Some(*txn_id),
+            _ => None,
+        })
+        .collect();
+    let mut out: HashMap<String, u64> = HashMap::new();
+    for (_, r) in records {
+        if let WalRecord::FeedCursor { txn_id, feed, seq } = r {
+            if committed.contains(txn_id) && !aborted.contains(txn_id) {
+                let slot = out.entry(feed.clone()).or_insert(0);
+                *slot = (*slot).max(*seq);
+            }
+        }
+    }
+    out
+}
+
+/// Group commit: concurrent committers of one node's WAL share fsyncs.
+///
+/// Every committer appends its records under the WAL lock, notes the log's
+/// end LSN, releases the lock, and calls [`GroupCommit::sync_through`]. The
+/// first committer to reach the sync becomes the *leader*: its `sync()`
+/// flushes the whole buffer — including records appended by committers that
+/// arrived after it took the lock — and advances the durable high-water
+/// mark past all of them. A committer that finds the mark already at or
+/// beyond its end LSN piggybacks on that earlier fsync and returns without
+/// touching the file, which is what turns N concurrent commits into one
+/// fdatasync.
+///
+/// With `enabled == false` every committer locks and syncs itself — the
+/// one-fsync-per-commit baseline the feeds bench compares against. Both
+/// modes provide the same durability guarantee: `sync_through(end)`
+/// returning `Ok` means every log byte below `end` is on stable storage.
+pub struct GroupCommit {
+    /// Log bytes durably synced (an LSN high-water mark).
+    durable: AtomicU64,
+    /// Leader fsync rounds (the `storage.wal.group_commits` counter).
+    rounds: AtomicU64,
+    /// Committers that piggybacked on another committer's fsync (the
+    /// `storage.wal.group_commit_waiters` counter).
+    waiters: AtomicU64,
+    enabled: AtomicBool,
+}
+
+impl GroupCommit {
+    /// A fresh protocol instance for one WAL (durable mark at 0).
+    pub fn new(enabled: bool) -> GroupCommit {
+        GroupCommit {
+            durable: AtomicU64::new(0),
+            rounds: AtomicU64::new(0),
+            waiters: AtomicU64::new(0),
+            enabled: AtomicBool::new(enabled),
+        }
+    }
+
+    /// Toggles group commit (false = per-commit fsync baseline).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Release);
+    }
+
+    /// True when committers share fsyncs.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Acquire)
+    }
+
+    /// Durable high-water mark (bytes of log known synced).
+    pub fn durable(&self) -> Lsn {
+        self.durable.load(Ordering::Acquire)
+    }
+
+    /// Leader fsync rounds performed so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds.load(Ordering::Relaxed)
+    }
+
+    /// Commits made durable by another committer's fsync.
+    pub fn waiters(&self) -> u64 {
+        self.waiters.load(Ordering::Relaxed)
+    }
+
+    /// Makes every log byte below `end` durable, sharing the fsync with
+    /// concurrent committers when enabled (see the type docs). `end` must
+    /// come from `wal.next_lsn()` observed while holding the WAL lock after
+    /// appending; `wal` must be the lock this protocol instance guards.
+    pub fn sync_through(&self, wal: &OrderedMutex<WalWriter>, end: Lsn) -> Result<()> { // xlint: allow(blocking, "commit durability point; the group protocol amortizes the fdatasync across committers")
+        if self.is_enabled() && self.durable.load(Ordering::Acquire) >= end {
+            // an earlier leader's fsync already covered our bytes
+            self.waiters.fetch_add(1, Ordering::Relaxed); // xlint: ordering(metric increment; no synchronization carried)
+            return Ok(());
+        }
+        let mut w = wal.lock(); // xlint: lock(wal)
+        if self.is_enabled() && self.durable.load(Ordering::Acquire) >= end {
+            // a leader finished while we waited for the lock
+            self.waiters.fetch_add(1, Ordering::Relaxed); // xlint: ordering(metric increment; no synchronization carried)
+            return Ok(());
+        }
+        // leader: one write + fdatasync covers everything buffered so far,
+        // ours and any committer's that appended after our `end`
+        w.sync()?;
+        let synced = w.next_lsn(); // == persisted: the buffer is empty
+        self.durable.fetch_max(synced, Ordering::AcqRel); // xlint: ordering(AcqRel max publishes the durable mark to piggybacking committers)
+        if self.is_enabled() {
+            self.rounds.fetch_add(1, Ordering::Relaxed); // xlint: ordering(metric increment; no synchronization carried)
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -573,6 +720,93 @@ mod tests {
         let dir = TempDir::new();
         assert!(read_log(dir.path().join("nope.log")).unwrap().is_empty());
         truncate_log(dir.path().join("nope.log")).unwrap();
+    }
+
+    #[test]
+    fn feed_cursor_roundtrip() {
+        let dir = TempDir::new();
+        let path = dir.path().join("wal.log");
+        let mut w = WalWriter::open(&path).unwrap();
+        w.append(&WalRecord::FeedCursor { txn_id: 7, feed: "feed.Stream".into(), seq: 4242 })
+            .unwrap();
+        w.append(&WalRecord::Commit { txn_id: 7 }).unwrap();
+        w.sync().unwrap();
+        let recs = read_log(&path).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(
+            recs[0].1,
+            WalRecord::FeedCursor { txn_id: 7, feed: "feed.Stream".into(), seq: 4242 }
+        );
+    }
+
+    #[test]
+    fn committed_feed_cursors_takes_max_of_committed_only() {
+        let cur = |txn: u64, feed: &str, seq: u64| WalRecord::FeedCursor {
+            txn_id: txn,
+            feed: feed.into(),
+            seq,
+        };
+        let recs = vec![
+            (0u64, cur(1, "a", 10)),
+            (1, WalRecord::Commit { txn_id: 1 }),
+            (2, cur(2, "a", 20)),
+            (3, WalRecord::Commit { txn_id: 2 }),
+            (4, cur(3, "a", 30)), // never commits
+            (5, cur(4, "b", 5)),
+            (6, WalRecord::Abort { txn_id: 4 }),
+            // a checkpoint must NOT hide earlier cursors
+            (7, WalRecord::Checkpoint),
+        ];
+        let m = committed_feed_cursors(&recs);
+        assert_eq!(m.get("a"), Some(&20));
+        assert_eq!(m.get("b"), None);
+    }
+
+    #[test]
+    fn group_commit_leader_fsync_covers_later_appends() {
+        let dir = TempDir::new();
+        let path = dir.path().join("wal.log");
+        let wal = OrderedMutex::new("wal", WalWriter::open(&path).unwrap());
+        let gc = GroupCommit::new(true);
+        // two committers append before either syncs
+        let (end1, end2) = {
+            let mut w = wal.lock(); // xlint: lock(wal)
+            w.append(&WalRecord::Commit { txn_id: 1 }).unwrap();
+            let e1 = w.next_lsn();
+            w.append(&WalRecord::Commit { txn_id: 2 }).unwrap();
+            (e1, w.next_lsn())
+        };
+        // first sync is the leader: its one fsync makes both commits durable
+        gc.sync_through(&wal, end1).unwrap();
+        assert_eq!(gc.durable(), end2);
+        assert_eq!(gc.rounds(), 1);
+        assert_eq!(gc.waiters(), 0);
+        // second committer piggybacks without touching the file
+        gc.sync_through(&wal, end2).unwrap();
+        assert_eq!(gc.rounds(), 1, "no second fsync round");
+        assert_eq!(gc.waiters(), 1);
+        assert_eq!(read_log(&path).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn group_commit_disabled_syncs_every_committer() {
+        let dir = TempDir::new();
+        let path = dir.path().join("wal.log");
+        let wal = OrderedMutex::new("wal", WalWriter::open(&path).unwrap());
+        let gc = GroupCommit::new(false);
+        for txn in 1..=3u64 {
+            let end = {
+                let mut w = wal.lock(); // xlint: lock(wal)
+                w.append(&WalRecord::Commit { txn_id: txn }).unwrap();
+                w.next_lsn()
+            };
+            gc.sync_through(&wal, end).unwrap();
+            assert_eq!(gc.durable(), end);
+        }
+        // baseline mode records no group activity
+        assert_eq!(gc.rounds(), 0);
+        assert_eq!(gc.waiters(), 0);
+        assert_eq!(read_log(&path).unwrap().len(), 3);
     }
 
     #[test]
